@@ -1,0 +1,315 @@
+// Command datalog evaluates a program of the Datalog Unchained family
+// on a facts file under a chosen semantics.
+//
+// Usage:
+//
+//	datalog -program tc.dl -facts graph.facts -semantics stratified
+//	datalog -program win.dl -facts game.facts -semantics wellfounded -three
+//	datalog -program orient.dl -facts g.facts -semantics ndatalog -seed 7
+//	datalog -program orient.dl -facts g.facts -semantics effects
+//
+// Semantics: datalog (minimal model), stratified, wellfounded,
+// inflationary, noninflationary, invent, ndatalog (one sampled
+// nondeterministic run of N-Datalog¬¬), ndatalog-bottom,
+// ndatalog-forall, effects (exhaustive eff(P) of N-Datalog¬¬).
+//
+// Programs use the syntax of internal/parser: variables upper-case,
+// constants lower-case/quoted/integers, '!' or 'not' for negation
+// (heads and bodies), multiple head atoms for N-Datalog, 'bottom'
+// heads, and 'forall Y (...)' bodies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"unchained"
+	"unchained/internal/ast"
+	"unchained/internal/core"
+	"unchained/internal/declarative"
+	"unchained/internal/magic"
+	"unchained/internal/nondet"
+	"unchained/internal/parser"
+	"unchained/internal/tuple"
+	"unchained/internal/while"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datalog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("datalog", flag.ContinueOnError)
+	programPath := fs.String("program", "", "program file ('-' for stdin)")
+	factsPath := fs.String("facts", "", "ground facts file (optional)")
+	semantics := fs.String("semantics", "stratified", "evaluation semantics")
+	language := fs.String("language", "datalog", "program language: datalog or while")
+	seed := fs.Int64("seed", 1, "seed for nondeterministic runs")
+	answer := fs.String("answer", "", "comma-separated answer relations (default: all IDB)")
+	attachOrder := fs.Bool("order", false, "attach Succ/First/Last over the active domain")
+	three := fs.Bool("three", false, "with wellfounded: print the 3-valued model")
+	stages := fs.Bool("stages", false, "trace stages (deterministic forward-chaining semantics)")
+	why := fs.String("why", "", "with -semantics inflationary: explain a derived fact, e.g. -why 'T(a,c)'")
+	query := fs.String("query", "", "positive Datalog only: goal-directed (magic-sets) query, e.g. -query 'T(a,Y)'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *programPath == "" {
+		return fmt.Errorf("missing -program")
+	}
+
+	s := unchained.NewSession()
+	src, err := readFile(*programPath)
+	if err != nil {
+		return err
+	}
+	if *language == "while" {
+		return runWhile(s, src, *factsPath, *attachOrder, w)
+	}
+	prog, err := s.Parse(src)
+	if err != nil {
+		return fmt.Errorf("parse program: %w", err)
+	}
+	in := tuple.NewInstance()
+	if *factsPath != "" {
+		fsrc, err := readFile(*factsPath)
+		if err != nil {
+			return err
+		}
+		in, err = s.Facts(fsrc)
+		if err != nil {
+			return fmt.Errorf("parse facts: %w", err)
+		}
+	}
+	if *attachOrder {
+		in = s.WithOrder(in)
+	}
+
+	if *query != "" {
+		return goalQuery(s, prog, in, *query, w)
+	}
+	var answerPreds []string
+	if *answer != "" {
+		answerPreds = strings.Split(*answer, ",")
+	}
+	printAnswer := func(out *tuple.Instance) {
+		ans := core.Answer(prog, out, answerPreds...)
+		fmt.Fprint(w, s.Format(ans))
+	}
+	var opt *core.Options
+	if *stages {
+		opt = &core.Options{Trace: func(stage int, state *tuple.Instance) {
+			fmt.Fprintf(w, "%% stage %d: %d facts\n", stage, state.Facts())
+		}}
+	}
+
+	switch *semantics {
+	case "wellfounded", "well-founded":
+		wfs, err := s.EvalWellFounded3(prog, in)
+		if err != nil {
+			return err
+		}
+		if !*three {
+			printAnswer(wfs.True)
+			return nil
+		}
+		for _, pred := range prog.IDB() {
+			if r := wfs.True.Relation(pred); r != nil {
+				for _, t := range r.SortedTuples(s.U) {
+					fmt.Fprintf(w, "true    %s%s.\n", pred, t.String(s.U))
+				}
+			}
+			for _, t := range wfs.UnknownFacts(pred) {
+				fmt.Fprintf(w, "unknown %s%s.\n", pred, t.String(s.U))
+			}
+		}
+		return nil
+	case "ndatalog", "ndatalog-bottom", "ndatalog-forall", "ndatalog-new":
+		d := ast.DialectNDatalogNegNeg
+		switch *semantics {
+		case "ndatalog-bottom":
+			d = ast.DialectNDatalogBot
+		case "ndatalog-forall":
+			d = ast.DialectNDatalogAll
+		case "ndatalog-new":
+			d = ast.DialectNDatalogNew
+		}
+		res, err := nondet.Run(prog, d, in, s.U, *seed, nil)
+		if err != nil {
+			return err
+		}
+		if res.Aborted {
+			fmt.Fprintf(w, "%% computation aborted (⊥ derived) after %d steps\n", res.Steps)
+			return nil
+		}
+		fmt.Fprintf(w, "%% terminal state after %d firings\n", res.Steps)
+		printAnswer(res.Out)
+		return nil
+	case "effects":
+		eff, err := s.Effects(prog, ast.DialectNDatalogNegNeg, in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%% eff(P) has %d terminal states (%d states explored)\n", len(eff.States), eff.Explored)
+		for i, st := range eff.States {
+			fmt.Fprintf(w, "%% state %d:\n", i+1)
+			printAnswer(st)
+		}
+		if poss, ok := eff.Poss(); ok {
+			fmt.Fprintf(w, "%% poss:\n")
+			printAnswer(poss)
+			cert, _ := eff.Cert()
+			fmt.Fprintf(w, "%% cert:\n")
+			printAnswer(cert)
+		}
+		return nil
+	}
+
+	sem, ok := unchained.SemanticsByName[*semantics]
+	if !ok {
+		return fmt.Errorf("unknown semantics %q", *semantics)
+	}
+	var out *tuple.Instance
+	switch sem {
+	case unchained.Inflationary:
+		if *why != "" {
+			return explain(s, prog, in, *why, opt, w)
+		}
+		res, err := core.EvalInflationary(prog, in, s.U, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%% fixpoint after %d stages\n", res.Stages)
+		out = res.Out
+	case unchained.NonInflationary:
+		res, err := core.EvalNonInflationary(prog, in, s.U, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%% fixpoint after %d stages\n", res.Stages)
+		out = res.Out
+	case unchained.Invent:
+		res, err := core.EvalInvent(prog, in, s.U, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%% fixpoint after %d stages (%d values invented)\n", res.Stages, s.U.FreshCount())
+		out = res.Out
+	case unchained.MinimalModel:
+		res, err := declarative.Eval(prog, in, s.U, nil)
+		if err != nil {
+			return err
+		}
+		out = res.Out
+	case unchained.Stratified:
+		res, err := declarative.EvalStratified(prog, in, s.U, nil)
+		if err != nil {
+			return err
+		}
+		out = res.Out
+	default:
+		o, err := s.Eval(prog, in, sem)
+		if err != nil {
+			return err
+		}
+		out = o
+	}
+	printAnswer(out)
+	return nil
+}
+
+// goalQuery answers a single query atom via the magic-sets rewriting.
+func goalQuery(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, w io.Writer) error {
+	// Parse "T(a,Y)" by reusing the rule parser on a synthetic rule.
+	r, err := parser.ParseRule(querySrc+" :- .", s.U)
+	if err != nil {
+		return fmt.Errorf("-query: %w", err)
+	}
+	if len(r.Head) != 1 || r.Head[0].Kind != ast.LitAtom || r.Head[0].Neg {
+		return fmt.Errorf("-query expects a single positive atom")
+	}
+	q := r.Head[0].Atom
+	ans, err := magic.Answer(prog, q, in, s.U, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%% %d answers (magic-sets evaluation)\n", ans.Len())
+	for _, t := range ans.SortedTuples(s.U) {
+		fmt.Fprintf(w, "%s%s.\n", q.Pred, t.String(s.U))
+	}
+	return nil
+}
+
+// explain runs the inflationary evaluation with provenance tracking
+// and prints the derivation tree of the named fact.
+func explain(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, factSrc string, opt *core.Options, w io.Writer) error {
+	facts, err := s.Facts(factSrc + ".")
+	if err != nil {
+		return fmt.Errorf("-why: %w", err)
+	}
+	if facts.Facts() != 1 {
+		return fmt.Errorf("-why expects exactly one ground fact")
+	}
+	_, prov, err := core.EvalInflationaryProv(prog, in, s.U, opt)
+	if err != nil {
+		return err
+	}
+	for _, name := range facts.Names() {
+		var target tuple.Tuple
+		facts.Relation(name).Each(func(t tuple.Tuple) bool { target = t; return false })
+		e, ok := prov.Why(name, target)
+		if !ok {
+			return fmt.Errorf("%s%s is not derivable (and not in the input)", name, target.String(s.U))
+		}
+		fmt.Fprint(w, prov.Render(e))
+	}
+	return nil
+}
+
+// runWhile parses and runs a while-language program.
+func runWhile(s *unchained.Session, src, factsPath string, attachOrder bool, w io.Writer) error {
+	prog, err := while.Parse(src, s.U)
+	if err != nil {
+		return fmt.Errorf("parse while program: %w", err)
+	}
+	in := tuple.NewInstance()
+	if factsPath != "" {
+		fsrc, err := readFile(factsPath)
+		if err != nil {
+			return err
+		}
+		in, err = s.Facts(fsrc)
+		if err != nil {
+			return fmt.Errorf("parse facts: %w", err)
+		}
+	}
+	if attachOrder {
+		in = s.WithOrder(in)
+	}
+	kind := "while"
+	if prog.Fixpoint() {
+		kind = "fixpoint"
+	}
+	res, err := while.Run(prog, in, s.U, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%% %s program: %d loop iterations\n", kind, res.Iters)
+	fmt.Fprint(w, s.Format(res.Out))
+	return nil
+}
+
+func readFile(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

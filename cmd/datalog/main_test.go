@@ -1,0 +1,256 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a temp file with the given contents.
+func write(t *testing.T, dir, name, contents string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestCLIStratified(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", `
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,c).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "stratified")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "T(a,c).") {
+		t.Fatalf("missing T(a,c):\n%s", out)
+	}
+	if strings.Contains(out, "G(a,b).") {
+		t.Fatalf("EDB leaked into answer:\n%s", out)
+	}
+}
+
+func TestCLIAnswerRestriction(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "p.dl", `
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+		CT(X,Y) :- !T(X,Y).
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-answer", "CT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "T(a,b)") {
+		t.Fatalf("-answer filter ignored:\n%s", out)
+	}
+	if !strings.Contains(out, "CT(b,a).") {
+		t.Fatalf("missing CT row:\n%s", out)
+	}
+}
+
+func TestCLIWellFoundedThreeValued(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "win.dl", `Win(X) :- Moves(X,Y), !Win(Y).`)
+	facts := write(t, dir, "game.facts", `Moves(a,b). Moves(b,a). Moves(a,c).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "wellfounded", "-three")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a can move to c (c loses: no moves) so Win(a) is true; b's only
+	// move is to a (winning), so b is losing: false (not printed);
+	// nothing is unknown here.
+	if !strings.Contains(out, "true    Win(a).") {
+		t.Fatalf("expected true Win(a):\n%s", out)
+	}
+	if strings.Contains(out, "Win(b)") {
+		t.Fatalf("losing state printed:\n%s", out)
+	}
+}
+
+func TestCLIInflationaryStages(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", `
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,c). G(c,d).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "inflationary", "-stages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "% stage 1:") || !strings.Contains(out, "% fixpoint after 3 stages") {
+		t.Fatalf("stage trace missing:\n%s", out)
+	}
+}
+
+func TestCLINondetSeedReproducible(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "o.dl", `!G(X,Y) :- G(X,Y), G(Y,X).`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,a).`)
+	out1, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "ndatalog", "-seed", "5", "-answer", "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "ndatalog", "-seed", "5", "-answer", "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatalf("same seed, different output:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestCLIEffects(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "o.dl", `!G(X,Y) :- G(X,Y), G(Y,X).`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,a).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "effects", "-answer", "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "eff(P) has 2 terminal states") {
+		t.Fatalf("effects summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "% poss:") || !strings.Contains(out, "% cert:") {
+		t.Fatalf("poss/cert missing:\n%s", out)
+	}
+}
+
+func TestCLIWhileLanguage(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.wl", `
+		T(X,Y) += G(X,Y);
+		while change do {
+			T(X,Y) += exists Z (T(X,Z) and G(Z,Y));
+		}
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,c).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-language", "while")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fixpoint program") || !strings.Contains(out, "T(a,c).") {
+		t.Fatalf("while run wrong:\n%s", out)
+	}
+}
+
+func TestCLIOrderFlag(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "even.dl", `
+		OddUpto(X)  :- First(X), R(X).
+		EvenUpto(X) :- First(X), !R(X).
+		OddUpto(Y)  :- Succ(X,Y), EvenUpto(X), R(Y).
+		OddUpto(Y)  :- Succ(X,Y), OddUpto(X), !R(Y).
+		EvenUpto(Y) :- Succ(X,Y), OddUpto(X), R(Y).
+		EvenUpto(Y) :- Succ(X,Y), EvenUpto(X), !R(Y).
+		EvenAns :- Last(X), EvenUpto(X).
+	`)
+	facts := write(t, dir, "r.facts", `R(a). R(b).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-order", "-answer", "EvenAns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "EvenAns().") {
+		t.Fatalf("|R|=2 should be even:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "bad.dl", `T(X) :- G(X,Y`)
+	facts := write(t, dir, "g.facts", `G(a,b).`)
+	if _, err := runCLI(t, "-program", prog, "-facts", facts); err == nil {
+		t.Fatalf("parse error not propagated")
+	}
+	good := write(t, dir, "good.dl", `T(X) :- G(X,X).`)
+	if _, err := runCLI(t, "-program", good, "-facts", facts, "-semantics", "nope"); err == nil {
+		t.Fatalf("unknown semantics accepted")
+	}
+	if _, err := runCLI(t, "-facts", facts); err == nil {
+		t.Fatalf("missing -program accepted")
+	}
+	if _, err := runCLI(t, "-program", filepath.Join(dir, "absent.dl")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestCLIInventCounts(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "inv.dl", `Cell(N,X) :- P(X).`)
+	facts := write(t, dir, "p.facts", `P(a). P(b).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "invent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(2 values invented)") {
+		t.Fatalf("invention count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Cell($") {
+		t.Fatalf("invented values not printed:\n%s", out)
+	}
+}
+
+func TestCLIQueryMagic(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", `
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,c). G(x,y).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-query", "T(a,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "T(a,b).") || !strings.Contains(out, "T(a,c).") {
+		t.Fatalf("query answers missing:\n%s", out)
+	}
+	if strings.Contains(out, "T(x,y)") {
+		t.Fatalf("irrelevant answer leaked:\n%s", out)
+	}
+	// Errors: negated atom, multi fact, EDB query.
+	if _, err := runCLI(t, "-program", prog, "-facts", facts, "-query", "!T(a,Y)"); err == nil {
+		t.Fatalf("negated query accepted")
+	}
+	if _, err := runCLI(t, "-program", prog, "-facts", facts, "-query", "G(a,Y)"); err == nil {
+		t.Fatalf("EDB query accepted")
+	}
+}
+
+func TestCLIWhyExplanation(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", `
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,c).`)
+	out, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "inflationary", "-why", "T(a,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T(a,c)", "[input]", "rule 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explanation missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "inflationary", "-why", "T(c,a)"); err == nil {
+		t.Fatalf("underivable fact explained")
+	}
+	if _, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "inflationary", "-why", "T(a,X)"); err == nil {
+		t.Fatalf("non-ground -why accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode: each
+// one carries internal CHECK assertions (paper-shape verifications),
+// so this locks the whole harness into the test suite.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick harness still takes a few seconds")
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.run(true); err != nil {
+				t.Fatalf("%s (%s): %v", e.id, e.title, err)
+			}
+		})
+	}
+}
+
+// TestExperimentIDsUnique guards the registry.
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" || e.run == nil {
+			t.Errorf("experiment %s incomplete", e.id)
+		}
+	}
+}

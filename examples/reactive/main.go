@@ -1,0 +1,64 @@
+// Reactive demonstrates the adoption story of Sections 6–7: forward
+// chaining as the execution model of active databases and production
+// systems. An order-processing rule set reacts to inserted orders:
+// stock is reserved (consuming it), exhausted items raise reorders,
+// and unfulfillable orders are backordered — an event–condition–
+// action cascade settling to quiescence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unchained/internal/active"
+	"unchained/internal/parser"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// ruleSrc is the rule set in the textual ECA format (docs/SYNTAX.md).
+const ruleSrc = `
+	rule reserve priority 10
+	on insert Order(O, Item)
+	if InStock(Item)
+	then Reserved(O, Item), !InStock(Item).
+
+	rule backorder priority 5
+	on insert Order(O, Item)
+	if !InStock(Item), !Reserved(O, Item)
+	then Backorder(O, Item).
+
+	rule reorder priority 1
+	on delete InStock(Item)
+	then Reorder(Item).
+`
+
+func main() {
+	u := value.New()
+	rules, err := active.ParseRules(ruleSrc, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := active.NewSystem(u, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wm := parser.MustParseFacts(`InStock(widget). InStock(gadget).`, u)
+	updates := []active.Event{
+		active.Insert("Order", tuple.Tuple{u.Sym("o1"), u.Sym("widget")}),
+		active.Insert("Order", tuple.Tuple{u.Sym("o2"), u.Sym("widget")}),
+		active.Insert("Order", tuple.Tuple{u.Sym("o3"), u.Sym("gadget")}),
+	}
+
+	fmt.Println("firing trace (priority, then recency — OPS5 style):")
+	opt := &active.Options{Trace: func(rule string, ev active.Event) {
+		fmt.Printf("  %-9s on %s %s%s\n", rule, ev.Kind, ev.Pred, ev.Tuple.String(u))
+	}}
+	res, err := sys.Run(wm, updates, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquiescent after %d firings; final working memory:\n", res.Firings)
+	fmt.Print(res.Out.String(u))
+}

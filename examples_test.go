@@ -1,0 +1,40 @@
+package unchained
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary, checking a
+// characteristic line of its output — examples are load-bearing
+// documentation and must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile separately; skip in -short")
+	}
+	cases := map[string][]string{
+		"quickstart":  {"stratified complement of the closure", "CT(b,a)."},
+		"wingame":     {"win(d) = true", "win(a) = unknown", "model total? false"},
+		"closer":      {"stage 1 infers T:", "fixpoint after 4 stages"},
+		"orientation": {"eff(P) has 4 terminal states", "G(d,e)."},
+		"reactive":    {"quiescent after 5 firings", "Reorder(widget)."},
+		"evenness":    {"semi-pos", "true"},
+		"turing":      {"rules, e.g.:", "stage limit exceeded"},
+		"provenance":  {"[input]", "after delete G(a,d)"},
+	}
+	for name, wants := range cases {
+		name, wants := name, wants
+		t.Run(name, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run: %v\n%s", err, out)
+			}
+			for _, w := range wants {
+				if !strings.Contains(string(out), w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}

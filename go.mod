@@ -1,0 +1,3 @@
+module unchained
+
+go 1.22

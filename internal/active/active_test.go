@@ -1,0 +1,285 @@
+package active
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"unchained/internal/ast"
+	"unchained/internal/parser"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// orderRules is a small order-processing rule set: inserting an order
+// reserves stock; reserving the last unit raises a reorder request.
+func orderRules(u *value.Universe) []Rule {
+	return []Rule{
+		{
+			Name: "reserve", Priority: 10,
+			On: Inserted, Pred: "Order", Vars: []string{"O", "Item"},
+			Cond: []ast.Literal{
+				ast.Pos(ast.NewAtom("InStock", ast.V("Item"))),
+			},
+			Actions: []ast.Literal{
+				ast.Pos(ast.NewAtom("Reserved", ast.V("O"), ast.V("Item"))),
+				ast.Neg(ast.NewAtom("InStock", ast.V("Item"))),
+			},
+		},
+		{
+			// The ¬Reserved guard matters: conditions are re-evaluated
+			// each recognize–act cycle, so without it an order that was
+			// reserved (consuming the stock) would later also match
+			// this rule once stock is gone.
+			Name: "backorder", Priority: 5,
+			On: Inserted, Pred: "Order", Vars: []string{"O", "Item"},
+			Cond: []ast.Literal{
+				ast.Neg(ast.NewAtom("InStock", ast.V("Item"))),
+				ast.Neg(ast.NewAtom("Reserved", ast.V("O"), ast.V("Item"))),
+			},
+			Actions: []ast.Literal{
+				ast.Pos(ast.NewAtom("Backorder", ast.V("O"), ast.V("Item"))),
+			},
+		},
+		{
+			Name: "reorder", Priority: 1,
+			On: Deleted, Pred: "InStock", Vars: []string{"Item"},
+			Actions: []ast.Literal{
+				ast.Pos(ast.NewAtom("Reorder", ast.V("Item"))),
+			},
+		},
+	}
+}
+
+func TestOrderCascade(t *testing.T) {
+	u := value.New()
+	sys, err := NewSystem(u, orderRules(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := parser.MustParseFacts(`InStock(widget).`, u)
+	o1 := tuple.Tuple{u.Sym("o1"), u.Sym("widget")}
+	res, err := sys.Run(wm, []Event{Insert("Order", o1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Out.Has("Reserved", o1) {
+		t.Fatalf("order not reserved:\n%s", res.Out.String(u))
+	}
+	if res.Out.Relation("InStock").Len() != 0 {
+		t.Fatalf("stock not consumed")
+	}
+	if !res.Out.Has("Reorder", tuple.Tuple{u.Sym("widget")}) {
+		t.Fatalf("reorder not raised by deletion event")
+	}
+	if res.Firings < 2 {
+		t.Fatalf("firings = %d", res.Firings)
+	}
+}
+
+func TestPriorityWinsOverRecency(t *testing.T) {
+	// Two orders for one unit: the reserve rule (priority 10) must
+	// beat backorder (priority 5) for the first order processed.
+	u := value.New()
+	sys, err := NewSystem(u, orderRules(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := parser.MustParseFacts(`InStock(widget).`, u)
+	o1 := tuple.Tuple{u.Sym("o1"), u.Sym("widget")}
+	o2 := tuple.Tuple{u.Sym("o2"), u.Sym("widget")}
+	res, err := sys.Run(wm, []Event{Insert("Order", o1), Insert("Order", o2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one gets the unit; the other is backordered.
+	if res.Out.Relation("Reserved").Len() != 1 {
+		t.Fatalf("reserved = %d, want 1", res.Out.Relation("Reserved").Len())
+	}
+	if res.Out.Relation("Backorder").Len() != 1 {
+		t.Fatalf("backorder = %d, want 1:\n%s", res.Out.Relation("Backorder").Len(), res.Out.String(u))
+	}
+}
+
+func TestRecencyOrdering(t *testing.T) {
+	// Same-priority logging rule: the most recent event fires first.
+	u := value.New()
+	var trace []string
+	rules := []Rule{{
+		Name: "log", On: Inserted, Pred: "P", Vars: []string{"X"},
+		Actions: []ast.Literal{ast.Pos(ast.NewAtom("Logged", ast.V("X")))},
+	}}
+	sys, err := NewSystem(u, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tuple.Tuple{u.Sym("a")}, tuple.Tuple{u.Sym("b")}
+	opt := &Options{Trace: func(rule string, ev Event) {
+		trace = append(trace, u.Name(ev.Tuple[0]))
+	}}
+	if _, err := sys.Run(tuple.NewInstance(), []Event{Insert("P", a), Insert("P", b)}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[0] != "b" || trace[1] != "a" {
+		t.Fatalf("recency order wrong: %v", trace)
+	}
+}
+
+func TestRefractionNoInfiniteRefire(t *testing.T) {
+	// A rule that re-asserts an already present fact must not loop:
+	// the insert is a no-op (no new event) and refraction stops the
+	// instantiation from refiring.
+	u := value.New()
+	rules := []Rule{{
+		Name: "idem", On: Inserted, Pred: "P", Vars: []string{"X"},
+		Actions: []ast.Literal{ast.Pos(ast.NewAtom("P", ast.V("X")))},
+	}}
+	sys, err := NewSystem(u, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(tuple.NewInstance(), []Event{Insert("P", tuple.Tuple{u.Sym("a")})}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 1 {
+		t.Fatalf("firings = %d, want 1", res.Firings)
+	}
+}
+
+func TestFiringLimit(t *testing.T) {
+	// Ping-pong cascade: P(x) inserts Q(x) deletes P(x) inserts P(x)...
+	u := value.New()
+	rules := []Rule{
+		{Name: "pp", On: Inserted, Pred: "P", Vars: []string{"X"},
+			Actions: []ast.Literal{ast.Neg(ast.NewAtom("P", ast.V("X")))}},
+		{Name: "qq", On: Deleted, Pred: "P", Vars: []string{"X"},
+			Actions: []ast.Literal{ast.Pos(ast.NewAtom("P", ast.V("X")))}},
+	}
+	sys, err := NewSystem(u, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(tuple.NewInstance(), []Event{Insert("P", tuple.Tuple{u.Sym("a")})}, &Options{MaxFirings: 20})
+	if !errors.Is(err, ErrFiringLimit) {
+		t.Fatalf("err = %v, want ErrFiringLimit", err)
+	}
+}
+
+func TestConditionJoinsWorkingMemory(t *testing.T) {
+	// Fire only for orders of items that are fragile.
+	u := value.New()
+	rules := []Rule{{
+		Name: "fragile", On: Inserted, Pred: "Order", Vars: []string{"O", "Item"},
+		Cond: []ast.Literal{ast.Pos(ast.NewAtom("Fragile", ast.V("Item")))},
+		Actions: []ast.Literal{
+			ast.Pos(ast.NewAtom("HandleWithCare", ast.V("O")))},
+	}}
+	sys, err := NewSystem(u, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := parser.MustParseFacts(`Fragile(vase).`, u)
+	res, err := sys.Run(wm, []Event{
+		Insert("Order", tuple.Tuple{u.Sym("o1"), u.Sym("vase")}),
+		Insert("Order", tuple.Tuple{u.Sym("o2"), u.Sym("brick")}),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.Relation("HandleWithCare").Len() != 1 {
+		t.Fatalf("condition filter failed:\n%s", res.Out.String(u))
+	}
+	if !res.Out.Has("HandleWithCare", tuple.Tuple{u.Sym("o1")}) {
+		t.Fatalf("wrong order flagged")
+	}
+}
+
+func TestInputNotMutatedAndInternalRelationHidden(t *testing.T) {
+	u := value.New()
+	sys, err := NewSystem(u, orderRules(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := parser.MustParseFacts(`InStock(widget).`, u)
+	res, err := sys.Run(wm, []Event{Insert("Order", tuple.Tuple{u.Sym("o1"), u.Sym("widget")})}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.Relation("Order") != nil {
+		t.Fatalf("input working memory mutated")
+	}
+	for _, n := range res.Out.Names() {
+		if strings.HasPrefix(n, "__event") {
+			t.Fatalf("internal relation leaked into result")
+		}
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	u := value.New()
+	if _, err := NewSystem(u, []Rule{{Name: "x", Pred: "", Actions: []ast.Literal{ast.Pos(ast.NewAtom("A"))}}}); err == nil {
+		t.Fatalf("empty trigger accepted")
+	}
+	if _, err := NewSystem(u, []Rule{{Name: "x", Pred: "P"}}); err == nil {
+		t.Fatalf("no actions accepted")
+	}
+	if _, err := NewSystem(u, []Rule{{Name: "x", Pred: "P", Vars: []string{"X"},
+		Actions: []ast.Literal{ast.Bottom()}}}); err == nil {
+		t.Fatalf("bottom action accepted")
+	}
+	// Unbound action variable.
+	if _, err := NewSystem(u, []Rule{{Name: "x", Pred: "P", Vars: []string{"X"},
+		Actions: []ast.Literal{ast.Pos(ast.NewAtom("A", ast.V("Y")))}}}); err == nil {
+		t.Fatalf("unbound action variable accepted")
+	}
+}
+
+func TestSpecificityStrategy(t *testing.T) {
+	// Two same-priority rules for the same event; with Specificity the
+	// more-conditioned rule fires first (and its action disables the
+	// generic one), without it recency/rule-order picks the generic
+	// rule listed first.
+	u := value.New()
+	rules := []Rule{
+		{
+			Name: "generic", On: Inserted, Pred: "Order", Vars: []string{"O"},
+			Cond:    []ast.Literal{ast.Neg(ast.NewAtom("Routed", ast.V("O")))},
+			Actions: []ast.Literal{ast.Pos(ast.NewAtom("Standard", ast.V("O"))), ast.Pos(ast.NewAtom("Routed", ast.V("O")))},
+		},
+		{
+			Name: "vip", On: Inserted, Pred: "Order", Vars: []string{"O"},
+			Cond: []ast.Literal{
+				ast.Neg(ast.NewAtom("Routed", ast.V("O"))),
+				ast.Pos(ast.NewAtom("Vip", ast.V("O"))),
+			},
+			Actions: []ast.Literal{ast.Pos(ast.NewAtom("Express", ast.V("O"))), ast.Pos(ast.NewAtom("Routed", ast.V("O")))},
+		},
+	}
+	o1 := tuple.Tuple{u.Sym("o1")}
+	mk := func() (*System, *tuple.Instance) {
+		sys, err := NewSystem(u, rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, parser.MustParseFacts(`Vip(o1).`, u)
+	}
+
+	sys, wm := mk()
+	res, err := sys.Run(wm, []Event{Insert("Order", o1)}, &Options{Specificity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Out.Has("Express", o1) || res.Out.Has("Standard", o1) {
+		t.Fatalf("specificity: expected express routing:\n%s", res.Out.String(u))
+	}
+
+	sys, wm = mk()
+	res, err = sys.Run(wm, []Event{Insert("Order", o1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Out.Has("Standard", o1) || res.Out.Has("Express", o1) {
+		t.Fatalf("default: expected rule-order routing:\n%s", res.Out.String(u))
+	}
+}

@@ -1,0 +1,221 @@
+package active
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"unchained/internal/ast"
+	"unchained/internal/parser"
+	"unchained/internal/value"
+)
+
+// ParseRules parses a textual ECA rule set:
+//
+//	% reserve stock for incoming orders
+//	rule reserve priority 10
+//	on insert Order(O, Item)
+//	if InStock(Item)
+//	then Reserved(O, Item), !InStock(Item).
+//
+//	rule reorder
+//	on delete InStock(Item)
+//	then Reorder(Item).
+//
+// "priority N" and the "if" section are optional; each rule ends with
+// a dot. Event arguments must be distinct variables (they bind the
+// changed tuple); condition and action literals use the family's
+// literal syntax (negative actions delete facts).
+func ParseRules(src string, u *value.Universe) ([]Rule, error) {
+	chunks, err := splitRules(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Rule
+	for i, chunk := range chunks {
+		r, err := parseOneRule(chunk, u)
+		if err != nil {
+			return nil, fmt.Errorf("active: rule %d: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MustParseRules is ParseRules for trusted sources.
+func MustParseRules(src string, u *value.Universe) []Rule {
+	rules, err := ParseRules(src, u)
+	if err != nil {
+		panic(err.Error())
+	}
+	return rules
+}
+
+// splitRules splits the source into one chunk per rule at top-level
+// dots, respecting quoted strings and % / // comments.
+func splitRules(src string) ([]string, error) {
+	var chunks []string
+	var cur strings.Builder
+	inString := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inString:
+			cur.WriteByte(c)
+			if c == '\\' && i+1 < len(src) {
+				i++
+				cur.WriteByte(src[i])
+			} else if c == '"' {
+				inString = false
+			}
+		case c == '"':
+			inString = true
+			cur.WriteByte(c)
+		case c == '%', c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			cur.WriteByte('\n')
+		case c == '.':
+			chunks = append(chunks, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inString {
+		return nil, fmt.Errorf("active: unterminated string")
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		return nil, fmt.Errorf("active: trailing text after last rule (missing '.'?)")
+	}
+	return chunks, nil
+}
+
+// keyword positions within one rule chunk, quote-aware.
+func findKeyword(s, kw string) int {
+	inString := false
+	for i := 0; i+len(kw) <= len(s); i++ {
+		c := s[i]
+		if inString {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inString = false
+			}
+			continue
+		}
+		if c == '"' {
+			inString = true
+			continue
+		}
+		if s[i:i+len(kw)] != kw {
+			continue
+		}
+		beforeOK := i == 0 || !isWordByte(s[i-1])
+		afterOK := i+len(kw) == len(s) || !isWordByte(s[i+len(kw)])
+		if beforeOK && afterOK {
+			return i
+		}
+	}
+	return -1
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+func parseOneRule(chunk string, u *value.Universe) (Rule, error) {
+	var r Rule
+	s := strings.TrimSpace(chunk)
+	if s == "" {
+		return r, fmt.Errorf("empty rule")
+	}
+
+	// Header: "rule NAME [priority N]".
+	if findKeyword(s, "rule") != 0 {
+		return r, fmt.Errorf("rule must start with 'rule NAME'")
+	}
+	s = strings.TrimSpace(s[len("rule"):])
+	onPos := findKeyword(s, "on")
+	if onPos < 0 {
+		return r, fmt.Errorf("missing 'on' section")
+	}
+	header := strings.Fields(s[:onPos])
+	s = strings.TrimSpace(s[onPos+len("on"):])
+	if len(header) == 0 {
+		return r, fmt.Errorf("missing rule name")
+	}
+	r.Name = header[0]
+	switch {
+	case len(header) == 1:
+	case len(header) == 3 && header[1] == "priority":
+		n, err := strconv.Atoi(header[2])
+		if err != nil {
+			return r, fmt.Errorf("bad priority %q", header[2])
+		}
+		r.Priority = n
+	default:
+		return r, fmt.Errorf("bad rule header %q", strings.Join(header, " "))
+	}
+
+	// Event: "(insert|delete) Atom".
+	thenPos := findKeyword(s, "then")
+	if thenPos < 0 {
+		return r, fmt.Errorf("missing 'then' section")
+	}
+	ifPos := findKeyword(s, "if")
+	evEnd := thenPos
+	if ifPos >= 0 && ifPos < thenPos {
+		evEnd = ifPos
+	}
+	evText := strings.TrimSpace(s[:evEnd])
+	switch {
+	case strings.HasPrefix(evText, "insert"):
+		r.On = Inserted
+		evText = strings.TrimSpace(evText[len("insert"):])
+	case strings.HasPrefix(evText, "delete"):
+		r.On = Deleted
+		evText = strings.TrimSpace(evText[len("delete"):])
+	default:
+		return r, fmt.Errorf("event must be 'insert' or 'delete', got %q", evText)
+	}
+	atom, err := parser.ParseAtom(evText, u)
+	if err != nil {
+		return r, fmt.Errorf("event atom: %w", err)
+	}
+	r.Pred = atom.Pred
+	seen := map[string]bool{}
+	for _, a := range atom.Args {
+		if !a.IsVar() {
+			return r, fmt.Errorf("event arguments must be variables")
+		}
+		if seen[a.Var] {
+			return r, fmt.Errorf("event variable %s repeated", a.Var)
+		}
+		seen[a.Var] = true
+		r.Vars = append(r.Vars, a.Var)
+	}
+
+	// Condition (optional) and actions.
+	if ifPos >= 0 && ifPos < thenPos {
+		condText := strings.TrimSpace(s[ifPos+len("if") : thenPos])
+		cond, err := parser.ParseLiterals(condText, u)
+		if err != nil {
+			return r, fmt.Errorf("condition: %w", err)
+		}
+		r.Cond = cond
+	}
+	actText := strings.TrimSpace(s[thenPos+len("then"):])
+	actions, err := parser.ParseLiterals(actText, u)
+	if err != nil {
+		return r, fmt.Errorf("actions: %w", err)
+	}
+	for _, a := range actions {
+		if a.Kind != ast.LitAtom {
+			return r, fmt.Errorf("actions must be (possibly negated) atoms")
+		}
+	}
+	r.Actions = actions
+	return r, nil
+}

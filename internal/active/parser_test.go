@@ -1,0 +1,139 @@
+package active
+
+import (
+	"strings"
+	"testing"
+
+	"unchained/internal/parser"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+const orderRuleSrc = `
+	% reserve stock for incoming orders
+	rule reserve priority 10
+	on insert Order(O, Item)
+	if InStock(Item)
+	then Reserved(O, Item), !InStock(Item).
+
+	rule backorder priority 5
+	on insert Order(O, Item)
+	if !InStock(Item), !Reserved(O, Item)
+	then Backorder(O, Item).
+
+	rule reorder
+	on delete InStock(Item)
+	then Reorder(Item).
+`
+
+func TestParseRulesStructure(t *testing.T) {
+	u := value.New()
+	rules, err := ParseRules(orderRuleSrc, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	r := rules[0]
+	if r.Name != "reserve" || r.Priority != 10 || r.On != Inserted || r.Pred != "Order" {
+		t.Fatalf("reserve header wrong: %+v", r)
+	}
+	if len(r.Vars) != 2 || r.Vars[0] != "O" || r.Vars[1] != "Item" {
+		t.Fatalf("event vars wrong: %v", r.Vars)
+	}
+	if len(r.Cond) != 1 || len(r.Actions) != 2 || !r.Actions[1].Neg {
+		t.Fatalf("condition/actions wrong")
+	}
+	if rules[2].Priority != 0 || rules[2].On != Deleted {
+		t.Fatalf("reorder header wrong: %+v", rules[2])
+	}
+	if len(rules[2].Cond) != 0 {
+		t.Fatalf("reorder should have no condition")
+	}
+}
+
+func TestParsedRulesBehaveLikeBuiltOnes(t *testing.T) {
+	u := value.New()
+	sys, err := NewSystem(u, MustParseRules(orderRuleSrc, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := parser.MustParseFacts(`InStock(widget).`, u)
+	o1 := tuple.Tuple{u.Sym("o1"), u.Sym("widget")}
+	o2 := tuple.Tuple{u.Sym("o2"), u.Sym("widget")}
+	res, err := sys.Run(wm, []Event{Insert("Order", o1), Insert("Order", o2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.Relation("Reserved").Len() != 1 || res.Out.Relation("Backorder").Len() != 1 {
+		t.Fatalf("parsed rule set misbehaves:\n%s", res.Out.String(u))
+	}
+	if !res.Out.Has("Reorder", tuple.Tuple{u.Sym("widget")}) {
+		t.Fatalf("delete-triggered rule did not fire")
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	u := value.New()
+	cases := map[string]string{
+		"missing dot":        `rule r on insert P(X) then Q(X)`,
+		"missing on":         `rule r then Q(X).`,
+		"missing then":       `rule r on insert P(X) if Q(X).`,
+		"bad event kind":     `rule r on update P(X) then Q(X).`,
+		"constant event arg": `rule r on insert P(a) then Q(a).`,
+		"repeated event var": `rule r on insert P(X, X) then Q(X).`,
+		"bad priority":       `rule r priority high on insert P(X) then Q(X).`,
+		"no name":            `rule on insert P(X) then Q(X).`,
+		"bottom action":      `rule r on insert P(X) then bottom.`,
+		"bad header":         `rule r extra words on insert P(X) then Q(X).`,
+	}
+	for name, src := range cases {
+		if _, err := ParseRules(src, u); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseRulesQuotedKeywords(t *testing.T) {
+	// Keywords inside quoted strings must not confuse the splitter.
+	u := value.New()
+	rules, err := ParseRules(`
+		rule r
+		on insert P(X)
+		if Q(X, "if then on. rule")
+		then R(X).
+	`, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || len(rules[0].Cond) != 1 {
+		t.Fatalf("quoted keywords broke parsing: %+v", rules)
+	}
+}
+
+func TestParseRulesCommentsStripped(t *testing.T) {
+	u := value.New()
+	rules, err := ParseRules(`
+		% a comment with a dot. and keywords: on if then
+		// another one.
+		rule r on insert P(X) then Q(X).
+	`, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("comments broke rule splitting: %d rules", len(rules))
+	}
+}
+
+func TestParseRulesErrorMessagesNameRule(t *testing.T) {
+	u := value.New()
+	_, err := ParseRules(`
+		rule ok on insert P(X) then Q(X).
+		rule broken on insert P(X) then .
+	`, u)
+	if err == nil || !strings.Contains(err.Error(), "rule 2") {
+		t.Fatalf("error should name the failing rule: %v", err)
+	}
+}

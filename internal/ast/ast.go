@@ -1,0 +1,480 @@
+// Package ast defines the abstract syntax shared by every language in
+// the Datalog family the paper surveys: Datalog (Definition 3.1),
+// Datalog¬ (Section 3.2), Datalog¬¬ (Section 4.2), Datalog¬new
+// (Section 4.3), and the nondeterministic N-Datalog variants with
+// multi-literal heads, equality literals, the inconsistency symbol ⊥,
+// and universal quantification in bodies (Section 5).
+//
+// A Dialect value records which syntactic features a given language
+// admits; Program.Validate checks a program against a dialect and
+// reports precise errors, so each engine can insist on exactly the
+// fragment whose semantics it implements.
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unchained/internal/value"
+)
+
+// Term is a variable or a constant. Exactly one of Var/Const is set:
+// variables have Var != "" and constants have Const != value.None.
+type Term struct {
+	Var   string
+	Const value.Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v value.Value) Term { return Term{Const: v} }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term (constants via the universe).
+func (t Term) String(u *value.Universe) string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return u.Name(t.Const)
+}
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// Arity reports the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// String renders the atom.
+func (a Atom) String(u *value.Universe) string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String(u)
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// LitKind discriminates the literal forms.
+type LitKind uint8
+
+// The literal kinds.
+const (
+	LitAtom   LitKind = iota // (¬)R(u)
+	LitEq                    // (¬) x = y          (N-Datalog bodies)
+	LitBottom                // ⊥                   (N-Datalog¬⊥ heads)
+	LitForall                // ∀ x̄ (L1,...,Ln)     (N-Datalog¬∀ bodies)
+)
+
+// Literal is a possibly negated atom, an (in)equality, the
+// inconsistency symbol, or a universally quantified conjunction.
+type Literal struct {
+	Kind LitKind
+	Neg  bool // negation; meaningful for LitAtom and LitEq
+
+	Atom Atom // LitAtom
+
+	Left, Right Term // LitEq
+
+	ForallVars []string  // LitForall: the quantified variables
+	ForallBody []Literal // LitForall: the quantified conjunction
+}
+
+// Pos returns a positive atom literal.
+func Pos(a Atom) Literal { return Literal{Kind: LitAtom, Atom: a} }
+
+// Neg returns a negated atom literal.
+func Neg(a Atom) Literal { return Literal{Kind: LitAtom, Neg: true, Atom: a} }
+
+// Eq returns an equality literal l = r.
+func Eq(l, r Term) Literal { return Literal{Kind: LitEq, Left: l, Right: r} }
+
+// Neq returns an inequality literal l ≠ r.
+func Neq(l, r Term) Literal { return Literal{Kind: LitEq, Neg: true, Left: l, Right: r} }
+
+// Bottom returns the inconsistency-symbol head literal ⊥.
+func Bottom() Literal { return Literal{Kind: LitBottom} }
+
+// Forall returns a universally quantified body literal
+// ∀vars (body...).
+func Forall(vars []string, body ...Literal) Literal {
+	return Literal{Kind: LitForall, ForallVars: vars, ForallBody: body}
+}
+
+// String renders the literal.
+func (l Literal) String(u *value.Universe) string {
+	switch l.Kind {
+	case LitAtom:
+		if l.Neg {
+			return "!" + l.Atom.String(u)
+		}
+		return l.Atom.String(u)
+	case LitEq:
+		op := "="
+		if l.Neg {
+			op = "!="
+		}
+		return l.Left.String(u) + " " + op + " " + l.Right.String(u)
+	case LitBottom:
+		return "bottom"
+	case LitForall:
+		parts := make([]string, len(l.ForallBody))
+		for i, b := range l.ForallBody {
+			parts[i] = b.String(u)
+		}
+		return "forall " + strings.Join(l.ForallVars, ",") + " (" + strings.Join(parts, ", ") + ")"
+	default:
+		return "?"
+	}
+}
+
+// vars appends the variables of the literal to dst (with duplicates).
+func (l Literal) vars(dst []string) []string {
+	switch l.Kind {
+	case LitAtom:
+		for _, t := range l.Atom.Args {
+			if t.IsVar() {
+				dst = append(dst, t.Var)
+			}
+		}
+	case LitEq:
+		if l.Left.IsVar() {
+			dst = append(dst, l.Left.Var)
+		}
+		if l.Right.IsVar() {
+			dst = append(dst, l.Right.Var)
+		}
+	case LitForall:
+		inner := []string{}
+		for _, b := range l.ForallBody {
+			inner = b.vars(inner)
+		}
+		quant := make(map[string]bool, len(l.ForallVars))
+		for _, v := range l.ForallVars {
+			quant[v] = true
+		}
+		for _, v := range inner {
+			if !quant[v] {
+				dst = append(dst, v)
+			}
+		}
+	}
+	return dst
+}
+
+// constants appends the constants of the literal to dst.
+func (l Literal) constants(dst []value.Value) []value.Value {
+	switch l.Kind {
+	case LitAtom:
+		for _, t := range l.Atom.Args {
+			if !t.IsVar() {
+				dst = append(dst, t.Const)
+			}
+		}
+	case LitEq:
+		if !l.Left.IsVar() {
+			dst = append(dst, l.Left.Const)
+		}
+		if !l.Right.IsVar() {
+			dst = append(dst, l.Right.Const)
+		}
+	case LitForall:
+		for _, b := range l.ForallBody {
+			dst = b.constants(dst)
+		}
+	}
+	return dst
+}
+
+// Rule is a rule of any language in the family:
+//
+//	H1, ..., Hk ← B1, ..., Bn
+//
+// Deterministic Datalog(¬)(¬¬) rules have exactly one head literal;
+// N-Datalog¬¬ rules may have several (Definition 5.1); N-Datalog¬⊥
+// rules may have a LitBottom head.
+type Rule struct {
+	Head []Literal
+	Body []Literal
+}
+
+// R builds a single-head rule.
+func R(head Literal, body ...Literal) Rule {
+	return Rule{Head: []Literal{head}, Body: body}
+}
+
+// MultiR builds a multi-head rule.
+func MultiR(head []Literal, body ...Literal) Rule {
+	return Rule{Head: head, Body: body}
+}
+
+// String renders the rule in the repository's concrete syntax.
+func (r Rule) String(u *value.Universe) string {
+	hs := make([]string, len(r.Head))
+	for i, h := range r.Head {
+		hs[i] = h.String(u)
+	}
+	if len(r.Body) == 0 {
+		return strings.Join(hs, ", ") + "."
+	}
+	bs := make([]string, len(r.Body))
+	for i, b := range r.Body {
+		bs[i] = b.String(u)
+	}
+	return strings.Join(hs, ", ") + " :- " + strings.Join(bs, ", ") + "."
+}
+
+// BodyVars returns the distinct variables occurring (free) in the
+// body, in first-occurrence order.
+func (r Rule) BodyVars() []string {
+	var all []string
+	for _, l := range r.Body {
+		all = l.vars(all)
+	}
+	return dedupe(all)
+}
+
+// PositiveBodyVars returns the distinct variables occurring in
+// positive atom literals of the body ("positively bound" in
+// Definition 5.1). Positive atoms inside ∀-literals count, but the
+// quantified variables themselves do not (they are scoped to the
+// literal).
+func (r Rule) PositiveBodyVars() []string {
+	var all []string
+	var walk func(l Literal)
+	walk = func(l Literal) {
+		switch l.Kind {
+		case LitAtom:
+			if !l.Neg {
+				all = l.vars(all)
+			}
+		case LitForall:
+			quant := make(map[string]bool, len(l.ForallVars))
+			for _, v := range l.ForallVars {
+				quant[v] = true
+			}
+			var inner []string
+			for _, b := range l.ForallBody {
+				if b.Kind == LitAtom && !b.Neg {
+					inner = b.vars(inner)
+				}
+			}
+			for _, v := range inner {
+				if !quant[v] {
+					all = append(all, v)
+				}
+			}
+		}
+	}
+	for _, l := range r.Body {
+		walk(l)
+	}
+	return dedupe(all)
+}
+
+// HeadVars returns the distinct variables occurring in the head.
+func (r Rule) HeadVars() []string {
+	var all []string
+	for _, l := range r.Head {
+		all = l.vars(all)
+	}
+	return dedupe(all)
+}
+
+// HeadOnlyVars returns the head variables that do not occur in the
+// body — the invented-value variables of Datalog¬new (Section 4.3).
+func (r Rule) HeadOnlyVars() []string {
+	body := map[string]bool{}
+	for _, v := range r.BodyVars() {
+		body[v] = true
+	}
+	var out []string
+	for _, v := range r.HeadVars() {
+		if !body[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Vars returns all distinct variables of the rule.
+func (r Rule) Vars() []string {
+	var all []string
+	for _, l := range r.Head {
+		all = l.vars(all)
+	}
+	for _, l := range r.Body {
+		all = l.vars(all)
+	}
+	return dedupe(all)
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Program is a finite set of rules (kept in order for deterministic
+// evaluation traces).
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram builds a program from rules.
+func NewProgram(rules ...Rule) *Program { return &Program{Rules: rules} }
+
+// String renders the program.
+func (p *Program) String(u *value.Universe) string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String(u))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IDB returns the sorted names of intensional relations: those
+// occurring in some head atom.
+func (p *Program) IDB() []string {
+	set := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			if h.Kind == LitAtom {
+				set[h.Atom.Pred] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// EDB returns the sorted names of extensional relations: those
+// occurring in bodies only.
+func (p *Program) EDB() []string {
+	idb := map[string]bool{}
+	for _, n := range p.IDB() {
+		idb[n] = true
+	}
+	set := map[string]bool{}
+	var walk func(l Literal)
+	walk = func(l Literal) {
+		switch l.Kind {
+		case LitAtom:
+			if !idb[l.Atom.Pred] {
+				set[l.Atom.Pred] = true
+			}
+		case LitForall:
+			for _, b := range l.ForallBody {
+				walk(b)
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			walk(l)
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Preds returns the sorted names of all relations mentioned.
+func (p *Program) Preds() []string {
+	set := map[string]bool{}
+	for _, n := range p.IDB() {
+		set[n] = true
+	}
+	for _, n := range p.EDB() {
+		set[n] = true
+	}
+	return sortedKeys(set)
+}
+
+// Schema infers the schema of all relations mentioned by the program
+// (sch(P) in the paper). It returns an error on arity conflicts.
+func (p *Program) Schema() (map[string]int, error) {
+	sch := map[string]int{}
+	add := func(a Atom) error {
+		if old, ok := sch[a.Pred]; ok && old != a.Arity() {
+			return fmt.Errorf("ast: relation %s used with arities %d and %d", a.Pred, old, a.Arity())
+		}
+		sch[a.Pred] = a.Arity()
+		return nil
+	}
+	var walk func(l Literal) error
+	walk = func(l Literal) error {
+		switch l.Kind {
+		case LitAtom:
+			return add(l.Atom)
+		case LitForall:
+			for _, b := range l.ForallBody {
+				if err := walk(b); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			if err := walk(h); err != nil {
+				return nil, err
+			}
+		}
+		for _, b := range r.Body {
+			if err := walk(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sch, nil
+}
+
+// Constants returns the distinct constants occurring in the program
+// (adom(P) in the paper), in unspecified order.
+func (p *Program) Constants() []value.Value {
+	var all []value.Value
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			all = h.constants(all)
+		}
+		for _, b := range r.Body {
+			all = b.constants(all)
+		}
+	}
+	seen := map[value.Value]bool{}
+	out := all[:0:0]
+	for _, v := range all {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

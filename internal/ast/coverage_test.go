@@ -1,0 +1,118 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"unchained/internal/value"
+)
+
+func TestLiteralStringForms(t *testing.T) {
+	u := value.New()
+	a := u.Sym("a")
+	cases := map[string]Literal{
+		"P(X,a)":               Pos(NewAtom("P", V("X"), C(a))),
+		"!P(X)":                Neg(NewAtom("P", V("X"))),
+		"X = a":                Eq(V("X"), C(a)),
+		"X != Y":               Neq(V("X"), V("Y")),
+		"bottom":               Bottom(),
+		"forall Y (P(X,Y))":    Forall([]string{"Y"}, Pos(NewAtom("P", V("X"), V("Y")))),
+		"forall Y,Z (!Q(Y,Z))": Forall([]string{"Y", "Z"}, Neg(NewAtom("Q", V("Y"), V("Z")))),
+	}
+	for want, l := range cases {
+		if got := l.String(u); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	u := value.New()
+	p := NewProgram(
+		R(Pos(NewAtom("T", V("X"))), Pos(NewAtom("G", V("X")))),
+		R(Pos(NewAtom("Done"))),
+	)
+	got := p.String(u)
+	if !strings.Contains(got, "T(X) :- G(X).") || !strings.Contains(got, "Done.") {
+		t.Fatalf("program String:\n%s", got)
+	}
+}
+
+func TestBodyVarsAcrossLiteralKinds(t *testing.T) {
+	r := R(Pos(NewAtom("H", V("A"))),
+		Eq(V("A"), V("B")),
+		Forall([]string{"Q"}, Pos(NewAtom("P", V("Q"), V("C")))),
+		Neg(NewAtom("R", V("D"))),
+	)
+	got := strings.Join(r.BodyVars(), ",")
+	// Q is quantified and therefore not free.
+	if got != "A,B,C,D" {
+		t.Fatalf("BodyVars = %q", got)
+	}
+}
+
+func TestConstantsAcrossLiteralKinds(t *testing.T) {
+	u := value.New()
+	a, b, c := u.Sym("a"), u.Sym("b"), u.Sym("c")
+	p := NewProgram(Rule{
+		Head: []Literal{Pos(NewAtom("H", C(a)))},
+		Body: []Literal{
+			Eq(V("X"), C(b)),
+			Forall([]string{"Y"}, Pos(NewAtom("P", V("Y"), C(c)))),
+		},
+	})
+	if got := len(p.Constants()); got != 3 {
+		t.Fatalf("Constants = %d, want 3", got)
+	}
+}
+
+func TestInventTaintDirect(t *testing.T) {
+	u := value.New()
+	_ = u
+	// Cell invents at position 0 only; Name projects the clean column.
+	p := NewProgram(
+		Rule{Head: []Literal{Pos(NewAtom("Cell", V("N"), V("X")))},
+			Body: []Literal{Pos(NewAtom("P", V("X")))}},
+		Rule{Head: []Literal{Pos(NewAtom("Name", V("X")))},
+			Body: []Literal{Pos(NewAtom("Cell", V("M"), V("X")))}},
+		Rule{Head: []Literal{Pos(NewAtom("Id", V("M")))},
+			Body: []Literal{Pos(NewAtom("Cell", V("M"), V("X")))}},
+	)
+	taint := p.InventTaint()
+	if !taint["Cell"][0] || taint["Cell"][1] {
+		t.Fatalf("Cell taint = %v", taint["Cell"])
+	}
+	if taint["Name"] != nil && taint["Name"][0] {
+		t.Fatalf("Name should be clean")
+	}
+	if taint["Id"] == nil || !taint["Id"][0] {
+		t.Fatalf("Id should be tainted")
+	}
+	may := p.MayInvent()
+	if !may["Cell"] || !may["Id"] || may["Name"] {
+		t.Fatalf("MayInvent = %v", may)
+	}
+}
+
+func TestInventTaintThroughForall(t *testing.T) {
+	// A tainted variable bound inside a ∀-literal propagates too.
+	p := NewProgram(
+		Rule{Head: []Literal{Pos(NewAtom("A", V("N")))},
+			Body: []Literal{Pos(NewAtom("Seed", V("X")))}},
+		Rule{Head: []Literal{Pos(NewAtom("B", V("M")))},
+			Body: []Literal{
+				Forall([]string{"Z"}, Pos(NewAtom("A", V("M"))), Neg(NewAtom("Seed", V("Z")))),
+			}},
+	)
+	may := p.MayInvent()
+	if !may["A"] || !may["B"] {
+		t.Fatalf("taint should flow through forall: %v", may)
+	}
+}
+
+func TestEqConstructor(t *testing.T) {
+	l := Eq(V("X"), V("Y"))
+	if l.Kind != LitEq || l.Neg {
+		t.Fatalf("Eq wrong: %+v", l)
+	}
+}

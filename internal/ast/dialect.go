@@ -1,0 +1,209 @@
+package ast
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dialect identifies one language of the family. Each engine accepts
+// exactly one dialect (or a sub-dialect of it).
+type Dialect uint8
+
+// The dialects, in the order of Figure 1 plus the nondeterministic
+// column of Section 5.
+const (
+	DialectDatalog        Dialect = iota // positive Datalog (Definition 3.1)
+	DialectDatalogNeg                    // Datalog¬: negation in bodies (Section 3.2)
+	DialectDatalogNegNeg                 // Datalog¬¬: negation in heads too (Section 4.2)
+	DialectDatalogNew                    // Datalog¬new: head-only variables (Section 4.3)
+	DialectNDatalogNeg                   // N-Datalog¬ (Section 5.1)
+	DialectNDatalogNegNeg                // N-Datalog¬¬ (Definition 5.1)
+	DialectNDatalogBot                   // N-Datalog¬⊥
+	DialectNDatalogAll                   // N-Datalog¬∀
+	DialectNDatalogNew                   // N-Datalog¬new: invention (Theorem 5.7)
+)
+
+func (d Dialect) String() string {
+	switch d {
+	case DialectDatalog:
+		return "Datalog"
+	case DialectDatalogNeg:
+		return "Datalog¬"
+	case DialectDatalogNegNeg:
+		return "Datalog¬¬"
+	case DialectDatalogNew:
+		return "Datalog¬new"
+	case DialectNDatalogNeg:
+		return "N-Datalog¬"
+	case DialectNDatalogNegNeg:
+		return "N-Datalog¬¬"
+	case DialectNDatalogBot:
+		return "N-Datalog¬⊥"
+	case DialectNDatalogAll:
+		return "N-Datalog¬∀"
+	case DialectNDatalogNew:
+		return "N-Datalog¬new"
+	default:
+		return fmt.Sprintf("Dialect(%d)", uint8(d))
+	}
+}
+
+// features returns the capability switches for a dialect.
+type features struct {
+	bodyNeg    bool // negative atom literals in bodies
+	headNeg    bool // negative atom literals in heads (retraction)
+	multiHead  bool // several head literals
+	equality   bool // (in)equality literals in bodies
+	bottom     bool // ⊥ in heads
+	forall     bool // ∀ literals in bodies
+	invention  bool // head-only variables (value invention)
+	rangeBound bool // head vars must occur positively bound in body
+}
+
+func (d Dialect) features() features {
+	switch d {
+	case DialectDatalog:
+		return features{}
+	case DialectDatalogNeg:
+		return features{bodyNeg: true}
+	case DialectDatalogNegNeg:
+		return features{bodyNeg: true, headNeg: true}
+	case DialectDatalogNew:
+		return features{bodyNeg: true, invention: true}
+	case DialectNDatalogNeg:
+		return features{bodyNeg: true, multiHead: true, equality: true, rangeBound: true}
+	case DialectNDatalogNegNeg:
+		return features{bodyNeg: true, headNeg: true, multiHead: true, equality: true, rangeBound: true}
+	case DialectNDatalogBot:
+		return features{bodyNeg: true, multiHead: true, equality: true, bottom: true, rangeBound: true}
+	case DialectNDatalogAll:
+		return features{bodyNeg: true, multiHead: true, equality: true, forall: true, rangeBound: true}
+	case DialectNDatalogNew:
+		return features{bodyNeg: true, multiHead: true, equality: true, invention: true, rangeBound: true}
+	default:
+		return features{}
+	}
+}
+
+// Includes reports whether every program valid in dialect o is also
+// valid in d (the syntactic-inclusion preorder of the family).
+func (d Dialect) Includes(o Dialect) bool {
+	fd, fo := d.features(), o.features()
+	ok := func(have, want bool) bool { return have || !want }
+	return ok(fd.bodyNeg, fo.bodyNeg) &&
+		ok(fd.headNeg, fo.headNeg) &&
+		ok(fd.multiHead, fo.multiHead) &&
+		ok(fd.equality, fo.equality) &&
+		ok(fd.bottom, fo.bottom) &&
+		ok(fd.forall, fo.forall) &&
+		ok(fd.invention, fo.invention) &&
+		// A dialect requiring positive range-boundness rejects some
+		// programs a non-requiring one accepts.
+		(!fd.rangeBound || fo.rangeBound)
+}
+
+// Validate checks that p is a syntactically legal program of dialect
+// d, returning a list of errors joined together (nil when legal).
+//
+// The checks implement the side conditions of Definitions 3.1 and 5.1
+// and the safety conventions of Sections 4.1–4.3:
+//
+//   - every rule has ≥1 head literal and head atoms are well formed;
+//   - negation, multi-heads, equality, ⊥, ∀ appear only if the
+//     dialect admits them;
+//   - unless the dialect allows invention, every head variable occurs
+//     in the body (Definition 3.1); for N-Datalog dialects the
+//     occurrence must be in a positive body atom (Definition 5.1);
+//   - relation arities are consistent program-wide.
+func (p *Program) Validate(d Dialect) error {
+	f := d.features()
+	var errs []error
+	bad := func(ri int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("rule %d: %s", ri+1, fmt.Sprintf(format, args...)))
+	}
+
+	for ri, r := range p.Rules {
+		if len(r.Head) == 0 {
+			bad(ri, "empty head")
+			continue
+		}
+		if len(r.Head) > 1 && !f.multiHead {
+			bad(ri, "%s forbids multiple head literals", d)
+		}
+		for _, h := range r.Head {
+			switch h.Kind {
+			case LitAtom:
+				if h.Neg && !f.headNeg {
+					bad(ri, "%s forbids negation in heads", d)
+				}
+			case LitBottom:
+				if !f.bottom {
+					bad(ri, "%s forbids ⊥ in heads", d)
+				}
+			default:
+				bad(ri, "head literal must be an atom or ⊥")
+			}
+		}
+		var checkBody func(l Literal, inForall bool)
+		checkBody = func(l Literal, inForall bool) {
+			switch l.Kind {
+			case LitAtom:
+				if l.Neg && !f.bodyNeg {
+					bad(ri, "%s forbids negation in bodies", d)
+				}
+			case LitEq:
+				if !f.equality {
+					bad(ri, "%s forbids equality literals", d)
+				}
+			case LitForall:
+				if !f.forall {
+					bad(ri, "%s forbids universal quantification", d)
+				}
+				if inForall {
+					bad(ri, "nested universal quantification is not supported")
+				}
+				if len(l.ForallVars) == 0 {
+					bad(ri, "forall with no quantified variables")
+				}
+				for _, b := range l.ForallBody {
+					checkBody(b, true)
+				}
+			case LitBottom:
+				bad(ri, "⊥ cannot occur in a body")
+			}
+		}
+		for _, b := range r.Body {
+			checkBody(b, false)
+		}
+
+		// Range restriction / safety.
+		bound := map[string]bool{}
+		if f.rangeBound {
+			for _, v := range r.PositiveBodyVars() {
+				bound[v] = true
+			}
+		} else {
+			for _, v := range r.BodyVars() {
+				bound[v] = true
+			}
+		}
+		for _, v := range r.HeadVars() {
+			if bound[v] {
+				continue
+			}
+			if f.invention {
+				continue // head-only variables invent new values
+			}
+			if f.rangeBound {
+				bad(ri, "head variable %s does not occur positively bound in the body", v)
+			} else {
+				bad(ri, "head variable %s does not occur in the body", v)
+			}
+		}
+	}
+
+	if _, err := p.Schema(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,462 @@
+// Package core implements the paper's primary contribution: the
+// forward-chaining (procedural) semantics of the Datalog family
+// (Section 4).
+//
+//   - EvalInflationary — Datalog¬ under inflationary fixpoint
+//     semantics (Section 4.1): all rules fire in parallel with all
+//     applicable instantiations, stages accumulate, and the fixpoint
+//     Γω_P(I) is reached after finitely many stages.
+//   - EvalNonInflationary — Datalog¬¬ (Section 4.2): negations in
+//     heads retract facts; the paper's default conflict resolution
+//     gives priority to positive inferences and three alternative
+//     policies are provided; termination is not guaranteed, so the
+//     engine detects instance-state cycles (e.g. the flip-flop
+//     program) and reports ErrNonTerminating.
+//   - EvalInvent — Datalog¬new (Section 4.3): head-only variables
+//     are valuated with brand-new values outside the active domain.
+//     Invention is Skolemized (the same rule instantiation always
+//     invents the same values), which realizes "one instantiation of
+//     the remaining variables with distinct values outside the
+//     active domain" deterministically up to isomorphism and makes
+//     the inflationary fixpoint well defined.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"unchained/internal/ast"
+	"unchained/internal/eval"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// Sentinel errors.
+var (
+	// ErrNonTerminating reports that the Datalog¬¬ stage sequence
+	// revisited an instance state (the evaluation flip-flops forever,
+	// like the paper's T(0)/T(1) example in Section 4.2).
+	ErrNonTerminating = errors.New("core: evaluation does not terminate (instance state cycle)")
+	// ErrInconsistent reports simultaneous inference of A and ¬A
+	// under the Inconsistent conflict policy (option (iii) in
+	// Section 4.2).
+	ErrInconsistent = errors.New("core: simultaneous inference of a fact and its negation")
+	// ErrStageLimit reports that evaluation exceeded Options.MaxStages.
+	ErrStageLimit = errors.New("core: stage limit exceeded")
+)
+
+// ConflictPolicy selects how a Datalog¬¬ stage resolves the
+// simultaneous inference of A and ¬A (Section 4.2 lists the four
+// options; the paper adopts PreferPositive and notes the choice is
+// not crucial).
+type ConflictPolicy uint8
+
+// The conflict policies.
+const (
+	// PreferPositive keeps A when both A and ¬A are inferred (the
+	// paper's chosen semantics).
+	PreferPositive ConflictPolicy = iota
+	// PreferNegative removes A when both are inferred (option (i)).
+	PreferNegative
+	// NoOp leaves A as it was in the previous instance (option (ii)).
+	NoOp
+	// Inconsistent makes the result undefined: evaluation fails with
+	// ErrInconsistent (option (iii)).
+	Inconsistent
+)
+
+func (c ConflictPolicy) String() string {
+	switch c {
+	case PreferPositive:
+		return "prefer-positive"
+	case PreferNegative:
+		return "prefer-negative"
+	case NoOp:
+		return "no-op"
+	case Inconsistent:
+		return "inconsistent"
+	default:
+		return fmt.Sprintf("ConflictPolicy(%d)", uint8(c))
+	}
+}
+
+// Options tunes forward-chaining evaluation. The zero value is the
+// default configuration.
+type Options struct {
+	// Scan disables hash-index probes (full-scan matching).
+	Scan bool
+	// Workers evaluates the rules of each stage across that many
+	// goroutines (inflationary engine only). Stage semantics fire all
+	// rules against the same previous instance, so rule evaluation is
+	// embarrassingly parallel and the result is identical to the
+	// sequential one. 0 or 1 means sequential.
+	Workers int
+	// Policy is the Datalog¬¬ conflict policy (default PreferPositive).
+	Policy ConflictPolicy
+	// MaxStages bounds the number of stages; 0 means the engine
+	// default (unbounded for the inflationary engine, which always
+	// terminates; 1<<20 for Datalog¬¬; 4096 for Datalog¬new, whose
+	// programs can run forever by design).
+	MaxStages int
+	// Trace, if non-nil, is called after every stage with the stage
+	// number (1-based) and the facts newly inferred (inflationary) or
+	// the full instance state (noninflationary).
+	Trace func(stage int, state *tuple.Instance)
+}
+
+func (o *Options) scan() bool { return o != nil && o.Scan }
+
+func (o *Options) policy() ConflictPolicy {
+	if o == nil {
+		return PreferPositive
+	}
+	return o.Policy
+}
+
+func (o *Options) maxStages(def int) int {
+	if o == nil || o.MaxStages <= 0 {
+		return def
+	}
+	return o.MaxStages
+}
+
+func (o *Options) trace(stage int, state *tuple.Instance) {
+	if o != nil && o.Trace != nil {
+		o.Trace(stage, state)
+	}
+}
+
+// Result is the outcome of a forward-chaining evaluation.
+type Result struct {
+	// Out is Γω_P(I): the input plus everything inferred (for
+	// Datalog¬¬, the final instance state).
+	Out *tuple.Instance
+	// Stages is the number of applications of the immediate
+	// consequence operator until the fixpoint (the "stage" count of
+	// Example 4.1), excluding the final no-change confirmation stage.
+	Stages int
+}
+
+// EvalInflationary evaluates a Datalog¬ program under the
+// inflationary fixpoint semantics of Section 4.1. The input is not
+// mutated. The program may of course be pure Datalog; on positive
+// programs the result coincides with the minimum model (Section 3.1).
+func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := p.Validate(ast.DialectDatalogNeg); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rules, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	out := in.Clone()
+	adom := eval.ActiveDomain(u, p.Constants(), in)
+	stages := 0
+	limit := opt.maxStages(1 << 30)
+	workers := 1
+	if opt != nil && opt.Workers > 1 {
+		workers = opt.Workers
+		// Index probes build lazily inside the shared relations; force
+		// the indexes each stage before fan-out so the workers only
+		// read (see stageParallel).
+	}
+	for {
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan()}
+		var pend []eval.Fact
+		if workers > 1 {
+			pend = stageParallel(rules, ctx, workers)
+		} else {
+			for _, cr := range rules {
+				cr.Enumerate(ctx, func(b eval.Binding) bool {
+					pend = append(pend, cr.HeadFacts(b, nil)...)
+					return true
+				})
+			}
+		}
+		delta := tuple.NewInstance()
+		for _, f := range pend {
+			if out.Insert(f.Pred, f.Tuple) {
+				delta.Insert(f.Pred, f.Tuple)
+			}
+		}
+		if delta.Facts() == 0 {
+			return &Result{Out: out, Stages: stages}, nil
+		}
+		stages++
+		opt.trace(stages, delta)
+		if stages >= limit {
+			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
+		}
+	}
+}
+
+// EvalNonInflationary evaluates a Datalog¬¬ program (Section 4.2).
+// Negative head literals retract facts; conflicts between A and ¬A
+// in the same stage are resolved per Options.Policy. Input relations
+// may occur in heads (the language performs updates), so Out is the
+// full final instance. Termination is detected exactly: the stage
+// transition is deterministic, so the engine runs Brent's cycle
+// detection on instance states and returns ErrNonTerminating when a
+// state repeats without being a fixpoint.
+func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := p.Validate(ast.DialectDatalogNegNeg); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rules, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	cur := in.Clone()
+	adom := eval.ActiveDomain(u, p.Constants(), in)
+	policy := opt.policy()
+	limit := opt.maxStages(1 << 20)
+
+	// Brent's cycle detection: `saved` trails the current state and
+	// is refreshed at power-of-two stage numbers.
+	saved := cur.Clone()
+	power := 1
+	lam := 0
+
+	stages := 0
+	for {
+		next, conflict := stageNonInflationary(rules, cur, adom, policy, opt.scan())
+		if conflict != nil {
+			return nil, conflict
+		}
+		if next.Equal(cur) {
+			return &Result{Out: cur, Stages: stages}, nil
+		}
+		stages++
+		opt.trace(stages, next)
+		if stages >= limit {
+			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
+		}
+		cur = next
+		lam++
+		if cur.Equal(saved) {
+			return nil, fmt.Errorf("%w (cycle of length %d)", ErrNonTerminating, lam)
+		}
+		if lam == power {
+			saved = cur.Clone()
+			power *= 2
+			lam = 0
+		}
+	}
+}
+
+// stageNonInflationary computes one parallel firing of all rules on
+// cur and returns the successor instance. It returns ErrInconsistent
+// (wrapped) when the policy is Inconsistent and a conflict arises.
+func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.Value, policy ConflictPolicy, scan bool) (*tuple.Instance, error) {
+	ctx := &eval.Ctx{In: cur, Adom: adom, DeltaLit: -1, Scan: scan}
+	pos := tuple.NewInstance()
+	neg := tuple.NewInstance()
+	for _, cr := range rules {
+		cr.Enumerate(ctx, func(b eval.Binding) bool {
+			for _, f := range cr.HeadFacts(b, nil) {
+				if f.Neg {
+					neg.Insert(f.Pred, f.Tuple)
+				} else {
+					pos.Insert(f.Pred, f.Tuple)
+				}
+			}
+			return true
+		})
+	}
+	next := cur.Clone()
+	var conflictErr error
+	// Deletions first, then insertions, applying the policy to the
+	// overlap.
+	for _, name := range neg.Names() {
+		rel := neg.Relation(name)
+		rel.Each(func(t tuple.Tuple) bool {
+			inPos := pos.Has(name, t)
+			switch policy {
+			case PreferPositive:
+				if !inPos {
+					next.Delete(name, t)
+				}
+			case PreferNegative:
+				next.Delete(name, t)
+			case NoOp:
+				if !inPos {
+					next.Delete(name, t)
+				}
+				// Conflicting fact: leave as in cur (no-op), so
+				// suppress the later insertion by removing it from
+				// pos unless it was already in cur.
+				if inPos && !cur.Has(name, t) {
+					pos.Delete(name, t)
+				}
+			case Inconsistent:
+				if inPos {
+					conflictErr = fmt.Errorf("%w: %s%s", ErrInconsistent, name, "")
+					return false
+				}
+				next.Delete(name, t)
+			}
+			return true
+		})
+		if conflictErr != nil {
+			return nil, conflictErr
+		}
+	}
+	for _, name := range pos.Names() {
+		rel := pos.Relation(name)
+		rel.Each(func(t tuple.Tuple) bool {
+			if policy == PreferNegative && neg.Has(name, t) {
+				return true
+			}
+			next.Insert(name, t)
+			return true
+		})
+	}
+	return next, nil
+}
+
+// EvalInvent evaluates a Datalog¬new program (Section 4.3):
+// inflationary semantics where variables occurring only in rule heads
+// are valuated with fresh values outside the active domain, supplied
+// by the universe. Invention is Skolemized per (rule, body
+// instantiation), so re-firing an instantiation re-uses its invented
+// values and the fixpoint is well defined. Because the language is
+// computationally complete (Theorem 4.6), termination is not
+// guaranteed; the default stage limit is 4096.
+func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := p.Validate(ast.DialectDatalogNew); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rules, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	out := in.Clone()
+	progConsts := p.Constants()
+	limit := opt.maxStages(4096)
+	stages := 0
+
+	// Skolem memo: (rule, body binding) -> invented values, one per
+	// head-only variable.
+	memo := make(map[string][]value.Value)
+	skolem := func(ri int, b eval.Binding, ho []int) []value.Value {
+		var key strings.Builder
+		fmt.Fprintf(&key, "%d|", ri)
+		for _, v := range b {
+			key.WriteByte(byte(v))
+			key.WriteByte(byte(v >> 8))
+			key.WriteByte(byte(v >> 16))
+			key.WriteByte(byte(v >> 24))
+		}
+		k := key.String()
+		if vs, ok := memo[k]; ok {
+			return vs
+		}
+		vs := make([]value.Value, len(ho))
+		for i := range vs {
+			vs[i] = u.Fresh()
+		}
+		memo[k] = vs
+		return vs
+	}
+
+	for {
+		// The active domain grows as values are invented; recompute
+		// per stage (adom(P, K) in the paper).
+		adom := eval.ActiveDomain(u, progConsts, out)
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan()}
+		var pend []eval.Fact
+		for ri, cr := range rules {
+			ho := cr.HeadOnlyVarIDs()
+			cr.Enumerate(ctx, func(b eval.Binding) bool {
+				if len(ho) == 0 {
+					pend = append(pend, cr.HeadFacts(b, nil)...)
+					return true
+				}
+				vs := skolem(ri, b, ho)
+				idx := map[int]value.Value{}
+				for i, id := range ho {
+					idx[id] = vs[i]
+				}
+				pend = append(pend, cr.HeadFacts(b, func(id int) value.Value { return idx[id] })...)
+				return true
+			})
+		}
+		delta := 0
+		for _, f := range pend {
+			if out.Insert(f.Pred, f.Tuple) {
+				delta++
+			}
+		}
+		if delta == 0 {
+			return &Result{Out: out, Stages: stages}, nil
+		}
+		stages++
+		opt.trace(stages, out)
+		if stages >= limit {
+			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
+		}
+	}
+}
+
+// ValidateDomainSafe checks the syntactic safety restriction of
+// Section 4.3 for a Datalog¬new program: the named answer relations
+// must be guaranteed (by the ast.MayInvent flow analysis) to contain
+// only values from the input domain, which makes the defined query
+// deterministic. It returns an error naming the first unsafe answer
+// relation.
+func ValidateDomainSafe(p *ast.Program, answers ...string) error {
+	if err := p.Validate(ast.DialectDatalogNew); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	may := p.MayInvent()
+	if len(answers) == 0 {
+		answers = p.IDB()
+	}
+	for _, a := range answers {
+		if may[a] {
+			return fmt.Errorf("core: answer relation %s may contain invented values (Datalog¬new domain-safety)", a)
+		}
+	}
+	return nil
+}
+
+// InventedIn reports whether any fact of the named relations in the
+// result contains an invented value — the dynamic counterpart of
+// ValidateDomainSafe, useful in tests and assertions.
+func InventedIn(res *tuple.Instance, u *value.Universe, preds ...string) bool {
+	if len(preds) == 0 {
+		preds = res.Names()
+	}
+	for _, name := range preds {
+		r := res.Relation(name)
+		if r == nil {
+			continue
+		}
+		found := false
+		r.Each(func(t tuple.Tuple) bool {
+			for _, v := range t {
+				if u.IsFresh(v) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// Answer extracts the answer relations of a program from a result:
+// the IDB restricted to the given predicates (or all IDB predicates
+// when none are given).
+func Answer(p *ast.Program, res *tuple.Instance, preds ...string) *tuple.Instance {
+	if len(preds) == 0 {
+		preds = p.IDB()
+	}
+	sch, _ := p.Schema()
+	return res.Restrict(preds, tuple.Schema(sch))
+}

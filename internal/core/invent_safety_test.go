@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"unchained/internal/parser"
+	"unchained/internal/value"
+)
+
+func TestValidateDomainSafeFlowsThroughJoins(t *testing.T) {
+	u := value.New()
+	// Cell invents; Copy pulls the invented value via a join; Name
+	// projects only the input-domain column.
+	p := parser.MustParse(`
+		Cell(N,X) :- P(X).
+		Copy(M) :- Cell(M,X).
+		Name(X) :- Cell(M,X).
+	`, u)
+	if err := ValidateDomainSafe(p, "Name"); err != nil {
+		t.Fatalf("Name is domain-safe: %v", err)
+	}
+	if err := ValidateDomainSafe(p, "Cell"); err == nil {
+		t.Fatalf("Cell accepted though it invents")
+	}
+	if err := ValidateDomainSafe(p, "Copy"); err == nil {
+		t.Fatalf("Copy accepted though invention flows into it")
+	}
+	// Default (all IDB) must fail because Cell invents.
+	if err := ValidateDomainSafe(p); err == nil {
+		t.Fatalf("whole-IDB check passed with inventing relation")
+	}
+}
+
+func TestValidateDomainSafeTransitive(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`
+		A(N) :- Seed(X).
+		B(Y) :- A(Y).
+		C(Z) :- B(Z).
+	`, u)
+	may := p.MayInvent()
+	for _, pred := range []string{"A", "B", "C"} {
+		if !may[pred] {
+			t.Errorf("%s should be flagged (transitive flow)", pred)
+		}
+	}
+	if may["Seed"] {
+		t.Errorf("EDB relation flagged")
+	}
+}
+
+func TestInventedInRuntimeCheck(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`
+		Cell(N,X) :- P(X).
+		Name(X) :- Cell(M,X).
+	`, u)
+	in := parser.MustParseFacts(`P(a). P(b).`, u)
+	res, err := EvalInvent(p, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !InventedIn(res.Out, u, "Cell") {
+		t.Fatalf("Cell should contain invented values")
+	}
+	if InventedIn(res.Out, u, "Name") {
+		t.Fatalf("Name should stay in the input domain")
+	}
+	if !InventedIn(res.Out, u) {
+		t.Fatalf("whole-instance check should find invented values")
+	}
+}
+
+func TestDomainSafeAgreesWithRuntimeOnSuite(t *testing.T) {
+	// Static safety implies the runtime never puts invented values in
+	// the relation (soundness of the over-approximation).
+	srcs := []string{
+		`Cell(N,X) :- P(X). Name(X) :- Cell(M,X).`,
+		`Pair(C,X,Y) :- Succ(X,Y). Left(X) :- Pair(C,X,Y). Id(C) :- Pair(C,X,Y).`,
+	}
+	factss := []string{`P(a). P(b).`, `Succ(a,b). Succ(b,c).`}
+	for i, src := range srcs {
+		u := value.New()
+		p := parser.MustParse(src, u)
+		in := parser.MustParseFacts(factss[i], u)
+		res, err := EvalInvent(p, in, u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		may := p.MayInvent()
+		for _, pred := range p.IDB() {
+			if !may[pred] && InventedIn(res.Out, u, pred) {
+				t.Errorf("program %d: %s declared safe but contains invented values", i, pred)
+			}
+		}
+	}
+}

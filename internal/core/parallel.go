@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync"
+
+	"unchained/internal/eval"
+)
+
+// stageParallel evaluates all rules against the same (frozen) stage
+// context across several goroutines and merges the produced facts.
+// Because every rule of a stage reads the same previous instance,
+// rule-level parallelism cannot change the stage's outcome — the
+// union of per-rule consequence sets is order-independent.
+//
+// The shared relations' hash indexes are built lazily on first probe,
+// which would race under fan-out, so all indexes the rules need are
+// warmed up front.
+func stageParallel(rules []*eval.Rule, ctx *eval.Ctx, workers int) []eval.Fact {
+	eval.WarmIndexes(rules, ctx)
+	if workers > len(rules) {
+		workers = len(rules)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([][]eval.Fact, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []eval.Fact
+			for ri := w; ri < len(rules); ri += workers {
+				cr := rules[ri]
+				cr.Enumerate(ctx, func(b eval.Binding) bool {
+					for _, f := range cr.HeadFacts(b, nil) {
+						// Filter re-derivations here: Contains is a
+						// read-only probe, so the (serial) insert
+						// phase only sees genuinely new facts plus
+						// rare cross-worker duplicates.
+						if !ctx.In.Has(f.Pred, f.Tuple) {
+							local = append(local, f)
+						}
+					}
+					return true
+				})
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var out []eval.Fact
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}

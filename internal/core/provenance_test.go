@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"unchained/internal/parser"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+func TestProvenanceTransitiveClosure(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(tcSrc, u)
+	in := parser.MustParseFacts(`G(a,b). G(b,c). G(c,d).`, u)
+	res, prov, err := EvalInflationaryProv(p, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The provenance run computes the same fixpoint.
+	plain, err := EvalInflationary(p, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Out.Equal(plain.Out) {
+		t.Fatalf("provenance changed the fixpoint")
+	}
+
+	a, d := u.Sym("a"), u.Sym("d")
+	e, ok := prov.Why("T", tuple.Tuple{a, d})
+	if !ok {
+		t.Fatal("no explanation for T(a,d)")
+	}
+	if e.Input || e.Rule != 1 {
+		t.Fatalf("T(a,d) should come from the recursive rule: %+v", e)
+	}
+	// Walk the tree: leaves must all be input G facts.
+	var leaves []*Explanation
+	var walk func(n *Explanation)
+	walk = func(n *Explanation) {
+		if len(n.Children) == 0 {
+			leaves = append(leaves, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(e)
+	if len(leaves) == 0 {
+		t.Fatal("no leaves")
+	}
+	for _, l := range leaves {
+		if !l.Input || l.Pred != "G" {
+			t.Fatalf("leaf %s%s is not an input G fact", l.Pred, l.Tuple.String(u))
+		}
+	}
+	// Stages strictly decrease along support edges.
+	var checkStages func(n *Explanation) int
+	checkStages = func(n *Explanation) int {
+		if n.Input {
+			return 0
+		}
+		for _, c := range n.Children {
+			cs := checkStages(c)
+			if cs >= n.Stage {
+				t.Fatalf("support stage %d not before %d", cs, n.Stage)
+			}
+		}
+		return n.Stage
+	}
+	checkStages(e)
+}
+
+func TestProvenanceRender(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(tcSrc, u)
+	in := parser.MustParseFacts(`G(a,b). G(b,c).`, u)
+	_, prov, err := EvalInflationaryProv(p, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := prov.Why("T", tuple.Tuple{u.Sym("a"), u.Sym("c")})
+	if !ok {
+		t.Fatal("no explanation")
+	}
+	out := prov.Render(e)
+	for _, want := range []string{"T(a,c)", "[input]", "G(a,b)", "stage", "rule"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProvenanceInputAndMissing(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(tcSrc, u)
+	in := parser.MustParseFacts(`G(a,b).`, u)
+	_, prov, err := EvalInflationaryProv(p, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := prov.Why("G", tuple.Tuple{u.Sym("a"), u.Sym("b")})
+	if !ok || !e.Input {
+		t.Fatalf("input fact not explained as input")
+	}
+	if _, ok := prov.Why("T", tuple.Tuple{u.Sym("b"), u.Sym("a")}); ok {
+		t.Fatalf("non-fact explained")
+	}
+}
+
+func TestProvenanceWithNegation(t *testing.T) {
+	// Negative literals are conditions, not supports; the supports of
+	// a Good fact are the positive atoms only.
+	u := value.New()
+	p := parser.MustParse(`
+		Bad(X) :- G(Y,X), !Good(Y).
+		Delay.
+		Good(X) :- Delay, !Bad(X).
+	`, u)
+	in := parser.MustParseFacts(`G(a,b).`, u)
+	_, prov, err := EvalInflationaryProv(p, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := prov.Why("Good", tuple.Tuple{u.Sym("a")})
+	if !ok {
+		t.Fatal("Good(a) unexplained")
+	}
+	if len(e.Children) != 1 || e.Children[0].Pred != "Delay" {
+		t.Fatalf("supports of Good(a) should be just Delay: %+v", e.Children)
+	}
+}

@@ -1,0 +1,318 @@
+// Package declarative implements the model-theoretic side of the
+// paper (Section 3): the minimum-model semantics of positive Datalog
+// (with naive and semi-naive bottom-up evaluation), the stratified
+// semantics of Datalog¬, and the well-founded semantics computed as
+// an alternating fixpoint.
+package declarative
+
+import (
+	"fmt"
+
+	"unchained/internal/ast"
+	"unchained/internal/eval"
+	"unchained/internal/stratify"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// Options tunes evaluation. The zero value is the default
+// configuration (hash-index matching).
+type Options struct {
+	// Scan disables hash-index probes (full-scan matching); used by
+	// the index-ablation benchmark.
+	Scan bool
+}
+
+func (o *Options) scan() bool { return o != nil && o.Scan }
+
+// Result is the outcome of a 2-valued evaluation.
+type Result struct {
+	// Out is the final instance over sch(P): the input EDB plus all
+	// derived IDB facts.
+	Out *tuple.Instance
+	// Rounds is the number of evaluation rounds (iterations of the
+	// immediate consequence operator for the naive engine; delta
+	// rounds for the semi-naive ones).
+	Rounds int
+}
+
+// Eval computes the minimum model of a positive Datalog program on
+// the input instance using semi-naive evaluation (Section 3.1). The
+// input is not mutated.
+func Eval(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := p.Validate(ast.DialectDatalog); err != nil {
+		return nil, fmt.Errorf("declarative: %w", err)
+	}
+	rules, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	out := in.Clone()
+	idb := map[string]bool{}
+	for _, n := range p.IDB() {
+		idb[n] = true
+	}
+	adom := eval.ActiveDomain(u, p.Constants(), in)
+	rounds := semiNaive(rules, out, nil, idb, adom, opt.scan())
+	return &Result{Out: out, Rounds: rounds}, nil
+}
+
+// EvalNaive computes the same minimum model by naive iteration
+// (re-deriving everything each round); it exists as the baseline for
+// the semi-naive ablation benchmark (P1 in DESIGN.md).
+func EvalNaive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := p.Validate(ast.DialectDatalog); err != nil {
+		return nil, fmt.Errorf("declarative: %w", err)
+	}
+	rules, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	out := in.Clone()
+	adom := eval.ActiveDomain(u, p.Constants(), in)
+	rounds := 0
+	for {
+		rounds++
+		changed := false
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan()}
+		var pend []eval.Fact
+		for _, cr := range rules {
+			cr.Enumerate(ctx, func(b eval.Binding) bool {
+				pend = append(pend, cr.HeadFacts(b, nil)...)
+				return true
+			})
+		}
+		for _, f := range pend {
+			if out.Insert(f.Pred, f.Tuple) {
+				changed = true
+			}
+		}
+		if !changed {
+			return &Result{Out: out, Rounds: rounds}, nil
+		}
+	}
+}
+
+// semiNaive runs semi-naive evaluation of rules to fixpoint, mutating
+// out. negIn, when non-nil, is the fixed instance negative literals
+// test against (used by the well-founded reduct); when nil, negatives
+// test against out itself, which is only sound when the rules'
+// negated predicates never grow during this fixpoint (stratified
+// evaluation guarantees that). recursive is the set of predicates
+// that may grow during this fixpoint. Returns the number of delta
+// rounds.
+func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, recursive map[string]bool, adom []value.Value, scan bool) int {
+	// Round 0: naive pass over every rule.
+	delta := tuple.NewInstance()
+	ctx := &eval.Ctx{In: out, NegIn: negIn, Adom: adom, DeltaLit: -1, Scan: scan}
+	var pend []eval.Fact
+	for _, cr := range rules {
+		cr.Enumerate(ctx, func(b eval.Binding) bool {
+			pend = append(pend, cr.HeadFacts(b, nil)...)
+			return true
+		})
+	}
+	for _, f := range pend {
+		if out.Insert(f.Pred, f.Tuple) {
+			delta.Insert(f.Pred, f.Tuple)
+		}
+	}
+	rounds := 1
+
+	// Precompute, per rule, the delta variants: one per positive body
+	// literal over a recursive predicate, compiled with that literal
+	// scheduled first so the join starts from the delta.
+	type variant struct {
+		rule *eval.Rule
+		lit  int
+	}
+	var variants []variant
+	for _, cr := range rules {
+		for _, li := range cr.PositiveBodyLits() {
+			pred := cr.Src.Body[li].Atom.Pred
+			if recursive[pred] {
+				dv, err := eval.CompileDelta(cr.Src, li)
+				if err != nil {
+					// Fall back to the original plan; cannot happen
+					// for rules that compiled once already.
+					dv = cr
+				}
+				variants = append(variants, variant{dv, li})
+			}
+		}
+	}
+
+	for delta.Facts() > 0 {
+		rounds++
+		next := tuple.NewInstance()
+		pend = pend[:0]
+		for _, v := range variants {
+			ctx := &eval.Ctx{In: out, NegIn: negIn, Adom: adom, Delta: delta, DeltaLit: v.lit, Scan: scan}
+			v.rule.Enumerate(ctx, func(b eval.Binding) bool {
+				pend = append(pend, v.rule.HeadFacts(b, nil)...)
+				return true
+			})
+		}
+		for _, f := range pend {
+			if out.Insert(f.Pred, f.Tuple) {
+				next.Insert(f.Pred, f.Tuple)
+			}
+		}
+		delta = next
+	}
+	return rounds
+}
+
+// EvalStratified evaluates a stratifiable Datalog¬ program under the
+// stratified semantics (Section 3.2): strata are computed from the
+// dependency graph and evaluated bottom-up, each to fixpoint with
+// semi-naive evaluation; negation within a stratum refers only to
+// already-completed relations.
+func EvalStratified(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := p.Validate(ast.DialectDatalogNeg); err != nil {
+		return nil, fmt.Errorf("declarative: %w", err)
+	}
+	strat, err := stratify.Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	// Group compiled rules by stratum.
+	byStratum := make([][]*eval.Rule, len(strat.Strata))
+	for i, cr := range rules {
+		s := strat.RuleStratum(p.Rules[i])
+		byStratum[s] = append(byStratum[s], cr)
+	}
+	out := in.Clone()
+	adom := eval.ActiveDomain(u, p.Constants(), in)
+	totalRounds := 0
+	for s, srules := range byStratum {
+		if len(srules) == 0 {
+			continue
+		}
+		recursive := map[string]bool{}
+		for _, pred := range strat.Strata[s] {
+			recursive[pred] = true
+		}
+		totalRounds += semiNaive(srules, out, nil, recursive, adom, opt.scan())
+	}
+	return &Result{Out: out, Rounds: totalRounds}, nil
+}
+
+// TruthValue is a value of the 3-valued logic of the well-founded
+// semantics (Section 3.3).
+type TruthValue uint8
+
+// The truth values.
+const (
+	False TruthValue = iota
+	Unknown
+	True
+)
+
+func (tv TruthValue) String() string {
+	switch tv {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// WFSResult is the 3-valued well-founded model of a program on an
+// input: True holds the certainly-true facts (including the input),
+// Possible holds true-or-unknown facts; everything else over the
+// active domain is false.
+type WFSResult struct {
+	True     *tuple.Instance
+	Possible *tuple.Instance
+	// u renders and orders tuples deterministically.
+	u *value.Universe
+	// Rounds is the number of Γ applications performed by the
+	// alternating fixpoint.
+	Rounds int
+	// Adom is the active domain used (for enumerating false facts).
+	Adom []value.Value
+}
+
+// Truth reports the truth value of a fact in the well-founded model.
+func (w *WFSResult) Truth(pred string, t tuple.Tuple) TruthValue {
+	if w.True.Has(pred, t) {
+		return True
+	}
+	if w.Possible.Has(pred, t) {
+		return Unknown
+	}
+	return False
+}
+
+// UnknownFacts returns the facts of pred with truth value unknown,
+// in the deterministic value order (so output is stable).
+func (w *WFSResult) UnknownFacts(pred string) []tuple.Tuple {
+	r := w.Possible.Relation(pred)
+	if r == nil {
+		return nil
+	}
+	unknown := tuple.NewRelation(r.Arity())
+	r.Each(func(t tuple.Tuple) bool {
+		if !w.True.Has(pred, t) {
+			unknown.Insert(t)
+		}
+		return true
+	})
+	return unknown.SortedTuples(w.u)
+}
+
+// Total reports whether the model is 2-valued (no unknown facts).
+func (w *WFSResult) Total() bool {
+	return w.True.Equal(w.Possible)
+}
+
+// EvalWellFounded computes the well-founded model of a Datalog¬
+// program by the alternating fixpoint of Van Gelder (Section 3.3):
+//
+//	under₀ = input; overᵢ = Γ(underᵢ₋₁); underᵢ = Γ(overᵢ)
+//
+// where Γ(S) is the minimum model of the program with every negative
+// literal ¬A evaluated as A ∉ S. The under-sequence increases to the
+// set of true facts and the over-sequence decreases to the set of
+// true-or-unknown facts.
+func EvalWellFounded(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*WFSResult, error) {
+	if err := p.Validate(ast.DialectDatalogNeg); err != nil {
+		return nil, fmt.Errorf("declarative: %w", err)
+	}
+	rules, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	idb := map[string]bool{}
+	for _, n := range p.IDB() {
+		idb[n] = true
+	}
+	adom := eval.ActiveDomain(u, p.Constants(), in)
+
+	gamma := func(s *tuple.Instance) *tuple.Instance {
+		out := in.Clone()
+		semiNaive(rules, out, s, idb, adom, opt.scan())
+		return out
+	}
+
+	under := in.Clone()
+	rounds := 0
+	var over *tuple.Instance
+	for {
+		over = gamma(under)
+		newUnder := gamma(over)
+		rounds += 2
+		if newUnder.Equal(under) {
+			break
+		}
+		under = newUnder
+	}
+	return &WFSResult{True: under, Possible: over, u: u, Rounds: rounds, Adom: adom}, nil
+}

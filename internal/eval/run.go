@@ -1,0 +1,351 @@
+package eval
+
+import (
+	"sort"
+
+	"unchained/internal/ast"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// Ctx carries the evaluation environment for one enumeration pass.
+type Ctx struct {
+	// In is the instance positive literals match against and
+	// negative literals are checked against (the current K).
+	In *tuple.Instance
+	// Adom is the active domain adom(P, K), sorted for determinism.
+	// Variables not bound by the positive body structure are
+	// enumerated over it.
+	Adom []value.Value
+	// NegIn, if non-nil, is the instance negative literals are
+	// checked against instead of In. The well-founded engine uses it
+	// to evaluate the Gelfond–Lifschitz-style reduct: positives match
+	// the growing fixpoint while negatives test a fixed estimate.
+	NegIn *tuple.Instance
+	// Aux, if non-nil, overlays In for positive matching: positive
+	// literals match In ∪ Aux. The incremental-maintenance engine
+	// uses it to evaluate against the pre-deletion state (current
+	// state ∪ deleted facts) without cloning. Tuples present in both
+	// are visited twice; callers must tolerate duplicates.
+	Aux *tuple.Instance
+	// Delta, if non-nil, replaces In for the positive body literal
+	// with index DeltaLit (semi-naive evaluation).
+	Delta    *tuple.Instance
+	DeltaLit int
+	// Scan disables hash-index probes (full-scan matching), for the
+	// index-ablation benchmark.
+	Scan bool
+}
+
+// Binding is a valuation of a compiled rule's variables, indexed by
+// variable id; value.None means unbound.
+type Binding []value.Value
+
+// Enumerate calls emit for every valuation of the rule's body that is
+// satisfied in ctx. The binding passed to emit is reused across
+// calls; emit must copy it if it needs to retain it. emit returning
+// false stops the enumeration early. Head-only (invented) variables
+// are left as value.None in the binding.
+func (r *Rule) Enumerate(ctx *Ctx, emit func(Binding) bool) {
+	b := make(Binding, len(r.Vars))
+	r.run(ctx, 0, b, emit)
+}
+
+func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
+	if si == len(r.steps) {
+		return emit(b)
+	}
+	st := &r.steps[si]
+	switch st.kind {
+	case stepMatch:
+		src := ctx.In
+		if ctx.Delta != nil && st.litIndex == ctx.DeltaLit {
+			src = ctx.Delta
+		}
+		rel := relOf(src, st.pred)
+		if rel == nil || rel.Arity() != st.arity {
+			return true // empty relation: no matches, keep going elsewhere
+		}
+		// Build the probe pattern for the bound positions.
+		var pattern tuple.Tuple
+		if st.mask != 0 {
+			pattern = make(tuple.Tuple, st.arity)
+			for pos, s := range st.slots {
+				if st.mask&(1<<uint(pos)) == 0 {
+					continue
+				}
+				if s.isVar {
+					pattern[pos] = b[s.varID]
+				} else {
+					pattern[pos] = s.val
+				}
+			}
+		}
+		var cands []tuple.Tuple
+		if ctx.Scan {
+			cands = rel.ProbeScan(st.mask, pattern)
+		} else {
+			cands = rel.Probe(st.mask, pattern)
+		}
+		if ctx.Aux != nil && src != ctx.Delta {
+			if aux := relOf(ctx.Aux, st.pred); aux != nil && aux.Arity() == st.arity {
+				if ctx.Scan {
+					cands = append(append([]tuple.Tuple(nil), cands...), aux.ProbeScan(st.mask, pattern)...)
+				} else {
+					cands = append(append([]tuple.Tuple(nil), cands...), aux.Probe(st.mask, pattern)...)
+				}
+			}
+		}
+		for _, t := range cands {
+			ok := true
+			for _, ab := range st.binds {
+				b[ab.varID] = t[ab.pos]
+			}
+			for _, ac := range st.checks {
+				if t[ac.pos] != b[ac.varID] {
+					ok = false
+					break
+				}
+			}
+			if ok && !r.run(ctx, si+1, b, emit) {
+				for _, ab := range st.binds {
+					b[ab.varID] = value.None
+				}
+				return false
+			}
+		}
+		for _, ab := range st.binds {
+			b[ab.varID] = value.None
+		}
+		return true
+
+	case stepNegCheck:
+		t := make(tuple.Tuple, st.arity)
+		for pos, s := range st.slots {
+			if s.isVar {
+				t[pos] = b[s.varID]
+			} else {
+				t[pos] = s.val
+			}
+		}
+		negSrc := ctx.In
+		if ctx.NegIn != nil {
+			negSrc = ctx.NegIn
+		}
+		rel := relOf(negSrc, st.pred)
+		if rel != nil && rel.Contains(t) {
+			return true // literal false under this valuation
+		}
+		return r.run(ctx, si+1, b, emit)
+
+	case stepEqAssign:
+		// left is the unbound variable side by construction.
+		var v value.Value
+		if st.right.isVar {
+			v = b[st.right.varID]
+		} else {
+			v = st.right.val
+		}
+		b[st.left.varID] = v
+		ok := r.run(ctx, si+1, b, emit)
+		b[st.left.varID] = value.None
+		return ok
+
+	case stepEqTest:
+		l, rr := slotVal(st.left, b), slotVal(st.right, b)
+		if (l == rr) == st.negEq {
+			return true
+		}
+		return r.run(ctx, si+1, b, emit)
+
+	case stepEnum:
+		for _, v := range ctx.Adom {
+			b[st.enumVar] = v
+			if !r.run(ctx, si+1, b, emit) {
+				b[st.enumVar] = value.None
+				return false
+			}
+		}
+		b[st.enumVar] = value.None
+		return true
+
+	case stepForall:
+		if r.forallHolds(ctx, st, 0, b) {
+			return r.run(ctx, si+1, b, emit)
+		}
+		return true
+	}
+	return true
+}
+
+// forallHolds checks a ∀-literal: every extension of the current
+// binding over the quantified variables (valuated in the active
+// domain) must satisfy all inner checks.
+func (r *Rule) forallHolds(ctx *Ctx, st *step, qi int, b Binding) bool {
+	if qi == len(st.forallVars) {
+		for _, c := range st.forallPlan {
+			switch c.kind {
+			case stepMatch, stepNegCheck:
+				t := make(tuple.Tuple, len(c.slots))
+				for pos, s := range c.slots {
+					t[pos] = slotVal(s, b)
+				}
+				src := ctx.In
+				if c.kind == stepNegCheck && ctx.NegIn != nil {
+					src = ctx.NegIn
+				}
+				rel := relOf(src, c.pred)
+				has := rel != nil && rel.Contains(t)
+				if has == (c.kind == stepNegCheck) {
+					return false
+				}
+			case stepEqTest:
+				l, rr := slotVal(c.left, b), slotVal(c.right, b)
+				if (l == rr) == c.negEq {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	id := st.forallVars[qi]
+	saved := b[id]
+	for _, v := range ctx.Adom {
+		b[id] = v
+		if !r.forallHolds(ctx, st, qi+1, b) {
+			b[id] = saved
+			return false
+		}
+	}
+	b[id] = saved
+	return true
+}
+
+func slotVal(s slot, b Binding) value.Value {
+	if s.isVar {
+		return b[s.varID]
+	}
+	return s.val
+}
+
+// Fact is one emitted head fact.
+type Fact struct {
+	Neg    bool // retraction (Datalog¬¬ head negation)
+	Bottom bool // the inconsistency symbol ⊥
+	Pred   string
+	Tuple  tuple.Tuple
+}
+
+// HeadFacts materializes the head literals of the rule under binding
+// b. invent supplies values for head-only variables; it is called
+// once per head-only variable per call (so all head literals of one
+// firing share the invented values). invent may be nil when the rule
+// has no head-only variables.
+func (r *Rule) HeadFacts(b Binding, invent func(varID int) value.Value) []Fact {
+	var local Binding
+	if len(r.headOnly) > 0 {
+		local = make(Binding, len(b))
+		copy(local, b)
+		for _, id := range r.headOnly {
+			local[id] = invent(id)
+		}
+		b = local
+	}
+	out := make([]Fact, 0, len(r.heads))
+	for _, h := range r.heads {
+		if h.Bottom {
+			out = append(out, Fact{Bottom: true})
+			continue
+		}
+		t := make(tuple.Tuple, len(h.Slots))
+		for pos, s := range h.Slots {
+			t[pos] = slotVal(s, b)
+		}
+		out = append(out, Fact{Neg: h.Neg, Pred: h.Pred, Tuple: t})
+	}
+	return out
+}
+
+// WarmIndexes pre-builds every hash index the rules' match steps will
+// probe against the context's instances. Indexes are otherwise built
+// lazily on first probe, which mutates the shared relation — unsafe
+// when several goroutines evaluate rules of the same stage
+// concurrently. Warming makes subsequent Enumerate calls read-only
+// on the instance. No-op in Scan mode.
+func WarmIndexes(rules []*Rule, ctx *Ctx) {
+	if ctx.Scan {
+		return
+	}
+	warm := func(in *tuple.Instance, pred string, mask uint32, arity int) {
+		if in == nil || mask == 0 {
+			return
+		}
+		rel := in.Relation(pred)
+		if rel == nil || rel.Arity() != arity {
+			return
+		}
+		rel.Probe(mask, make(tuple.Tuple, arity))
+	}
+	for _, r := range rules {
+		for i := range r.steps {
+			st := &r.steps[i]
+			if st.kind != stepMatch {
+				continue
+			}
+			warm(ctx.In, st.pred, st.mask, st.arity)
+			if ctx.Delta != nil && st.litIndex == ctx.DeltaLit {
+				warm(ctx.Delta, st.pred, st.mask, st.arity)
+			}
+		}
+	}
+}
+
+// BodySupports materializes the positive body atoms of the rule under
+// binding b — the facts a firing "used", as recorded by provenance
+// tracking. The returned facts are positive and in body order.
+func (r *Rule) BodySupports(b Binding) []Fact {
+	var out []Fact
+	var walk func(l ast.Literal)
+	walk = func(l ast.Literal) {
+		if l.Kind != ast.LitAtom || l.Neg {
+			return
+		}
+		t := make(tuple.Tuple, len(l.Atom.Args))
+		for i, a := range l.Atom.Args {
+			if a.IsVar() {
+				t[i] = b[r.varIDs[a.Var]]
+			} else {
+				t[i] = a.Const
+			}
+		}
+		out = append(out, Fact{Pred: l.Atom.Pred, Tuple: t})
+	}
+	for _, l := range r.Src.Body {
+		walk(l)
+	}
+	return out
+}
+
+// ActiveDomain computes adom(P, I): the program's constants plus
+// every value occurring in the instance, sorted by u.Compare and
+// deduplicated.
+func ActiveDomain(u *value.Universe, progConsts []value.Value, in *tuple.Instance) []value.Value {
+	var all []value.Value
+	all = append(all, progConsts...)
+	if in != nil {
+		all = in.ActiveDomain(all)
+	}
+	sort.Slice(all, func(i, j int) bool { return u.Compare(all[i], all[j]) < 0 })
+	out := all[:0]
+	var prev value.Value
+	for i, v := range all {
+		if i == 0 || v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}
+
+// ProgramConsts returns adom(P) for a program.
+func ProgramConsts(p *ast.Program) []value.Value { return p.Constants() }

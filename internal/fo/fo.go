@@ -1,0 +1,486 @@
+// Package fo implements first-order logic over relations (the
+// relational calculus of Section 2) with active-domain semantics.
+// Formulas are evaluated to binding sets: relations whose columns are
+// the formula's free variables. The evaluator compiles to the
+// relational algebra of package ra.
+//
+// FO is the assignment language of the while and fixpoint languages
+// (package while), which are the classical baselines of Figure 1.
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unchained/internal/ra"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// Term is a variable (Var != "") or constant.
+type Term struct {
+	Var   string
+	Const value.Value
+}
+
+// V makes a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C makes a constant term.
+func C(v value.Value) Term { return Term{Const: v} }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// Formula is an FO formula. Implementations are Atom, Eq, Not, And,
+// Or, Exists, and Forall; Implies is derived sugar.
+type Formula interface {
+	// freeVars appends the free variables (with duplicates).
+	freeVars(dst []string) []string
+	// eval returns the satisfying bindings over exactly the
+	// formula's free variables (ordered as env.order dictates).
+	eval(env *env) *bindings
+}
+
+// Atom is R(t1,...,tk).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// Eq is t1 = t2.
+type Eq struct{ L, R Term }
+
+// Not is ¬φ.
+type Not struct{ F Formula }
+
+// And is φ1 ∧ ... ∧ φn.
+type And struct{ Fs []Formula }
+
+// Or is φ1 ∨ ... ∨ φn.
+type Or struct{ Fs []Formula }
+
+// Exists is ∃x1...xk φ.
+type Exists struct {
+	Vars []string
+	F    Formula
+}
+
+// Forall is ∀x1...xk φ.
+type Forall struct {
+	Vars []string
+	F    Formula
+}
+
+// Convenience constructors.
+
+// AtomF builds an atom formula.
+func AtomF(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// EqF builds an equality formula.
+func EqF(l, r Term) Eq { return Eq{L: l, R: r} }
+
+// NotF negates a formula.
+func NotF(f Formula) Not { return Not{F: f} }
+
+// AndF conjoins formulas.
+func AndF(fs ...Formula) And { return And{Fs: fs} }
+
+// OrF disjoins formulas.
+func OrF(fs ...Formula) Or { return Or{Fs: fs} }
+
+// ExistsF quantifies existentially.
+func ExistsF(vars []string, f Formula) Exists { return Exists{Vars: vars, F: f} }
+
+// ForallF quantifies universally.
+func ForallF(vars []string, f Formula) Forall { return Forall{Vars: vars, F: f} }
+
+// Implies is φ → ψ, i.e. ¬φ ∨ ψ.
+func Implies(f, g Formula) Formula { return OrF(NotF(f), g) }
+
+// FreeVars returns the distinct free variables of f in first-use
+// order.
+func FreeVars(f Formula) []string {
+	all := f.freeVars(nil)
+	seen := map[string]bool{}
+	out := all[:0:0]
+	for _, v := range all {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (a Atom) freeVars(dst []string) []string {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			dst = append(dst, t.Var)
+		}
+	}
+	return dst
+}
+
+func (e Eq) freeVars(dst []string) []string {
+	if e.L.IsVar() {
+		dst = append(dst, e.L.Var)
+	}
+	if e.R.IsVar() {
+		dst = append(dst, e.R.Var)
+	}
+	return dst
+}
+
+func (n Not) freeVars(dst []string) []string { return n.F.freeVars(dst) }
+
+func (a And) freeVars(dst []string) []string {
+	for _, f := range a.Fs {
+		dst = f.freeVars(dst)
+	}
+	return dst
+}
+
+func (o Or) freeVars(dst []string) []string {
+	for _, f := range o.Fs {
+		dst = f.freeVars(dst)
+	}
+	return dst
+}
+
+func quantFree(vars []string, f Formula, dst []string) []string {
+	bound := map[string]bool{}
+	for _, v := range vars {
+		bound[v] = true
+	}
+	for _, v := range f.freeVars(nil) {
+		if !bound[v] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func (e Exists) freeVars(dst []string) []string { return quantFree(e.Vars, e.F, dst) }
+func (fa Forall) freeVars(dst []string) []string {
+	return quantFree(fa.Vars, fa.F, dst)
+}
+
+// bindings is a set of valuations of a fixed, sorted variable list.
+type bindings struct {
+	vars []string // sorted
+	rel  *tuple.Relation
+}
+
+func (b *bindings) col(v string) int {
+	for i, w := range b.vars {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// env carries the evaluation context.
+type env struct {
+	in   *tuple.Instance
+	adom []value.Value
+}
+
+// Eval evaluates f on the instance with the given active domain and
+// returns the satisfying bindings as a relation whose columns follow
+// outVars. Every name in outVars must be a free variable of f or an
+// error is returned; conversely all free variables of f must be
+// listed (the relation's columns are exactly outVars).
+func Eval(f Formula, in *tuple.Instance, adom []value.Value, outVars []string) (*tuple.Relation, error) {
+	free := FreeVars(f)
+	if len(free) != len(outVars) {
+		return nil, fmt.Errorf("fo: formula has free vars %v, caller wants %v", free, outVars)
+	}
+	freeSet := map[string]bool{}
+	for _, v := range free {
+		freeSet[v] = true
+	}
+	for _, v := range outVars {
+		if !freeSet[v] {
+			return nil, fmt.Errorf("fo: %s is not a free variable (free: %v)", v, free)
+		}
+	}
+	env := &env{in: in, adom: adom}
+	b := f.eval(env)
+	cols := make([]int, len(outVars))
+	for i, v := range outVars {
+		c := b.col(v)
+		if c < 0 {
+			return nil, fmt.Errorf("fo: internal: missing column %s", v)
+		}
+		cols[i] = c
+	}
+	return ra.Project(b.rel, cols...), nil
+}
+
+// Holds evaluates a sentence (no free variables) to a boolean.
+func Holds(f Formula, in *tuple.Instance, adom []value.Value) (bool, error) {
+	if free := FreeVars(f); len(free) != 0 {
+		return false, fmt.Errorf("fo: sentence expected, has free vars %v", free)
+	}
+	env := &env{in: in, adom: adom}
+	b := f.eval(env)
+	return b.rel.Len() > 0, nil
+}
+
+func sortedVars(vs []string) []string {
+	out := append([]string(nil), vs...)
+	sort.Strings(out)
+	return out
+}
+
+func (a Atom) eval(env *env) *bindings {
+	vars := sortedVars(FreeVars(a))
+	out := tuple.NewRelation(len(vars))
+	idx := map[string]int{}
+	for i, v := range vars {
+		idx[v] = i
+	}
+	rel := env.in.Relation(a.Pred)
+	if rel == nil || rel.Arity() != len(a.Args) {
+		return &bindings{vars: vars, rel: out}
+	}
+	rel.Each(func(t tuple.Tuple) bool {
+		nt := make(tuple.Tuple, len(vars))
+		for i := range nt {
+			nt[i] = value.None
+		}
+		for pos, term := range a.Args {
+			if term.IsVar() {
+				c := idx[term.Var]
+				if nt[c] != value.None && nt[c] != t[pos] {
+					return true // repeated variable mismatch
+				}
+				nt[c] = t[pos]
+			} else if term.Const != t[pos] {
+				return true
+			}
+		}
+		out.Insert(nt)
+		return true
+	})
+	return &bindings{vars: vars, rel: out}
+}
+
+func (e Eq) eval(env *env) *bindings {
+	vars := sortedVars(FreeVars(e))
+	out := tuple.NewRelation(len(vars))
+	switch {
+	case !e.L.IsVar() && !e.R.IsVar():
+		if e.L.Const == e.R.Const {
+			out.Insert(tuple.Tuple{})
+		}
+	case e.L.IsVar() && e.R.IsVar():
+		if e.L.Var == e.R.Var {
+			for _, v := range env.adom {
+				out.Insert(tuple.Tuple{v})
+			}
+		} else {
+			for _, v := range env.adom {
+				out.Insert(tuple.Tuple{v, v})
+			}
+		}
+	default:
+		c := e.L.Const
+		if e.L.IsVar() {
+			c = e.R.Const
+		}
+		// The constant must be in the active domain for the binding
+		// to be a legal valuation; program constants are expected to
+		// be included in adom by the caller.
+		out.Insert(tuple.Tuple{c})
+	}
+	return &bindings{vars: vars, rel: out}
+}
+
+func (n Not) eval(env *env) *bindings {
+	inner := n.F.eval(env)
+	full := ra.Power(env.adom, len(inner.vars))
+	return &bindings{vars: inner.vars, rel: ra.Diff(full, inner.rel)}
+}
+
+func (a And) eval(env *env) *bindings {
+	if len(a.Fs) == 0 {
+		r := tuple.NewRelation(0)
+		r.Insert(tuple.Tuple{})
+		return &bindings{rel: r}
+	}
+	acc := a.Fs[0].eval(env)
+	for _, f := range a.Fs[1:] {
+		acc = joinBindings(acc, f.eval(env))
+	}
+	return acc
+}
+
+func (o Or) eval(env *env) *bindings {
+	if len(o.Fs) == 0 {
+		return &bindings{rel: tuple.NewRelation(0)}
+	}
+	// Extend every disjunct to the union of the free variables
+	// (extra columns range over adom), then union.
+	allVars := sortedVars(FreeVars(o))
+	var acc *bindings
+	for _, f := range o.Fs {
+		b := extendBindings(f.eval(env), allVars, env.adom)
+		if acc == nil {
+			acc = b
+		} else {
+			acc = &bindings{vars: allVars, rel: ra.Union(acc.rel, b.rel)}
+		}
+	}
+	return acc
+}
+
+func (e Exists) eval(env *env) *bindings {
+	inner := e.F.eval(env)
+	keep := []string{}
+	cols := []int{}
+	bound := map[string]bool{}
+	for _, v := range e.Vars {
+		bound[v] = true
+	}
+	for i, v := range inner.vars {
+		if !bound[v] {
+			keep = append(keep, v)
+			cols = append(cols, i)
+		}
+	}
+	return &bindings{vars: keep, rel: ra.Project(inner.rel, cols...)}
+}
+
+func (fa Forall) eval(env *env) *bindings {
+	// ∀x φ ≡ ¬∃x ¬φ.
+	return Not{F: Exists{Vars: fa.Vars, F: Not{F: fa.F}}}.eval(env)
+}
+
+// joinBindings natural-joins two binding sets on their shared
+// variables.
+func joinBindings(a, b *bindings) *bindings {
+	var on []ra.EqPair
+	shared := map[string]bool{}
+	for i, v := range a.vars {
+		if j := b.col(v); j >= 0 {
+			on = append(on, ra.EqPair{L: i, R: j})
+			shared[v] = true
+		}
+	}
+	joined := ra.Join(a.rel, b.rel, on...)
+	// Result columns: a's vars then b's unshared vars; project to the
+	// sorted merged variable list.
+	merged := append([]string(nil), a.vars...)
+	colOf := map[string]int{}
+	for i, v := range a.vars {
+		colOf[v] = i
+	}
+	for j, v := range b.vars {
+		if !shared[v] {
+			colOf[v] = len(a.vars) + j
+			merged = append(merged, v)
+		}
+	}
+	sort.Strings(merged)
+	cols := make([]int, len(merged))
+	for i, v := range merged {
+		cols[i] = colOf[v]
+	}
+	// Unshared b columns sit at offset len(a.vars)+j, but shared b
+	// columns also exist in the joined tuple; projecting by colOf
+	// keeps exactly one copy of each variable.
+	return &bindings{vars: merged, rel: ra.Project(joined, cols...)}
+}
+
+// extendBindings pads a binding set with extra variables ranging over
+// the active domain, then reorders columns to the target list.
+func extendBindings(b *bindings, target []string, adom []value.Value) *bindings {
+	missing := []string{}
+	have := map[string]bool{}
+	for _, v := range b.vars {
+		have[v] = true
+	}
+	for _, v := range target {
+		if !have[v] {
+			missing = append(missing, v)
+		}
+	}
+	rel := b.rel
+	vars := append([]string(nil), b.vars...)
+	if len(missing) > 0 {
+		rel = ra.Product(rel, ra.Power(adom, len(missing)))
+		vars = append(vars, missing...)
+	}
+	colOf := map[string]int{}
+	for i, v := range vars {
+		colOf[v] = i
+	}
+	cols := make([]int, len(target))
+	for i, v := range target {
+		cols[i] = colOf[v]
+	}
+	return &bindings{vars: target, rel: ra.Project(rel, cols...)}
+}
+
+// Render pretty-prints a formula in the while-language's concrete
+// syntax (parenthesized conservatively).
+func Render(f Formula, u *value.Universe) string {
+	switch g := f.(type) {
+	case Atom:
+		parts := make([]string, len(g.Args))
+		for i, t := range g.Args {
+			if t.IsVar() {
+				parts[i] = t.Var
+			} else {
+				parts[i] = u.Name(t.Const)
+			}
+		}
+		return g.Pred + "(" + strings.Join(parts, ", ") + ")"
+	case Eq:
+		return term(g.L, u) + " = " + term(g.R, u)
+	case Not:
+		// Render ¬(x = y) with the surface inequality.
+		if eq, ok := g.F.(Eq); ok {
+			return term(eq.L, u) + " != " + term(eq.R, u)
+		}
+		return "not " + paren(g.F, u)
+	case And:
+		return joinWith(g.Fs, " and ", u)
+	case Or:
+		return joinWith(g.Fs, " or ", u)
+	case Exists:
+		return "exists " + strings.Join(g.Vars, ", ") + " (" + Render(g.F, u) + ")"
+	case Forall:
+		return "forall " + strings.Join(g.Vars, ", ") + " (" + Render(g.F, u) + ")"
+	default:
+		return "?"
+	}
+}
+
+func term(t Term, u *value.Universe) string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return u.Name(t.Const)
+}
+
+func paren(f Formula, u *value.Universe) string {
+	switch f.(type) {
+	case Atom, Eq, Not:
+		return Render(f, u)
+	default:
+		return "(" + Render(f, u) + ")"
+	}
+}
+
+func joinWith(fs []Formula, sep string, u *value.Universe) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = paren(f, u)
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,259 @@
+package fo
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"unchained/internal/eval"
+	"unchained/internal/parser"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+func setup(t *testing.T, facts string) (*value.Universe, *tuple.Instance, []value.Value) {
+	t.Helper()
+	u := value.New()
+	in, err := parser.ParseFacts(facts, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, in, eval.ActiveDomain(u, nil, in)
+}
+
+func render(u *value.Universe, r *tuple.Relation) string {
+	var out []string
+	for _, t := range r.SortedTuples(u) {
+		out = append(out, t.String(u))
+	}
+	return strings.Join(out, " ")
+}
+
+func TestAtomEval(t *testing.T) {
+	u, in, adom := setup(t, `G(a,b). G(b,c).`)
+	r, err := Eval(AtomF("G", V("X"), V("Y")), in, adom, []string{"Y", "X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r); got != "(b,a) (c,b)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestAtomRepeatedVarAndConst(t *testing.T) {
+	u, in, adom := setup(t, `G(a,a). G(a,b). G(b,b).`)
+	r, err := Eval(AtomF("G", V("X"), V("X")), in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r); got != "(a) (b)" {
+		t.Fatalf("loops = %q", got)
+	}
+	r2, err := Eval(AtomF("G", C(u.Sym("a")), V("Y")), in, adom, []string{"Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r2); got != "(a) (b)" {
+		t.Fatalf("successors of a = %q", got)
+	}
+}
+
+func TestAndJoin(t *testing.T) {
+	u, in, adom := setup(t, `G(a,b). G(b,c). G(c,d).`)
+	// Paths of length 2.
+	f := ExistsF([]string{"Y"}, AndF(AtomF("G", V("X"), V("Y")), AtomF("G", V("Y"), V("Z"))))
+	r, err := Eval(f, in, adom, []string{"X", "Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r); got != "(a,c) (b,d)" {
+		t.Fatalf("2-paths = %q", got)
+	}
+}
+
+func TestNotComplement(t *testing.T) {
+	u, in, adom := setup(t, `P(a). Q(b).`)
+	r, err := Eval(NotF(AtomF("P", V("X"))), in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r); got != "(b)" {
+		t.Fatalf("¬P = %q", got)
+	}
+}
+
+func TestOrExtendsColumns(t *testing.T) {
+	u, in, adom := setup(t, `P(a). Q(b,c).`)
+	f := OrF(AtomF("P", V("X")), AtomF("Q", V("X"), V("Y")))
+	r, err := Eval(f, in, adom, []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(a) extends with Y over adom {a,b,c}; Q gives (b,c).
+	want := map[string]bool{"(a,a)": true, "(a,b)": true, "(a,c)": true, "(b,c)": true}
+	got := map[string]bool{}
+	for _, tp := range r.SortedTuples(u) {
+		got[tp.String(u)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("or = %v", got)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("or missing %s", k)
+		}
+	}
+}
+
+func TestExistsProjects(t *testing.T) {
+	u, in, adom := setup(t, `G(a,b). G(a,c). G(b,c).`)
+	f := ExistsF([]string{"Y"}, AtomF("G", V("X"), V("Y")))
+	r, err := Eval(f, in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r); got != "(a) (b)" {
+		t.Fatalf("∃Y G(X,Y) = %q", got)
+	}
+}
+
+func TestForallSinks(t *testing.T) {
+	// ∀Y ¬G(X,Y): nodes with no outgoing edge.
+	u, in, adom := setup(t, `G(a,b). G(b,c).`)
+	f := ForallF([]string{"Y"}, NotF(AtomF("G", V("X"), V("Y"))))
+	r, err := Eval(f, in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r); got != "(c)" {
+		t.Fatalf("sinks = %q", got)
+	}
+}
+
+func TestImpliesGoodNodes(t *testing.T) {
+	// φ(x) = ∀y (G(y,x) → Good(y)): with Good empty, exactly the
+	// in-degree-0 nodes (the first iteration of Example 4.4).
+	u, in, adom := setup(t, `G(a,b). G(b,c).`)
+	f := ForallF([]string{"Y"}, Implies(AtomF("G", V("Y"), V("X")), AtomF("Good", V("Y"))))
+	r, err := Eval(f, in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r); got != "(a)" {
+		t.Fatalf("good₁ = %q", got)
+	}
+}
+
+func TestEqEval(t *testing.T) {
+	u, in, adom := setup(t, `P(a). P(b).`)
+	f := AndF(AtomF("P", V("X")), AtomF("P", V("Y")), NotF(EqF(V("X"), V("Y"))))
+	r, err := Eval(f, in, adom, []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r); got != "(a,b) (b,a)" {
+		t.Fatalf("X≠Y pairs = %q", got)
+	}
+	f2 := AndF(AtomF("P", V("X")), EqF(V("X"), C(u.Sym("a"))))
+	r2, err := Eval(f2, in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, r2); got != "(a)" {
+		t.Fatalf("X=a = %q", got)
+	}
+}
+
+func TestHoldsSentences(t *testing.T) {
+	_, in, adom := setup(t, `G(a,b).`)
+	yes, err := Holds(ExistsF([]string{"X", "Y"}, AtomF("G", V("X"), V("Y"))), in, adom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Fatalf("∃ edge should hold")
+	}
+	no, err := Holds(ForallF([]string{"X"}, ExistsF([]string{"Y"}, AtomF("G", V("X"), V("Y")))), in, adom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no {
+		t.Fatalf("∀X ∃Y G(X,Y) should fail (b has no successor)")
+	}
+	if _, err := Holds(AtomF("G", V("X"), V("Y")), in, adom); err == nil {
+		t.Fatalf("Holds accepted an open formula")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	_, in, adom := setup(t, `P(a).`)
+	if _, err := Eval(AtomF("P", V("X")), in, adom, []string{"X", "Y"}); err == nil {
+		t.Fatalf("extra output var accepted")
+	}
+	if _, err := Eval(AtomF("P", V("X")), in, adom, []string{"Y"}); err == nil {
+		t.Fatalf("wrong output var accepted")
+	}
+}
+
+func TestMissingRelationEmpty(t *testing.T) {
+	u, in, adom := setup(t, `P(a).`)
+	r, err := Eval(AtomF("Nothing", V("X")), in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("missing relation should be empty")
+	}
+	_ = u
+}
+
+func TestFreeVarsOrder(t *testing.T) {
+	f := AndF(AtomF("G", V("B"), V("A")), AtomF("P", V("C")))
+	got := FreeVars(f)
+	sort.Strings(got)
+	if strings.Join(got, ",") != "A,B,C" {
+		t.Fatalf("FreeVars = %v", got)
+	}
+}
+
+func TestDoubleNegationProperty(t *testing.T) {
+	u, in, adom := setup(t, `P(a). P(b). Q(b). Q(c).`)
+	f := AtomF("P", V("X"))
+	r1, err := Eval(f, in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Eval(NotF(NotF(f)), in, adom, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatalf("¬¬P ≠ P under active-domain semantics: %s vs %s", render(u, r1), render(u, r2))
+	}
+}
+
+func TestRenderRoundTripsThroughWhileParser(t *testing.T) {
+	u := value.New()
+	a := u.Sym("a")
+	fs := []Formula{
+		AtomF("G", V("X"), C(a)),
+		AndF(AtomF("P", V("X")), NotF(AtomF("Q", V("X")))),
+		OrF(AtomF("P", V("X")), AndF(AtomF("Q", V("X")), EqF(V("X"), C(a)))),
+		ExistsF([]string{"Y"}, AtomF("G", V("X"), V("Y"))),
+		ForallF([]string{"Y"}, Implies(AtomF("G", V("Y"), V("X")), AtomF("P", V("Y")))),
+		NotF(EqF(V("X"), V("Y"))),
+	}
+	for _, f := range fs {
+		s := Render(f, u)
+		if s == "" || s == "?" {
+			t.Errorf("Render produced %q", s)
+		}
+	}
+	// Spot checks.
+	if got := Render(fs[1], u); got != "P(X) and not Q(X)" {
+		t.Errorf("Render = %q", got)
+	}
+	if got := Render(fs[5], u); got != "X != Y" {
+		t.Errorf("Render inequality = %q", got)
+	}
+}

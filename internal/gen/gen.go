@@ -1,0 +1,203 @@
+// Package gen generates synthetic workloads for the experiment
+// harness: graph families (chains, cycles, complete graphs,
+// Erdős–Rényi random graphs, grids, trees, layered DAGs), game move
+// graphs for the win query (Example 3.2), and unary relations. All
+// generators are deterministic given their parameters (random ones
+// take explicit seeds).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// Nodes interns n node constants n0..n(n-1) and returns them.
+func Nodes(u *value.Universe, n int) []value.Value {
+	out := make([]value.Value, n)
+	for i := range out {
+		out[i] = u.Sym(fmt.Sprintf("n%d", i))
+	}
+	return out
+}
+
+// edgeInstance builds a binary relation named pred over the given
+// edges (indexes into nodes).
+func edgeInstance(pred string, nodes []value.Value, edges [][2]int) *tuple.Instance {
+	in := tuple.NewInstance()
+	in.Ensure(pred, 2)
+	for _, e := range edges {
+		in.Insert(pred, tuple.Tuple{nodes[e[0]], nodes[e[1]]})
+	}
+	return in
+}
+
+// Chain returns a path graph v0 → v1 → ... → v(n-1) in relation pred.
+func Chain(u *value.Universe, pred string, n int) *tuple.Instance {
+	nodes := Nodes(u, n)
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return edgeInstance(pred, nodes, edges)
+}
+
+// Cycle returns a directed cycle on n nodes.
+func Cycle(u *value.Universe, pred string, n int) *tuple.Instance {
+	nodes := Nodes(u, n)
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return edgeInstance(pred, nodes, edges)
+}
+
+// Complete returns the complete directed graph (no self-loops).
+func Complete(u *value.Universe, pred string, n int) *tuple.Instance {
+	nodes := Nodes(u, n)
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return edgeInstance(pred, nodes, edges)
+}
+
+// Random returns a graph on n nodes with m distinct random edges
+// (self-loops allowed), deterministic in seed.
+func Random(u *value.Universe, pred string, n, m int, seed int64) *tuple.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := Nodes(u, n)
+	in := tuple.NewInstance()
+	rel := in.Ensure(pred, 2)
+	for rel.Len() < m && rel.Len() < n*n {
+		rel.Insert(tuple.Tuple{nodes[rng.Intn(n)], nodes[rng.Intn(n)]})
+	}
+	return in
+}
+
+// Grid returns a w×h grid with edges right and down.
+func Grid(u *value.Universe, pred string, w, h int) *tuple.Instance {
+	nodes := Nodes(u, w*h)
+	var edges [][2]int
+	at := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, [2]int{at(x, y), at(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, [2]int{at(x, y), at(x, y+1)})
+			}
+		}
+	}
+	return edgeInstance(pred, nodes, edges)
+}
+
+// Tree returns a complete k-ary tree of the given depth with edges
+// parent → child.
+func Tree(u *value.Universe, pred string, k, depth int) *tuple.Instance {
+	// Number of nodes: (k^(depth+1)-1)/(k-1) for k>1, depth+1 for k=1.
+	count := depth + 1
+	if k > 1 {
+		count = 1
+		pow := 1
+		for d := 0; d < depth; d++ {
+			pow *= k
+			count += pow
+		}
+	}
+	nodes := Nodes(u, count)
+	var edges [][2]int
+	for i := 0; i < count; i++ {
+		for c := 1; c <= k; c++ {
+			child := i*k + c
+			if child < count {
+				edges = append(edges, [2]int{i, child})
+			}
+		}
+	}
+	return edgeInstance(pred, nodes, edges)
+}
+
+// LayeredDAG returns a DAG with the given number of layers of the
+// given width; each node gets outdeg random edges to the next layer.
+func LayeredDAG(u *value.Universe, pred string, layers, width, outdeg int, seed int64) *tuple.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := Nodes(u, layers*width)
+	in := tuple.NewInstance()
+	rel := in.Ensure(pred, 2)
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for d := 0; d < outdeg; d++ {
+				rel.Insert(tuple.Tuple{nodes[l*width+i], nodes[(l+1)*width+rng.Intn(width)]})
+			}
+		}
+	}
+	return in
+}
+
+// TwoCycles returns k disjoint 2-cycles plus k plain edges — the
+// orientation workload of Section 5.
+func TwoCycles(u *value.Universe, pred string, k int) *tuple.Instance {
+	nodes := Nodes(u, 3*k)
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		a, b, c := 3*i, 3*i+1, 3*i+2
+		edges = append(edges, [2]int{a, b}, [2]int{b, a}, [2]int{b, c})
+	}
+	return edgeInstance(pred, nodes, edges)
+}
+
+// Game returns a random game move graph on n states with m moves
+// (the win-query workload of Example 3.2).
+func Game(u *value.Universe, pred string, n, m int, seed int64) *tuple.Instance {
+	return Random(u, pred, n, m, seed)
+}
+
+// Unary returns the instance {pred(v0),...,pred(v(n-1))}.
+func Unary(u *value.Universe, pred string, n int) *tuple.Instance {
+	in := tuple.NewInstance()
+	in.Ensure(pred, 1)
+	for _, v := range Nodes(u, n) {
+		in.Insert(pred, tuple.Tuple{v})
+	}
+	return in
+}
+
+// UnarySubset returns pred over a random subset of size k of n fresh
+// nodes, plus a second relation holding all n nodes under allPred
+// (so the active domain is the full node set).
+func UnarySubset(u *value.Universe, pred, allPred string, n, k int, seed int64) *tuple.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := Nodes(u, n)
+	in := tuple.NewInstance()
+	in.Ensure(pred, 1)
+	in.Ensure(allPred, 1)
+	perm := rng.Perm(n)
+	for _, v := range nodes {
+		in.Insert(allPred, tuple.Tuple{v})
+	}
+	for i := 0; i < k && i < n; i++ {
+		in.Insert(pred, tuple.Tuple{nodes[perm[i]]})
+	}
+	return in
+}
+
+// Merge unions several instances into a fresh one (relations with
+// the same name must have equal arities).
+func Merge(ins ...*tuple.Instance) *tuple.Instance {
+	out := tuple.NewInstance()
+	for _, in := range ins {
+		for _, name := range in.Names() {
+			r := in.Relation(name)
+			out.Ensure(name, r.Arity()).UnionInPlace(r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"testing"
+
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+func TestChain(t *testing.T) {
+	u := value.New()
+	in := Chain(u, "G", 5)
+	if in.Relation("G").Len() != 4 {
+		t.Fatalf("chain(5) has %d edges", in.Relation("G").Len())
+	}
+	if !in.Has("G", tuple.Tuple{u.Sym("n0"), u.Sym("n1")}) {
+		t.Fatalf("chain edge missing")
+	}
+	if Chain(u, "G", 1).Relation("G").Len() != 0 {
+		t.Fatalf("chain(1) should have no edges")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	u := value.New()
+	in := Cycle(u, "G", 4)
+	if in.Relation("G").Len() != 4 {
+		t.Fatalf("cycle(4) has %d edges", in.Relation("G").Len())
+	}
+	if !in.Has("G", tuple.Tuple{u.Sym("n3"), u.Sym("n0")}) {
+		t.Fatalf("wrap-around edge missing")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	u := value.New()
+	in := Complete(u, "G", 4)
+	if in.Relation("G").Len() != 12 {
+		t.Fatalf("K4 has %d edges, want 12", in.Relation("G").Len())
+	}
+	if in.Has("G", tuple.Tuple{u.Sym("n1"), u.Sym("n1")}) {
+		t.Fatalf("self loop present")
+	}
+}
+
+func TestRandomDeterministicInSeed(t *testing.T) {
+	u := value.New()
+	a := Random(u, "G", 10, 20, 42)
+	b := Random(u, "G", 10, 20, 42)
+	if !a.Equal(b) {
+		t.Fatalf("same seed produced different graphs")
+	}
+	c := Random(u, "G", 10, 20, 43)
+	if a.Equal(c) {
+		t.Fatalf("different seeds produced identical graphs (suspicious)")
+	}
+	if a.Relation("G").Len() != 20 {
+		t.Fatalf("edge count %d, want 20", a.Relation("G").Len())
+	}
+}
+
+func TestRandomCapsAtComplete(t *testing.T) {
+	u := value.New()
+	in := Random(u, "G", 2, 100, 1)
+	if in.Relation("G").Len() != 4 {
+		t.Fatalf("cap at n² failed: %d", in.Relation("G").Len())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	u := value.New()
+	in := Grid(u, "G", 3, 2)
+	// 2 rows × 2 right-edges + 3 columns × 1 down-edge = 4 + 3.
+	if in.Relation("G").Len() != 7 {
+		t.Fatalf("grid(3,2) has %d edges, want 7", in.Relation("G").Len())
+	}
+}
+
+func TestTree(t *testing.T) {
+	u := value.New()
+	in := Tree(u, "G", 2, 3)
+	// Complete binary tree of depth 3: 15 nodes, 14 edges.
+	if in.Relation("G").Len() != 14 {
+		t.Fatalf("tree(2,3) has %d edges, want 14", in.Relation("G").Len())
+	}
+	lin := Tree(u, "G", 1, 4)
+	if lin.Relation("G").Len() != 4 {
+		t.Fatalf("tree(1,4) should be a path with 4 edges, got %d", lin.Relation("G").Len())
+	}
+}
+
+func TestLayeredDAG(t *testing.T) {
+	u := value.New()
+	in := LayeredDAG(u, "G", 3, 4, 2, 7)
+	if in.Relation("G").Len() == 0 || in.Relation("G").Len() > 2*4*2 {
+		t.Fatalf("layered dag edges = %d", in.Relation("G").Len())
+	}
+}
+
+func TestTwoCycles(t *testing.T) {
+	u := value.New()
+	in := TwoCycles(u, "G", 3)
+	if in.Relation("G").Len() != 9 {
+		t.Fatalf("two-cycles(3) has %d edges, want 9", in.Relation("G").Len())
+	}
+}
+
+func TestUnaryAndSubset(t *testing.T) {
+	u := value.New()
+	if Unary(u, "P", 6).Relation("P").Len() != 6 {
+		t.Fatalf("unary wrong")
+	}
+	in := UnarySubset(u, "R", "Dom", 10, 4, 3)
+	if in.Relation("R").Len() != 4 || in.Relation("Dom").Len() != 10 {
+		t.Fatalf("subset sizes wrong: %d/%d", in.Relation("R").Len(), in.Relation("Dom").Len())
+	}
+	// R ⊆ Dom.
+	in.Relation("R").Each(func(tp tuple.Tuple) bool {
+		if !in.Has("Dom", tp) {
+			t.Fatalf("R not a subset of Dom")
+		}
+		return true
+	})
+}
+
+func TestMerge(t *testing.T) {
+	u := value.New()
+	a := Chain(u, "G", 3)
+	b := Unary(u, "P", 2)
+	m := Merge(a, b)
+	if m.Relation("G").Len() != 2 || m.Relation("P").Len() != 2 {
+		t.Fatalf("merge wrong")
+	}
+}

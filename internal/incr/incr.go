@@ -1,0 +1,332 @@
+// Package incr provides incremental maintenance of materialized
+// positive-Datalog views under EDB updates: counting-free
+// delete-rederive (DRed) for deletions and semi-naive delta
+// propagation for insertions.
+//
+// The paper's forward-chaining languages handle updates inside the
+// language (Datalog¬¬, Section 4.2); this package is the systems-side
+// complement — keeping a minimum model materialized while the
+// extensional database changes, without recomputing from scratch.
+package incr
+
+import (
+	"fmt"
+
+	"unchained/internal/ast"
+	"unchained/internal/declarative"
+	"unchained/internal/eval"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// View is a materialized minimum model of a positive Datalog program,
+// maintained incrementally under EDB insertions and deletions.
+type View struct {
+	prog  *ast.Program
+	rules []*eval.Rule
+	// variants holds per-rule delta plans: variants[i][k] is rule i
+	// compiled with its k-th positive body literal scheduled first.
+	variants [][]deltaVariant
+	u        *value.Universe
+	idb      map[string]bool
+	edb      map[string]bool
+	state    *tuple.Instance // EDB ∪ derived IDB
+	adom     []value.Value
+	scan     bool
+}
+
+// Materialize evaluates the program once and returns a maintainable
+// view. The input instance is copied.
+func Materialize(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *declarative.Options) (*View, error) {
+	if err := p.Validate(ast.DialectDatalog); err != nil {
+		return nil, fmt.Errorf("incr: %w", err)
+	}
+	rules, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := declarative.Eval(p, in, u, opt)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{
+		prog:  p,
+		rules: rules,
+		u:     u,
+		idb:   map[string]bool{},
+		edb:   map[string]bool{},
+		state: res.Out,
+		scan:  opt != nil && opt.Scan,
+	}
+	for _, n := range p.IDB() {
+		v.idb[n] = true
+	}
+	for _, n := range p.EDB() {
+		v.edb[n] = true
+	}
+	for i, cr := range rules {
+		var vs []deltaVariant
+		for _, li := range cr.PositiveBodyLits() {
+			dv, derr := eval.CompileDelta(p.Rules[i], li)
+			if derr != nil {
+				dv = cr
+			}
+			vs = append(vs, deltaVariant{rule: dv, lit: li, pred: p.Rules[i].Body[li].Atom.Pred})
+		}
+		v.variants = append(v.variants, vs)
+	}
+	v.refreshAdom()
+	return v, nil
+}
+
+// deltaVariant is a rule compiled to start matching at one positive
+// body literal.
+type deltaVariant struct {
+	rule *eval.Rule
+	lit  int
+	pred string
+}
+
+func (v *View) refreshAdom() {
+	// Safe positive Datalog cannot invent values: every IDB value
+	// comes from the EDB or the program constants, so the active
+	// domain is fully determined by the (much smaller) EDB part.
+	edbOnly := tuple.NewInstance()
+	for _, name := range v.state.Names() {
+		if v.edb[name] {
+			rel := v.state.Relation(name)
+			edbOnly.Ensure(name, rel.Arity()).UnionInPlace(rel)
+		}
+	}
+	v.adom = eval.ActiveDomain(v.u, v.prog.Constants(), edbOnly)
+}
+
+// Instance returns the maintained instance (EDB plus derived IDB).
+// Callers must not mutate it.
+func (v *View) Instance() *tuple.Instance { return v.state }
+
+// Has reports whether the fact holds in the maintained model.
+func (v *View) Has(pred string, t tuple.Tuple) bool { return v.state.Has(pred, t) }
+
+// Insert adds an EDB fact and propagates its consequences
+// (semi-naive: only derivations using the new fact are computed). It
+// reports whether the fact was new.
+func (v *View) Insert(pred string, t tuple.Tuple) (bool, error) {
+	if v.idb[pred] {
+		return false, fmt.Errorf("incr: %s is intensional; only EDB updates are supported", pred)
+	}
+	if !v.state.Insert(pred, t) {
+		return false, nil
+	}
+	v.extendAdom(t) // the new tuple may introduce new constants
+	delta := tuple.NewInstance()
+	delta.Insert(pred, t)
+	v.propagate(delta)
+	return true, nil
+}
+
+// extendAdom merges the tuple's values into the sorted active domain.
+// For positive safe Datalog the matcher only consults the domain for
+// variables not bound by positive atoms — which cannot occur — so the
+// domain only matters as metadata; still, we keep it exact and sorted
+// for cheap (O(log n) search + amortized insert per value).
+func (v *View) extendAdom(t tuple.Tuple) {
+	for _, val := range t {
+		lo, hi := 0, len(v.adom)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if v.u.Compare(v.adom[mid], val) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(v.adom) && v.adom[lo] == val {
+			continue
+		}
+		v.adom = append(v.adom, 0)
+		copy(v.adom[lo+1:], v.adom[lo:])
+		v.adom[lo] = val
+	}
+}
+
+// propagate runs delta rounds until no new facts appear.
+func (v *View) propagate(delta *tuple.Instance) {
+	for delta.Facts() > 0 {
+		next := tuple.NewInstance()
+		for _, vs := range v.variants {
+			for _, dv := range vs {
+				if delta.Relation(dv.pred) == nil || delta.Relation(dv.pred).Len() == 0 {
+					continue
+				}
+				ctx := &eval.Ctx{In: v.state, Adom: v.adom, Delta: delta, DeltaLit: dv.lit, Scan: v.scan}
+				dv.rule.Enumerate(ctx, func(b eval.Binding) bool {
+					for _, f := range dv.rule.HeadFacts(b, nil) {
+						if v.state.Insert(f.Pred, f.Tuple) {
+							next.Insert(f.Pred, f.Tuple)
+						}
+					}
+					return true
+				})
+			}
+		}
+		delta = next
+	}
+}
+
+// Delete removes an EDB fact and incrementally maintains the IDB with
+// the delete–rederive (DRed) algorithm:
+//
+//  1. overestimate — transitively collect every IDB fact with a
+//     derivation that uses a deleted fact, and remove them;
+//  2. rederive — facts of the overestimate that still have a
+//     derivation from the surviving state are put back and their
+//     consequences re-propagated.
+//
+// It reports whether the fact was present.
+func (v *View) Delete(pred string, t tuple.Tuple) (bool, error) {
+	if v.idb[pred] {
+		return false, fmt.Errorf("incr: %s is intensional; only EDB updates are supported", pred)
+	}
+	if !v.state.Delete(pred, t) {
+		return false, nil
+	}
+
+	// Phase 1: overestimate deletions. "The rest of the body" matches
+	// the pre-deletion state — realized without cloning as the
+	// current state overlaid with everything deleted so far (the
+	// textbook ΔD recurrence). round holds the facts removed in the
+	// last wave.
+	deleted := tuple.NewInstance()
+	deleted.Insert(pred, t)
+	round := tuple.NewInstance()
+	round.Insert(pred, t)
+	var overestimate []eval.Fact
+	for round.Facts() > 0 {
+		next := tuple.NewInstance()
+		for _, vs := range v.variants {
+			for _, dv := range vs {
+				if round.Relation(dv.pred) == nil || round.Relation(dv.pred).Len() == 0 {
+					continue
+				}
+				ctx := &eval.Ctx{In: v.state, Aux: deleted, Adom: v.adom, Delta: round, DeltaLit: dv.lit, Scan: v.scan}
+				dv.rule.Enumerate(ctx, func(b eval.Binding) bool {
+					for _, f := range dv.rule.HeadFacts(b, nil) {
+						if v.state.Delete(f.Pred, f.Tuple) {
+							next.Insert(f.Pred, f.Tuple)
+							deleted.Insert(f.Pred, f.Tuple)
+							overestimate = append(overestimate, f)
+						}
+					}
+					return true
+				})
+			}
+		}
+		round = next
+	}
+
+	// Phase 2: rederive. A fact of the overestimate returns if some
+	// rule instantiation derives it from the surviving state; each
+	// rederivation can enable more, so iterate to fixpoint. The active
+	// domain is deliberately left as a (possibly stale) superset:
+	// positive safe rules bind every variable through positive atoms,
+	// so the domain is never enumerated during matching.
+	for {
+		changed := false
+		remaining := overestimate[:0]
+		for _, f := range overestimate {
+			if v.state.Has(f.Pred, f.Tuple) {
+				continue // already rederived via propagation
+			}
+			if v.derivable(f) {
+				v.state.Insert(f.Pred, f.Tuple)
+				delta := tuple.NewInstance()
+				delta.Insert(f.Pred, f.Tuple)
+				v.propagate(delta)
+				changed = true
+			} else {
+				remaining = append(remaining, f)
+			}
+		}
+		overestimate = remaining
+		if !changed {
+			break
+		}
+	}
+	return true, nil
+}
+
+// derivable reports whether some rule instantiation derives the fact
+// from the current state. The fact's constants are substituted into
+// the rule body before matching, so the probe is selective (it starts
+// from the bound head values instead of enumerating every
+// instantiation).
+func (v *View) derivable(f eval.Fact) bool {
+	for _, cr := range v.rules {
+		src := cr.Src
+		head := src.Head[0].Atom
+		if head.Pred != f.Pred || len(head.Args) != len(f.Tuple) {
+			continue
+		}
+		// Bind head variables to the fact's values; constants must
+		// match, repeated variables must agree.
+		subst := map[string]value.Value{}
+		ok := true
+		for i, a := range head.Args {
+			if !a.IsVar() {
+				if a.Const != f.Tuple[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, seen := subst[a.Var]; seen && prev != f.Tuple[i] {
+				ok = false
+				break
+			}
+			subst[a.Var] = f.Tuple[i]
+		}
+		if !ok {
+			continue
+		}
+		probe := ast.Rule{
+			Head: []ast.Literal{ast.Pos(ast.NewAtom("__probe"))},
+			Body: substituteBody(src.Body, subst),
+		}
+		pc, err := eval.Compile(probe)
+		if err != nil {
+			continue // cannot happen for valid positive rules
+		}
+		ctx := &eval.Ctx{In: v.state, Adom: v.adom, DeltaLit: -1, Scan: v.scan}
+		found := false
+		pc.Enumerate(ctx, func(eval.Binding) bool {
+			found = true
+			return false
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// substituteBody applies a variable substitution to body literals
+// (positive programs: atoms only).
+func substituteBody(body []ast.Literal, subst map[string]value.Value) []ast.Literal {
+	out := make([]ast.Literal, len(body))
+	for i, l := range body {
+		a := l.Atom
+		args := make([]ast.Term, len(a.Args))
+		for j, tm := range a.Args {
+			if tm.IsVar() {
+				if c, ok := subst[tm.Var]; ok {
+					args[j] = ast.C(c)
+					continue
+				}
+			}
+			args[j] = tm
+		}
+		out[i] = ast.Pos(ast.Atom{Pred: a.Pred, Args: args})
+	}
+	return out
+}

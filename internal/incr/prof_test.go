@@ -1,0 +1,53 @@
+package incr
+
+import (
+	"fmt"
+	"testing"
+
+	"unchained/internal/gen"
+	"unchained/internal/parser"
+	"unchained/internal/queries"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// BenchmarkDeleteChainEnd profiles the DRed delete path.
+func BenchmarkDeleteChainEnd(b *testing.B) {
+	const n = 512
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u := value.New()
+		p := parser.MustParse(queries.TC, u)
+		in := gen.Chain(u, "G", n)
+		v, err := Materialize(p, in, u, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := v.Delete("G", tuple.Tuple{u.Sym(fmt.Sprintf("n%d", n-2)), u.Sym(fmt.Sprintf("n%d", n-1))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeleteTreeLeaf profiles the favorable DRed case.
+func BenchmarkDeleteTreeLeaf(b *testing.B) {
+	const depth = 12
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u := value.New()
+		p := parser.MustParse(queries.TC, u)
+		in := gen.Tree(u, "G", 2, depth)
+		v, err := Materialize(p, in, u, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nNodes := 1<<(depth+1) - 1
+		last := nNodes - 1
+		parent := (last - 1) / 2
+		b.StartTimer()
+		if _, err := v.Delete("G", tuple.Tuple{u.Sym(fmt.Sprintf("n%d", parent)), u.Sym(fmt.Sprintf("n%d", last))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

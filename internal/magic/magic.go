@@ -1,0 +1,218 @@
+// Package magic implements the magic-sets rewriting for positive
+// Datalog — the best-known representative of the optimization
+// techniques the paper notes were "developed around Datalog"
+// (Section 3.1). Given a program and a query atom with some bound
+// (constant) arguments, Rewrite produces a program whose bottom-up
+// evaluation only derives facts relevant to the query, simulating
+// top-down (goal-directed) evaluation.
+//
+// The rewriting is the textbook one: predicates are adorned with
+// bound/free patterns propagated left to right through rule bodies
+// (the sideways-information-passing strategy), each adorned rule is
+// guarded by a magic predicate over its bound head arguments, and
+// magic rules seed and propagate the demanded bindings.
+package magic
+
+import (
+	"fmt"
+	"strings"
+
+	"unchained/internal/ast"
+	"unchained/internal/declarative"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// adornment is a string of 'b'/'f', one per argument position.
+type adornment string
+
+func adornOf(a ast.Atom, bound map[string]bool) adornment {
+	var sb strings.Builder
+	for _, t := range a.Args {
+		if !t.IsVar() || bound[t.Var] {
+			sb.WriteByte('b')
+		} else {
+			sb.WriteByte('f')
+		}
+	}
+	return adornment(sb.String())
+}
+
+// adornedName and magicName build internal predicate names. They use
+// '#', which the surface syntax cannot produce, so they never collide
+// with user relations.
+func adornedName(pred string, ad adornment) string { return pred + "#" + string(ad) }
+func magicName(pred string, ad adornment) string   { return "magic#" + pred + "#" + string(ad) }
+
+// boundArgs returns the arguments of a at its bound positions.
+func boundArgs(a ast.Atom, ad adornment) []ast.Term {
+	var out []ast.Term
+	for i, t := range a.Args {
+		if ad[i] == 'b' {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Rewrite performs the magic-sets transformation of a positive
+// Datalog program for the query atom (whose constant arguments are
+// the bound positions). It returns the rewritten program and the name
+// of the adorned answer relation; evaluating the rewritten program
+// bottom-up and filtering the answer relation with the query's
+// constants yields exactly the query's answers.
+func Rewrite(p *ast.Program, query ast.Atom) (*ast.Program, string, error) {
+	if err := p.Validate(ast.DialectDatalog); err != nil {
+		return nil, "", fmt.Errorf("magic: %w", err)
+	}
+	idb := map[string]bool{}
+	for _, n := range p.IDB() {
+		idb[n] = true
+	}
+	if !idb[query.Pred] {
+		return nil, "", fmt.Errorf("magic: query relation %s is not intensional", query.Pred)
+	}
+	sch, err := p.Schema()
+	if err != nil {
+		return nil, "", err
+	}
+	if sch[query.Pred] != query.Arity() {
+		return nil, "", fmt.Errorf("magic: query arity %d, relation %s has arity %d", query.Arity(), query.Pred, sch[query.Pred])
+	}
+
+	// Group rules by head predicate.
+	rulesFor := map[string][]ast.Rule{}
+	for _, r := range p.Rules {
+		h := r.Head[0].Atom
+		rulesFor[h.Pred] = append(rulesFor[h.Pred], r)
+	}
+
+	queryAd := adornOf(query, nil)
+	out := &ast.Program{}
+
+	// Seed: the magic fact for the query's bound constants.
+	seedHead := ast.Atom{Pred: magicName(query.Pred, queryAd), Args: boundArgs(query, queryAd)}
+	out.Rules = append(out.Rules, ast.Rule{Head: []ast.Literal{ast.Pos(seedHead)}})
+
+	type job struct {
+		pred string
+		ad   adornment
+	}
+	seen := map[job]bool{}
+	work := []job{{query.Pred, queryAd}}
+	seen[work[0]] = true
+
+	for len(work) > 0 {
+		j := work[0]
+		work = work[1:]
+		for _, r := range rulesFor[j.pred] {
+			head := r.Head[0].Atom
+			// Bound variables: head variables at bound positions.
+			bound := map[string]bool{}
+			for i, t := range head.Args {
+				if j.ad[i] == 'b' && t.IsVar() {
+					bound[t.Var] = true
+				}
+			}
+			// The rewritten rule body starts with the magic guard.
+			guard := ast.Atom{Pred: magicName(j.pred, j.ad), Args: boundArgs(head, j.ad)}
+			newBody := []ast.Literal{ast.Pos(guard)}
+			// Accumulated body prefix for magic rules (guard included).
+			prefix := []ast.Literal{ast.Pos(guard)}
+
+			for _, l := range r.Body {
+				a := l.Atom // positive Datalog: all literals are positive atoms
+				if idb[a.Pred] {
+					ad := adornOf(a, bound)
+					child := job{a.Pred, ad}
+					if !seen[child] {
+						seen[child] = true
+						work = append(work, child)
+					}
+					// Magic rule: demand the child's bound arguments
+					// given everything established so far. With an
+					// all-free adornment the magic predicate is 0-ary
+					// ("some demand exists") and must still be
+					// emitted, or the child's guarded rules would
+					// never fire.
+					mh := ast.Atom{Pred: magicName(a.Pred, ad), Args: boundArgs(a, ad)}
+					out.Rules = append(out.Rules, ast.Rule{
+						Head: []ast.Literal{ast.Pos(mh)},
+						Body: append([]ast.Literal(nil), prefix...),
+					})
+					adA := ast.Atom{Pred: adornedName(a.Pred, ad), Args: a.Args}
+					newBody = append(newBody, ast.Pos(adA))
+					prefix = append(prefix, ast.Pos(adA))
+				} else {
+					newBody = append(newBody, ast.Pos(a))
+					prefix = append(prefix, ast.Pos(a))
+				}
+				for _, t := range a.Args {
+					if t.IsVar() {
+						bound[t.Var] = true
+					}
+				}
+			}
+			out.Rules = append(out.Rules, ast.Rule{
+				Head: []ast.Literal{ast.Pos(ast.Atom{Pred: adornedName(j.pred, j.ad), Args: head.Args})},
+				Body: newBody,
+			})
+		}
+	}
+	return out, adornedName(query.Pred, queryAd), nil
+}
+
+// Answer evaluates the query against the program with the magic-sets
+// rewriting and returns the matching tuples (the instantiations of
+// the query atom's free variables are returned as full query-relation
+// tuples). It is the goal-directed counterpart of evaluating p fully
+// and filtering.
+func Answer(p *ast.Program, query ast.Atom, in *tuple.Instance, u *value.Universe, opt *declarative.Options) (*tuple.Relation, error) {
+	rw, ansName, err := Rewrite(p, query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := declarative.Eval(rw, in, u, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := tuple.NewRelation(query.Arity())
+	rel := res.Out.Relation(ansName)
+	if rel == nil {
+		return out, nil
+	}
+	rel.Each(func(t tuple.Tuple) bool {
+		for i, a := range query.Args {
+			if !a.IsVar() && t[i] != a.Const {
+				return true
+			}
+		}
+		out.Insert(t)
+		return true
+	})
+	return out, nil
+}
+
+// FullAnswer is the unoptimized baseline: evaluate the whole program
+// and filter the query relation.
+func FullAnswer(p *ast.Program, query ast.Atom, in *tuple.Instance, u *value.Universe, opt *declarative.Options) (*tuple.Relation, error) {
+	res, err := declarative.Eval(p, in, u, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := tuple.NewRelation(query.Arity())
+	rel := res.Out.Relation(query.Pred)
+	if rel == nil {
+		return out, nil
+	}
+	rel.Each(func(t tuple.Tuple) bool {
+		for i, a := range query.Args {
+			if !a.IsVar() && t[i] != a.Const {
+				return true
+			}
+		}
+		out.Insert(t)
+		return true
+	})
+	return out, nil
+}

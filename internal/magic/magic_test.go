@@ -1,0 +1,265 @@
+package magic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unchained/internal/ast"
+	"unchained/internal/declarative"
+	"unchained/internal/gen"
+	"unchained/internal/parser"
+	"unchained/internal/queries"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+func TestMagicTCBoundSource(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(queries.TC, u)
+	in := gen.Chain(u, "G", 50)
+	q := ast.NewAtom("T", ast.C(u.Sym("n0")), ast.V("Y"))
+	got, err := Answer(p, q, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FullAnswer(p, q, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("magic %d tuples, full %d", got.Len(), want.Len())
+	}
+	if got.Len() != 49 {
+		t.Fatalf("reachable from n0 on a 50-chain should be 49, got %d", got.Len())
+	}
+}
+
+func TestMagicAvoidsIrrelevantWork(t *testing.T) {
+	// Two disconnected chains; querying from the small one must not
+	// derive closure facts of the large one.
+	u := value.New()
+	p := parser.MustParse(queries.TC, u)
+	in := gen.Chain(u, "G", 200)
+	// Attach a tiny side chain x0 -> x1.
+	x0, x1 := u.Sym("x0"), u.Sym("x1")
+	in.Insert("G", tuple.Tuple{x0, x1})
+
+	q := ast.NewAtom("T", ast.C(x0), ast.V("Y"))
+	rw, ansName, err := Rewrite(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := evalRewritten(t, rw, in, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := 0
+	if r := res.Relation(ansName); r != nil {
+		derived = r.Len()
+	}
+	if derived > 2 {
+		t.Fatalf("magic derived %d closure facts, want ≤2 (only the x-chain)", derived)
+	}
+}
+
+func evalRewritten(t *testing.T, rw *ast.Program, in *tuple.Instance, u *value.Universe) (*tuple.Instance, error) {
+	t.Helper()
+	res, err := declarative.Eval(rw, in, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Out, nil
+}
+
+func TestMagicSameGeneration(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(queries.SameGeneration, u)
+	in := parser.MustParseFacts(`
+		Up(a,b). Up(c,b). Up(e,d). Flat(b,b). Flat(d,d).
+		Down(b,f). Down(b,g). Down(d,h).
+	`, u)
+	q := ast.NewAtom("Sg", ast.C(u.Sym("a")), ast.V("Y"))
+	got, err := Answer(p, q, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FullAnswer(p, q, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("same-generation mismatch: magic %d vs full %d", got.Len(), want.Len())
+	}
+	if got.Len() == 0 {
+		t.Fatalf("query should have answers")
+	}
+}
+
+func TestMagicSecondArgBound(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(queries.TC, u)
+	in := gen.Random(u, "G", 20, 40, 5)
+	q := ast.NewAtom("T", ast.V("X"), ast.C(u.Sym("n3")))
+	got, err := Answer(p, q, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FullAnswer(p, q, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("bf vs fb adornment mismatch")
+	}
+}
+
+func TestMagicAllFreeQuery(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(queries.TC, u)
+	in := gen.Cycle(u, "G", 6)
+	q := ast.NewAtom("T", ast.V("X"), ast.V("Y"))
+	got, err := Answer(p, q, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FullAnswer(p, q, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("all-free query mismatch: %d vs %d", got.Len(), want.Len())
+	}
+}
+
+func TestMagicBothBound(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(queries.TC, u)
+	in := gen.Chain(u, "G", 10)
+	yes := ast.NewAtom("T", ast.C(u.Sym("n0")), ast.C(u.Sym("n9")))
+	no := ast.NewAtom("T", ast.C(u.Sym("n9")), ast.C(u.Sym("n0")))
+	g1, err := Answer(p, yes, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Answer(p, no, in, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Len() != 1 || g2.Len() != 0 {
+		t.Fatalf("boolean queries wrong: %d, %d", g1.Len(), g2.Len())
+	}
+}
+
+func TestMagicErrors(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(queries.TC, u)
+	if _, _, err := Rewrite(p, ast.NewAtom("G", ast.V("X"), ast.V("Y"))); err == nil {
+		t.Fatalf("EDB query accepted")
+	}
+	if _, _, err := Rewrite(p, ast.NewAtom("T", ast.V("X"))); err == nil {
+		t.Fatalf("arity mismatch accepted")
+	}
+	neg := parser.MustParse(`A(X) :- B(X), !C(X).`, u)
+	if _, _, err := Rewrite(neg, ast.NewAtom("A", ast.V("X"))); err == nil {
+		t.Fatalf("negation accepted (magic sets here are positive-only)")
+	}
+}
+
+// TestMagicMatchesFullOnRandomPrograms: the decisive property test —
+// on random positive programs and random queries, the magic-rewritten
+// evaluation returns exactly the filtered full evaluation.
+func TestMagicMatchesFullOnRandomPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := value.New()
+		// Small random program over E0/E1 (EDB) and I0/I1 (IDB).
+		arity := map[string]int{"E0": 1, "E1": 2, "I0": 1, "I1": 2}
+		vars := []string{"X", "Y", "Z"}
+		atom := func(pred string) ast.Atom {
+			args := make([]ast.Term, arity[pred])
+			for i := range args {
+				args[i] = ast.V(vars[rng.Intn(len(vars))])
+			}
+			return ast.Atom{Pred: pred, Args: args}
+		}
+		p := &ast.Program{}
+		idbs := []string{"I0", "I1"}
+		all := []string{"E0", "E1", "I0", "I1"}
+		for i := 0; i < 3+rng.Intn(3); i++ {
+			nBody := 1 + rng.Intn(2)
+			var body []ast.Literal
+			bodyVars := map[string]bool{}
+			for j := 0; j < nBody; j++ {
+				a := atom(all[rng.Intn(len(all))])
+				body = append(body, ast.Pos(a))
+				for _, tt := range a.Args {
+					bodyVars[tt.Var] = true
+				}
+			}
+			// Always include one EDB atom so rules can fire from input.
+			ea := atom("E1")
+			body = append(body, ast.Pos(ea))
+			for _, tt := range ea.Args {
+				bodyVars[tt.Var] = true
+			}
+			var pool []string
+			for v := range bodyVars {
+				pool = append(pool, v)
+			}
+			hp := idbs[rng.Intn(len(idbs))]
+			hargs := make([]ast.Term, arity[hp])
+			for k := range hargs {
+				hargs[k] = ast.V(pool[rng.Intn(len(pool))])
+			}
+			p.Rules = append(p.Rules, ast.Rule{
+				Head: []ast.Literal{ast.Pos(ast.Atom{Pred: hp, Args: hargs})},
+				Body: body,
+			})
+		}
+		// Random instance.
+		consts := make([]value.Value, 4)
+		for i := range consts {
+			consts[i] = u.Sym(fmt.Sprintf("c%d", i))
+		}
+		in := tuple.NewInstance()
+		in.Ensure("E0", 1)
+		in.Ensure("E1", 2)
+		for i := 0; i < 5; i++ {
+			in.Insert("E0", tuple.Tuple{consts[rng.Intn(4)]})
+			in.Insert("E1", tuple.Tuple{consts[rng.Intn(4)], consts[rng.Intn(4)]})
+		}
+		// Random query over a random IDB pred with a random binding
+		// (chosen from the predicates that actually occur in heads).
+		actualIDB := p.IDB()
+		qp := actualIDB[rng.Intn(len(actualIDB))]
+		qargs := make([]ast.Term, arity[qp])
+		for i := range qargs {
+			if rng.Intn(2) == 0 {
+				qargs[i] = ast.C(consts[rng.Intn(4)])
+			} else {
+				qargs[i] = ast.V(fmt.Sprintf("Q%d", i))
+			}
+		}
+		q := ast.Atom{Pred: qp, Args: qargs}
+
+		got, err := Answer(p, q, in, u, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, p.String(u))
+		}
+		want, err := FullAnswer(p, q, in, u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Logf("seed %d program:\n%s\nquery: %s", seed, p.String(u), q.String(u))
+			t.Logf("magic: %d tuples, full: %d tuples", got.Len(), want.Len())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

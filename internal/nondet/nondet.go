@@ -1,0 +1,441 @@
+// Package nondet implements the nondeterministic languages of
+// Section 5: N-Datalog¬, N-Datalog¬¬ (Definition 5.1/5.2), and the
+// two extensions N-Datalog¬⊥ (inconsistency symbol) and N-Datalog¬∀
+// (universal quantification in bodies).
+//
+// The semantics fires one rule instantiation at a time, chosen
+// nondeterministically (Definition 5.2): an immediate successor of I
+// using rule r is obtained from a consistent instantiation whose body
+// holds in I by deleting the facts negated in the head and inserting
+// the positive ones. A computation ends in a terminal state: one with
+// no immediate successor J ≠ I.
+//
+// Two evaluators are provided:
+//
+//   - Run performs one sampled computation, driven by a seeded RNG
+//     (uniform choice among the currently applicable state-changing
+//     instantiations), so runs are reproducible.
+//   - Effects exhaustively enumerates eff(P) on small inputs by BFS
+//     over instance states, enabling the poss/cert semantics of
+//     Definition 5.10 and the deterministic-fragment checks of
+//     Section 5.3.
+//
+// ⊥ interpretation: the paper says a computation that derives ⊥ is
+// abandoned. For the constructions of Example 5.5 to be correct
+// (no wrong answers surviving in eff), "derives" must be read as
+// "reaches a state in which some ⊥-rule instantiation is applicable":
+// such states poison the computation whether or not the scheduler
+// fires the ⊥ rule. This is the reading implemented here; see
+// DESIGN.md.
+package nondet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"unchained/internal/ast"
+	"unchained/internal/eval"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// Sentinel errors.
+var (
+	// ErrStepLimit reports a sampled run exceeding Options.MaxSteps.
+	ErrStepLimit = errors.New("nondet: step limit exceeded")
+	// ErrStateLimit reports exhaustive enumeration exceeding
+	// Options.MaxStates distinct instance states.
+	ErrStateLimit = errors.New("nondet: state limit exceeded")
+	// ErrAllAborted reports that every sampled computation derived ⊥.
+	ErrAllAborted = errors.New("nondet: all sampled computations derived ⊥")
+)
+
+// Options tunes the nondeterministic engines; the zero value is the
+// default configuration.
+type Options struct {
+	// Scan disables hash-index probes.
+	Scan bool
+	// MaxSteps bounds a sampled run (default 1<<20 steps).
+	MaxSteps int
+	// MaxStates bounds exhaustive effect enumeration (default 1<<16
+	// distinct states).
+	MaxStates int
+}
+
+func (o *Options) scan() bool { return o != nil && o.Scan }
+
+func (o *Options) maxSteps() int {
+	if o == nil || o.MaxSteps <= 0 {
+		return 1 << 20
+	}
+	return o.MaxSteps
+}
+
+func (o *Options) maxStates() int {
+	if o == nil || o.MaxStates <= 0 {
+		return 1 << 16
+	}
+	return o.MaxStates
+}
+
+// program is a validated, compiled N-Datalog program.
+type program struct {
+	dialect ast.Dialect
+	rules   []*eval.Rule // state-changing rules (no ⊥ heads)
+	bottoms []*eval.Rule // constraint rules (⊥ heads)
+	consts  []value.Value
+}
+
+func compile(p *ast.Program, d ast.Dialect) (*program, error) {
+	switch d {
+	case ast.DialectNDatalogNeg, ast.DialectNDatalogNegNeg, ast.DialectNDatalogBot,
+		ast.DialectNDatalogAll, ast.DialectNDatalogNew:
+	default:
+		return nil, fmt.Errorf("nondet: %v is not a nondeterministic dialect", d)
+	}
+	if err := p.Validate(d); err != nil {
+		return nil, fmt.Errorf("nondet: %w", err)
+	}
+	all, err := eval.CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	prog := &program{dialect: d, consts: p.Constants()}
+	for i, cr := range all {
+		isBottom := false
+		for _, h := range p.Rules[i].Head {
+			if h.Kind == ast.LitBottom {
+				isBottom = true
+			}
+		}
+		if isBottom {
+			prog.bottoms = append(prog.bottoms, cr)
+		} else {
+			prog.rules = append(prog.rules, cr)
+		}
+	}
+	return prog, nil
+}
+
+// candidate is one applicable, state-changing instantiation. For
+// inventing rules (N-Datalog¬new) the head facts are materialized
+// only when the candidate is applied, so that unused candidates do
+// not consume fresh values.
+type candidate struct {
+	facts []eval.Fact  // nil for inventing candidates
+	rule  *eval.Rule   // set for inventing candidates
+	b     eval.Binding // binding copy for inventing candidates
+	key   string       // canonical sort key for reproducible choice
+}
+
+// materialize returns the head facts, inventing fresh values if the
+// rule has head-only variables.
+func (c candidate) materialize(u *value.Universe) []eval.Fact {
+	if c.facts != nil {
+		return c.facts
+	}
+	return c.rule.HeadFacts(c.b, func(int) value.Value { return u.Fresh() })
+}
+
+// apply produces the immediate successor of cur under the candidate.
+func (c candidate) apply(cur *tuple.Instance, u *value.Universe) *tuple.Instance {
+	next := cur.Clone()
+	facts := c.materialize(u)
+	for _, f := range facts {
+		if f.Neg {
+			next.Delete(f.Pred, f.Tuple)
+		}
+	}
+	for _, f := range facts {
+		if !f.Neg {
+			next.Insert(f.Pred, f.Tuple)
+		}
+	}
+	return next
+}
+
+// changes reports whether applying facts to cur yields J ≠ cur, and
+// whether the head is consistent (no fact both asserted and negated).
+func changes(cur *tuple.Instance, facts []eval.Fact) (changing, consistent bool) {
+	for i, f := range facts {
+		for j := i + 1; j < len(facts); j++ {
+			g := facts[j]
+			if f.Neg != g.Neg && f.Pred == g.Pred && f.Tuple.Equal(g.Tuple) {
+				return false, false
+			}
+		}
+	}
+	for _, f := range facts {
+		if f.Neg == cur.Has(f.Pred, f.Tuple) {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// bottomApplicable reports whether any ⊥-rule instantiation is
+// applicable in cur.
+func (p *program) bottomApplicable(cur *tuple.Instance, u *value.Universe, scan bool) bool {
+	if len(p.bottoms) == 0 {
+		return false
+	}
+	adom := eval.ActiveDomain(u, p.consts, cur)
+	ctx := &eval.Ctx{In: cur, Adom: adom, DeltaLit: -1, Scan: scan}
+	for _, cr := range p.bottoms {
+		hit := false
+		cr.Enumerate(ctx, func(eval.Binding) bool {
+			hit = true
+			return false
+		})
+		if hit {
+			return true
+		}
+	}
+	return false
+}
+
+// successors enumerates the state-changing candidates at cur in a
+// canonical (sorted) order, so that a seeded random choice over them
+// is reproducible even though relation iteration order is not.
+func (p *program) successors(cur *tuple.Instance, u *value.Universe, scan bool) []candidate {
+	adom := eval.ActiveDomain(u, p.consts, cur)
+	ctx := &eval.Ctx{In: cur, Adom: adom, DeltaLit: -1, Scan: scan}
+	var all []candidate
+	for ri, cr := range p.rules {
+		inventing := len(cr.HeadOnlyVarIDs()) > 0
+		cr.Enumerate(ctx, func(b eval.Binding) bool {
+			var key strings.Builder
+			fmt.Fprintf(&key, "%d|", ri)
+			if inventing {
+				// Invention always changes the state (the fresh
+				// values are new) and is consistent unless the head
+				// pairs structurally identical positive and negative
+				// atoms, which Compile-level patterns cannot produce
+				// with distinct fresh values; key on the binding so
+				// the choice is reproducible without consuming fresh
+				// values for unused candidates.
+				for _, v := range b {
+					key.WriteByte(byte(v))
+					key.WriteByte(byte(v >> 8))
+					key.WriteByte(byte(v >> 16))
+					key.WriteByte(byte(v >> 24))
+				}
+				bc := make(eval.Binding, len(b))
+				copy(bc, b)
+				all = append(all, candidate{rule: cr, b: bc, key: key.String()})
+				return true
+			}
+			facts := cr.HeadFacts(b, nil)
+			changing, consistent := changes(cur, facts)
+			if !consistent || !changing {
+				return true
+			}
+			for _, f := range facts {
+				if f.Neg {
+					key.WriteByte('!')
+				}
+				key.WriteString(f.Pred)
+				key.WriteByte('(')
+				key.WriteString(f.Tuple.Key())
+				key.WriteByte(')')
+			}
+			all = append(all, candidate{facts: facts, key: key.String()})
+			return true
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	return all
+}
+
+// Result is the outcome of one sampled computation.
+type Result struct {
+	// Out is the terminal instance (nil when Aborted).
+	Out *tuple.Instance
+	// Steps is the number of rule firings performed.
+	Steps int
+	// Aborted reports that the computation derived ⊥ (reached a
+	// state with an applicable ⊥-rule instantiation).
+	Aborted bool
+}
+
+// Run performs one nondeterministic computation of the program under
+// dialect d on input in, choosing uniformly among applicable
+// state-changing instantiations with a rand.Rand seeded by seed. It
+// is deterministic given (program, input, seed).
+func Run(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Universe, seed int64, opt *Options) (*Result, error) {
+	prog, err := compile(p, d)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := in.Clone()
+	limit := opt.maxSteps()
+	steps := 0
+	for {
+		if prog.bottomApplicable(cur, u, opt.scan()) {
+			return &Result{Steps: steps, Aborted: true}, nil
+		}
+		cands := prog.successors(cur, u, opt.scan())
+		if len(cands) == 0 {
+			return &Result{Out: cur, Steps: steps}, nil
+		}
+		cur = cands[rng.Intn(len(cands))].apply(cur, u)
+		steps++
+		if steps >= limit {
+			return nil, fmt.Errorf("%w (after %d steps)", ErrStepLimit, steps)
+		}
+	}
+}
+
+// SampleSuccessful retries Run with seeds seed, seed+1, ... until a
+// non-aborted computation is found, at most tries times.
+func SampleSuccessful(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Universe, seed int64, tries int, opt *Options) (*Result, error) {
+	for i := 0; i < tries; i++ {
+		res, err := Run(p, d, in, u, seed+int64(i), opt)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Aborted {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (%d tries)", ErrAllAborted, tries)
+}
+
+// EffectSet is eff(P) restricted to one input: the set of terminal
+// instances reachable by some computation.
+type EffectSet struct {
+	// States are the terminal instances, deduplicated.
+	States []*tuple.Instance
+	// Explored is the number of distinct instance states visited.
+	Explored int
+}
+
+// Effects exhaustively computes eff(P) on the input by breadth-first
+// search over instance states. Intended for small inputs; the search
+// fails with ErrStateLimit when Options.MaxStates is exceeded.
+func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Universe, opt *Options) (*EffectSet, error) {
+	prog, err := compile(p, d)
+	if err != nil {
+		return nil, err
+	}
+	for _, cr := range prog.rules {
+		if len(cr.HeadOnlyVarIDs()) > 0 {
+			return nil, fmt.Errorf("nondet: exhaustive effects are undefined for inventing rules (the state space is infinite); use Run")
+		}
+	}
+	limit := opt.maxStates()
+
+	type bucket []*tuple.Instance
+	seen := map[uint64]bucket{}
+	lookup := func(s *tuple.Instance) bool {
+		for _, t := range seen[s.Fingerprint()] {
+			if t.Equal(s) {
+				return true
+			}
+		}
+		return false
+	}
+	remember := func(s *tuple.Instance) {
+		fp := s.Fingerprint()
+		seen[fp] = append(seen[fp], s)
+	}
+
+	start := in.Clone()
+	queue := []*tuple.Instance{start}
+	remember(start)
+	explored := 0
+	eff := &EffectSet{}
+	var effSeen = map[uint64]bucket{}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		explored++
+		if explored > limit {
+			return nil, fmt.Errorf("%w (%d states)", ErrStateLimit, explored)
+		}
+		if prog.bottomApplicable(cur, u, opt.scan()) {
+			continue // abandoned computation: contributes nothing
+		}
+		cands := prog.successors(cur, u, opt.scan())
+		if len(cands) == 0 {
+			fp := cur.Fingerprint()
+			dup := false
+			for _, t := range effSeen[fp] {
+				if t.Equal(cur) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				effSeen[fp] = append(effSeen[fp], cur)
+				eff.States = append(eff.States, cur)
+			}
+			continue
+		}
+		for _, c := range cands {
+			next := c.apply(cur, u)
+			if !lookup(next) {
+				remember(next)
+				queue = append(queue, next)
+			}
+		}
+	}
+	eff.Explored = explored
+	return eff, nil
+}
+
+// Deterministic reports whether the effect is a single state (the
+// program defines a deterministic transformation on this input,
+// Section 5.3).
+func (e *EffectSet) Deterministic() bool { return len(e.States) == 1 }
+
+// Poss computes the possibility semantics poss(I,P) = ∪ J over
+// terminal states (Definition 5.10). The second result is false when
+// eff is empty.
+func (e *EffectSet) Poss() (*tuple.Instance, bool) {
+	if len(e.States) == 0 {
+		return nil, false
+	}
+	out := e.States[0].Clone()
+	for _, s := range e.States[1:] {
+		for _, name := range s.Names() {
+			r := s.Relation(name)
+			r.Each(func(t tuple.Tuple) bool {
+				out.Insert(name, t)
+				return true
+			})
+		}
+	}
+	return out, true
+}
+
+// Cert computes the certainty semantics cert(I,P) = ∩ J over terminal
+// states (Definition 5.10). The second result is false when eff is
+// empty.
+func (e *EffectSet) Cert() (*tuple.Instance, bool) {
+	if len(e.States) == 0 {
+		return nil, false
+	}
+	out := e.States[0].Clone()
+	for _, s := range e.States[1:] {
+		for _, name := range out.Names() {
+			r := out.Relation(name)
+			var drop []tuple.Tuple
+			r.Each(func(t tuple.Tuple) bool {
+				if !s.Has(name, t) {
+					drop = append(drop, t.Clone())
+				}
+				return true
+			})
+			for _, t := range drop {
+				out.Delete(name, t)
+			}
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,426 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"unchained/internal/ast"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+type parser struct {
+	lx   *lexer
+	tok  token
+	u    *value.Universe
+	anon int // counter for '_' anonymous variables
+}
+
+// Parse parses a program in the family's concrete syntax, interning
+// constants into u. The result is dialect-agnostic; run
+// ast.Program.Validate to pin a dialect.
+func Parse(src string, u *value.Universe) (*ast.Program, error) {
+	p := &parser{lx: newLexer(src), u: u}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &ast.Program{}
+	for p.tok.kind != tokEOF {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for trusted, static sources; it panics on error.
+func MustParse(src string, u *value.Universe) *ast.Program {
+	prog, err := Parse(src, u)
+	if err != nil {
+		panic("parser: " + err.Error())
+	}
+	return prog
+}
+
+// ParseRule parses a single rule.
+func ParseRule(src string, u *value.Universe) (ast.Rule, error) {
+	prog, err := Parse(src, u)
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if len(prog.Rules) != 1 {
+		return ast.Rule{}, fmt.Errorf("expected exactly one rule, got %d", len(prog.Rules))
+	}
+	return prog.Rules[0], nil
+}
+
+// ParseLiterals parses a comma-separated list of literals (without a
+// trailing dot), e.g. "InStock(Item), !Reserved(O, Item)". It is used
+// by embedding formats like the active-database rule syntax.
+func ParseLiterals(src string, u *value.Universe) ([]ast.Literal, error) {
+	p := &parser{lx: newLexer(src), u: u}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []ast.Literal
+	for {
+		l, err := p.literal(false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after literal list", p.tok.kind)
+	}
+	return out, nil
+}
+
+// ParseAtom parses a single atom, e.g. "Order(O, Item)".
+func ParseAtom(src string, u *value.Universe) (ast.Atom, error) {
+	p := &parser{lx: newLexer(src), u: u}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	a, err := p.atom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Atom{}, p.errf("unexpected %s after atom", p.tok.kind)
+	}
+	return a, nil
+}
+
+// ParseFacts parses a sequence of ground facts ("G(a,b). P(1).") into
+// a fresh instance, interning constants into u.
+func ParseFacts(src string, u *value.Universe) (*tuple.Instance, error) {
+	prog, err := Parse(src, u)
+	if err != nil {
+		return nil, err
+	}
+	in := tuple.NewInstance()
+	for i, r := range prog.Rules {
+		if len(r.Body) != 0 || len(r.Head) != 1 {
+			return nil, fmt.Errorf("fact %d: not a ground fact", i+1)
+		}
+		h := r.Head[0]
+		if h.Kind != ast.LitAtom || h.Neg {
+			return nil, fmt.Errorf("fact %d: not a positive atom", i+1)
+		}
+		t := make(tuple.Tuple, len(h.Atom.Args))
+		for j, a := range h.Atom.Args {
+			if a.IsVar() {
+				return nil, fmt.Errorf("fact %d: argument %d is a variable", i+1, j+1)
+			}
+			t[j] = a.Const
+		}
+		in.Insert(h.Atom.Pred, t)
+	}
+	return in, nil
+}
+
+// MustParseFacts is ParseFacts for trusted sources.
+func MustParseFacts(src string, u *value.Universe) *tuple.Instance {
+	in, err := ParseFacts(src, u)
+	if err != nil {
+		panic("parser: " + err.Error())
+	}
+	return in
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, found %s", k, p.tok.kind)
+	}
+	return p.advance()
+}
+
+// rule := literal {"," literal} [ ":-" literal {"," literal} ] "."
+func (p *parser) rule() (ast.Rule, error) {
+	var r ast.Rule
+	for {
+		l, err := p.literal(true)
+		if err != nil {
+			return r, err
+		}
+		r.Head = append(r.Head, l)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+	}
+	if p.tok.kind == tokArrow {
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		// An empty body ("Delay :- .") mirrors the paper's "delay ←".
+		for p.tok.kind != tokDot {
+			l, err := p.literal(false)
+			if err != nil {
+				return r, err
+			}
+			r.Body = append(r.Body, l)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return r, err
+			}
+		}
+	}
+	if err := p.expect(tokDot); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// literal parses one head or body literal.
+func (p *parser) literal(inHead bool) (ast.Literal, error) {
+	switch {
+	case p.tok.kind == tokBang,
+		p.tok.kind == tokIdent && p.tok.text == "not":
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		a, err := p.atom()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		return ast.Neg(a), nil
+	case p.tok.kind == tokIdent && p.tok.text == "bottom":
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		return ast.Bottom(), nil
+	case p.tok.kind == tokIdent && p.tok.text == "forall" && !inHead:
+		return p.forall()
+	}
+	// A term followed by '='/'!=' is an equality literal; otherwise
+	// we are looking at an atom (possibly 0-ary).
+	if p.tok.kind == tokInt || p.tok.kind == tokString {
+		return p.equality()
+	}
+	if p.tok.kind != tokIdent && p.tok.kind != tokVar {
+		return ast.Literal{}, p.errf("expected a literal, found %s", p.tok.kind)
+	}
+	// Peek: save state is awkward with a streaming lexer, so decide
+	// from the token after the name.
+	name := p.tok
+	if err := p.advance(); err != nil {
+		return ast.Literal{}, err
+	}
+	switch p.tok.kind {
+	case tokEq, tokNeq:
+		left, err := p.nameToTerm(name)
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		neg := p.tok.kind == tokNeq
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		right, err := p.term()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		if neg {
+			return ast.Neq(left, right), nil
+		}
+		return ast.Eq(left, right), nil
+	case tokLParen:
+		args, err := p.argList()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		return ast.Pos(ast.Atom{Pred: name.text, Args: args}), nil
+	default:
+		// 0-ary predicate.
+		return ast.Pos(ast.Atom{Pred: name.text}), nil
+	}
+}
+
+// equality parses "const (=|!=) term" where the left constant token
+// has already been identified as INT or STRING.
+func (p *parser) equality() (ast.Literal, error) {
+	left, err := p.term()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	neg := false
+	switch p.tok.kind {
+	case tokEq:
+	case tokNeq:
+		neg = true
+	default:
+		return ast.Literal{}, p.errf("expected '=' or '!=', found %s", p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return ast.Literal{}, err
+	}
+	right, err := p.term()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	if neg {
+		return ast.Neq(left, right), nil
+	}
+	return ast.Eq(left, right), nil
+}
+
+// forall := "forall" VAR {"," VAR} "(" literal {"," literal} ")"
+func (p *parser) forall() (ast.Literal, error) {
+	if err := p.advance(); err != nil { // consume 'forall'
+		return ast.Literal{}, err
+	}
+	var vars []string
+	for {
+		if p.tok.kind != tokVar {
+			return ast.Literal{}, p.errf("expected quantified variable, found %s", p.tok.kind)
+		}
+		vars = append(vars, p.tok.text)
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+	}
+	if err := p.expect(tokLParen); err != nil {
+		return ast.Literal{}, err
+	}
+	var body []ast.Literal
+	for {
+		l, err := p.literal(false)
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		body = append(body, l)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return ast.Literal{}, err
+	}
+	return ast.Forall(vars, body...), nil
+}
+
+// atom := name [ "(" args ")" ]
+func (p *parser) atom() (ast.Atom, error) {
+	if p.tok.kind != tokIdent && p.tok.kind != tokVar {
+		return ast.Atom{}, p.errf("expected predicate name, found %s", p.tok.kind)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokLParen {
+		return ast.Atom{Pred: name}, nil
+	}
+	args, err := p.argList()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	return ast.Atom{Pred: name, Args: args}, nil
+}
+
+// argList parses "(" term {"," term} ")" with the '(' current.
+func (p *parser) argList() ([]ast.Term, error) {
+	if err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var args []ast.Term
+	if p.tok.kind == tokRParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// term parses a variable or constant and advances past it.
+func (p *parser) term() (ast.Term, error) {
+	name := p.tok
+	switch name.kind {
+	case tokVar, tokIdent, tokInt, tokString:
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return p.nameToTerm(name)
+	default:
+		return ast.Term{}, p.errf("expected a term, found %s", name.kind)
+	}
+}
+
+// nameToTerm converts an already-consumed name token to a term.
+func (p *parser) nameToTerm(t token) (ast.Term, error) {
+	switch t.kind {
+	case tokVar:
+		if t.text == "_" {
+			p.anon++
+			return ast.V(fmt.Sprintf("_anon%d", p.anon)), nil
+		}
+		return ast.V(t.text), nil
+	case tokIdent:
+		return ast.C(p.u.Sym(t.text)), nil
+	case tokString:
+		return ast.C(p.u.Sym(t.text)), nil
+	case tokInt:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return ast.Term{}, fmt.Errorf("%d:%d: bad integer %q", t.line, t.col, t.text)
+		}
+		return ast.C(p.u.Int(n)), nil
+	default:
+		return ast.Term{}, fmt.Errorf("%d:%d: expected a term, found %s", t.line, t.col, t.kind)
+	}
+}

@@ -1,0 +1,138 @@
+package queries
+
+import (
+	"fmt"
+	"testing"
+
+	"unchained/internal/ast"
+	"unchained/internal/nondet"
+	"unchained/internal/parser"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// hamInstance builds Node/G from an edge list over n nodes.
+func hamInstance(u *value.Universe, n int, edges [][2]int) *tuple.Instance {
+	in := tuple.NewInstance()
+	in.Ensure("G", 2)
+	nodes := make([]value.Value, n)
+	for i := range nodes {
+		nodes[i] = u.Sym(fmt.Sprintf("v%d", i))
+		in.Insert("Node", tuple.Tuple{nodes[i]})
+	}
+	for _, e := range edges {
+		in.Insert("G", tuple.Tuple{nodes[e[0]], nodes[e[1]]})
+	}
+	return in
+}
+
+// bruteHamiltonian decides Hamiltonicity by trying all permutations.
+func bruteHamiltonian(n int, edges [][2]int) bool {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		adj[e[0]][e[1]] = true
+	}
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return adj[perm[n-1]][perm[0]]
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			if i > 0 && !adj[perm[i-1]][v] {
+				continue
+			}
+			used[v] = true
+			perm[i] = v
+			if rec(i + 1) {
+				return true
+			}
+			used[v] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func TestHamiltonianPossSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+	}{
+		{"C4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}},
+		{"chain", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{"K4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 2}, {1, 3}, {2, 0}, {2, 1}, {2, 3}, {3, 0}, {3, 1}, {3, 2}}},
+		{"star", 4, [][2]int{{0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}, {3, 0}}},
+		{"two-triangles", 6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}},
+		{"self-loop", 1, [][2]int{{0, 0}}},
+		{"C4-plus-chord", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}},
+		// A "rho": every node reachable from 0 and every node has an
+		// out-edge, but the chosen function never returns to the
+		// start — the ClosesBack condition must reject it.
+		{"rho", 3, [][2]int{{0, 1}, {1, 2}, {2, 1}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			u := value.New()
+			in := hamInstance(u, c.n, c.edges)
+			p := parser.MustParse(Hamiltonian, u)
+			if err := p.Validate(ast.DialectNDatalogAll); err != nil {
+				t.Fatalf("program invalid: %v", err)
+			}
+			eff, err := nondet.Effects(p, ast.DialectNDatalogAll, in, u, &nondet.Options{MaxStates: 1 << 18})
+			if err != nil {
+				t.Fatal(err)
+			}
+			poss, ok := eff.Poss()
+			if !ok {
+				t.Fatal("empty effect")
+			}
+			got := 0
+			if r := poss.Relation("Ans"); r != nil {
+				got = r.Len()
+			}
+			want := 0
+			if bruteHamiltonian(c.n, c.edges) {
+				want = c.n
+			}
+			if got != want {
+				t.Fatalf("poss(Ans) = %d nodes, want %d (brute force)", got, want)
+			}
+			// The certainty semantics must not claim Hamiltonicity
+			// unless every guess succeeds — for graphs with any stuck
+			// partial path cert(Ans) is empty.
+			if cert, ok := eff.Cert(); ok {
+				if r := cert.Relation("Ans"); r != nil && r.Len() > 0 && c.name == "chain" {
+					t.Fatalf("cert(Ans) nonempty on a non-Hamiltonian graph")
+				}
+			}
+		})
+	}
+}
+
+func TestHamiltonianSampledRunFindsCycleOnK4(t *testing.T) {
+	u := value.New()
+	in := hamInstance(u, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 2}, {1, 3}, {2, 0}, {2, 1}, {2, 3}, {3, 0}, {3, 1}, {3, 2}})
+	p := parser.MustParse(Hamiltonian, u)
+	// Individual guesses may fail (a non-cyclic successor function);
+	// the db-np query is the EXISTENCE of a certifying run, so sample
+	// seeds until one certifies.
+	for seed := int64(0); seed < 64; seed++ {
+		res, err := nondet.Run(p, ast.DialectNDatalogAll, in, u, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := res.Out.Relation("Ans"); r != nil && r.Len() == 4 {
+			return
+		}
+	}
+	t.Fatalf("no certifying run found on K4 in 64 seeds")
+}

@@ -1,0 +1,212 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+func mkRel(u *value.Universe, arity int, rows ...[]string) *tuple.Relation {
+	r := tuple.NewRelation(arity)
+	for _, row := range rows {
+		t := make(tuple.Tuple, len(row))
+		for i, s := range row {
+			t[i] = u.Sym(s)
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+func TestProject(t *testing.T) {
+	u := value.New()
+	r := mkRel(u, 2, []string{"a", "b"}, []string{"c", "d"})
+	p := Project(r, 1)
+	if p.Arity() != 1 || p.Len() != 2 {
+		t.Fatalf("project shape wrong")
+	}
+	if !p.Contains(tuple.Tuple{u.Sym("b")}) || !p.Contains(tuple.Tuple{u.Sym("d")}) {
+		t.Fatalf("project content wrong")
+	}
+	// Duplicate elimination.
+	r2 := mkRel(u, 2, []string{"a", "b"}, []string{"c", "b"})
+	if Project(r2, 1).Len() != 1 {
+		t.Fatalf("projection should deduplicate")
+	}
+	// Reordering and repetition.
+	swap := Project(r, 1, 0, 0)
+	if !swap.Contains(tuple.Tuple{u.Sym("b"), u.Sym("a"), u.Sym("a")}) {
+		t.Fatalf("reorder/repeat projection wrong")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	u := value.New()
+	r := mkRel(u, 2, []string{"a", "a"}, []string{"a", "b"}, []string{"b", "b"})
+	eq := Select(r, Cond{LeftCol: 0, RightCol: 1})
+	if eq.Len() != 2 {
+		t.Fatalf("σ(0=1) = %d, want 2", eq.Len())
+	}
+	neq := Select(r, Cond{LeftCol: 0, RightCol: 1, Neq: true})
+	if neq.Len() != 1 {
+		t.Fatalf("σ(0≠1) = %d, want 1", neq.Len())
+	}
+	con := Select(r, Cond{LeftCol: 0, RightConst: u.Sym("a")})
+	if con.Len() != 2 {
+		t.Fatalf("σ(0=a) = %d, want 2", con.Len())
+	}
+	both := Select(r, Cond{LeftCol: 0, RightConst: u.Sym("a")}, Cond{LeftCol: 1, RightConst: u.Sym("b")})
+	if both.Len() != 1 {
+		t.Fatalf("conjunctive selection = %d, want 1", both.Len())
+	}
+}
+
+func TestUnionDiffIntersect(t *testing.T) {
+	u := value.New()
+	a := mkRel(u, 1, []string{"x"}, []string{"y"})
+	b := mkRel(u, 1, []string{"y"}, []string{"z"})
+	if Union(a, b).Len() != 3 {
+		t.Fatalf("union wrong")
+	}
+	d := Diff(a, b)
+	if d.Len() != 1 || !d.Contains(tuple.Tuple{u.Sym("x")}) {
+		t.Fatalf("diff wrong")
+	}
+	i := Intersect(a, b)
+	if i.Len() != 1 || !i.Contains(tuple.Tuple{u.Sym("y")}) {
+		t.Fatalf("intersect wrong")
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	u := value.New()
+	a := mkRel(u, 1, []string{"x"})
+	b := mkRel(u, 2, []string{"x", "y"})
+	for name, fn := range map[string]func(){
+		"union":     func() { Union(a, b) },
+		"diff":      func() { Diff(a, b) },
+		"intersect": func() { Intersect(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on arity mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestJoinAndProduct(t *testing.T) {
+	u := value.New()
+	g := mkRel(u, 2, []string{"a", "b"}, []string{"b", "c"}, []string{"c", "d"})
+	// G ⋈ (G.2 = G.1): paths of length 2.
+	j := Join(g, g, EqPair{L: 1, R: 0})
+	if j.Arity() != 4 {
+		t.Fatalf("join arity %d", j.Arity())
+	}
+	paths := Project(j, 0, 3)
+	if paths.Len() != 2 ||
+		!paths.Contains(tuple.Tuple{u.Sym("a"), u.Sym("c")}) ||
+		!paths.Contains(tuple.Tuple{u.Sym("b"), u.Sym("d")}) {
+		t.Fatalf("2-paths wrong")
+	}
+	// Product.
+	p := Product(mkRel(u, 1, []string{"x"}, []string{"y"}), mkRel(u, 1, []string{"z"}))
+	if p.Len() != 2 || p.Arity() != 2 {
+		t.Fatalf("product wrong")
+	}
+}
+
+func TestJoinMatchesNestedLoopProperty(t *testing.T) {
+	u := value.New()
+	vals := make([]value.Value, 6)
+	for i := range vals {
+		vals[i] = u.Int(int64(i))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := tuple.NewRelation(2)
+		b := tuple.NewRelation(2)
+		for i := 0; i < 30; i++ {
+			a.Insert(tuple.Tuple{vals[rng.Intn(6)], vals[rng.Intn(6)]})
+			b.Insert(tuple.Tuple{vals[rng.Intn(6)], vals[rng.Intn(6)]})
+		}
+		got := Join(a, b, EqPair{L: 1, R: 0})
+		// Reference nested loop.
+		want := tuple.NewRelation(4)
+		a.Each(func(ta tuple.Tuple) bool {
+			b.Each(func(tb tuple.Tuple) bool {
+				if ta[1] == tb[0] {
+					want.Insert(tuple.Tuple{ta[0], ta[1], tb[0], tb[1]})
+				}
+				return true
+			})
+			return true
+		})
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraLawsProperty(t *testing.T) {
+	u := value.New()
+	vals := make([]value.Value, 5)
+	for i := range vals {
+		vals[i] = u.Int(int64(i))
+	}
+	gen := func(seed int64) *tuple.Relation {
+		rng := rand.New(rand.NewSource(seed))
+		r := tuple.NewRelation(1)
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			r.Insert(tuple.Tuple{vals[rng.Intn(5)]})
+		}
+		return r
+	}
+	f := func(s1, s2, s3 int64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		// Union commutes; diff distributes: a−(b∪c) = (a−b)∩(a−c);
+		// de-morgan-ish: a−(b∩c) = (a−b)∪(a−c).
+		if !Union(a, b).Equal(Union(b, a)) {
+			return false
+		}
+		if !Diff(a, Union(b, c)).Equal(Intersect(Diff(a, b), Diff(a, c))) {
+			return false
+		}
+		if !Diff(a, Intersect(b, c)).Equal(Union(Diff(a, b), Diff(a, c))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainAndPower(t *testing.T) {
+	u := value.New()
+	vals := []value.Value{u.Sym("a"), u.Sym("b"), u.Sym("c")}
+	d := Domain(vals)
+	if d.Len() != 3 || d.Arity() != 1 {
+		t.Fatalf("domain wrong")
+	}
+	p2 := Power(vals, 2)
+	if p2.Len() != 9 {
+		t.Fatalf("adom² = %d, want 9", p2.Len())
+	}
+	p0 := Power(vals, 0)
+	if p0.Len() != 1 {
+		t.Fatalf("adom⁰ should be the singleton empty tuple")
+	}
+	pEmpty := Power(nil, 2)
+	if pEmpty.Len() != 0 {
+		t.Fatalf("∅² should be empty")
+	}
+}

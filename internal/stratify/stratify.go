@@ -1,0 +1,211 @@
+// Package stratify computes the predicate dependency graph of a
+// Datalog¬ program and a stratification when one exists (Section
+// 3.2). A program is stratifiable iff no cycle of the dependency
+// graph contains a negative edge ("no recursion through negation").
+package stratify
+
+import (
+	"fmt"
+	"sort"
+
+	"unchained/internal/ast"
+)
+
+// Edge is a dependency: the head predicate depends on a body
+// predicate, positively or negatively.
+type Edge struct {
+	From, To string // From = head pred, To = body pred
+	Negative bool
+}
+
+// Graph is the predicate dependency graph of a program.
+type Graph struct {
+	Preds []string
+	Edges []Edge
+
+	adj map[string][]int // pred -> indexes into Edges (outgoing)
+}
+
+// BuildGraph constructs the dependency graph. ∀-literals contribute
+// their inner literals' polarities (a negative literal under ∀ is a
+// negative dependency).
+func BuildGraph(p *ast.Program) *Graph {
+	g := &Graph{adj: map[string][]int{}}
+	predSet := map[string]bool{}
+	seenEdge := map[Edge]bool{}
+	addPred := func(n string) {
+		if !predSet[n] {
+			predSet[n] = true
+			g.Preds = append(g.Preds, n)
+		}
+	}
+	addEdge := func(e Edge) {
+		if seenEdge[e] {
+			return
+		}
+		seenEdge[e] = true
+		g.adj[e.From] = append(g.adj[e.From], len(g.Edges))
+		g.Edges = append(g.Edges, e)
+	}
+	var walkBody func(head string, l ast.Literal, negCtx bool)
+	walkBody = func(head string, l ast.Literal, negCtx bool) {
+		switch l.Kind {
+		case ast.LitAtom:
+			addPred(l.Atom.Pred)
+			addEdge(Edge{From: head, To: l.Atom.Pred, Negative: l.Neg || negCtx})
+		case ast.LitForall:
+			for _, b := range l.ForallBody {
+				walkBody(head, b, negCtx)
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			if h.Kind != ast.LitAtom {
+				continue
+			}
+			addPred(h.Atom.Pred)
+			for _, b := range r.Body {
+				walkBody(h.Atom.Pred, b, false)
+			}
+		}
+	}
+	sort.Strings(g.Preds)
+	return g
+}
+
+// SCCs returns the strongly connected components of the graph in a
+// reverse-topological order (callees before callers), each component
+// sorted by name. Tarjan's algorithm, iteratively irrelevant here:
+// programs are small, recursion is fine.
+func (g *Graph) SCCs() [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		counter++
+		index[v] = counter
+		low[v] = counter
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, ei := range g.adj[v] {
+			w := g.Edges[ei].To
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			out = append(out, comp)
+		}
+	}
+	for _, v := range g.Preds {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}
+
+// Stratification assigns each predicate a stratum number. Strata are
+// numbered from 0; every rule's head lives in a stratum ≥ the strata
+// of its positive body predicates and > the strata of its negative
+// body predicates.
+type Stratification struct {
+	// Level maps each predicate to its stratum.
+	Level map[string]int
+	// Strata lists the predicates of each stratum, sorted.
+	Strata [][]string
+}
+
+// Stratify computes a stratification of the program, or an error
+// naming a negative cycle when the program is not stratifiable
+// (e.g. the win program of Example 3.2).
+func Stratify(p *ast.Program) (*Stratification, error) {
+	g := BuildGraph(p)
+	sccs := g.SCCs()
+	comp := map[string]int{}
+	for i, c := range sccs {
+		for _, v := range c {
+			comp[v] = i
+		}
+	}
+	// Reject negative intra-component edges.
+	for _, e := range g.Edges {
+		if e.Negative && comp[e.From] == comp[e.To] {
+			return nil, fmt.Errorf("stratify: recursion through negation involving %s and %s", e.From, e.To)
+		}
+	}
+	// Longest-path layering over the component DAG. SCCs come out of
+	// Tarjan in reverse topological order (dependencies first), so a
+	// single left-to-right pass suffices.
+	level := make([]int, len(sccs))
+	for ci := 0; ci < len(sccs); ci++ {
+		for _, v := range sccs[ci] {
+			for _, ei := range g.adj[v] {
+				e := g.Edges[ei]
+				dep := comp[e.To]
+				if dep == ci {
+					continue
+				}
+				need := level[dep]
+				if e.Negative {
+					need++
+				}
+				if need > level[ci] {
+					level[ci] = need
+				}
+			}
+		}
+	}
+	s := &Stratification{Level: map[string]int{}}
+	maxLevel := 0
+	for ci, c := range sccs {
+		for _, v := range c {
+			s.Level[v] = level[ci]
+		}
+		if level[ci] > maxLevel {
+			maxLevel = level[ci]
+		}
+	}
+	s.Strata = make([][]string, maxLevel+1)
+	for _, v := range g.Preds {
+		l := s.Level[v]
+		s.Strata[l] = append(s.Strata[l], v)
+	}
+	for _, st := range s.Strata {
+		sort.Strings(st)
+	}
+	return s, nil
+}
+
+// RuleStratum returns the stratum a rule belongs to: the stratum of
+// its (single) head predicate.
+func (s *Stratification) RuleStratum(r ast.Rule) int {
+	for _, h := range r.Head {
+		if h.Kind == ast.LitAtom {
+			return s.Level[h.Atom.Pred]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+package stratify
+
+import (
+	"testing"
+
+	"unchained/internal/parser"
+	"unchained/internal/value"
+)
+
+func TestStratifyTCAndComplement(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+		CT(X,Y) :- !T(X,Y).
+	`, u)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Level["T"] >= s.Level["CT"] {
+		t.Fatalf("CT must live strictly above T: %v", s.Level)
+	}
+	if s.Level["G"] != 0 {
+		t.Fatalf("EDB should be at stratum 0")
+	}
+	if got := s.RuleStratum(p.Rules[2]); got != s.Level["CT"] {
+		t.Fatalf("RuleStratum = %d", got)
+	}
+}
+
+func TestStratifyRejectsWin(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`Win(X) :- Moves(X,Y), !Win(Y).`, u)
+	if _, err := Stratify(p); err == nil {
+		t.Fatalf("win program stratified")
+	}
+}
+
+func TestStratifyMutualRecursionPositive(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`
+		Even(X) :- Zero(X).
+		Even(X) :- Succ(Y,X), Odd(Y).
+		Odd(X) :- Succ(Y,X), Even(Y).
+	`, u)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Level["Even"] != s.Level["Odd"] {
+		t.Fatalf("mutually recursive preds must share a stratum")
+	}
+}
+
+func TestStratifyMutualRecursionThroughNegation(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`
+		A(X) :- P(X), !B(X).
+		B(X) :- P(X), !A(X).
+	`, u)
+	if _, err := Stratify(p); err == nil {
+		t.Fatalf("negative mutual recursion stratified")
+	}
+}
+
+func TestStratifyChainOfNegations(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`
+		B(X) :- P(X), !A(X).
+		C(X) :- P(X), !B(X).
+		D(X) :- P(X), !C(X).
+		A(X) :- P(X), Q(X).
+	`, u)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.Level["A"] < s.Level["B"] && s.Level["B"] < s.Level["C"] && s.Level["C"] < s.Level["D"]) {
+		t.Fatalf("levels not strictly increasing: %v", s.Level)
+	}
+	if len(s.Strata) != s.Level["D"]+1 {
+		t.Fatalf("strata count %d vs max level %d", len(s.Strata), s.Level["D"])
+	}
+}
+
+func TestStratifyNegationUnderForall(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`A(X) :- forall Y (P(X), !A(Y)).`, u)
+	if _, err := Stratify(p); err == nil {
+		t.Fatalf("negative self-dependency under forall stratified")
+	}
+}
+
+func TestSCCsReverseTopological(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`
+		B(X) :- A(X).
+		C(X) :- B(X).
+		A(X) :- Base(X).
+	`, u)
+	g := BuildGraph(p)
+	sccs := g.SCCs()
+	pos := map[string]int{}
+	for i, c := range sccs {
+		for _, v := range c {
+			pos[v] = i
+		}
+	}
+	// Dependencies (Base, A, B) must come before their dependents.
+	if !(pos["Base"] < pos["A"] && pos["A"] < pos["B"] && pos["B"] < pos["C"]) {
+		t.Fatalf("SCC order wrong: %v", sccs)
+	}
+}
+
+func TestGraphEdgesPolarity(t *testing.T) {
+	u := value.New()
+	p := parser.MustParse(`A(X) :- B(X), !C(X).`, u)
+	g := BuildGraph(p)
+	var posE, negE int
+	for _, e := range g.Edges {
+		if e.From != "A" {
+			t.Fatalf("unexpected edge source %s", e.From)
+		}
+		if e.Negative {
+			negE++
+			if e.To != "C" {
+				t.Fatalf("negative edge to %s", e.To)
+			}
+		} else {
+			posE++
+			if e.To != "B" {
+				t.Fatalf("positive edge to %s", e.To)
+			}
+		}
+	}
+	if posE != 1 || negE != 1 {
+		t.Fatalf("edges: %d pos, %d neg", posE, negE)
+	}
+}

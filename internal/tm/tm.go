@@ -1,0 +1,314 @@
+// Package tm provides a deterministic single-tape Turing machine
+// substrate and a compiler from machines to Datalog¬new programs,
+// exercising the construction behind Theorem 4.6 (Datalog¬new
+// expresses all computable queries): invented values supply the
+// unbounded tape and time axis of the simulation.
+//
+// The compiled program represents configurations as facts
+//
+//	State(t,q)  Head(t,c)  Sym(t,c,s)  NextCell(c,c')  Last(t,c)
+//
+// where times t and tape cells c beyond the input are invented
+// values. Each machine step is driven by a transition-specific Tick
+// rule that invents the next time point; every tick also grows the
+// tape by one blank cell at the right end, so the head can always
+// move right. Machines must never move left from the leftmost cell
+// (the standard convention).
+package tm
+
+import (
+	"errors"
+	"fmt"
+
+	"unchained/internal/ast"
+	"unchained/internal/core"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// Move is a head movement.
+type Move int8
+
+// The head movements.
+const (
+	Left  Move = -1
+	Stay  Move = 0
+	Right Move = 1
+)
+
+// Transition is one entry of the transition function:
+// δ(State, Read) = (Next, Write, Move).
+type Transition struct {
+	State, Read string
+	Next, Write string
+	Move        Move
+}
+
+// Machine is a deterministic single-tape Turing machine. Halting
+// states (Accept, Reject) have no outgoing transitions.
+type Machine struct {
+	Start  string
+	Accept string
+	Reject string
+	Blank  string
+	Trans  []Transition
+}
+
+// Validate checks determinism and that halting states have no
+// outgoing transitions.
+func (m *Machine) Validate() error {
+	seen := map[[2]string]bool{}
+	for _, t := range m.Trans {
+		k := [2]string{t.State, t.Read}
+		if seen[k] {
+			return fmt.Errorf("tm: duplicate transition for (%s,%s)", t.State, t.Read)
+		}
+		seen[k] = true
+		if t.State == m.Accept || t.State == m.Reject {
+			return fmt.Errorf("tm: halting state %s has an outgoing transition", t.State)
+		}
+	}
+	return nil
+}
+
+// ErrStepLimit reports that the interpreter exceeded maxSteps.
+var ErrStepLimit = errors.New("tm: step limit exceeded")
+
+// Run executes the machine directly on the input tape and reports
+// acceptance. It is the reference the compiled Datalog¬new program
+// is cross-checked against.
+func (m *Machine) Run(input []string, maxSteps int) (accepted bool, steps int, err error) {
+	if err := m.Validate(); err != nil {
+		return false, 0, err
+	}
+	delta := map[[2]string]Transition{}
+	for _, t := range m.Trans {
+		delta[[2]string{t.State, t.Read}] = t
+	}
+	tape := append([]string(nil), input...)
+	if len(tape) == 0 {
+		tape = []string{m.Blank}
+	}
+	head := 0
+	state := m.Start
+	for steps = 0; steps < maxSteps; steps++ {
+		if state == m.Accept {
+			return true, steps, nil
+		}
+		if state == m.Reject {
+			return false, steps, nil
+		}
+		t, ok := delta[[2]string{state, tape[head]}]
+		if !ok {
+			return false, steps, fmt.Errorf("tm: no transition from (%s,%s)", state, tape[head])
+		}
+		tape[head] = t.Write
+		state = t.Next
+		head += int(t.Move)
+		if head < 0 {
+			return false, steps, fmt.Errorf("tm: head moved off the left end")
+		}
+		if head == len(tape) {
+			tape = append(tape, m.Blank)
+		}
+	}
+	return false, steps, fmt.Errorf("%w (%d)", ErrStepLimit, maxSteps)
+}
+
+// Relation names used by the compiled program.
+const (
+	RelState    = "State"
+	RelHead     = "Head"
+	RelSym      = "Sym"
+	RelNextCell = "NextCell"
+	RelLast     = "Last"
+	RelTick     = "Tick"
+	RelGrow     = "Grow"
+	RelAccept   = "AcceptAns"
+	RelReject   = "RejectAns"
+)
+
+// Compile translates the machine into a Datalog¬new program over the
+// universe (state and symbol names are interned as constants).
+func Compile(m *Machine, u *value.Universe) (*ast.Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	v := ast.V
+	c := func(name string) ast.Term { return ast.C(u.Sym(name)) }
+	p := &ast.Program{}
+	add := func(head ast.Literal, body ...ast.Literal) {
+		p.Rules = append(p.Rules, ast.Rule{Head: []ast.Literal{head}, Body: body})
+	}
+
+	for _, t := range m.Trans {
+		// The configuration pattern δ fires on.
+		fire := []ast.Literal{
+			ast.Pos(ast.NewAtom(RelState, v("T"), c(t.State))),
+			ast.Pos(ast.NewAtom(RelHead, v("T"), v("C"))),
+			ast.Pos(ast.NewAtom(RelSym, v("T"), v("C"), c(t.Read))),
+		}
+		// Tick invents the next time point (T2 is head-only).
+		add(ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))), fire...)
+
+		tick := append([]ast.Literal{ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2")))}, fire...)
+		// New state and written symbol.
+		add(ast.Pos(ast.NewAtom(RelState, v("T2"), c(t.Next))), tick...)
+		add(ast.Pos(ast.NewAtom(RelSym, v("T2"), v("C"), c(t.Write))), tick...)
+		// Head movement.
+		switch t.Move {
+		case Right:
+			add(ast.Pos(ast.NewAtom(RelHead, v("T2"), v("D"))),
+				append(append([]ast.Literal{}, tick...),
+					ast.Pos(ast.NewAtom(RelNextCell, v("C"), v("D"))))...)
+		case Left:
+			add(ast.Pos(ast.NewAtom(RelHead, v("T2"), v("D"))),
+				append(append([]ast.Literal{}, tick...),
+					ast.Pos(ast.NewAtom(RelNextCell, v("D"), v("C"))))...)
+		case Stay:
+			add(ast.Pos(ast.NewAtom(RelHead, v("T2"), v("C"))), tick...)
+		}
+	}
+
+	// Tape copy for non-head cells.
+	add(ast.Pos(ast.NewAtom(RelSym, v("T2"), v("D"), v("S"))),
+		ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))),
+		ast.Pos(ast.NewAtom(RelSym, v("T"), v("D"), v("S"))),
+		ast.Neg(ast.NewAtom(RelHead, v("T"), v("D"))))
+
+	// Tape growth: every tick appends one invented blank cell.
+	add(ast.Pos(ast.NewAtom(RelGrow, v("T2"), v("D"))), // D invented
+		ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))),
+		ast.Pos(ast.NewAtom(RelLast, v("T"), v("C"))))
+	add(ast.Pos(ast.NewAtom(RelNextCell, v("C"), v("D"))),
+		ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))),
+		ast.Pos(ast.NewAtom(RelLast, v("T"), v("C"))),
+		ast.Pos(ast.NewAtom(RelGrow, v("T2"), v("D"))))
+	add(ast.Pos(ast.NewAtom(RelLast, v("T2"), v("D"))),
+		ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))),
+		ast.Pos(ast.NewAtom(RelGrow, v("T2"), v("D"))))
+	add(ast.Pos(ast.NewAtom(RelSym, v("T2"), v("D"), c(m.Blank))),
+		ast.Pos(ast.NewAtom(RelGrow, v("T2"), v("D"))))
+
+	// Halting detection.
+	add(ast.Pos(ast.NewAtom(RelAccept)), ast.Pos(ast.NewAtom(RelState, v("T"), c(m.Accept))))
+	add(ast.Pos(ast.NewAtom(RelReject)), ast.Pos(ast.NewAtom(RelState, v("T"), c(m.Reject))))
+
+	if err := p.Validate(ast.DialectDatalogNew); err != nil {
+		return nil, fmt.Errorf("tm: compiled program invalid: %w", err)
+	}
+	return p, nil
+}
+
+// EncodeInput builds the initial configuration instance for the
+// given tape contents (cells are ordinary constants c0..ck; only
+// growth beyond the input uses invented values).
+func EncodeInput(m *Machine, input []string, u *value.Universe) *tuple.Instance {
+	tape := input
+	if len(tape) == 0 {
+		tape = []string{m.Blank}
+	}
+	in := tuple.NewInstance()
+	t0 := u.Sym("time0")
+	cells := make([]value.Value, len(tape))
+	for i := range tape {
+		cells[i] = u.Sym(fmt.Sprintf("cell%d", i))
+	}
+	in.Insert(RelState, tuple.Tuple{t0, u.Sym(m.Start)})
+	in.Insert(RelHead, tuple.Tuple{t0, cells[0]})
+	for i, s := range tape {
+		in.Insert(RelSym, tuple.Tuple{t0, cells[i], u.Sym(s)})
+		if i+1 < len(cells) {
+			in.Insert(RelNextCell, tuple.Tuple{cells[i], cells[i+1]})
+		}
+	}
+	in.Insert(RelLast, tuple.Tuple{t0, cells[len(cells)-1]})
+	return in
+}
+
+// Accepts runs the compiled Datalog¬new simulation of the machine on
+// the input and reports acceptance. maxStages bounds the inflationary
+// evaluation (a non-halting machine would otherwise run forever,
+// which is the point of Theorem 4.6).
+func Accepts(m *Machine, input []string, u *value.Universe, maxStages int) (bool, error) {
+	p, err := Compile(m, u)
+	if err != nil {
+		return false, err
+	}
+	in := EncodeInput(m, input, u)
+	res, err := core.EvalInvent(p, in, u, &core.Options{MaxStages: maxStages})
+	if err != nil {
+		return false, err
+	}
+	acc := res.Out.Relation(RelAccept)
+	return acc != nil && acc.Len() > 0, nil
+}
+
+// ParityMachine accepts unary strings (over symbol "a") with an even
+// number of a's.
+func ParityMachine() *Machine {
+	return &Machine{
+		Start: "even", Accept: "acc", Reject: "rej", Blank: "_",
+		Trans: []Transition{
+			{State: "even", Read: "a", Next: "odd", Write: "a", Move: Right},
+			{State: "odd", Read: "a", Next: "even", Write: "a", Move: Right},
+			{State: "even", Read: "_", Next: "acc", Write: "_", Move: Stay},
+			{State: "odd", Read: "_", Next: "rej", Write: "_", Move: Stay},
+		},
+	}
+}
+
+// ABMachine accepts strings of the form aⁿbⁿ (n ≥ 0) by the classic
+// zig-zag marking algorithm.
+func ABMachine() *Machine {
+	return &Machine{
+		Start: "scan", Accept: "acc", Reject: "rej", Blank: "_",
+		Trans: []Transition{
+			// scan: at leftmost unmarked symbol.
+			{State: "scan", Read: "a", Next: "findB", Write: "x", Move: Right},
+			{State: "scan", Read: "_", Next: "acc", Write: "_", Move: Stay},
+			{State: "scan", Read: "y", Next: "checkY", Write: "y", Move: Right},
+			{State: "scan", Read: "b", Next: "rej", Write: "b", Move: Stay},
+			// findB: skip a's and y's to the first b.
+			{State: "findB", Read: "a", Next: "findB", Write: "a", Move: Right},
+			{State: "findB", Read: "y", Next: "findB", Write: "y", Move: Right},
+			{State: "findB", Read: "b", Next: "back", Write: "y", Move: Left},
+			{State: "findB", Read: "_", Next: "rej", Write: "_", Move: Stay},
+			// back: return to the leftmost unmarked symbol.
+			{State: "back", Read: "a", Next: "back", Write: "a", Move: Left},
+			{State: "back", Read: "y", Next: "back", Write: "y", Move: Left},
+			{State: "back", Read: "x", Next: "scan", Write: "x", Move: Right},
+			// checkY: all remaining symbols must be y's.
+			{State: "checkY", Read: "y", Next: "checkY", Write: "y", Move: Right},
+			{State: "checkY", Read: "_", Next: "acc", Write: "_", Move: Stay},
+			{State: "checkY", Read: "b", Next: "rej", Write: "b", Move: Stay},
+			{State: "checkY", Read: "a", Next: "rej", Write: "a", Move: Stay},
+		},
+	}
+}
+
+// LoopMachine runs forever (moves right on blanks), the
+// non-termination witness for the simulation's stage limit.
+func LoopMachine() *Machine {
+	return &Machine{
+		Start: "go", Accept: "acc", Reject: "rej", Blank: "_",
+		Trans: []Transition{
+			{State: "go", Read: "_", Next: "go", Write: "_", Move: Right},
+		},
+	}
+}
+
+// IncrementMachine increments a binary number written LSB-first on
+// the tape (symbols "0"/"1"): it flips 1s to 0s moving right until a
+// 0 or blank, writes 1, and accepts. E.g. "110" (=3) becomes "001"
+// (=4, LSB-first).
+func IncrementMachine() *Machine {
+	return &Machine{
+		Start: "inc", Accept: "acc", Reject: "rej", Blank: "_",
+		Trans: []Transition{
+			{State: "inc", Read: "1", Next: "inc", Write: "0", Move: Right},
+			{State: "inc", Read: "0", Next: "acc", Write: "1", Move: Stay},
+			{State: "inc", Read: "_", Next: "acc", Write: "1", Move: Stay},
+		},
+	}
+}

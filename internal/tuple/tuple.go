@@ -1,0 +1,339 @@
+// Package tuple implements the relational substrate of the paper
+// (Section 2): constant tuples, relation instances (finite sets of
+// constant tuples of a fixed arity), and database instances (a finite
+// map from relation names to relation instances).
+//
+// Relations are hash sets of packed tuples with optional secondary
+// hash indexes built on demand by the rule matcher. Instances carry a
+// schema (relation name -> arity) and support the cloning, equality,
+// and fingerprinting operations the forward-chaining engines need for
+// stage iteration and cycle detection (Section 4.2).
+package tuple
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"strings"
+
+	"unchained/internal/value"
+)
+
+// Tuple is a constant tuple: a sequence of interned domain values.
+type Tuple []value.Value
+
+// Key packs t into a compact string usable as a map key. Two tuples
+// of the same arity have equal keys iff they are equal.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(4 * len(t))
+	for _, v := range t {
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports whether t and o are identical tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i, v := range t {
+		if v != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders t using the universe's display names.
+func (t Tuple) String(u *value.Universe) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = u.Name(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// hashSeed is the process-wide seed for relation fingerprints. All
+// fingerprints in one process are comparable with each other.
+var hashSeed = maphash.MakeSeed()
+
+// Relation is a finite set of constant tuples of a fixed arity.
+// The zero Relation is not ready; use NewRelation.
+type Relation struct {
+	arity  int
+	tuples map[string]Tuple
+	// indexes maps a column-set bitmask to a hash index from the
+	// packed values at those columns to the tuples having them.
+	// Indexes are built lazily on first probe and maintained
+	// incrementally on mutation.
+	indexes map[uint32]map[string][]Tuple
+	// fp caches the order-independent fingerprint; fpValid marks it.
+	fp      uint64
+	fpValid bool
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+}
+
+// Arity reports the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// maskKey packs the values of t at the masked columns.
+func maskKey(t Tuple, mask uint32) string {
+	var b strings.Builder
+	for i, v := range t {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+// indexInsert adds the stored tuple to every live index. Appending
+// never disturbs probe slices already handed out (their lengths are
+// fixed), so engines may mutate between probes safely.
+func (r *Relation) indexInsert(stored Tuple) {
+	for mask, idx := range r.indexes {
+		k := maskKey(stored, mask)
+		idx[k] = append(idx[k], stored)
+	}
+}
+
+// indexDelete removes the tuple from every live index. Buckets are
+// rebuilt into fresh slices so probe slices already handed out keep
+// their (stale but memory-safe) contents.
+func (r *Relation) indexDelete(t Tuple) {
+	for mask, idx := range r.indexes {
+		k := maskKey(t, mask)
+		old := idx[k]
+		if len(old) == 0 {
+			continue
+		}
+		fresh := make([]Tuple, 0, len(old)-1)
+		for _, o := range old {
+			if !o.Equal(t) {
+				fresh = append(fresh, o)
+			}
+		}
+		if len(fresh) == 0 {
+			delete(idx, k)
+		} else {
+			idx[k] = fresh
+		}
+	}
+}
+
+// Insert adds t to the relation, reporting whether it was new.
+// Insert panics if the arity does not match: arities are schema-level
+// invariants and a mismatch is a programming error.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("tuple: insert arity %d into relation of arity %d", len(t), r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	stored := t.Clone()
+	r.tuples[k] = stored
+	r.indexInsert(stored)
+	r.fpValid = false
+	return true
+}
+
+// Delete removes t, reporting whether it was present.
+func (r *Relation) Delete(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	k := t.Key()
+	if _, ok := r.tuples[k]; !ok {
+		return false
+	}
+	delete(r.tuples, k)
+	r.indexDelete(t)
+	r.fpValid = false
+	return true
+}
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Each calls fn for every tuple in unspecified order; fn must not
+// mutate the relation. If fn returns false, iteration stops.
+func (r *Relation) Each(fn func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns all tuples in unspecified order. The returned slice
+// is fresh but the tuples are shared; callers must not mutate them.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SortedTuples returns all tuples ordered by u.Compare column by
+// column, for deterministic output.
+func (r *Relation) SortedTuples(u *value.Universe) []Tuple {
+	out := r.Tuples()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if c := u.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Clone returns a deep copy of the relation (indexes are not copied).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.arity)
+	for k, t := range r.tuples {
+		c.tuples[k] = t
+	}
+	c.fp, c.fpValid = r.fp, r.fpValid
+	return c
+}
+
+// Equal reports whether r and o hold exactly the same tuples.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionInPlace inserts every tuple of o into r, reporting how many
+// were new.
+func (r *Relation) UnionInPlace(o *Relation) int {
+	added := 0
+	for _, t := range o.tuples {
+		if r.Insert(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Fingerprint returns an order-independent 64-bit hash of the tuple
+// set (XOR of per-tuple hashes), used by the Datalog¬¬ and
+// nondeterministic engines to detect revisited instance states.
+func (r *Relation) Fingerprint() uint64 {
+	if r.fpValid {
+		return r.fp
+	}
+	var acc uint64
+	for k := range r.tuples {
+		acc ^= maphash.String(hashSeed, k)
+	}
+	// Mix in arity and cardinality so that, e.g., the empty relations
+	// of different arities differ only via the instance-level mix.
+	acc ^= uint64(len(r.tuples))*0x9e3779b97f4a7c15 + uint64(r.arity)
+	r.fp = acc
+	r.fpValid = true
+	return acc
+}
+
+// index returns (building if needed) the hash index for the given
+// column set. mask bit i set means column i participates in the key.
+func (r *Relation) index(mask uint32) map[string][]Tuple {
+	if r.indexes == nil {
+		r.indexes = make(map[uint32]map[string][]Tuple)
+	}
+	if idx, ok := r.indexes[mask]; ok {
+		return idx
+	}
+	idx := make(map[string][]Tuple)
+	for _, t := range r.tuples {
+		k := maskKey(t, mask)
+		idx[k] = append(idx[k], t)
+	}
+	r.indexes[mask] = idx
+	return idx
+}
+
+// Probe returns the tuples whose values at the masked columns equal
+// the corresponding entries of pattern (entries at unmasked columns
+// are ignored). With a zero mask it returns all tuples; with every
+// column masked it is a direct hash lookup (no index needed);
+// otherwise it uses a lazily built, incrementally maintained hash
+// index.
+func (r *Relation) Probe(mask uint32, pattern Tuple) []Tuple {
+	if mask == 0 {
+		return r.Tuples()
+	}
+	if r.arity <= 32 && mask == uint32(1)<<uint(r.arity)-1 {
+		if stored, ok := r.tuples[pattern.Key()]; ok {
+			return []Tuple{stored}
+		}
+		return nil
+	}
+	return r.index(mask)[maskKey(pattern, mask)]
+}
+
+// ProbeScan is the index-free variant of Probe used by the ablation
+// benchmarks: it scans all tuples and filters.
+func (r *Relation) ProbeScan(mask uint32, pattern Tuple) []Tuple {
+	if mask == 0 {
+		return r.Tuples()
+	}
+	var out []Tuple
+	for _, t := range r.tuples {
+		ok := true
+		for i := 0; i < r.arity; i++ {
+			if mask&(1<<uint(i)) != 0 && t[i] != pattern[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package value provides the interned value universe shared by all
+// engines in the repository.
+//
+// The paper (Section 2) assumes an infinite domain dom of constants.
+// We realize dom as an interning table: every constant a program or
+// instance mentions is mapped to a dense Value handle. Three kinds of
+// constants exist:
+//
+//   - symbols (lower-case identifiers or quoted strings),
+//   - integers, and
+//   - invented values, created by Datalog¬new programs (Section 4.3)
+//     via Universe.Fresh; they have no external name.
+//
+// Values are only meaningful relative to the Universe that created
+// them. All engines are single-threaded per evaluation; a Universe is
+// not safe for concurrent mutation.
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is a handle to an interned domain constant. The zero Value is
+// invalid and doubles as the "unbound" sentinel in rule matchers.
+type Value uint32
+
+// None is the invalid/unbound sentinel.
+const None Value = 0
+
+// Kind classifies a domain constant.
+type Kind uint8
+
+// The constant kinds.
+const (
+	KindInvalid Kind = iota
+	KindSym          // named symbol
+	KindInt          // integer constant
+	KindFresh        // invented value (Datalog¬new)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSym:
+		return "sym"
+	case KindInt:
+		return "int"
+	case KindFresh:
+		return "fresh"
+	default:
+		return "invalid"
+	}
+}
+
+type entry struct {
+	kind Kind
+	name string // symbol text; empty for ints and fresh values
+	num  int64  // integer payload; fresh counter for invented values
+}
+
+// Universe interns domain constants and hands out fresh invented
+// values. The zero Universe is not ready; use New.
+type Universe struct {
+	entries []entry          // entries[0] is a dummy for the None sentinel
+	syms    map[string]Value // symbol text -> Value
+	ints    map[int64]Value  // integer -> Value
+	fresh   int64            // count of invented values issued
+}
+
+// New returns an empty Universe.
+func New() *Universe {
+	return &Universe{
+		entries: make([]entry, 1), // reserve index 0 for None
+		syms:    make(map[string]Value),
+		ints:    make(map[int64]Value),
+	}
+}
+
+// Sym interns the symbol with the given name and returns its Value.
+// Interning the same name twice returns the same Value.
+func (u *Universe) Sym(name string) Value {
+	if v, ok := u.syms[name]; ok {
+		return v
+	}
+	v := Value(len(u.entries))
+	u.entries = append(u.entries, entry{kind: KindSym, name: name})
+	u.syms[name] = v
+	return v
+}
+
+// Int interns the integer n and returns its Value.
+func (u *Universe) Int(n int64) Value {
+	if v, ok := u.ints[n]; ok {
+		return v
+	}
+	v := Value(len(u.entries))
+	u.entries = append(u.entries, entry{kind: KindInt, num: n})
+	u.ints[n] = v
+	return v
+}
+
+// Fresh invents a brand-new value distinct from every value the
+// Universe has issued so far (the value-invention primitive of
+// Datalog¬new, Section 4.3).
+func (u *Universe) Fresh() Value {
+	u.fresh++
+	v := Value(len(u.entries))
+	u.entries = append(u.entries, entry{kind: KindFresh, num: u.fresh})
+	return v
+}
+
+// Lookup returns the Value interned for the symbol name, or None if
+// the name has never been interned. It never allocates.
+func (u *Universe) Lookup(name string) Value {
+	return u.syms[name]
+}
+
+// LookupInt returns the Value interned for n, or None.
+func (u *Universe) LookupInt(n int64) Value {
+	return u.ints[n]
+}
+
+// Kind reports the kind of v. Kind(None) is KindInvalid.
+func (u *Universe) Kind(v Value) Kind {
+	if int(v) >= len(u.entries) {
+		return KindInvalid
+	}
+	return u.entries[v].kind
+}
+
+// IsFresh reports whether v is an invented value.
+func (u *Universe) IsFresh(v Value) bool { return u.Kind(v) == KindFresh }
+
+// IntVal returns the integer payload of an interned integer value.
+// The second result is false if v is not an integer constant.
+func (u *Universe) IntVal(v Value) (int64, bool) {
+	if u.Kind(v) != KindInt {
+		return 0, false
+	}
+	return u.entries[v].num, true
+}
+
+// Name renders v for display: the symbol text, the decimal integer,
+// "$k" for the k-th invented value, or "?" for None/out-of-range.
+func (u *Universe) Name(v Value) string {
+	if int(v) >= len(u.entries) || v == None {
+		return "?"
+	}
+	e := u.entries[v]
+	switch e.kind {
+	case KindSym:
+		return e.name
+	case KindInt:
+		return strconv.FormatInt(e.num, 10)
+	case KindFresh:
+		return fmt.Sprintf("$%d", e.num)
+	default:
+		return "?"
+	}
+}
+
+// Len reports how many values (excluding the None sentinel) have been
+// interned or invented.
+func (u *Universe) Len() int { return len(u.entries) - 1 }
+
+// FreshCount reports how many invented values have been issued.
+func (u *Universe) FreshCount() int64 { return u.fresh }
+
+// Compare orders two values deterministically and independently of
+// interning order: by kind (sym < int < fresh), then symbols
+// lexicographically, integers numerically, and invented values by
+// invention order. It is the ordering used for stable output dumps.
+func (u *Universe) Compare(a, b Value) int {
+	ka, kb := u.Kind(a), u.Kind(b)
+	if ka != kb {
+		if ka < kb {
+			return -1
+		}
+		return 1
+	}
+	ea, eb := u.entries[a], u.entries[b]
+	switch ka {
+	case KindSym:
+		switch {
+		case ea.name < eb.name:
+			return -1
+		case ea.name > eb.name:
+			return 1
+		}
+		return 0
+	default: // KindInt, KindFresh, KindInvalid
+		switch {
+		case ea.num < eb.num:
+			return -1
+		case ea.num > eb.num:
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,156 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSymInterning(t *testing.T) {
+	u := New()
+	a := u.Sym("a")
+	b := u.Sym("b")
+	if a == b {
+		t.Fatalf("distinct symbols interned to same value")
+	}
+	if u.Sym("a") != a {
+		t.Fatalf("re-interning a symbol changed its value")
+	}
+	if u.Kind(a) != KindSym {
+		t.Fatalf("Kind(a) = %v, want sym", u.Kind(a))
+	}
+	if u.Name(a) != "a" || u.Name(b) != "b" {
+		t.Fatalf("names not preserved: %q %q", u.Name(a), u.Name(b))
+	}
+	if u.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", u.Len())
+	}
+}
+
+func TestIntInterning(t *testing.T) {
+	u := New()
+	v1 := u.Int(42)
+	v2 := u.Int(-7)
+	if v1 == v2 {
+		t.Fatalf("distinct ints interned to same value")
+	}
+	if u.Int(42) != v1 {
+		t.Fatalf("re-interning int changed value")
+	}
+	if n, ok := u.IntVal(v1); !ok || n != 42 {
+		t.Fatalf("IntVal = %d,%v want 42,true", n, ok)
+	}
+	if u.Name(v2) != "-7" {
+		t.Fatalf("Name(-7) = %q", u.Name(v2))
+	}
+	if _, ok := u.IntVal(u.Sym("x")); ok {
+		t.Fatalf("IntVal succeeded on a symbol")
+	}
+}
+
+func TestSymAndIntDistinct(t *testing.T) {
+	u := New()
+	s := u.Sym("7")
+	i := u.Int(7)
+	if s == i {
+		t.Fatalf("symbol \"7\" and integer 7 collided")
+	}
+}
+
+func TestFresh(t *testing.T) {
+	u := New()
+	a := u.Sym("a")
+	f1 := u.Fresh()
+	f2 := u.Fresh()
+	if f1 == f2 || f1 == a || f2 == a {
+		t.Fatalf("fresh values not distinct: %v %v %v", a, f1, f2)
+	}
+	if !u.IsFresh(f1) || u.IsFresh(a) {
+		t.Fatalf("IsFresh misclassifies")
+	}
+	if u.FreshCount() != 2 {
+		t.Fatalf("FreshCount = %d, want 2", u.FreshCount())
+	}
+	if u.Name(f1) != "$1" {
+		t.Fatalf("Name(fresh) = %q, want $1", u.Name(f1))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	u := New()
+	if u.Lookup("missing") != None {
+		t.Fatalf("Lookup of missing symbol should be None")
+	}
+	a := u.Sym("a")
+	if u.Lookup("a") != a {
+		t.Fatalf("Lookup(a) mismatch")
+	}
+	if u.LookupInt(5) != None {
+		t.Fatalf("LookupInt of missing int should be None")
+	}
+	n := u.Int(5)
+	if u.LookupInt(5) != n {
+		t.Fatalf("LookupInt mismatch")
+	}
+}
+
+func TestNoneInvalid(t *testing.T) {
+	u := New()
+	if u.Kind(None) != KindInvalid {
+		t.Fatalf("Kind(None) = %v", u.Kind(None))
+	}
+	if u.Name(None) != "?" {
+		t.Fatalf("Name(None) = %q", u.Name(None))
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	u := New()
+	b := u.Sym("b")
+	a := u.Sym("a")
+	i1 := u.Int(1)
+	i2 := u.Int(2)
+	f := u.Fresh()
+	// syms < ints < fresh
+	pairs := []struct{ lo, hi Value }{{a, b}, {b, i1}, {i1, i2}, {i2, f}}
+	for _, p := range pairs {
+		if u.Compare(p.lo, p.hi) >= 0 {
+			t.Errorf("Compare(%s,%s) = %d, want <0", u.Name(p.lo), u.Name(p.hi), u.Compare(p.lo, p.hi))
+		}
+		if u.Compare(p.hi, p.lo) <= 0 {
+			t.Errorf("Compare(%s,%s) want >0", u.Name(p.hi), u.Name(p.lo))
+		}
+	}
+	if u.Compare(a, a) != 0 {
+		t.Errorf("Compare(a,a) != 0")
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	u := New()
+	var vals []Value
+	for _, s := range []string{"x", "y", "z", "alpha", "beta"} {
+		vals = append(vals, u.Sym(s))
+	}
+	for _, n := range []int64{-3, 0, 3, 100} {
+		vals = append(vals, u.Int(n))
+	}
+	vals = append(vals, u.Fresh(), u.Fresh())
+
+	// Antisymmetry and transitivity over the sample, checked via
+	// quick with indexes into the sample.
+	f := func(i, j, k uint8) bool {
+		a := vals[int(i)%len(vals)]
+		b := vals[int(j)%len(vals)]
+		c := vals[int(k)%len(vals)]
+		if u.Compare(a, b) != -u.Compare(b, a) {
+			return false
+		}
+		if u.Compare(a, b) <= 0 && u.Compare(b, c) <= 0 && u.Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

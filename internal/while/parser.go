@@ -1,0 +1,638 @@
+package while
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"unchained/internal/fo"
+	"unchained/internal/value"
+)
+
+// Parse parses a while-language program in the concrete syntax of
+// Section 2's imperative languages:
+//
+//	% transitive closure, then its complement
+//	T(X,Y) += G(X,Y);
+//	while change do {
+//	    T(X,Y) += exists Z (T(X,Z) and G(Z,Y));
+//	}
+//	CT(X,Y) := not T(X,Y);
+//
+// Statements are destructive (:=) or cumulative (+=) assignments of
+// an FO formula to a relation variable, and "while change do { … }"
+// loops. Formulas use and/or/not/implies, exists/forall with
+// parenthesized bodies, atoms R(X,c,1), and (in)equalities X = Y,
+// X != c. Variables are upper-case; constants are lower-case
+// identifiers, quoted strings or integers (interned into u).
+func Parse(src string, u *value.Universe) (*Program, error) {
+	p := &wparser{lx: newWLexer(src), u: u, consts: map[value.Value]bool{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != wEOF {
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, st)
+	}
+	for v := range p.consts {
+		prog.Consts = append(prog.Consts, v)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for trusted sources; it panics on error.
+func MustParse(src string, u *value.Universe) *Program {
+	p, err := Parse(src, u)
+	if err != nil {
+		panic("while: " + err.Error())
+	}
+	return p
+}
+
+type wTokKind uint8
+
+const (
+	wEOF wTokKind = iota
+	wIdent
+	wVar
+	wInt
+	wString
+	wLParen
+	wRParen
+	wLBrace
+	wRBrace
+	wComma
+	wSemi
+	wAssign // :=
+	wPlus   // +=
+	wEq     // =
+	wNeq    // !=
+)
+
+func (k wTokKind) String() string {
+	switch k {
+	case wEOF:
+		return "end of input"
+	case wIdent:
+		return "identifier"
+	case wVar:
+		return "variable"
+	case wInt:
+		return "integer"
+	case wString:
+		return "string"
+	case wLParen:
+		return "'('"
+	case wRParen:
+		return "')'"
+	case wLBrace:
+		return "'{'"
+	case wRBrace:
+		return "'}'"
+	case wComma:
+		return "','"
+	case wSemi:
+		return "';'"
+	case wAssign:
+		return "':='"
+	case wPlus:
+		return "'+='"
+	case wEq:
+		return "'='"
+	case wNeq:
+		return "'!='"
+	default:
+		return "?"
+	}
+}
+
+type wToken struct {
+	kind wTokKind
+	text string
+	line int
+	col  int
+}
+
+type wLexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newWLexer(src string) *wLexer { return &wLexer{src: src, line: 1, col: 1} }
+
+func (lx *wLexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	return r
+}
+
+func (lx *wLexer) adv() rune {
+	r, w := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	lx.pos += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *wLexer) next() (wToken, error) {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.adv()
+		case r == '%':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.adv()
+			}
+		case r == '/' && strings.HasPrefix(lx.src[lx.pos:], "//"):
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.adv()
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return wToken{kind: wEOF, line: line, col: col}, nil
+	}
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	}
+	r := lx.peek()
+	switch {
+	case r == '(':
+		lx.adv()
+		return wToken{kind: wLParen, line: line, col: col}, nil
+	case r == ')':
+		lx.adv()
+		return wToken{kind: wRParen, line: line, col: col}, nil
+	case r == '{':
+		lx.adv()
+		return wToken{kind: wLBrace, line: line, col: col}, nil
+	case r == '}':
+		lx.adv()
+		return wToken{kind: wRBrace, line: line, col: col}, nil
+	case r == ',':
+		lx.adv()
+		return wToken{kind: wComma, line: line, col: col}, nil
+	case r == ';':
+		lx.adv()
+		return wToken{kind: wSemi, line: line, col: col}, nil
+	case r == ':':
+		lx.adv()
+		if lx.peek() != '=' {
+			return wToken{}, errf("expected ':='")
+		}
+		lx.adv()
+		return wToken{kind: wAssign, line: line, col: col}, nil
+	case r == '+':
+		lx.adv()
+		if lx.peek() != '=' {
+			return wToken{}, errf("expected '+='")
+		}
+		lx.adv()
+		return wToken{kind: wPlus, line: line, col: col}, nil
+	case r == '=':
+		lx.adv()
+		return wToken{kind: wEq, line: line, col: col}, nil
+	case r == '!':
+		lx.adv()
+		if lx.peek() != '=' {
+			return wToken{}, errf("expected '!='")
+		}
+		lx.adv()
+		return wToken{kind: wNeq, line: line, col: col}, nil
+	case r == '"':
+		lx.adv()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return wToken{}, errf("unterminated string")
+			}
+			c := lx.adv()
+			if c == '"' {
+				return wToken{kind: wString, text: b.String(), line: line, col: col}, nil
+			}
+			if c == '\\' {
+				if lx.pos >= len(lx.src) {
+					return wToken{}, errf("unterminated escape")
+				}
+				e := lx.adv()
+				switch e {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"', '\\':
+					b.WriteRune(e)
+				default:
+					return wToken{}, errf("unknown escape \\%c", e)
+				}
+				continue
+			}
+			b.WriteRune(c)
+		}
+	case r == '-' || unicode.IsDigit(r):
+		start := lx.pos
+		if r == '-' {
+			lx.adv()
+			if !unicode.IsDigit(lx.peek()) {
+				return wToken{}, errf("expected digit after '-'")
+			}
+		}
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			lx.adv()
+		}
+		return wToken{kind: wInt, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case r == '_' || unicode.IsLetter(r):
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c) {
+				lx.adv()
+				continue
+			}
+			break
+		}
+		text := lx.src[start:lx.pos]
+		first, _ := utf8.DecodeRuneInString(text)
+		if first == '_' || unicode.IsUpper(first) {
+			return wToken{kind: wVar, text: text, line: line, col: col}, nil
+		}
+		return wToken{kind: wIdent, text: text, line: line, col: col}, nil
+	default:
+		return wToken{}, errf("unexpected character %q", r)
+	}
+}
+
+type wparser struct {
+	lx     *wLexer
+	tok    wToken
+	u      *value.Universe
+	consts map[value.Value]bool
+}
+
+func (p *wparser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *wparser) errf(format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *wparser) expect(k wTokKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, found %s", k, p.tok.kind)
+	}
+	return p.advance()
+}
+
+func (p *wparser) isKw(kw string) bool {
+	return p.tok.kind == wIdent && p.tok.text == kw
+}
+
+// stmt := "while" "change" "do" "{" {stmt} "}" | assign ";"
+func (p *wparser) stmt() (Stmt, error) {
+	if p.isKw("while") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isKw("change") {
+			return nil, p.errf("expected 'change' after 'while'")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isKw("do") {
+			return nil, p.errf("expected 'do'")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(wLBrace); err != nil {
+			return nil, err
+		}
+		var body []Stmt
+		for p.tok.kind != wRBrace {
+			st, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, st)
+		}
+		if err := p.expect(wRBrace); err != nil {
+			return nil, err
+		}
+		return Loop{Body: body}, nil
+	}
+
+	// assign := name "(" vars ")" (":="|"+=") formula ";"
+	if p.tok.kind != wIdent && p.tok.kind != wVar {
+		return nil, p.errf("expected a statement, found %s", p.tok.kind)
+	}
+	rel := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(wLParen); err != nil {
+		return nil, err
+	}
+	var vars []string
+	for p.tok.kind != wRParen {
+		if p.tok.kind != wVar {
+			return nil, p.errf("assignment columns must be variables, found %s", p.tok.kind)
+		}
+		vars = append(vars, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == wComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(wRParen); err != nil {
+		return nil, err
+	}
+	var cumulative bool
+	switch p.tok.kind {
+	case wAssign:
+	case wPlus:
+		cumulative = true
+	default:
+		return nil, p.errf("expected ':=' or '+=', found %s", p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(wSemi); err != nil {
+		return nil, err
+	}
+	return Assign{Rel: rel, Vars: vars, F: f, Cumulative: cumulative}, nil
+}
+
+// formula := disj ["implies" formula]   (right-associative)
+func (p *wparser) formula() (fo.Formula, error) {
+	left, err := p.disj()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKw("implies") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return fo.Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *wparser) disj() (fo.Formula, error) {
+	left, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	fs := []fo.Formula{left}
+	for p.isKw("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 1 {
+		return left, nil
+	}
+	return fo.OrF(fs...), nil
+}
+
+func (p *wparser) conj() (fo.Formula, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []fo.Formula{left}
+	for p.isKw("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 1 {
+		return left, nil
+	}
+	return fo.AndF(fs...), nil
+}
+
+func (p *wparser) unary() (fo.Formula, error) {
+	switch {
+	case p.isKw("not"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return fo.NotF(f), nil
+	case p.isKw("exists"), p.isKw("forall"):
+		univ := p.isKw("forall")
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var vars []string
+		for p.tok.kind == wVar {
+			vars = append(vars, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == wComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != wVar {
+					return nil, p.errf("expected variable after ',' in quantifier")
+				}
+			}
+		}
+		if len(vars) == 0 {
+			return nil, p.errf("quantifier without variables")
+		}
+		if err := p.expect(wLParen); err != nil {
+			return nil, err
+		}
+		body, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(wRParen); err != nil {
+			return nil, err
+		}
+		if univ {
+			return fo.ForallF(vars, body), nil
+		}
+		return fo.ExistsF(vars, body), nil
+	case p.tok.kind == wLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(wRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return p.atomOrEq()
+	}
+}
+
+// atomOrEq := name "(" terms ")" | term ("="|"!=") term
+func (p *wparser) atomOrEq() (fo.Formula, error) {
+	// A constant or variable followed by = / != is an equality.
+	if p.tok.kind == wInt || p.tok.kind == wString {
+		left, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return p.eqTail(left)
+	}
+	if p.tok.kind != wIdent && p.tok.kind != wVar {
+		return nil, p.errf("expected a formula, found %s", p.tok.kind)
+	}
+	name := p.tok
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case wLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var args []fo.Term
+		for p.tok.kind != wRParen {
+			t, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+			if p.tok.kind == wComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(wRParen); err != nil {
+			return nil, err
+		}
+		return fo.AtomF(name.text, args...), nil
+	case wEq, wNeq:
+		left, err := p.nameToTerm(name)
+		if err != nil {
+			return nil, err
+		}
+		return p.eqTail(left)
+	default:
+		return nil, p.errf("expected '(' or '=' after %q", name.text)
+	}
+}
+
+func (p *wparser) eqTail(left fo.Term) (fo.Formula, error) {
+	neg := false
+	switch p.tok.kind {
+	case wEq:
+	case wNeq:
+		neg = true
+	default:
+		return nil, p.errf("expected '=' or '!='")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	right, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	eq := fo.EqF(left, right)
+	if neg {
+		return fo.NotF(eq), nil
+	}
+	return eq, nil
+}
+
+func (p *wparser) term() (fo.Term, error) {
+	t := p.tok
+	switch t.kind {
+	case wVar:
+		if err := p.advance(); err != nil {
+			return fo.Term{}, err
+		}
+		return fo.V(t.text), nil
+	case wIdent, wString, wInt:
+		if err := p.advance(); err != nil {
+			return fo.Term{}, err
+		}
+		return p.nameToTerm(t)
+	default:
+		return fo.Term{}, p.errf("expected a term, found %s", t.kind)
+	}
+}
+
+func (p *wparser) nameToTerm(t wToken) (fo.Term, error) {
+	switch t.kind {
+	case wVar:
+		return fo.V(t.text), nil
+	case wIdent, wString:
+		v := p.u.Sym(t.text)
+		p.consts[v] = true
+		return fo.C(v), nil
+	case wInt:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return fo.Term{}, fmt.Errorf("%d:%d: bad integer %q", t.line, t.col, t.text)
+		}
+		v := p.u.Int(n)
+		p.consts[v] = true
+		return fo.C(v), nil
+	default:
+		return fo.Term{}, fmt.Errorf("%d:%d: expected a term", t.line, t.col)
+	}
+}

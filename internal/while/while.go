@@ -1,0 +1,200 @@
+// Package while implements the imperative while and fixpoint
+// languages of Section 2: relation variables, FO assignments, and the
+// "while change do" looping construct.
+//
+//   - fixpoint programs use only cumulative assignments (R += φ),
+//     which guarantees termination in polynomial time;
+//   - while programs also allow destructive assignment (R := φ) and
+//     may diverge; the interpreter detects state cycles and reports
+//     ErrNonTerminating.
+//
+// Following the standard convention (Abiteboul–Hull–Vianu), the
+// active domain is fixed at program start: adom(program constants,
+// input). Destructive assignments may remove values from relations,
+// but quantifiers and negations keep ranging over the initial domain.
+package while
+
+import (
+	"errors"
+	"fmt"
+
+	"unchained/internal/eval"
+	"unchained/internal/fo"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// ErrNonTerminating reports a while program whose state sequence
+// revisits a previous state at the loop head.
+var ErrNonTerminating = errors.New("while: program does not terminate (state cycle)")
+
+// ErrIterLimit reports exceeding Options.MaxIters.
+var ErrIterLimit = errors.New("while: iteration limit exceeded")
+
+// Stmt is a program statement.
+type Stmt interface{ stmt() }
+
+// Assign evaluates an FO formula and stores the result in a relation
+// variable: destructive (R := φ) or cumulative (R += φ). Vars fixes
+// the output column order and must list exactly the free variables
+// of F.
+type Assign struct {
+	Rel        string
+	Vars       []string
+	F          fo.Formula
+	Cumulative bool
+}
+
+func (Assign) stmt() {}
+
+// Loop is "while change do body": the body is iterated until an
+// iteration leaves every relation unchanged.
+type Loop struct {
+	Body []Stmt
+}
+
+func (Loop) stmt() {}
+
+// Program is a sequence of statements.
+type Program struct {
+	Stmts []Stmt
+	// Consts lists constants used by formulas, to be included in the
+	// active domain.
+	Consts []value.Value
+}
+
+// Fixpoint reports whether the program is in the fixpoint fragment:
+// every assignment, including inside loops, is cumulative.
+func (p *Program) Fixpoint() bool {
+	var ok func(ss []Stmt) bool
+	ok = func(ss []Stmt) bool {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case Assign:
+				if !st.Cumulative {
+					return false
+				}
+			case Loop:
+				if !ok(st.Body) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return ok(p.Stmts)
+}
+
+// Options tunes the interpreter; the zero value is the default.
+type Options struct {
+	// MaxIters bounds the total number of loop-body iterations
+	// (default 1<<20). Fixpoint programs terminate on their own.
+	MaxIters int
+}
+
+func (o *Options) maxIters() int {
+	if o == nil || o.MaxIters <= 0 {
+		return 1 << 20
+	}
+	return o.MaxIters
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	// Out is the final instance (input relations plus program
+	// variables).
+	Out *tuple.Instance
+	// Iters counts loop-body iterations executed.
+	Iters int
+}
+
+type interp struct {
+	adom  []value.Value
+	limit int
+	iters int
+}
+
+// Run executes the program on the input (which is not mutated).
+func Run(p *Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	state := in.Clone()
+	it := &interp{
+		adom:  eval.ActiveDomain(u, p.Consts, in),
+		limit: opt.maxIters(),
+	}
+	if err := it.seq(p.Stmts, state); err != nil {
+		return nil, err
+	}
+	return &Result{Out: state, Iters: it.iters}, nil
+}
+
+func (it *interp) seq(ss []Stmt, state *tuple.Instance) error {
+	for _, s := range ss {
+		switch st := s.(type) {
+		case Assign:
+			if err := it.assign(st, state); err != nil {
+				return err
+			}
+		case Loop:
+			if err := it.loop(st, state); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("while: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (it *interp) assign(a Assign, state *tuple.Instance) error {
+	rel, err := fo.Eval(a.F, state, it.adom, a.Vars)
+	if err != nil {
+		return fmt.Errorf("while: assignment to %s: %w", a.Rel, err)
+	}
+	if a.Cumulative {
+		state.Ensure(a.Rel, rel.Arity()).UnionInPlace(rel)
+		return nil
+	}
+	// Destructive: replace the relation wholesale.
+	cur := state.Ensure(a.Rel, rel.Arity())
+	var drop []tuple.Tuple
+	cur.Each(func(t tuple.Tuple) bool {
+		if !rel.Contains(t) {
+			drop = append(drop, t.Clone())
+		}
+		return true
+	})
+	for _, t := range drop {
+		cur.Delete(t)
+	}
+	cur.UnionInPlace(rel)
+	return nil
+}
+
+func (it *interp) loop(l Loop, state *tuple.Instance) error {
+	// Brent's cycle detection over loop-head states gives exact
+	// non-termination detection for the deterministic body.
+	saved := state.Clone()
+	power, lam := 1, 0
+	for {
+		before := state.Clone()
+		if err := it.seq(l.Body, state); err != nil {
+			return err
+		}
+		it.iters++
+		if it.iters >= it.limit {
+			return fmt.Errorf("%w (after %d iterations)", ErrIterLimit, it.iters)
+		}
+		if state.Equal(before) {
+			return nil // no change: loop ends
+		}
+		lam++
+		if state.Equal(saved) {
+			return fmt.Errorf("%w (cycle of length %d)", ErrNonTerminating, lam)
+		}
+		if lam == power {
+			saved = state.Clone()
+			power *= 2
+			lam = 0
+		}
+	}
+}

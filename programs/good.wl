@@ -1,0 +1,4 @@
+% Example 4.4 as a fixpoint program. Run with -language while.
+while change do {
+    Good(X) += forall Y (G(Y,X) implies Good(Y));
+}

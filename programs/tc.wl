@@ -1,0 +1,7 @@
+% Transitive closure, then its complement, in the while language.
+% Run with -language while.
+T(X,Y) += G(X,Y);
+while change do {
+    T(X,Y) += exists Z (T(X,Z) and G(Z,Y));
+}
+CT(X,Y) := not T(X,Y);

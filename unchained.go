@@ -1,0 +1,272 @@
+// Package unchained is a Go implementation of the full family of
+// Datalog languages surveyed in "Datalog Unchained" (Victor Vianu,
+// PODS 2021): positive Datalog, stratified and well-founded Datalog¬,
+// the forward-chaining (inflationary) Datalog¬, Datalog¬¬ with
+// retractions, Datalog¬new with value invention, and the
+// nondeterministic N-Datalog¬(¬) variants with ⊥ and ∀ extensions —
+// plus the classical while/fixpoint languages, relational algebra and
+// calculus they are compared against.
+//
+// The Session type is the high-level entry point:
+//
+//	s := unchained.NewSession()
+//	prog, _ := s.Parse(`
+//	    T(X,Y) :- G(X,Y).
+//	    T(X,Y) :- G(X,Z), T(Z,Y).
+//	`)
+//	edb, _ := s.Facts(`G(a,b). G(b,c).`)
+//	out, _ := s.Eval(prog, edb, unchained.Stratified)
+//	fmt.Print(s.Format(out))
+//
+// Each semantics of the paper is a Semantics value; nondeterministic
+// programs run through Session.RunNondet (one sampled computation)
+// and Session.Effects (exhaustive eff(P) with poss/cert). The
+// internal packages implement the machinery: internal/core holds the
+// forward-chaining engines (the paper's contribution),
+// internal/declarative the model-theoretic ones, internal/nondet the
+// nondeterministic ones, and internal/while, internal/fo,
+// internal/ra the classical baselines.
+package unchained
+
+import (
+	"fmt"
+
+	"unchained/internal/ast"
+	"unchained/internal/core"
+	"unchained/internal/declarative"
+	"unchained/internal/incr"
+	"unchained/internal/magic"
+	"unchained/internal/nondet"
+	"unchained/internal/order"
+	"unchained/internal/parser"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// Re-exported core types, so simple uses need only this package.
+type (
+	// Program is a parsed program of any dialect in the family.
+	Program = ast.Program
+	// Instance is a database instance.
+	Instance = tuple.Instance
+	// Tuple is a constant tuple.
+	Tuple = tuple.Tuple
+	// Universe interns the constants of a session.
+	Universe = value.Universe
+	// Value is an interned constant.
+	Value = value.Value
+	// Dialect identifies a language of the family.
+	Dialect = ast.Dialect
+)
+
+// Semantics selects an evaluation semantics for Session.Eval,
+// following the map of the paper: the declarative column (Section 3)
+// and the forward-chaining column (Section 4).
+type Semantics uint8
+
+// The deterministic semantics.
+const (
+	// MinimalModel is positive Datalog's minimum-model semantics
+	// (semi-naive evaluation; Section 3.1).
+	MinimalModel Semantics = iota
+	// Stratified is stratified Datalog¬ (Section 3.2).
+	Stratified
+	// WellFounded is the 2-valued reading (true facts) of the
+	// well-founded semantics (Section 3.3). Use EvalWellFounded3 for
+	// the full 3-valued model.
+	WellFounded
+	// Inflationary is Datalog¬ with forward-chaining fixpoint
+	// semantics (Section 4.1).
+	Inflationary
+	// NonInflationary is Datalog¬¬ with retractions (Section 4.2).
+	NonInflationary
+	// Invent is Datalog¬new with value invention (Section 4.3).
+	Invent
+	// SemiPositive is semi-positive Datalog¬: negation on extensional
+	// relations only (Section 4.5, Theorem 4.7).
+	SemiPositive
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case MinimalModel:
+		return "minimal-model"
+	case Stratified:
+		return "stratified"
+	case WellFounded:
+		return "well-founded"
+	case Inflationary:
+		return "inflationary"
+	case NonInflationary:
+		return "noninflationary"
+	case Invent:
+		return "invent"
+	case SemiPositive:
+		return "semi-positive"
+	default:
+		return fmt.Sprintf("Semantics(%d)", uint8(s))
+	}
+}
+
+// SemanticsByName maps the CLI spellings to Semantics values.
+var SemanticsByName = map[string]Semantics{
+	"minimal-model":   MinimalModel,
+	"datalog":         MinimalModel,
+	"stratified":      Stratified,
+	"well-founded":    WellFounded,
+	"wellfounded":     WellFounded,
+	"inflationary":    Inflationary,
+	"noninflationary": NonInflationary,
+	"datalog-neg-neg": NonInflationary,
+	"invent":          Invent,
+	"datalog-new":     Invent,
+	"semi-positive":   SemiPositive,
+	"semipositive":    SemiPositive,
+}
+
+// Session ties a universe to parsing and evaluation. A Session is
+// not safe for concurrent use.
+type Session struct {
+	// U is the session's value universe. All programs and instances
+	// of one session share it.
+	U *Universe
+}
+
+// NewSession returns a fresh session.
+func NewSession() *Session { return &Session{U: value.New()} }
+
+// Parse parses a program in the family's concrete syntax.
+func (s *Session) Parse(src string) (*Program, error) { return parser.Parse(src, s.U) }
+
+// MustParse parses a trusted program source, panicking on error.
+func (s *Session) MustParse(src string) *Program { return parser.MustParse(src, s.U) }
+
+// Facts parses ground facts into a fresh instance.
+func (s *Session) Facts(src string) (*Instance, error) { return parser.ParseFacts(src, s.U) }
+
+// MustFacts parses trusted ground facts, panicking on error.
+func (s *Session) MustFacts(src string) *Instance { return parser.MustParseFacts(src, s.U) }
+
+// Format renders an instance deterministically.
+func (s *Session) Format(in *Instance) string { return in.String(s.U) }
+
+// Sym interns (or looks up) a symbol constant.
+func (s *Session) Sym(name string) Value { return s.U.Sym(name) }
+
+// Eval evaluates a deterministic program under the chosen semantics
+// and returns the final instance (input plus derived facts). For
+// WellFounded it returns the true facts; use EvalWellFounded3 for
+// the 3-valued model.
+func (s *Session) Eval(p *Program, in *Instance, sem Semantics) (*Instance, error) {
+	switch sem {
+	case MinimalModel:
+		res, err := declarative.Eval(p, in, s.U, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Out, nil
+	case Stratified:
+		res, err := declarative.EvalStratified(p, in, s.U, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Out, nil
+	case WellFounded:
+		res, err := declarative.EvalWellFounded(p, in, s.U, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.True, nil
+	case Inflationary:
+		res, err := core.EvalInflationary(p, in, s.U, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Out, nil
+	case NonInflationary:
+		res, err := core.EvalNonInflationary(p, in, s.U, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Out, nil
+	case Invent:
+		res, err := core.EvalInvent(p, in, s.U, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Out, nil
+	case SemiPositive:
+		res, err := declarative.EvalSemiPositive(p, in, s.U, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Out, nil
+	default:
+		return nil, fmt.Errorf("unchained: unknown semantics %v", sem)
+	}
+}
+
+// WFS is the 3-valued well-founded model (Section 3.3).
+type WFS = declarative.WFSResult
+
+// EvalWellFounded3 computes the full 3-valued well-founded model.
+func (s *Session) EvalWellFounded3(p *Program, in *Instance) (*WFS, error) {
+	return declarative.EvalWellFounded(p, in, s.U, nil)
+}
+
+// RunNondet performs one sampled nondeterministic computation under
+// dialect d (one of the N-Datalog dialects), reproducible in seed.
+func (s *Session) RunNondet(p *Program, d Dialect, in *Instance, seed int64) (*nondet.Result, error) {
+	return nondet.Run(p, d, in, s.U, seed, nil)
+}
+
+// Effects exhaustively computes eff(P) on small inputs (Definition
+// 5.2), enabling poss/cert (Definition 5.10).
+func (s *Session) Effects(p *Program, d Dialect, in *Instance) (*nondet.EffectSet, error) {
+	return nondet.Effects(p, d, in, s.U, nil)
+}
+
+// WithOrder returns a copy of the instance extended with Succ, First
+// and Last over its active domain (the ordered-database setting of
+// Theorem 4.7).
+func (s *Session) WithOrder(in *Instance) *Instance {
+	return order.WithOrder(in, s.U, nil, nil)
+}
+
+// Dialects re-exported for RunNondet/Effects and Program.Validate.
+const (
+	DialectDatalog        = ast.DialectDatalog
+	DialectDatalogNeg     = ast.DialectDatalogNeg
+	DialectDatalogNegNeg  = ast.DialectDatalogNegNeg
+	DialectDatalogNew     = ast.DialectDatalogNew
+	DialectNDatalogNeg    = ast.DialectNDatalogNeg
+	DialectNDatalogNegNeg = ast.DialectNDatalogNegNeg
+	DialectNDatalogBot    = ast.DialectNDatalogBot
+	DialectNDatalogAll    = ast.DialectNDatalogAll
+	DialectNDatalogNew    = ast.DialectNDatalogNew
+)
+
+// EvalProvenance runs the inflationary semantics with derivation
+// tracking and returns the fixpoint plus a Provenance for Why
+// queries (see core.Provenance.Render for pretty derivation trees).
+func (s *Session) EvalProvenance(p *Program, in *Instance) (*Instance, *core.Provenance, error) {
+	res, prov, err := core.EvalInflationaryProv(p, in, s.U, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Out, prov, nil
+}
+
+// Materialize evaluates a positive Datalog program and returns an
+// incrementally maintainable view (semi-naive insertion deltas,
+// delete–rederive for deletions).
+func (s *Session) Materialize(p *Program, in *Instance) (*incr.View, error) {
+	return incr.Materialize(p, in, s.U, nil)
+}
+
+// Query answers a single query atom goal-directedly via the
+// magic-sets rewriting (positive Datalog only). Constant arguments of
+// the query are the bound positions.
+func (s *Session) Query(p *Program, query ast.Atom, in *Instance) (*tuple.Relation, error) {
+	return magic.Answer(p, query, in, s.U, nil)
+}

@@ -1,0 +1,181 @@
+package unchained
+
+import (
+	"strings"
+	"testing"
+
+	"unchained/internal/ast"
+)
+
+func TestSessionQuickstartFlow(t *testing.T) {
+	s := NewSession()
+	prog, err := s.Parse(`
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb, err := s.Facts(`G(a,b). G(b,c).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Eval(prog, edb, MinimalModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has("T", Tuple{s.Sym("a"), s.Sym("c")}) {
+		t.Fatalf("T(a,c) missing:\n%s", s.Format(out))
+	}
+}
+
+func TestSessionAllSemanticsOnPositiveProgram(t *testing.T) {
+	s := NewSession()
+	prog := s.MustParse(`T(X,Y) :- G(X,Y). T(X,Y) :- G(X,Z), T(Z,Y).`)
+	edb := s.MustFacts(`G(a,b). G(b,c). G(c,a).`)
+	var outs []*Instance
+	for _, sem := range []Semantics{MinimalModel, Stratified, WellFounded, Inflationary, NonInflationary, Invent} {
+		out, err := s.Eval(prog, edb, sem)
+		if err != nil {
+			t.Fatalf("%v: %v", sem, err)
+		}
+		outs = append(outs, out)
+	}
+	for i := 1; i < len(outs); i++ {
+		if !outs[0].Equal(outs[i]) {
+			t.Fatalf("semantics %d disagrees on positive program", i)
+		}
+	}
+}
+
+func TestSessionWellFounded3(t *testing.T) {
+	s := NewSession()
+	prog := s.MustParse(`Win(X) :- Moves(X,Y), !Win(Y).`)
+	edb := s.MustFacts(`Moves(a,b). Moves(b,a).`)
+	wfs, err := s.EvalWellFounded3(prog, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wfs.Total() {
+		t.Fatalf("2-cycle game should have unknowns")
+	}
+}
+
+func TestSessionNondet(t *testing.T) {
+	s := NewSession()
+	prog := s.MustParse(`!G(X,Y) :- G(X,Y), G(Y,X).`)
+	edb := s.MustFacts(`G(a,b). G(b,a).`)
+	res, err := s.RunNondet(prog, DialectNDatalogNegNeg, edb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.Relation("G").Len() != 1 {
+		t.Fatalf("orientation left %d edges", res.Out.Relation("G").Len())
+	}
+	eff, err := s.Effects(prog, DialectNDatalogNegNeg, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.States) != 2 {
+		t.Fatalf("eff = %d states", len(eff.States))
+	}
+}
+
+func TestSessionWithOrder(t *testing.T) {
+	s := NewSession()
+	edb := s.MustFacts(`R(a). R(b).`)
+	ordered := s.WithOrder(edb)
+	if ordered.Relation("Succ") == nil || ordered.Relation("Succ").Len() != 1 {
+		t.Fatalf("order not attached")
+	}
+}
+
+func TestSemanticsNames(t *testing.T) {
+	for name, sem := range SemanticsByName {
+		if sem.String() == "" {
+			t.Errorf("unnamed semantics for %q", name)
+		}
+	}
+	if SemanticsByName["datalog"] != MinimalModel || SemanticsByName["invent"] != Invent {
+		t.Fatalf("name map wrong")
+	}
+	if !strings.Contains(MinimalModel.String(), "minimal") {
+		t.Fatalf("String wrong")
+	}
+}
+
+func TestSessionFormatDeterministic(t *testing.T) {
+	s := NewSession()
+	edb := s.MustFacts(`G(b,a). G(a,b).`)
+	if s.Format(edb) != "G(a,b).\nG(b,a).\n" {
+		t.Fatalf("Format = %q", s.Format(edb))
+	}
+}
+
+func TestSessionEvalErrorPropagation(t *testing.T) {
+	s := NewSession()
+	prog := s.MustParse(`Win(X) :- Moves(X,Y), !Win(Y).`)
+	edb := s.MustFacts(`Moves(a,b).`)
+	if _, err := s.Eval(prog, edb, MinimalModel); err == nil {
+		t.Fatalf("negation accepted by minimal-model semantics")
+	}
+	if _, err := s.Eval(prog, edb, Stratified); err == nil {
+		t.Fatalf("nonstratifiable program accepted by stratified semantics")
+	}
+	if _, err := s.Eval(prog, edb, Inflationary); err != nil {
+		t.Fatalf("inflationary should accept the win program: %v", err)
+	}
+}
+
+func TestSessionProvenance(t *testing.T) {
+	s := NewSession()
+	prog := s.MustParse(`T(X,Y) :- G(X,Y). T(X,Y) :- G(X,Z), T(Z,Y).`)
+	edb := s.MustFacts(`G(a,b). G(b,c).`)
+	out, prov, err := s.EvalProvenance(prog, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation("T").Len() != 3 {
+		t.Fatalf("|T| = %d", out.Relation("T").Len())
+	}
+	e, ok := prov.Why("T", Tuple{s.Sym("a"), s.Sym("c")})
+	if !ok || len(prov.Render(e)) == 0 {
+		t.Fatalf("provenance missing")
+	}
+}
+
+func TestSessionMaterializeAndQuery(t *testing.T) {
+	s := NewSession()
+	prog := s.MustParse(`T(X,Y) :- G(X,Y). T(X,Y) :- G(X,Z), T(Z,Y).`)
+	edb := s.MustFacts(`G(a,b). G(b,c).`)
+	v, err := s.Materialize(prog, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Insert("G", Tuple{s.Sym("c"), s.Sym("d")}); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Has("T", Tuple{s.Sym("a"), s.Sym("d")}) {
+		t.Fatalf("incremental insert not propagated")
+	}
+	ans, err := s.Query(prog, ast.NewAtom("T", ast.C(s.Sym("a")), ast.V("Y")), edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 2 {
+		t.Fatalf("query answers = %d, want 2", ans.Len())
+	}
+}
+
+func TestSessionSemiPositive(t *testing.T) {
+	s := NewSession()
+	prog := s.MustParse(`R(X) :- S(X). R(Y) :- R(X), G(X,Y), !Blocked(Y).`)
+	edb := s.MustFacts(`S(a). G(a,b). G(b,c). Blocked(c).`)
+	out, err := s.Eval(prog, edb, SemiPositive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation("R").Len() != 2 {
+		t.Fatalf("R = %d", out.Relation("R").Len())
+	}
+}
