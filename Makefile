@@ -1,0 +1,28 @@
+# Developer entry points. Stdlib-only Go; no external tools needed.
+
+GO ?= go
+
+.PHONY: all build vet test race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-exercise the packages with concurrent code paths: the parallel
+# stage loop of internal/core, the evaluator it drives, and the shared
+# atomic stats collector.
+race:
+	$(GO) test -race ./internal/core ./internal/eval ./internal/stats
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Tier-1 verification (see ROADMAP.md).
+verify: build vet test race

@@ -19,6 +19,7 @@ import (
 	"unchained/internal/order"
 	"unchained/internal/parser"
 	"unchained/internal/queries"
+	"unchained/internal/stats"
 	"unchained/internal/tm"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
@@ -574,6 +575,41 @@ func BenchmarkP6_ParallelStages(b *testing.B) {
 			in := gen.Random(u, "G", 24, 48, 7)
 			p := parser.MustParse(queries.DelayedCT, u)
 			opt := &core.Options{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EvalInflationary(p, in, u, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInflationary measures the inflationary engine on the TC
+// workload with statistics disabled (nil collector — the zero-overhead
+// baseline; compare allocs/op against the stats variant with
+// -benchmem) and enabled.
+func BenchmarkInflationary(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("nostats/n=%d", n), func(b *testing.B) {
+			u := value.New()
+			in := gen.Chain(u, "G", n)
+			p := parser.MustParse(queries.TC, u)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EvalInflationary(p, in, u, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stats/n=%d", n), func(b *testing.B) {
+			u := value.New()
+			in := gen.Chain(u, "G", n)
+			p := parser.MustParse(queries.TC, u)
+			col := stats.New()
+			opt := &core.Options{Stats: col}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.EvalInflationary(p, in, u, opt); err != nil {

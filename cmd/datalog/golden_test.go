@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,7 +52,7 @@ func TestGoldenPrograms(t *testing.T) {
 				args[i] = strings.Replace(a, "P/", progDir+string(filepath.Separator), 1)
 			}
 			var sb strings.Builder
-			if err := run(args, &sb); err != nil {
+			if err := run(args, &sb, io.Discard); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			got := sb.String()
@@ -86,7 +87,7 @@ func TestGoldenSeedStability(t *testing.T) {
 		err := run([]string{
 			"-program", filepath.Join(progDir, "orientation.dl"),
 			"-facts", filepath.Join(progDir, "facts", "twocycles.facts"),
-			"-semantics", "ndatalog", "-seed", seed, "-answer", "G"}, &sb)
+			"-semantics", "ndatalog", "-seed", seed, "-answer", "G"}, &sb, io.Discard)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -33,18 +33,21 @@ import (
 	"unchained/internal/magic"
 	"unchained/internal/nondet"
 	"unchained/internal/parser"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/while"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "datalog:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// run evaluates per the flags, writing results to w and the -stats
+// JSON summary to ew (stderr in production, captured in tests).
+func run(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("datalog", flag.ContinueOnError)
 	programPath := fs.String("program", "", "program file ('-' for stdin)")
 	factsPath := fs.String("facts", "", "ground facts file (optional)")
@@ -55,6 +58,8 @@ func run(args []string, w io.Writer) error {
 	attachOrder := fs.Bool("order", false, "attach Succ/First/Last over the active domain")
 	three := fs.Bool("three", false, "with wellfounded: print the 3-valued model")
 	stages := fs.Bool("stages", false, "trace stages (deterministic forward-chaining semantics)")
+	statsOn := fs.Bool("stats", false, "print a JSON evaluation-statistics summary to stderr")
+	workers := fs.Int("workers", 0, "with -semantics inflationary: parallel stage workers (0 = sequential)")
 	why := fs.String("why", "", "with -semantics inflationary: explain a derived fact, e.g. -why 'T(a,c)'")
 	query := fs.String("query", "", "positive Datalog only: goal-directed (magic-sets) query, e.g. -query 'T(a,Y)'")
 	if err := fs.Parse(args); err != nil {
@@ -64,13 +69,23 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("missing -program")
 	}
 
+	var col *stats.Collector
+	if *statsOn {
+		col = stats.New()
+	}
+	emitStats := func(sum *stats.Summary) {
+		if sum != nil {
+			fmt.Fprintln(ew, sum.JSON())
+		}
+	}
+
 	s := unchained.NewSession()
 	src, err := readFile(*programPath)
 	if err != nil {
 		return err
 	}
 	if *language == "while" {
-		return runWhile(s, src, *factsPath, *attachOrder, w)
+		return runWhile(s, src, *factsPath, *attachOrder, col, emitStats, w)
 	}
 	prog, err := s.Parse(src)
 	if err != nil {
@@ -92,7 +107,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *query != "" {
-		return goalQuery(s, prog, in, *query, w)
+		return goalQuery(s, prog, in, *query, col, emitStats, w)
 	}
 	var answerPreds []string
 	if *answer != "" {
@@ -102,19 +117,21 @@ func run(args []string, w io.Writer) error {
 		ans := core.Answer(prog, out, answerPreds...)
 		fmt.Fprint(w, s.Format(ans))
 	}
-	var opt *core.Options
+	opt := &core.Options{Workers: *workers, Stats: col}
 	if *stages {
-		opt = &core.Options{Trace: func(stage int, state *tuple.Instance) {
+		opt.Trace = func(stage int, state *tuple.Instance) {
 			fmt.Fprintf(w, "%% stage %d: %d facts\n", stage, state.Facts())
-		}}
+		}
 	}
+	dopt := &declarative.Options{Stats: col}
 
 	switch *semantics {
 	case "wellfounded", "well-founded":
-		wfs, err := s.EvalWellFounded3(prog, in)
+		wfs, err := declarative.EvalWellFounded(prog, in, s.U, dopt)
 		if err != nil {
 			return err
 		}
+		emitStats(wfs.Stats)
 		if !*three {
 			printAnswer(wfs.True)
 			return nil
@@ -140,10 +157,11 @@ func run(args []string, w io.Writer) error {
 		case "ndatalog-new":
 			d = ast.DialectNDatalogNew
 		}
-		res, err := nondet.Run(prog, d, in, s.U, *seed, nil)
+		res, err := nondet.Run(prog, d, in, s.U, *seed, &nondet.Options{Stats: col})
 		if err != nil {
 			return err
 		}
+		emitStats(res.Stats)
 		if res.Aborted {
 			fmt.Fprintf(w, "%% computation aborted (⊥ derived) after %d steps\n", res.Steps)
 			return nil
@@ -152,10 +170,11 @@ func run(args []string, w io.Writer) error {
 		printAnswer(res.Out)
 		return nil
 	case "effects":
-		eff, err := s.Effects(prog, ast.DialectNDatalogNegNeg, in)
+		eff, err := nondet.Effects(prog, ast.DialectNDatalogNegNeg, in, s.U, &nondet.Options{Stats: col})
 		if err != nil {
 			return err
 		}
+		emitStats(eff.Stats)
 		fmt.Fprintf(w, "%% eff(P) has %d terminal states (%d states explored)\n", len(eff.States), eff.Explored)
 		for i, st := range eff.States {
 			fmt.Fprintf(w, "%% state %d:\n", i+1)
@@ -185,6 +204,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		emitStats(res.Stats)
 		fmt.Fprintf(w, "%% fixpoint after %d stages\n", res.Stages)
 		out = res.Out
 	case unchained.NonInflationary:
@@ -192,6 +212,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		emitStats(res.Stats)
 		fmt.Fprintf(w, "%% fixpoint after %d stages\n", res.Stages)
 		out = res.Out
 	case unchained.Invent:
@@ -199,19 +220,29 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		emitStats(res.Stats)
 		fmt.Fprintf(w, "%% fixpoint after %d stages (%d values invented)\n", res.Stages, s.U.FreshCount())
 		out = res.Out
 	case unchained.MinimalModel:
-		res, err := declarative.Eval(prog, in, s.U, nil)
+		res, err := declarative.Eval(prog, in, s.U, dopt)
 		if err != nil {
 			return err
 		}
+		emitStats(res.Stats)
 		out = res.Out
 	case unchained.Stratified:
-		res, err := declarative.EvalStratified(prog, in, s.U, nil)
+		res, err := declarative.EvalStratified(prog, in, s.U, dopt)
 		if err != nil {
 			return err
 		}
+		emitStats(res.Stats)
+		out = res.Out
+	case unchained.SemiPositive:
+		res, err := declarative.EvalSemiPositive(prog, in, s.U, dopt)
+		if err != nil {
+			return err
+		}
+		emitStats(res.Stats)
 		out = res.Out
 	default:
 		o, err := s.Eval(prog, in, sem)
@@ -225,7 +256,7 @@ func run(args []string, w io.Writer) error {
 }
 
 // goalQuery answers a single query atom via the magic-sets rewriting.
-func goalQuery(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, w io.Writer) error {
+func goalQuery(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, col *stats.Collector, emitStats func(*stats.Summary), w io.Writer) error {
 	// Parse "T(a,Y)" by reusing the rule parser on a synthetic rule.
 	r, err := parser.ParseRule(querySrc+" :- .", s.U)
 	if err != nil {
@@ -235,10 +266,11 @@ func goalQuery(s *unchained.Session, prog *unchained.Program, in *tuple.Instance
 		return fmt.Errorf("-query expects a single positive atom")
 	}
 	q := r.Head[0].Atom
-	ans, err := magic.Answer(prog, q, in, s.U, nil)
+	ans, sum, err := magic.AnswerStats(prog, q, in, s.U, &declarative.Options{Stats: col})
 	if err != nil {
 		return err
 	}
+	emitStats(sum)
 	fmt.Fprintf(w, "%% %d answers (magic-sets evaluation)\n", ans.Len())
 	for _, t := range ans.SortedTuples(s.U) {
 		fmt.Fprintf(w, "%s%s.\n", q.Pred, t.String(s.U))
@@ -273,7 +305,7 @@ func explain(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, 
 }
 
 // runWhile parses and runs a while-language program.
-func runWhile(s *unchained.Session, src, factsPath string, attachOrder bool, w io.Writer) error {
+func runWhile(s *unchained.Session, src, factsPath string, attachOrder bool, col *stats.Collector, emitStats func(*stats.Summary), w io.Writer) error {
 	prog, err := while.Parse(src, s.U)
 	if err != nil {
 		return fmt.Errorf("parse while program: %w", err)
@@ -296,10 +328,11 @@ func runWhile(s *unchained.Session, src, factsPath string, attachOrder bool, w i
 	if prog.Fixpoint() {
 		kind = "fixpoint"
 	}
-	res, err := while.Run(prog, in, s.U, nil)
+	res, err := while.Run(prog, in, s.U, &while.Options{Stats: col})
 	if err != nil {
 		return err
 	}
+	emitStats(res.Stats)
 	fmt.Fprintf(w, "%% %s program: %d loop iterations\n", kind, res.Iters)
 	fmt.Fprint(w, s.Format(res.Out))
 	return nil

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"unchained/internal/stats"
 )
 
 // write creates a temp file with the given contents.
@@ -20,8 +25,16 @@ func write(t *testing.T, dir, name, contents string) string {
 func runCLI(t *testing.T, args ...string) (string, error) {
 	t.Helper()
 	var sb strings.Builder
-	err := run(args, &sb)
+	err := run(args, &sb, io.Discard)
 	return sb.String(), err
+}
+
+// runCLIStats also captures the -stats stderr stream.
+func runCLIStats(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var sb, eb strings.Builder
+	err := run(args, &sb, &eb)
+	return sb.String(), eb.String(), err
 }
 
 func TestCLIStratified(t *testing.T) {
@@ -202,6 +215,113 @@ func TestCLIInventCounts(t *testing.T) {
 	}
 	if !strings.Contains(out, "Cell($") {
 		t.Fatalf("invented values not printed:\n%s", out)
+	}
+}
+
+// TestCLIStatsJSON pins the -stats contract: one valid JSON summary
+// on stderr, whose stage count matches the printed fixpoint stage
+// count, and whose firing counts are identical between the serial and
+// the -workers 4 run.
+func TestCLIStatsJSON(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", `
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,c). G(c,d).`)
+
+	decode := func(workers int) (string, stats.Summary) {
+		out, errOut, err := runCLIStats(t, "-program", prog, "-facts", facts,
+			"-semantics", "inflationary", "-stats", "-workers", fmt.Sprint(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum stats.Summary
+		if err := json.Unmarshal([]byte(errOut), &sum); err != nil {
+			t.Fatalf("-stats stderr is not valid JSON: %v\n%s", err, errOut)
+		}
+		return out, sum
+	}
+
+	out, sum := decode(1)
+	if sum.Engine != "inflationary" {
+		t.Fatalf("engine = %q", sum.Engine)
+	}
+	if want := fmt.Sprintf("%% fixpoint after %d stages", sum.Stages); !strings.Contains(out, want) {
+		t.Fatalf("stats stages=%d does not match printed stage count:\n%s", sum.Stages, out)
+	}
+	if len(sum.PerStage) != sum.Stages {
+		t.Fatalf("per_stage has %d entries, stages=%d", len(sum.PerStage), sum.Stages)
+	}
+	if sum.Firings == 0 || sum.Derived == 0 || len(sum.PerRule) != 2 {
+		t.Fatalf("implausible summary: %+v", sum)
+	}
+
+	_, par := decode(4)
+	if par.Firings != sum.Firings || par.Derived != sum.Derived || par.Rederived != sum.Rederived {
+		t.Fatalf("serial/parallel firing counts differ: %d/%d/%d vs %d/%d/%d",
+			sum.Firings, sum.Derived, sum.Rederived, par.Firings, par.Derived, par.Rederived)
+	}
+
+	// Without -stats, stderr stays silent.
+	_, errOut, err := runCLIStats(t, "-program", prog, "-facts", facts, "-semantics", "inflationary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errOut != "" {
+		t.Fatalf("unexpected stderr without -stats: %q", errOut)
+	}
+}
+
+// TestCLIStatsAllSemantics smoke-tests that every semantics flag value
+// emits exactly one JSON line under -stats.
+func TestCLIStatsAllSemantics(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", `
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,c).`)
+	orient := write(t, dir, "o.dl", `!G(X,Y) :- G(X,Y), G(Y,X).`)
+	ofacts := write(t, dir, "g2.facts", `G(a,b). G(b,a).`)
+	inv := write(t, dir, "inv.dl", `Cell(N,X) :- P(X).`)
+	pfacts := write(t, dir, "p.facts", `P(a). P(b).`)
+	wl := write(t, dir, "tc.wl", `
+		T(X,Y) += G(X,Y);
+		while change do {
+			T(X,Y) += exists Z (T(X,Z) and G(Z,Y));
+		}
+	`)
+
+	cases := [][]string{
+		{"-program", prog, "-facts", facts, "-semantics", "datalog"},
+		{"-program", prog, "-facts", facts, "-semantics", "stratified"},
+		{"-program", prog, "-facts", facts, "-semantics", "semi-positive"},
+		{"-program", prog, "-facts", facts, "-semantics", "wellfounded"},
+		{"-program", prog, "-facts", facts, "-semantics", "inflationary"},
+		{"-program", orient, "-facts", ofacts, "-semantics", "noninflationary"},
+		{"-program", inv, "-facts", pfacts, "-semantics", "invent"},
+		{"-program", orient, "-facts", ofacts, "-semantics", "ndatalog", "-seed", "3"},
+		{"-program", orient, "-facts", ofacts, "-semantics", "effects"},
+		{"-program", prog, "-facts", facts, "-query", "T(a,Y)"},
+		{"-program", wl, "-facts", facts, "-language", "while"},
+	}
+	for _, args := range cases {
+		_, errOut, err := runCLIStats(t, append(args, "-stats")...)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		lines := strings.Split(strings.TrimSpace(errOut), "\n")
+		if len(lines) != 1 {
+			t.Fatalf("%v: want one stats line, got %d:\n%s", args, len(lines), errOut)
+		}
+		var sum stats.Summary
+		if err := json.Unmarshal([]byte(lines[0]), &sum); err != nil {
+			t.Fatalf("%v: invalid stats JSON: %v", args, err)
+		}
+		if sum.Engine == "" {
+			t.Fatalf("%v: summary lacks engine name: %s", args, lines[0])
+		}
 	}
 }
 

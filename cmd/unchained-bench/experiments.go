@@ -13,6 +13,7 @@ import (
 	"unchained/internal/order"
 	"unchained/internal/parser"
 	"unchained/internal/queries"
+	"unchained/internal/stats"
 	"unchained/internal/tm"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
@@ -300,6 +301,7 @@ func expE32(quick bool) error {
 // expE41: closer on chains — stage = distance invariant.
 func expE41(quick bool) error {
 	fmt.Printf("%8s %10s %10s %12s %10s\n", "n", "stages", "|T|", "|Closer|", "time")
+	col := stats.New()
 	for _, n := range pick(quick, []int{4, 8}, []int{4, 8, 16, 32}) {
 		u := value.New()
 		in := gen.Chain(u, "G", n)
@@ -307,7 +309,7 @@ func expE41(quick bool) error {
 		var res *core.Result
 		var err error
 		d := timed(func() {
-			res, err = core.EvalInflationary(p, in, u, nil)
+			res, err = core.EvalInflationary(p, in, u, &core.Options{Stats: col})
 		})
 		if err != nil {
 			return err
@@ -332,6 +334,7 @@ func expE41(quick bool) error {
 		}
 		fmt.Printf("%8d %10d %10d %12d %10v\n", n, res.Stages, relLen(res.Out, "T"), count, d.Round(time.Microsecond))
 	}
+	statsNote(col.Summary()) // the largest run (the collector resets per evaluation)
 	fmt.Println("   note: the program computes strict d< (the paper's prose says ≤; see EXPERIMENTS.md).")
 	return nil
 }
@@ -667,6 +670,7 @@ func expT47(quick bool) error {
 // expT48: the 2^k-stage binary counter.
 func expT48(quick bool) error {
 	fmt.Printf("%6s %10s %12s %12s\n", "bits", "stages", "expected", "time")
+	col := stats.New()
 	for _, k := range pick(quick, []int{4, 8}, []int{4, 8, 12, 14}) {
 		u := value.New()
 		p := parser.MustParse(queries.Counter(k), u)
@@ -675,7 +679,7 @@ func expT48(quick bool) error {
 		var res *core.Result
 		var err error
 		d := timed(func() {
-			res, err = core.EvalNonInflationary(p, in, u, &core.Options{MaxStages: 1 << 22})
+			res, err = core.EvalNonInflationary(p, in, u, &core.Options{MaxStages: 1 << 22, Stats: col})
 		})
 		if err != nil {
 			return err
@@ -683,8 +687,12 @@ func expT48(quick bool) error {
 		if err := check(res.Stages == 1<<k, "stages=%d want %d", res.Stages, 1<<k); err != nil {
 			return err
 		}
+		if err := check(res.Stats.Stages == res.Stages, "stats stages=%d want %d", res.Stats.Stages, res.Stages); err != nil {
+			return err
+		}
 		fmt.Printf("%6d %10d %12d %12v\n", k, res.Stages, 1<<k, d.Round(time.Millisecond))
 	}
+	statsNote(col.Summary()) // the largest run (the collector resets per evaluation)
 	fmt.Println("   shape: stage count doubles per bit — the exponential-time/PSPACE regime of Thm 4.8.")
 	return nil
 }
@@ -854,6 +862,7 @@ func expP1(quick bool) error {
 // expP2: hash-index probes vs full scans.
 func expP2(quick bool) error {
 	fmt.Printf("%8s %8s %12s %12s %8s\n", "n", "edges", "indexed", "scan", "speedup")
+	iCol, sCol := stats.New(), stats.New()
 	for _, n := range pick(quick, []int{32, 128}, []int{32, 128, 512}) {
 		u := value.New()
 		in := gen.Random(u, "G", n, 4*n, int64(n))
@@ -861,7 +870,7 @@ func expP2(quick bool) error {
 		var iOut, sOut *tuple.Instance
 		var err error
 		di := timed(func() {
-			res, e := declarative.Eval(p, in, u, nil)
+			res, e := declarative.Eval(p, in, u, &declarative.Options{Stats: iCol})
 			if e != nil {
 				err = e
 				return
@@ -872,7 +881,7 @@ func expP2(quick bool) error {
 			return err
 		}
 		dscan := timed(func() {
-			res, e := declarative.Eval(p, in, u, &declarative.Options{Scan: true})
+			res, e := declarative.Eval(p, in, u, &declarative.Options{Scan: true, Stats: sCol})
 			if e != nil {
 				err = e
 				return
@@ -885,9 +894,19 @@ func expP2(quick bool) error {
 		if err := check(iOut.Equal(sOut), "index ablation changed the answer at n=%d", n); err != nil {
 			return err
 		}
+		// The stats layer sees the ablation directly: the indexed run
+		// answers matches with probes only, the scan run with scans only.
+		iSum, sSum := iCol.Summary(), sCol.Summary()
+		if err := check(iSum.FullScans == 0 && sSum.IndexProbes == 0,
+			"probe/scan attribution wrong at n=%d: indexed scans=%d, scan probes=%d",
+			n, iSum.FullScans, sSum.IndexProbes); err != nil {
+			return err
+		}
 		fmt.Printf("%8d %8d %12v %12v %7.1fx\n", n, 4*n,
 			di.Round(time.Microsecond), dscan.Round(time.Microsecond), float64(dscan)/float64(di))
 	}
+	statsNote(iCol.Summary())
+	statsNote(sCol.Summary())
 	fmt.Println("   shape: index probes beat scans, increasingly so as relations grow.")
 	return nil
 }

@@ -16,10 +16,27 @@ import (
 	"unchained/internal/nondet"
 	"unchained/internal/parser"
 	"unchained/internal/queries"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 	"unchained/internal/while"
 )
+
+// statsNote prints a one-line digest of an engine's evaluation
+// summary under an experiment's table (the per-stage/per-rule detail
+// stays available through the datalog CLI's -stats flag).
+func statsNote(sum *stats.Summary) {
+	if sum == nil {
+		return
+	}
+	trunc := ""
+	if sum.StagesTruncated {
+		trunc = " (per-stage list truncated)"
+	}
+	fmt.Printf("   stats[%s]: stages=%d firings=%d derived=%d rederived=%d retractions=%d probes=%d scans=%d%s\n",
+		sum.Engine, sum.Stages, sum.Firings, sum.Derived, sum.Rederived, sum.Retractions,
+		sum.IndexProbes, sum.FullScans, trunc)
+}
 
 // cycleWithTail builds a directed cycle on the first half of the
 // nodes with a tail hanging off it: nodes on/reachable from the cycle
@@ -363,19 +380,28 @@ func expP6(quick bool) error {
 
 	fmt.Printf("%10s %8s %12s %8s\n", "workload", "workers", "time", "speedup")
 	var base time.Duration
+	var baseFirings uint64
+	col := stats.New()
 	for _, workers := range pick(quick, []int{1, 2, 4}, []int{1, 2, 4, 8}) {
 		var ref *core.Result
 		var err error
 		d := timed(func() {
-			ref, err = core.EvalInflationary(p, in, u, &core.Options{Workers: workers})
+			ref, err = core.EvalInflationary(p, in, u, &core.Options{Workers: workers, Stats: col})
 		})
 		if err != nil {
 			return err
 		}
 		if workers == 1 {
 			base = d
+			baseFirings = ref.Stats.Firings
 		}
 		if err := check(relLen(ref.Out, "T0") == n*(n-1)/2, "closure wrong"); err != nil {
+			return err
+		}
+		// Stage semantics make rule-level parallelism exact: the firing
+		// count must match the serial run's, not just the result.
+		if err := check(ref.Stats.Firings == baseFirings,
+			"workers=%d fired %d times, serial fired %d", workers, ref.Stats.Firings, baseFirings); err != nil {
 			return err
 		}
 		fmt.Printf("%10s %8d %12v %7.1fx\n", "balanced", workers, d.Round(time.Millisecond), float64(base)/float64(d))

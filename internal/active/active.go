@@ -18,6 +18,7 @@ import (
 
 	"unchained/internal/ast"
 	"unchained/internal/eval"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -94,6 +95,10 @@ type Options struct {
 	Specificity bool
 	// Trace, if non-nil, observes every firing.
 	Trace func(rule string, ev Event)
+	// Stats, if non-nil, collects evaluation statistics: each selected
+	// firing counts as one stage, with per-rule attribution by rule
+	// name. A nil collector adds no work.
+	Stats *stats.Collector
 }
 
 func (o *Options) maxFirings() int {
@@ -101,6 +106,13 @@ func (o *Options) maxFirings() int {
 		return 1 << 16
 	}
 	return o.MaxFirings
+}
+
+func (o *Options) stats() *stats.Collector {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
 }
 
 // NewSystem validates and compiles the rules.
@@ -145,11 +157,25 @@ type Result struct {
 	Out *tuple.Instance
 	// Firings is the total number of rule firings.
 	Firings int
+	// Stats is the evaluation summary when Options carried a
+	// collector; nil otherwise. Stats.Stages equals Firings.
+	Stats *stats.Summary
 }
 
 // Run applies the external updates to a copy of the working memory
 // and processes the resulting event cascade to quiescence.
 func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result, error) {
+	col := opt.stats()
+	if col.Enabled() {
+		names := make([]string, len(s.rules))
+		for i, r := range s.rules {
+			names[i] = r.src.Name
+			if names[i] == "" {
+				names[i] = fmt.Sprintf("rule %d", i)
+			}
+		}
+		col.Reset("active", names)
+	}
 	wm := in.Clone()
 	var agenda []Event
 	seq := 0
@@ -217,7 +243,7 @@ func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result
 				evRel := wm.Ensure(eventRel(len(ev.Tuple)), len(ev.Tuple))
 				evRel.Insert(ev.Tuple)
 				adom := eval.ActiveDomain(s.u, nil, wm)
-				ctx := &eval.Ctx{In: wm, Adom: adom, DeltaLit: -1}
+				ctx := &eval.Ctx{In: wm, Adom: adom, DeltaLit: -1, Stats: col}
 				r.cr.Enumerate(ctx, func(b eval.Binding) bool {
 					facts := r.cr.HeadFacts(b, nil)
 					key := fmt.Sprintf("%d|%d|", ri, ev.seq)
@@ -250,6 +276,8 @@ func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result
 		if firings > limit {
 			return nil, fmt.Errorf("%w (%d)", ErrFiringLimit, firings)
 		}
+		col.BeginStage()
+		inserted, deleted, noop := 0, 0, 0
 		for _, f := range best.facts {
 			kind := Inserted
 			if f.Neg {
@@ -258,12 +286,22 @@ func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result
 			nev := Event{Kind: kind, Pred: f.Pred, Tuple: f.Tuple}
 			if apply(nev) {
 				push(nev)
+				if f.Neg {
+					deleted++
+				} else {
+					inserted++
+				}
+			} else {
+				noop++
 			}
 		}
+		col.Fired(best.ri, inserted, noop)
+		col.Retracted(deleted)
+		col.EndStage(inserted - deleted)
 	}
 	// Drop the reserved matching relations from the result.
 	wm = wm.Restrict(withoutEvent(wm.Names()), nil)
-	return &Result{Out: wm, Firings: firings}, nil
+	return &Result{Out: wm, Firings: firings, Stats: col.Summary()}, nil
 }
 
 // withoutEvent filters the reserved relation names from a name list.

@@ -28,6 +28,7 @@ import (
 
 	"unchained/internal/ast"
 	"unchained/internal/eval"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -44,6 +45,9 @@ var (
 	ErrInconsistent = errors.New("core: simultaneous inference of a fact and its negation")
 	// ErrStageLimit reports that evaluation exceeded Options.MaxStages.
 	ErrStageLimit = errors.New("core: stage limit exceeded")
+	// ErrInvalidOptions reports an Options field outside its domain
+	// (negative MaxStages or Workers).
+	ErrInvalidOptions = errors.New("core: invalid options")
 )
 
 // ConflictPolicy selects how a Datalog¬¬ stage resolves the
@@ -103,9 +107,35 @@ type Options struct {
 	// number (1-based) and the facts newly inferred (inflationary) or
 	// the full instance state (noninflationary).
 	Trace func(stage int, state *tuple.Instance)
+	// Stats, if non-nil, collects per-stage and per-rule evaluation
+	// statistics; the summary is attached to Result.Stats. A nil
+	// collector adds no work and no allocations.
+	Stats *stats.Collector
 }
 
 func (o *Options) scan() bool { return o != nil && o.Scan }
+
+func (o *Options) stats() *stats.Collector {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
+}
+
+// validate rejects option values with no meaningful interpretation.
+// 0 keeps meaning "use the default" for both fields.
+func (o *Options) validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.MaxStages < 0 {
+		return fmt.Errorf("%w: MaxStages must be >= 0, got %d", ErrInvalidOptions, o.MaxStages)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers must be >= 0, got %d", ErrInvalidOptions, o.Workers)
+	}
+	return nil
+}
 
 func (o *Options) policy() ConflictPolicy {
 	if o == nil {
@@ -136,6 +166,24 @@ type Result struct {
 	// consequence operator until the fixpoint (the "stage" count of
 	// Example 4.1), excluding the final no-change confirmation stage.
 	Stages int
+	// Stats is the evaluation summary when Options carried a
+	// collector; nil otherwise. Stats.Stages always equals Stages.
+	Stats *stats.Summary
+}
+
+// ruleNames renders the program's rules for the per-rule stats
+// breakdown; it returns nil (disabling the breakdown) when the
+// collector is disabled, so the rendering cost is only paid when
+// statistics are on.
+func ruleNames(p *ast.Program, u *value.Universe, col *stats.Collector) []string {
+	if !col.Enabled() {
+		return nil
+	}
+	names := make([]string, len(p.Rules))
+	for i := range p.Rules {
+		names[i] = p.Rules[i].String(u)
+	}
+	return names
 }
 
 // EvalInflationary evaluates a Datalog¬ program under the
@@ -143,6 +191,9 @@ type Result struct {
 // mutated. The program may of course be pure Datalog; on positive
 // programs the result coincides with the minimum model (Section 3.1).
 func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(ast.DialectDatalogNeg); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -150,6 +201,8 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 	if err != nil {
 		return nil, err
 	}
+	col := opt.stats()
+	col.Reset("inflationary", ruleNames(p, u, col))
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	stages := 0
@@ -162,14 +215,28 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 		// read (see stageParallel).
 	}
 	for {
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan()}
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan(), Stats: col}
+		col.BeginStage()
 		var pend []eval.Fact
 		if workers > 1 {
-			pend = stageParallel(rules, ctx, workers)
+			pend = stageParallel(rules, ctx, workers, col)
 		} else {
-			for _, cr := range rules {
+			for ri, cr := range rules {
 				cr.Enumerate(ctx, func(b eval.Binding) bool {
-					pend = append(pend, cr.HeadFacts(b, nil)...)
+					derived, reder := 0, 0
+					for _, f := range cr.HeadFacts(b, nil) {
+						// Filter re-derivations at emission, matching
+						// stageParallel: pend holds only facts absent
+						// from the previous instance, instead of
+						// growing with the full instance each stage.
+						if ctx.In.Has(f.Pred, f.Tuple) {
+							reder++
+						} else {
+							pend = append(pend, f)
+							derived++
+						}
+					}
+					col.Fired(ri, derived, reder)
 					return true
 				})
 			}
@@ -181,9 +248,10 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 			}
 		}
 		if delta.Facts() == 0 {
-			return &Result{Out: out, Stages: stages}, nil
+			return &Result{Out: out, Stages: stages, Stats: col.Summary()}, nil
 		}
 		stages++
+		col.EndStage(delta.Facts())
 		opt.trace(stages, delta)
 		if stages >= limit {
 			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
@@ -200,6 +268,9 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 // detection on instance states and returns ErrNonTerminating when a
 // state repeats without being a fixpoint.
 func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(ast.DialectDatalogNegNeg); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -207,6 +278,8 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 	if err != nil {
 		return nil, err
 	}
+	col := opt.stats()
+	col.Reset("noninflationary", ruleNames(p, u, col))
 	cur := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	policy := opt.policy()
@@ -220,14 +293,16 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 
 	stages := 0
 	for {
-		next, conflict := stageNonInflationary(rules, cur, adom, policy, opt.scan())
+		col.BeginStage()
+		next, applied, conflict := stageNonInflationary(rules, cur, adom, policy, opt.scan(), col)
 		if conflict != nil {
 			return nil, conflict
 		}
 		if next.Equal(cur) {
-			return &Result{Out: cur, Stages: stages}, nil
+			return &Result{Out: cur, Stages: stages, Stats: col.Summary()}, nil
 		}
 		stages++
+		col.EndStage(applied)
 		opt.trace(stages, next)
 		if stages >= limit {
 			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
@@ -246,25 +321,34 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 }
 
 // stageNonInflationary computes one parallel firing of all rules on
-// cur and returns the successor instance. It returns ErrInconsistent
-// (wrapped) when the policy is Inconsistent and a conflict arises.
-func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.Value, policy ConflictPolicy, scan bool) (*tuple.Instance, error) {
-	ctx := &eval.Ctx{In: cur, Adom: adom, DeltaLit: -1, Scan: scan}
+// cur and returns the successor instance along with the number of
+// changes (retractions + insertions) actually applied to it. It
+// returns ErrInconsistent (wrapped) when the policy is Inconsistent
+// and a conflict arises.
+func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.Value, policy ConflictPolicy, scan bool, col *stats.Collector) (*tuple.Instance, int, error) {
+	ctx := &eval.Ctx{In: cur, Adom: adom, DeltaLit: -1, Scan: scan, Stats: col}
 	pos := tuple.NewInstance()
 	neg := tuple.NewInstance()
-	for _, cr := range rules {
+	for ri, cr := range rules {
 		cr.Enumerate(ctx, func(b eval.Binding) bool {
+			derived, reder := 0, 0
 			for _, f := range cr.HeadFacts(b, nil) {
+				staged := pos
 				if f.Neg {
-					neg.Insert(f.Pred, f.Tuple)
+					staged = neg
+				}
+				if staged.Insert(f.Pred, f.Tuple) {
+					derived++
 				} else {
-					pos.Insert(f.Pred, f.Tuple)
+					reder++
 				}
 			}
+			col.Fired(ri, derived, reder)
 			return true
 		})
 	}
 	next := cur.Clone()
+	applied := 0
 	var conflictErr error
 	// Deletions first, then insertions, applying the policy to the
 	// overlap.
@@ -272,16 +356,24 @@ func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.
 		rel := neg.Relation(name)
 		rel.Each(func(t tuple.Tuple) bool {
 			inPos := pos.Has(name, t)
+			if inPos {
+				col.Conflict()
+			}
 			switch policy {
 			case PreferPositive:
-				if !inPos {
-					next.Delete(name, t)
+				if !inPos && next.Delete(name, t) {
+					applied++
+					col.Retracted(1)
 				}
 			case PreferNegative:
-				next.Delete(name, t)
+				if next.Delete(name, t) {
+					applied++
+					col.Retracted(1)
+				}
 			case NoOp:
-				if !inPos {
-					next.Delete(name, t)
+				if !inPos && next.Delete(name, t) {
+					applied++
+					col.Retracted(1)
 				}
 				// Conflicting fact: leave as in cur (no-op), so
 				// suppress the later insertion by removing it from
@@ -294,12 +386,15 @@ func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.
 					conflictErr = fmt.Errorf("%w: %s%s", ErrInconsistent, name, "")
 					return false
 				}
-				next.Delete(name, t)
+				if next.Delete(name, t) {
+					applied++
+					col.Retracted(1)
+				}
 			}
 			return true
 		})
 		if conflictErr != nil {
-			return nil, conflictErr
+			return nil, 0, conflictErr
 		}
 	}
 	for _, name := range pos.Names() {
@@ -308,11 +403,13 @@ func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.
 			if policy == PreferNegative && neg.Has(name, t) {
 				return true
 			}
-			next.Insert(name, t)
+			if next.Insert(name, t) {
+				applied++
+			}
 			return true
 		})
 	}
-	return next, nil
+	return next, applied, nil
 }
 
 // EvalInvent evaluates a Datalog¬new program (Section 4.3):
@@ -324,6 +421,9 @@ func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.
 // computationally complete (Theorem 4.6), termination is not
 // guaranteed; the default stage limit is 4096.
 func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(ast.DialectDatalogNew); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -331,6 +431,8 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 	if err != nil {
 		return nil, err
 	}
+	col := opt.stats()
+	col.Reset("invent", ruleNames(p, u, col))
 	out := in.Clone()
 	progConsts := p.Constants()
 	limit := opt.maxStages(4096)
@@ -356,6 +458,7 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 		for i := range vs {
 			vs[i] = u.Fresh()
 		}
+		col.Invented(len(vs))
 		memo[k] = vs
 		return vs
 	}
@@ -364,21 +467,38 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 		// The active domain grows as values are invented; recompute
 		// per stage (adom(P, K) in the paper).
 		adom := eval.ActiveDomain(u, progConsts, out)
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan()}
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan(), Stats: col}
+		col.BeginStage()
 		var pend []eval.Fact
 		for ri, cr := range rules {
 			ho := cr.HeadOnlyVarIDs()
 			cr.Enumerate(ctx, func(b eval.Binding) bool {
+				var facts []eval.Fact
 				if len(ho) == 0 {
-					pend = append(pend, cr.HeadFacts(b, nil)...)
-					return true
+					facts = cr.HeadFacts(b, nil)
+				} else {
+					vs := skolem(ri, b, ho)
+					idx := map[int]value.Value{}
+					for i, id := range ho {
+						idx[id] = vs[i]
+					}
+					facts = cr.HeadFacts(b, func(id int) value.Value { return idx[id] })
 				}
-				vs := skolem(ri, b, ho)
-				idx := map[int]value.Value{}
-				for i, id := range ho {
-					idx[id] = vs[i]
+				// Filter re-derivations at emission (same shape as the
+				// inflationary serial loop): Skolemization already
+				// re-used the instantiation's invented values, so a
+				// re-fired instantiation emits facts that are already
+				// present.
+				derived, reder := 0, 0
+				for _, f := range facts {
+					if ctx.In.Has(f.Pred, f.Tuple) {
+						reder++
+					} else {
+						pend = append(pend, f)
+						derived++
+					}
 				}
-				pend = append(pend, cr.HeadFacts(b, func(id int) value.Value { return idx[id] })...)
+				col.Fired(ri, derived, reder)
 				return true
 			})
 		}
@@ -389,9 +509,10 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 			}
 		}
 		if delta == 0 {
-			return &Result{Out: out, Stages: stages}, nil
+			return &Result{Out: out, Stages: stages, Stats: col.Summary()}, nil
 		}
 		stages++
+		col.EndStage(delta)
 		opt.trace(stages, out)
 		if stages >= limit {
 			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)

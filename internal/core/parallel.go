@@ -4,24 +4,32 @@ import (
 	"sync"
 
 	"unchained/internal/eval"
+	"unchained/internal/stats"
 )
 
 // stageParallel evaluates all rules against the same (frozen) stage
 // context across several goroutines and merges the produced facts.
 // Because every rule of a stage reads the same previous instance,
 // rule-level parallelism cannot change the stage's outcome — the
-// union of per-rule consequence sets is order-independent.
+// union of per-rule consequence sets is order-independent. Distinct
+// rules may emit the same fact, so the merged slice can contain
+// cross-worker duplicates; the caller's insert phase absorbs them
+// (Instance.Insert reports whether the fact was new), which keeps the
+// merge allocation-free instead of paying for a keyed dedupe here.
 //
 // The shared relations' hash indexes are built lazily on first probe,
 // which would race under fan-out, so all indexes the rules need are
-// warmed up front.
-func stageParallel(rules []*eval.Rule, ctx *eval.Ctx, workers int) []eval.Fact {
+// warmed up front. The collector's counter methods are atomic, so the
+// workers share it directly.
+func stageParallel(rules []*eval.Rule, ctx *eval.Ctx, workers int, col *stats.Collector) []eval.Fact {
+	if len(rules) == 0 {
+		// Nothing to fan out over; returning early also keeps the
+		// clamp below from driving workers to 0.
+		return nil
+	}
 	eval.WarmIndexes(rules, ctx)
 	if workers > len(rules) {
 		workers = len(rules)
-	}
-	if workers < 1 {
-		workers = 1
 	}
 	results := make([][]eval.Fact, workers)
 	var wg sync.WaitGroup
@@ -33,15 +41,20 @@ func stageParallel(rules []*eval.Rule, ctx *eval.Ctx, workers int) []eval.Fact {
 			for ri := w; ri < len(rules); ri += workers {
 				cr := rules[ri]
 				cr.Enumerate(ctx, func(b eval.Binding) bool {
+					derived, reder := 0, 0
 					for _, f := range cr.HeadFacts(b, nil) {
 						// Filter re-derivations here: Contains is a
 						// read-only probe, so the (serial) insert
 						// phase only sees genuinely new facts plus
 						// rare cross-worker duplicates.
-						if !ctx.In.Has(f.Pred, f.Tuple) {
+						if ctx.In.Has(f.Pred, f.Tuple) {
+							reder++
+						} else {
 							local = append(local, f)
+							derived++
 						}
 					}
+					col.Fired(ri, derived, reder)
 					return true
 				})
 			}

@@ -10,6 +10,7 @@ import (
 
 	"unchained/internal/ast"
 	"unchained/internal/eval"
+	"unchained/internal/stats"
 	"unchained/internal/stratify"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
@@ -21,9 +22,20 @@ type Options struct {
 	// Scan disables hash-index probes (full-scan matching); used by
 	// the index-ablation benchmark.
 	Scan bool
+	// Stats, if non-nil, collects per-round evaluation statistics;
+	// the summary is attached to the result. A nil collector adds no
+	// work and no allocations.
+	Stats *stats.Collector
 }
 
 func (o *Options) scan() bool { return o != nil && o.Scan }
+
+func (o *Options) stats() *stats.Collector {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
+}
 
 // Result is the outcome of a 2-valued evaluation.
 type Result struct {
@@ -34,6 +46,9 @@ type Result struct {
 	// immediate consequence operator for the naive engine; delta
 	// rounds for the semi-naive ones).
 	Rounds int
+	// Stats is the evaluation summary when Options carried a
+	// collector; nil otherwise. Stats.Stages equals Rounds.
+	Stats *stats.Summary
 }
 
 // Eval computes the minimum model of a positive Datalog program on
@@ -47,14 +62,16 @@ func Eval(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (
 	if err != nil {
 		return nil, err
 	}
+	col := opt.stats()
+	col.Reset("minimal-model", nil)
 	out := in.Clone()
 	idb := map[string]bool{}
 	for _, n := range p.IDB() {
 		idb[n] = true
 	}
 	adom := eval.ActiveDomain(u, p.Constants(), in)
-	rounds := semiNaive(rules, out, nil, idb, adom, opt.scan())
-	return &Result{Out: out, Rounds: rounds}, nil
+	rounds := semiNaive(rules, out, nil, idb, adom, opt.scan(), col)
+	return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, nil
 }
 
 // EvalNaive computes the same minimum model by naive iteration
@@ -68,27 +85,43 @@ func EvalNaive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Optio
 	if err != nil {
 		return nil, err
 	}
+	col := opt.stats()
+	col.Reset("naive", nil)
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	rounds := 0
 	for {
 		rounds++
-		changed := false
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan()}
+		inserted := 0
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan(), Stats: col}
+		col.BeginStage()
 		var pend []eval.Fact
 		for _, cr := range rules {
 			cr.Enumerate(ctx, func(b eval.Binding) bool {
-				pend = append(pend, cr.HeadFacts(b, nil)...)
+				facts := cr.HeadFacts(b, nil)
+				if col.Enabled() {
+					derived, reder := 0, 0
+					for _, f := range facts {
+						if out.Has(f.Pred, f.Tuple) {
+							reder++
+						} else {
+							derived++
+						}
+					}
+					col.Fired(-1, derived, reder)
+				}
+				pend = append(pend, facts...)
 				return true
 			})
 		}
 		for _, f := range pend {
 			if out.Insert(f.Pred, f.Tuple) {
-				changed = true
+				inserted++
 			}
 		}
-		if !changed {
-			return &Result{Out: out, Rounds: rounds}, nil
+		col.EndStage(inserted)
+		if inserted == 0 {
+			return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, nil
 		}
 	}
 }
@@ -99,16 +132,38 @@ func EvalNaive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Optio
 // test against out itself, which is only sound when the rules'
 // negated predicates never grow during this fixpoint (stratified
 // evaluation guarantees that). recursive is the set of predicates
-// that may grow during this fixpoint. Returns the number of delta
-// rounds.
-func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, recursive map[string]bool, adom []value.Value, scan bool) int {
+// that may grow during this fixpoint. col records each delta round as
+// one stage (callers Reset it; inner fixpoints only record). Returns
+// the number of delta rounds.
+func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, recursive map[string]bool, adom []value.Value, scan bool, col *stats.Collector) int {
+	// emit counts a firing's facts as derived/re-derived against the
+	// current instance; the Enabled guard keeps the extra Has probes
+	// off the disabled path.
+	emit := func(facts []eval.Fact) {
+		if !col.Enabled() {
+			return
+		}
+		derived, reder := 0, 0
+		for _, f := range facts {
+			if out.Has(f.Pred, f.Tuple) {
+				reder++
+			} else {
+				derived++
+			}
+		}
+		col.Fired(-1, derived, reder)
+	}
+
 	// Round 0: naive pass over every rule.
 	delta := tuple.NewInstance()
-	ctx := &eval.Ctx{In: out, NegIn: negIn, Adom: adom, DeltaLit: -1, Scan: scan}
+	ctx := &eval.Ctx{In: out, NegIn: negIn, Adom: adom, DeltaLit: -1, Scan: scan, Stats: col}
+	col.BeginStage()
 	var pend []eval.Fact
 	for _, cr := range rules {
 		cr.Enumerate(ctx, func(b eval.Binding) bool {
-			pend = append(pend, cr.HeadFacts(b, nil)...)
+			facts := cr.HeadFacts(b, nil)
+			emit(facts)
+			pend = append(pend, facts...)
 			return true
 		})
 	}
@@ -118,6 +173,7 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 		}
 	}
 	rounds := 1
+	col.EndStage(delta.Facts())
 
 	// Precompute, per rule, the delta variants: one per positive body
 	// literal over a recursive predicate, compiled with that literal
@@ -144,12 +200,15 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 
 	for delta.Facts() > 0 {
 		rounds++
+		col.BeginStage()
 		next := tuple.NewInstance()
 		pend = pend[:0]
 		for _, v := range variants {
-			ctx := &eval.Ctx{In: out, NegIn: negIn, Adom: adom, Delta: delta, DeltaLit: v.lit, Scan: scan}
+			ctx := &eval.Ctx{In: out, NegIn: negIn, Adom: adom, Delta: delta, DeltaLit: v.lit, Scan: scan, Stats: col}
 			v.rule.Enumerate(ctx, func(b eval.Binding) bool {
-				pend = append(pend, v.rule.HeadFacts(b, nil)...)
+				facts := v.rule.HeadFacts(b, nil)
+				emit(facts)
+				pend = append(pend, facts...)
 				return true
 			})
 		}
@@ -159,6 +218,7 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 			}
 		}
 		delta = next
+		col.EndStage(delta.Facts())
 	}
 	return rounds
 }
@@ -186,6 +246,8 @@ func EvalStratified(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *
 		s := strat.RuleStratum(p.Rules[i])
 		byStratum[s] = append(byStratum[s], cr)
 	}
+	col := opt.stats()
+	col.Reset("stratified", nil)
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	totalRounds := 0
@@ -197,9 +259,9 @@ func EvalStratified(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *
 		for _, pred := range strat.Strata[s] {
 			recursive[pred] = true
 		}
-		totalRounds += semiNaive(srules, out, nil, recursive, adom, opt.scan())
+		totalRounds += semiNaive(srules, out, nil, recursive, adom, opt.scan(), col)
 	}
-	return &Result{Out: out, Rounds: totalRounds}, nil
+	return &Result{Out: out, Rounds: totalRounds, Stats: col.Summary()}, nil
 }
 
 // TruthValue is a value of the 3-valued logic of the well-founded
@@ -238,6 +300,10 @@ type WFSResult struct {
 	Rounds int
 	// Adom is the active domain used (for enumerating false facts).
 	Adom []value.Value
+	// Stats is the evaluation summary when Options carried a
+	// collector; nil otherwise. Stats.Stages counts the semi-naive
+	// rounds across all Γ applications (not the Γ count in Rounds).
+	Stats *stats.Summary
 }
 
 // Truth reports the truth value of a fact in the well-founded model.
@@ -294,11 +360,13 @@ func EvalWellFounded(p *ast.Program, in *tuple.Instance, u *value.Universe, opt 
 	for _, n := range p.IDB() {
 		idb[n] = true
 	}
+	col := opt.stats()
+	col.Reset("wellfounded", nil)
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 
 	gamma := func(s *tuple.Instance) *tuple.Instance {
 		out := in.Clone()
-		semiNaive(rules, out, s, idb, adom, opt.scan())
+		semiNaive(rules, out, s, idb, adom, opt.scan(), col)
 		return out
 	}
 
@@ -314,5 +382,5 @@ func EvalWellFounded(p *ast.Program, in *tuple.Instance, u *value.Universe, opt 
 		}
 		under = newUnder
 	}
-	return &WFSResult{True: under, Possible: over, u: u, Rounds: rounds, Adom: adom}, nil
+	return &WFSResult{True: under, Possible: over, u: u, Rounds: rounds, Adom: adom, Stats: col.Summary()}, nil
 }

@@ -57,8 +57,10 @@ func EvalSemiPositive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 	for _, n := range p.IDB() {
 		idb[n] = true
 	}
+	col := opt.stats()
+	col.Reset("semi-positive", nil)
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
-	rounds := semiNaive(rules, out, nil, idb, adom, opt.scan())
-	return &Result{Out: out, Rounds: rounds}, nil
+	rounds := semiNaive(rules, out, nil, idb, adom, opt.scan(), col)
+	return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, nil
 }

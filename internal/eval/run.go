@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"unchained/internal/ast"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -35,6 +36,9 @@ type Ctx struct {
 	// Scan disables hash-index probes (full-scan matching), for the
 	// index-ablation benchmark.
 	Scan bool
+	// Stats, if non-nil, receives an index-probe/full-scan count for
+	// every relation match. A nil collector costs one branch.
+	Stats *stats.Collector
 }
 
 // Binding is a valuation of a compiled rule's variables, indexed by
@@ -83,12 +87,15 @@ func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
 		}
 		var cands []tuple.Tuple
 		if ctx.Scan {
+			ctx.Stats.Probe(true)
 			cands = rel.ProbeScan(st.mask, pattern)
 		} else {
+			ctx.Stats.Probe(false)
 			cands = rel.Probe(st.mask, pattern)
 		}
 		if ctx.Aux != nil && src != ctx.Delta {
 			if aux := relOf(ctx.Aux, st.pred); aux != nil && aux.Arity() == st.arity {
+				ctx.Stats.Probe(ctx.Scan)
 				if ctx.Scan {
 					cands = append(append([]tuple.Tuple(nil), cands...), aux.ProbeScan(st.mask, pattern)...)
 				} else {

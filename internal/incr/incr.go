@@ -15,6 +15,7 @@ import (
 	"unchained/internal/ast"
 	"unchained/internal/declarative"
 	"unchained/internal/eval"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -33,6 +34,11 @@ type View struct {
 	state    *tuple.Instance // EDB ∪ derived IDB
 	adom     []value.Value
 	scan     bool
+	// Stats is the collector carried by the Materialize options (nil
+	// when none): it accumulates across the initial materialization
+	// and every subsequent Insert/Delete propagation, each delta round
+	// counting as one stage. Read it with Stats.Summary().
+	Stats *stats.Collector
 }
 
 // Materialize evaluates the program once and returns a maintainable
@@ -58,6 +64,13 @@ func Materialize(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *dec
 		state: res.Out,
 		scan:  opt != nil && opt.Scan,
 	}
+	if opt != nil {
+		v.Stats = opt.Stats
+	}
+	// declarative.Eval labeled the collector "minimal-model"; from
+	// here on it accumulates maintenance work, so relabel without
+	// clearing the materialization counters.
+	v.Stats.SetEngine("incr")
 	for _, n := range p.IDB() {
 		v.idb[n] = true
 	}
@@ -153,24 +166,31 @@ func (v *View) extendAdom(t tuple.Tuple) {
 // propagate runs delta rounds until no new facts appear.
 func (v *View) propagate(delta *tuple.Instance) {
 	for delta.Facts() > 0 {
+		v.Stats.BeginStage()
 		next := tuple.NewInstance()
 		for _, vs := range v.variants {
 			for _, dv := range vs {
 				if delta.Relation(dv.pred) == nil || delta.Relation(dv.pred).Len() == 0 {
 					continue
 				}
-				ctx := &eval.Ctx{In: v.state, Adom: v.adom, Delta: delta, DeltaLit: dv.lit, Scan: v.scan}
+				ctx := &eval.Ctx{In: v.state, Adom: v.adom, Delta: delta, DeltaLit: dv.lit, Scan: v.scan, Stats: v.Stats}
 				dv.rule.Enumerate(ctx, func(b eval.Binding) bool {
+					derived, reder := 0, 0
 					for _, f := range dv.rule.HeadFacts(b, nil) {
 						if v.state.Insert(f.Pred, f.Tuple) {
 							next.Insert(f.Pred, f.Tuple)
+							derived++
+						} else {
+							reder++
 						}
 					}
+					v.Stats.Fired(-1, derived, reder)
 					return true
 				})
 			}
 		}
 		delta = next
+		v.Stats.EndStage(delta.Facts())
 	}
 }
 
@@ -201,28 +221,35 @@ func (v *View) Delete(pred string, t tuple.Tuple) (bool, error) {
 	deleted.Insert(pred, t)
 	round := tuple.NewInstance()
 	round.Insert(pred, t)
+	v.Stats.Retracted(1)
 	var overestimate []eval.Fact
 	for round.Facts() > 0 {
+		v.Stats.BeginStage()
 		next := tuple.NewInstance()
 		for _, vs := range v.variants {
 			for _, dv := range vs {
 				if round.Relation(dv.pred) == nil || round.Relation(dv.pred).Len() == 0 {
 					continue
 				}
-				ctx := &eval.Ctx{In: v.state, Aux: deleted, Adom: v.adom, Delta: round, DeltaLit: dv.lit, Scan: v.scan}
+				ctx := &eval.Ctx{In: v.state, Aux: deleted, Adom: v.adom, Delta: round, DeltaLit: dv.lit, Scan: v.scan, Stats: v.Stats}
 				dv.rule.Enumerate(ctx, func(b eval.Binding) bool {
+					removed := 0
 					for _, f := range dv.rule.HeadFacts(b, nil) {
 						if v.state.Delete(f.Pred, f.Tuple) {
 							next.Insert(f.Pred, f.Tuple)
 							deleted.Insert(f.Pred, f.Tuple)
 							overestimate = append(overestimate, f)
+							removed++
 						}
 					}
+					v.Stats.Fired(-1, 0, 0)
+					v.Stats.Retracted(removed)
 					return true
 				})
 			}
 		}
 		round = next
+		v.Stats.EndStage(-round.Facts())
 	}
 
 	// Phase 2: rederive. A fact of the overestimate returns if some
@@ -297,7 +324,7 @@ func (v *View) derivable(f eval.Fact) bool {
 		if err != nil {
 			continue // cannot happen for valid positive rules
 		}
-		ctx := &eval.Ctx{In: v.state, Adom: v.adom, DeltaLit: -1, Scan: v.scan}
+		ctx := &eval.Ctx{In: v.state, Adom: v.adom, DeltaLit: -1, Scan: v.scan, Stats: v.Stats}
 		found := false
 		pc.Enumerate(ctx, func(eval.Binding) bool {
 			found = true

@@ -19,6 +19,7 @@ import (
 
 	"unchained/internal/ast"
 	"unchained/internal/declarative"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -168,18 +169,30 @@ func Rewrite(p *ast.Program, query ast.Atom) (*ast.Program, string, error) {
 // tuples). It is the goal-directed counterpart of evaluating p fully
 // and filtering.
 func Answer(p *ast.Program, query ast.Atom, in *tuple.Instance, u *value.Universe, opt *declarative.Options) (*tuple.Relation, error) {
+	out, _, err := AnswerStats(p, query, in, u, opt)
+	return out, err
+}
+
+// AnswerStats is Answer plus the evaluation summary of the rewritten
+// program's bottom-up run (nil unless opt carries a stats collector),
+// relabeled "magic" so callers can tell it from a direct minimal-model
+// evaluation.
+func AnswerStats(p *ast.Program, query ast.Atom, in *tuple.Instance, u *value.Universe, opt *declarative.Options) (*tuple.Relation, *stats.Summary, error) {
 	rw, ansName, err := Rewrite(p, query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res, err := declarative.Eval(rw, in, u, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if res.Stats != nil {
+		res.Stats.Engine = "magic"
 	}
 	out := tuple.NewRelation(query.Arity())
 	rel := res.Out.Relation(ansName)
 	if rel == nil {
-		return out, nil
+		return out, res.Stats, nil
 	}
 	rel.Each(func(t tuple.Tuple) bool {
 		for i, a := range query.Args {
@@ -190,7 +203,7 @@ func Answer(p *ast.Program, query ast.Atom, in *tuple.Instance, u *value.Univers
 		out.Insert(t)
 		return true
 	})
-	return out, nil
+	return out, res.Stats, nil
 }
 
 // FullAnswer is the unoptimized baseline: evaluate the whole program

@@ -38,6 +38,7 @@ import (
 
 	"unchained/internal/ast"
 	"unchained/internal/eval"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -63,9 +64,20 @@ type Options struct {
 	// MaxStates bounds exhaustive effect enumeration (default 1<<16
 	// distinct states).
 	MaxStates int
+	// Stats, if non-nil, collects evaluation statistics: each applied
+	// rule firing counts as one stage of a sampled run. A nil
+	// collector adds no work.
+	Stats *stats.Collector
 }
 
 func (o *Options) scan() bool { return o != nil && o.Scan }
+
+func (o *Options) stats() *stats.Collector {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
+}
 
 func (o *Options) maxSteps() int {
 	if o == nil || o.MaxSteps <= 0 {
@@ -140,21 +152,22 @@ func (c candidate) materialize(u *value.Universe) []eval.Fact {
 	return c.rule.HeadFacts(c.b, func(int) value.Value { return u.Fresh() })
 }
 
-// apply produces the immediate successor of cur under the candidate.
-func (c candidate) apply(cur *tuple.Instance, u *value.Universe) *tuple.Instance {
-	next := cur.Clone()
+// apply produces the immediate successor of cur under the candidate,
+// along with the deletion and insertion counts actually applied.
+func (c candidate) apply(cur *tuple.Instance, u *value.Universe) (next *tuple.Instance, deleted, inserted int) {
+	next = cur.Clone()
 	facts := c.materialize(u)
 	for _, f := range facts {
-		if f.Neg {
-			next.Delete(f.Pred, f.Tuple)
+		if f.Neg && next.Delete(f.Pred, f.Tuple) {
+			deleted++
 		}
 	}
 	for _, f := range facts {
-		if !f.Neg {
-			next.Insert(f.Pred, f.Tuple)
+		if !f.Neg && next.Insert(f.Pred, f.Tuple) {
+			inserted++
 		}
 	}
-	return next
+	return next, deleted, inserted
 }
 
 // changes reports whether applying facts to cur yields J ≠ cur, and
@@ -259,6 +272,10 @@ type Result struct {
 	// Aborted reports that the computation derived ⊥ (reached a
 	// state with an applicable ⊥-rule instantiation).
 	Aborted bool
+	// Stats is the evaluation summary when Options carried a
+	// collector; nil otherwise. Stats.Stages equals Steps (each
+	// applied firing is one stage).
+	Stats *stats.Summary
 }
 
 // Run performs one nondeterministic computation of the program under
@@ -270,19 +287,33 @@ func Run(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Universe, s
 	if err != nil {
 		return nil, err
 	}
+	col := opt.stats()
+	col.Reset("ndatalog", nil)
 	rng := rand.New(rand.NewSource(seed))
 	cur := in.Clone()
 	limit := opt.maxSteps()
 	steps := 0
 	for {
 		if prog.bottomApplicable(cur, u, opt.scan()) {
-			return &Result{Steps: steps, Aborted: true}, nil
+			return &Result{Steps: steps, Aborted: true, Stats: col.Summary()}, nil
 		}
 		cands := prog.successors(cur, u, opt.scan())
 		if len(cands) == 0 {
-			return &Result{Out: cur, Steps: steps}, nil
+			return &Result{Out: cur, Steps: steps, Stats: col.Summary()}, nil
 		}
-		cur = cands[rng.Intn(len(cands))].apply(cur, u)
+		col.BeginStage()
+		var freshBefore int64
+		if col.Enabled() {
+			freshBefore = u.FreshCount()
+		}
+		next, deleted, inserted := cands[rng.Intn(len(cands))].apply(cur, u)
+		cur = next
+		col.Fired(-1, inserted, 0)
+		col.Retracted(deleted)
+		if col.Enabled() {
+			col.Invented(int(u.FreshCount() - freshBefore))
+		}
+		col.EndStage(inserted - deleted)
 		steps++
 		if steps >= limit {
 			return nil, fmt.Errorf("%w (after %d steps)", ErrStepLimit, steps)
@@ -312,6 +343,9 @@ type EffectSet struct {
 	States []*tuple.Instance
 	// Explored is the number of distinct instance states visited.
 	Explored int
+	// Stats is the evaluation summary of the BFS when Options carried
+	// a collector; nil otherwise (totals only, no stage breakdown).
+	Stats *stats.Summary
 }
 
 // Effects exhaustively computes eff(P) on the input by breadth-first
@@ -327,6 +361,8 @@ func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Univers
 			return nil, fmt.Errorf("nondet: exhaustive effects are undefined for inventing rules (the state space is infinite); use Run")
 		}
 	}
+	col := opt.stats()
+	col.Reset("effects", nil)
 	limit := opt.maxStates()
 
 	type bucket []*tuple.Instance
@@ -378,7 +414,9 @@ func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Univers
 			continue
 		}
 		for _, c := range cands {
-			next := c.apply(cur, u)
+			next, deleted, inserted := c.apply(cur, u)
+			col.Fired(-1, inserted, 0)
+			col.Retracted(deleted)
 			if !lookup(next) {
 				remember(next)
 				queue = append(queue, next)
@@ -386,6 +424,7 @@ func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Univers
 		}
 	}
 	eff.Explored = explored
+	eff.Stats = col.Summary()
 	return eff, nil
 }
 

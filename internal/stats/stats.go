@@ -1,0 +1,349 @@
+// Package stats is the engine-wide evaluation-statistics layer: a
+// lightweight instrumentation substrate threaded through every engine
+// of the repository (core inflationary/noninflationary/invent,
+// declarative naive/semi-naive/stratified/well-founded, while,
+// nondet, incr, magic, active).
+//
+// The central type is Collector. A nil *Collector is fully valid and
+// turns every method into a cheap nil-check no-op, so engines thread
+// it unconditionally and pay nothing when statistics are disabled
+// (zero allocations on the hot path). Counter methods use atomic
+// operations, so the rule-level parallel stage workers of
+// internal/core may share one collector.
+//
+// The paper's narrative is stage-by-stage (Examples 4.1, 4.3, 5.4;
+// the flip-flop cycle of Section 4.2), so the collector's unit of
+// aggregation is the stage: engines bracket each application of the
+// immediate consequence operator with BeginStage/EndStage and the
+// collector snapshots its cumulative counters to derive per-stage
+// figures. Per-rule firing counts make stage/firing totals usable as
+// an empirical complexity probe (in the spirit of Grohe–Schwandtner's
+// stage-count results and of semiring-style derivation accounting).
+package stats
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// maxStageEntries bounds the per-stage detail list. Engines like the
+// Datalog¬¬ binary counter run 2^k stages (Theorem 4.8); totals keep
+// counting past the cap, only the per-stage breakdown is truncated
+// (Summary.StagesTruncated reports it).
+const maxStageEntries = 1024
+
+// RuleStats is the per-rule breakdown of a Summary.
+type RuleStats struct {
+	// Rule is the rule's source text (or a symbolic name for engines
+	// without a textual rule form, e.g. active-database rules).
+	Rule string `json:"rule"`
+	// Firings counts body instantiations that emitted head facts.
+	Firings uint64 `json:"firings"`
+	// Derived counts emitted facts that were new at emission time.
+	Derived uint64 `json:"derived"`
+	// Rederived counts emitted facts filtered as already present.
+	Rederived uint64 `json:"rederived"`
+}
+
+// StageStats is one stage (one application of the immediate
+// consequence operator, one semi-naive round, one while-loop
+// iteration, ...) of a Summary.
+type StageStats struct {
+	// Stage is the 1-based stage number.
+	Stage int `json:"stage"`
+	// Firings, Derived, Rederived, Retractions, Conflicts and
+	// Invented are this stage's slice of the cumulative counters
+	// documented on Summary.
+	Firings     uint64 `json:"firings"`
+	Derived     uint64 `json:"derived"`
+	Rederived   uint64 `json:"rederived"`
+	Retractions uint64 `json:"retractions,omitempty"`
+	Conflicts   uint64 `json:"conflicts,omitempty"`
+	Invented    uint64 `json:"invented,omitempty"`
+	// Delta is the net instance change the engine reported for the
+	// stage (facts actually inserted; may be negative for engines
+	// with destructive updates, e.g. the while language).
+	Delta int64 `json:"delta"`
+	// WallNS is the stage's monotonic wall-clock time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Summary is the immutable outcome of a collection run, attached to
+// engine results and rendered as JSON by the --stats CLI flag.
+type Summary struct {
+	// Engine names the engine that produced the summary.
+	Engine string `json:"engine"`
+	// Stages is the number of completed stages (EndStage calls). For
+	// the deterministic forward-chaining engines it equals the
+	// Result.Stages stage count (the final no-change confirmation
+	// pass is not a stage).
+	Stages int `json:"stages"`
+	// Firings counts rule firings (body instantiations that emitted
+	// head facts), including any final confirmation pass.
+	Firings uint64 `json:"firings"`
+	// Derived counts emitted facts that were new when emitted.
+	Derived uint64 `json:"derived"`
+	// Rederived counts emitted facts filtered as re-derivations.
+	Rederived uint64 `json:"rederived"`
+	// Retractions counts facts removed (Datalog¬¬ head negation,
+	// nondet deletions, active-database delete actions).
+	Retractions uint64 `json:"retractions"`
+	// Conflicts counts simultaneous A/¬A inferences resolved by a
+	// Datalog¬¬ conflict policy.
+	Conflicts uint64 `json:"conflicts"`
+	// Invented counts fresh values invented (Datalog¬new).
+	Invented uint64 `json:"invented"`
+	// IndexProbes and FullScans count relation matches answered by a
+	// hash-index probe vs. a full scan (the Ctx.Scan ablation branch).
+	IndexProbes uint64 `json:"index_probes"`
+	FullScans   uint64 `json:"full_scans"`
+	// WallNS is the total monotonic wall-clock time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// PerStage is the stage breakdown, capped at maxStageEntries.
+	PerStage []StageStats `json:"per_stage,omitempty"`
+	// StagesTruncated reports that PerStage hit the cap and later
+	// stages are summarized only in the totals.
+	StagesTruncated bool `json:"stages_truncated,omitempty"`
+	// PerRule is the per-rule breakdown for engines that attribute
+	// firings to rules.
+	PerRule []RuleStats `json:"per_rule,omitempty"`
+}
+
+// JSON renders the summary as a single-line JSON object.
+func (s *Summary) JSON() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "{}" // unreachable: Summary has no unmarshalable fields
+	}
+	return string(b)
+}
+
+// ruleCounters is the per-rule accumulator (atomic: stage workers
+// attribute firings concurrently).
+type ruleCounters struct {
+	firings, derived, rederived atomic.Uint64
+}
+
+// Collector accumulates evaluation statistics. The zero value is
+// ready to use; a nil *Collector is valid and records nothing.
+//
+// Counter methods (Fired, Retracted, Conflict, Invented, Probe) are
+// safe for concurrent use. Stage bracketing (Reset, BeginStage,
+// EndStage, Summary) must stay on the engine's goroutine.
+type Collector struct {
+	engine    string
+	ruleNames []string
+	rules     []ruleCounters
+
+	firings     atomic.Uint64
+	derived     atomic.Uint64
+	rederived   atomic.Uint64
+	retractions atomic.Uint64
+	conflicts   atomic.Uint64
+	invented    atomic.Uint64
+	probes      atomic.Uint64
+	scans       atomic.Uint64
+
+	start      time.Time
+	stageStart time.Time
+	mark       counters
+	stages     []StageStats
+	stageCount int
+	truncated  bool
+}
+
+// counters is a snapshot of the cumulative counters, used to compute
+// per-stage slices by difference.
+type counters struct {
+	firings, derived, rederived, retractions, conflicts, invented uint64
+}
+
+// New returns an empty collector. Callers hand it to an engine via
+// that engine's Options; the engine Resets it on entry and attaches
+// Summary() to its result.
+func New() *Collector { return &Collector{} }
+
+// Enabled reports whether the collector records anything; it is the
+// guard engines use before computing expensive method arguments.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Reset clears all counters and names the engine about to run.
+// ruleNames, when non-nil, enables the per-rule breakdown (Fired's
+// rule index refers into it). Called by top-level engine entry
+// points, never by shared inner fixpoints.
+func (c *Collector) Reset(engine string, ruleNames []string) {
+	if c == nil {
+		return
+	}
+	c.engine = engine
+	c.ruleNames = ruleNames
+	c.rules = make([]ruleCounters, len(ruleNames))
+	c.firings.Store(0)
+	c.derived.Store(0)
+	c.rederived.Store(0)
+	c.retractions.Store(0)
+	c.conflicts.Store(0)
+	c.invented.Store(0)
+	c.probes.Store(0)
+	c.scans.Store(0)
+	c.stages = nil
+	c.stageCount = 0
+	c.truncated = false
+	c.start = time.Now()
+	c.stageStart = c.start
+	c.mark = counters{}
+}
+
+// SetEngine renames the engine without clearing counters; wrappers
+// that delegate to an inner engine (incr materialization, magic
+// rewriting) use it to relabel the accumulated run.
+func (c *Collector) SetEngine(name string) {
+	if c == nil {
+		return
+	}
+	c.engine = name
+}
+
+func (c *Collector) snapshot() counters {
+	return counters{
+		firings:     c.firings.Load(),
+		derived:     c.derived.Load(),
+		rederived:   c.rederived.Load(),
+		retractions: c.retractions.Load(),
+		conflicts:   c.conflicts.Load(),
+		invented:    c.invented.Load(),
+	}
+}
+
+// BeginStage marks the start of a stage.
+func (c *Collector) BeginStage() {
+	if c == nil {
+		return
+	}
+	c.stageStart = time.Now()
+	c.mark = c.snapshot()
+}
+
+// EndStage closes the stage opened by the last BeginStage, recording
+// the engine-reported net instance change. Engines skip EndStage for
+// the final no-change confirmation pass so that the stage count
+// matches their Result's stage/round count; the confirmation pass's
+// firings still land in the totals.
+func (c *Collector) EndStage(delta int) {
+	if c == nil {
+		return
+	}
+	c.stageCount++
+	if len(c.stages) >= maxStageEntries {
+		c.truncated = true
+		return
+	}
+	cur := c.snapshot()
+	c.stages = append(c.stages, StageStats{
+		Stage:       c.stageCount,
+		Firings:     cur.firings - c.mark.firings,
+		Derived:     cur.derived - c.mark.derived,
+		Rederived:   cur.rederived - c.mark.rederived,
+		Retractions: cur.retractions - c.mark.retractions,
+		Conflicts:   cur.conflicts - c.mark.conflicts,
+		Invented:    cur.invented - c.mark.invented,
+		Delta:       int64(delta),
+		WallNS:      time.Since(c.stageStart).Nanoseconds(),
+	})
+}
+
+// Fired records one rule firing that emitted derived new facts and
+// rederived already-present facts. rule indexes into the Reset
+// ruleNames (pass -1 for engines without per-rule attribution). Safe
+// for concurrent use.
+func (c *Collector) Fired(rule, derived, rederived int) {
+	if c == nil {
+		return
+	}
+	c.firings.Add(1)
+	c.derived.Add(uint64(derived))
+	c.rederived.Add(uint64(rederived))
+	if rule >= 0 && rule < len(c.rules) {
+		rc := &c.rules[rule]
+		rc.firings.Add(1)
+		rc.derived.Add(uint64(derived))
+		rc.rederived.Add(uint64(rederived))
+	}
+}
+
+// Retracted records n facts removed from the instance.
+func (c *Collector) Retracted(n int) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.retractions.Add(uint64(n))
+}
+
+// Conflict records one simultaneous A/¬A inference resolved by a
+// conflict policy.
+func (c *Collector) Conflict() {
+	if c == nil {
+		return
+	}
+	c.conflicts.Add(1)
+}
+
+// Invented records n freshly invented values.
+func (c *Collector) Invented(n int) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.invented.Add(uint64(n))
+}
+
+// Probe records one relation match: a full scan when scan is true, a
+// hash-index probe otherwise. Called from the evaluator's hot match
+// loop; a nil receiver costs one branch.
+func (c *Collector) Probe(scan bool) {
+	if c == nil {
+		return
+	}
+	if scan {
+		c.scans.Add(1)
+	} else {
+		c.probes.Add(1)
+	}
+}
+
+// Summary freezes the current counters into an immutable Summary.
+// Returns nil on a nil collector, so engines can assign it to their
+// Result unconditionally.
+func (c *Collector) Summary() *Summary {
+	if c == nil {
+		return nil
+	}
+	cur := c.snapshot()
+	s := &Summary{
+		Engine:          c.engine,
+		Stages:          c.stageCount,
+		Firings:         cur.firings,
+		Derived:         cur.derived,
+		Rederived:       cur.rederived,
+		Retractions:     cur.retractions,
+		Conflicts:       cur.conflicts,
+		Invented:        cur.invented,
+		IndexProbes:     c.probes.Load(),
+		FullScans:       c.scans.Load(),
+		WallNS:          time.Since(c.start).Nanoseconds(),
+		PerStage:        append([]StageStats(nil), c.stages...),
+		StagesTruncated: c.truncated,
+	}
+	for i := range c.rules {
+		rc := &c.rules[i]
+		if f := rc.firings.Load(); f > 0 {
+			s.PerRule = append(s.PerRule, RuleStats{
+				Rule:      c.ruleNames[i],
+				Firings:   f,
+				Derived:   rc.derived.Load(),
+				Rederived: rc.rederived.Load(),
+			})
+		}
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestNilCollectorIsNoOp exercises every method on a nil receiver:
+// engines thread the collector unconditionally, so all of these must
+// be safe and free.
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatalf("nil collector reports Enabled")
+	}
+	c.Reset("x", []string{"r"})
+	c.SetEngine("y")
+	c.BeginStage()
+	c.Fired(0, 1, 2)
+	c.Retracted(3)
+	c.Conflict()
+	c.Invented(4)
+	c.Probe(true)
+	c.Probe(false)
+	c.EndStage(5)
+	if s := c.Summary(); s != nil {
+		t.Fatalf("nil collector Summary = %v, want nil", s)
+	}
+}
+
+func TestStageSnapshots(t *testing.T) {
+	c := New()
+	c.Reset("test", []string{"r0", "r1"})
+
+	c.BeginStage()
+	c.Fired(0, 3, 0)
+	c.Fired(1, 1, 2)
+	c.Probe(false)
+	c.EndStage(4)
+
+	c.BeginStage()
+	c.Fired(0, 0, 3)
+	c.Fired(1, 1, 1)
+	c.Retracted(2)
+	c.Conflict()
+	c.Invented(5)
+	c.Probe(true)
+	c.EndStage(-1)
+
+	// Confirmation pass: firings land in totals but no stage closes.
+	c.Fired(0, 0, 4)
+
+	s := c.Summary()
+	if s.Engine != "test" || s.Stages != 2 {
+		t.Fatalf("engine/stages = %s/%d, want test/2", s.Engine, s.Stages)
+	}
+	if s.Firings != 5 || s.Derived != 5 || s.Rederived != 10 {
+		t.Fatalf("totals = %d/%d/%d, want 5/5/10", s.Firings, s.Derived, s.Rederived)
+	}
+	if s.Retractions != 2 || s.Conflicts != 1 || s.Invented != 5 {
+		t.Fatalf("retractions/conflicts/invented = %d/%d/%d", s.Retractions, s.Conflicts, s.Invented)
+	}
+	if s.IndexProbes != 1 || s.FullScans != 1 {
+		t.Fatalf("probes/scans = %d/%d, want 1/1", s.IndexProbes, s.FullScans)
+	}
+	if len(s.PerStage) != 2 {
+		t.Fatalf("per-stage entries = %d, want 2", len(s.PerStage))
+	}
+	st1, st2 := s.PerStage[0], s.PerStage[1]
+	if st1.Stage != 1 || st1.Firings != 2 || st1.Derived != 4 || st1.Rederived != 2 || st1.Delta != 4 {
+		t.Fatalf("stage 1 = %+v", st1)
+	}
+	if st2.Stage != 2 || st2.Firings != 2 || st2.Derived != 1 || st2.Rederived != 4 || st2.Delta != -1 {
+		t.Fatalf("stage 2 = %+v", st2)
+	}
+	if st2.Retractions != 2 || st2.Conflicts != 1 || st2.Invented != 5 {
+		t.Fatalf("stage 2 sliced counters = %+v", st2)
+	}
+	if len(s.PerRule) != 2 {
+		t.Fatalf("per-rule entries = %d, want 2", len(s.PerRule))
+	}
+	if r0 := s.PerRule[0]; r0.Rule != "r0" || r0.Firings != 3 || r0.Derived != 3 || r0.Rederived != 7 {
+		t.Fatalf("rule 0 = %+v", r0)
+	}
+}
+
+// TestUnattributedRuleIndex checks that Fired with -1 (and any
+// out-of-range index) only feeds the totals.
+func TestUnattributedRuleIndex(t *testing.T) {
+	c := New()
+	c.Reset("test", []string{"r0"})
+	c.Fired(-1, 1, 0)
+	c.Fired(7, 1, 0)
+	s := c.Summary()
+	if s.Firings != 2 || s.Derived != 2 {
+		t.Fatalf("totals = %d/%d, want 2/2", s.Firings, s.Derived)
+	}
+	if len(s.PerRule) != 0 {
+		t.Fatalf("per-rule = %+v, want empty (rule 0 never fired)", s.PerRule)
+	}
+}
+
+func TestStageTruncation(t *testing.T) {
+	c := New()
+	c.Reset("test", nil)
+	for i := 0; i < maxStageEntries+10; i++ {
+		c.BeginStage()
+		c.Fired(-1, 1, 0)
+		c.EndStage(1)
+	}
+	s := c.Summary()
+	if s.Stages != maxStageEntries+10 {
+		t.Fatalf("stage count = %d, want %d", s.Stages, maxStageEntries+10)
+	}
+	if len(s.PerStage) != maxStageEntries {
+		t.Fatalf("per-stage entries = %d, want cap %d", len(s.PerStage), maxStageEntries)
+	}
+	if !s.StagesTruncated {
+		t.Fatalf("StagesTruncated not set")
+	}
+	if s.Derived != uint64(maxStageEntries+10) {
+		t.Fatalf("totals stopped at the cap: derived = %d", s.Derived)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := New()
+	c.Reset("first", []string{"r"})
+	c.BeginStage()
+	c.Fired(0, 1, 0)
+	c.EndStage(1)
+	c.Reset("second", nil)
+	s := c.Summary()
+	if s.Engine != "second" || s.Stages != 0 || s.Firings != 0 || len(s.PerRule) != 0 {
+		t.Fatalf("Reset did not clear: %+v", s)
+	}
+	c.SetEngine("relabeled")
+	if c.Summary().Engine != "relabeled" {
+		t.Fatalf("SetEngine did not relabel")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	c := New()
+	c.Reset("json", []string{"r"})
+	c.BeginStage()
+	c.Fired(0, 2, 1)
+	c.Retracted(1)
+	c.EndStage(1)
+	var got Summary
+	if err := json.Unmarshal([]byte(c.Summary().JSON()), &got); err != nil {
+		t.Fatalf("JSON() is not valid JSON: %v", err)
+	}
+	if got.Engine != "json" || got.Stages != 1 || got.Firings != 1 || got.Derived != 2 || got.Retractions != 1 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if len(got.PerStage) != 1 || got.PerStage[0].Firings != 1 {
+		t.Fatalf("per-stage round-trip mismatch: %+v", got.PerStage)
+	}
+}
+
+// TestConcurrentCounters hammers the counter methods from several
+// goroutines (the stageParallel sharing pattern); run under -race.
+func TestConcurrentCounters(t *testing.T) {
+	c := New()
+	c.Reset("race", []string{"r0", "r1", "r2", "r3"})
+	c.BeginStage()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Fired(w%4, 1, 1)
+				c.Probe(i%2 == 0)
+				c.Retracted(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.EndStage(0)
+	s := c.Summary()
+	const total = workers * per
+	if s.Firings != total || s.Derived != total || s.Rederived != total || s.Retractions != total {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.IndexProbes+s.FullScans != total {
+		t.Fatalf("probes+scans = %d, want %d", s.IndexProbes+s.FullScans, total)
+	}
+	var ruleTotal uint64
+	for _, r := range s.PerRule {
+		ruleTotal += r.Firings
+	}
+	if ruleTotal != total {
+		t.Fatalf("per-rule firings = %d, want %d", ruleTotal, total)
+	}
+}

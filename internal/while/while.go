@@ -20,6 +20,7 @@ import (
 
 	"unchained/internal/eval"
 	"unchained/internal/fo"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -90,6 +91,10 @@ type Options struct {
 	// MaxIters bounds the total number of loop-body iterations
 	// (default 1<<20). Fixpoint programs terminate on their own.
 	MaxIters int
+	// Stats, if non-nil, collects evaluation statistics: each
+	// assignment counts as a firing and each loop-body iteration as a
+	// stage. A nil collector adds no work.
+	Stats *stats.Collector
 }
 
 func (o *Options) maxIters() int {
@@ -99,6 +104,13 @@ func (o *Options) maxIters() int {
 	return o.MaxIters
 }
 
+func (o *Options) stats() *stats.Collector {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
+}
+
 // Result is the outcome of running a program.
 type Result struct {
 	// Out is the final instance (input relations plus program
@@ -106,25 +118,32 @@ type Result struct {
 	Out *tuple.Instance
 	// Iters counts loop-body iterations executed.
 	Iters int
+	// Stats is the evaluation summary when Options carried a
+	// collector; nil otherwise. Stats.Stages equals Iters.
+	Stats *stats.Summary
 }
 
 type interp struct {
 	adom  []value.Value
 	limit int
 	iters int
+	col   *stats.Collector
 }
 
 // Run executes the program on the input (which is not mutated).
 func Run(p *Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	col := opt.stats()
+	col.Reset("while", nil)
 	state := in.Clone()
 	it := &interp{
 		adom:  eval.ActiveDomain(u, p.Consts, in),
 		limit: opt.maxIters(),
+		col:   col,
 	}
 	if err := it.seq(p.Stmts, state); err != nil {
 		return nil, err
 	}
-	return &Result{Out: state, Iters: it.iters}, nil
+	return &Result{Out: state, Iters: it.iters, Stats: col.Summary()}, nil
 }
 
 func (it *interp) seq(ss []Stmt, state *tuple.Instance) error {
@@ -146,12 +165,21 @@ func (it *interp) seq(ss []Stmt, state *tuple.Instance) error {
 }
 
 func (it *interp) assign(a Assign, state *tuple.Instance) error {
+	// One assignment is one "firing"; the Facts bookkeeping only runs
+	// with a live collector.
+	before := 0
+	if it.col.Enabled() {
+		before = state.Facts()
+	}
 	rel, err := fo.Eval(a.F, state, it.adom, a.Vars)
 	if err != nil {
 		return fmt.Errorf("while: assignment to %s: %w", a.Rel, err)
 	}
 	if a.Cumulative {
 		state.Ensure(a.Rel, rel.Arity()).UnionInPlace(rel)
+		if it.col.Enabled() {
+			it.col.Fired(-1, state.Facts()-before, 0)
+		}
 		return nil
 	}
 	// Destructive: replace the relation wholesale.
@@ -167,6 +195,10 @@ func (it *interp) assign(a Assign, state *tuple.Instance) error {
 		cur.Delete(t)
 	}
 	cur.UnionInPlace(rel)
+	if it.col.Enabled() {
+		it.col.Retracted(len(drop))
+		it.col.Fired(-1, state.Facts()-before+len(drop), 0)
+	}
 	return nil
 }
 
@@ -177,8 +209,12 @@ func (it *interp) loop(l Loop, state *tuple.Instance) error {
 	power, lam := 1, 0
 	for {
 		before := state.Clone()
+		it.col.BeginStage()
 		if err := it.seq(l.Body, state); err != nil {
 			return err
+		}
+		if it.col.Enabled() {
+			it.col.EndStage(state.Facts() - before.Facts())
 		}
 		it.iters++
 		if it.iters >= it.limit {
