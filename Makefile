@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench verify
+.PHONY: all build vet test race bench verify serve-smoke
 
 all: verify
 
@@ -16,13 +16,20 @@ test:
 	$(GO) test ./...
 
 # Race-exercise the packages with concurrent code paths: the parallel
-# stage loop of internal/core, the evaluator it drives, and the shared
-# atomic stats collector.
+# stage loop of internal/core, the evaluator it drives, the shared
+# atomic stats collector, the HTTP daemon (concurrent forked
+# evaluations), and the facade's concurrency tests in the root package.
 race:
-	$(GO) test -race ./internal/core ./internal/eval ./internal/stats
+	$(GO) test -race ./internal/core ./internal/eval ./internal/stats ./internal/serve .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Boot the HTTP daemon on a loopback port and run the smoke sequence:
+# /healthz, one terminating eval, one deadline-bounded eval (must be
+# interrupted with partial stats), /statsz counters.
+serve-smoke:
+	$(GO) run ./cmd/unchained-serve -selftest
 
 # Tier-1 verification (see ROADMAP.md).
 verify: build vet test race

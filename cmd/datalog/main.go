@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"unchained/internal/ast"
 	"unchained/internal/core"
 	"unchained/internal/declarative"
+	"unchained/internal/engine"
 	"unchained/internal/magic"
 	"unchained/internal/nondet"
 	"unchained/internal/parser"
@@ -41,8 +43,19 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "datalog:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode distinguishes a -timeout expiry (or interrupt) from other
+// failures: interrupted evaluations exit 2, everything else 1, so
+// scripts can tell "the program did not terminate in time" from "the
+// program is wrong".
+func exitCode(err error) int {
+	if engine.IsInterrupt(err) {
+		return 2
+	}
+	return 1
 }
 
 // run evaluates per the flags, writing results to w and the -stats
@@ -60,6 +73,7 @@ func run(args []string, w, ew io.Writer) error {
 	stages := fs.Bool("stages", false, "trace stages (deterministic forward-chaining semantics)")
 	statsOn := fs.Bool("stats", false, "print a JSON evaluation-statistics summary to stderr")
 	workers := fs.Int("workers", 0, "with -semantics inflationary: parallel stage workers (0 = sequential)")
+	timeout := fs.Duration("timeout", 0, "bound evaluation wall time (e.g. 500ms); expiry exits with code 2")
 	why := fs.String("why", "", "with -semantics inflationary: explain a derived fact, e.g. -why 'T(a,c)'")
 	query := fs.String("query", "", "positive Datalog only: goal-directed (magic-sets) query, e.g. -query 'T(a,Y)'")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +81,13 @@ func run(args []string, w, ew io.Writer) error {
 	}
 	if *programPath == "" {
 		return fmt.Errorf("missing -program")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var col *stats.Collector
@@ -85,7 +106,7 @@ func run(args []string, w, ew io.Writer) error {
 		return err
 	}
 	if *language == "while" {
-		return runWhile(s, src, *factsPath, *attachOrder, col, emitStats, w)
+		return runWhile(ctx, s, src, *factsPath, *attachOrder, col, emitStats, w)
 	}
 	prog, err := s.Parse(src)
 	if err != nil {
@@ -107,7 +128,7 @@ func run(args []string, w, ew io.Writer) error {
 	}
 
 	if *query != "" {
-		return goalQuery(s, prog, in, *query, col, emitStats, w)
+		return goalQuery(ctx, s, prog, in, *query, col, emitStats, w)
 	}
 	var answerPreds []string
 	if *answer != "" {
@@ -117,21 +138,23 @@ func run(args []string, w, ew io.Writer) error {
 		ans := core.Answer(prog, out, answerPreds...)
 		fmt.Fprint(w, s.Format(ans))
 	}
-	opt := &core.Options{Workers: *workers, Stats: col}
+	opt := &core.Options{Ctx: ctx, Workers: *workers, Stats: col}
 	if *stages {
 		opt.Trace = func(stage int, state *tuple.Instance) {
 			fmt.Fprintf(w, "%% stage %d: %d facts\n", stage, state.Facts())
 		}
 	}
-	dopt := &declarative.Options{Stats: col}
+	dopt := &declarative.Options{Ctx: ctx, Stats: col}
 
 	switch *semantics {
 	case "wellfounded", "well-founded":
 		wfs, err := declarative.EvalWellFounded(prog, in, s.U, dopt)
+		if wfs != nil {
+			emitStats(wfs.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(wfs.Stats)
 		if !*three {
 			printAnswer(wfs.True)
 			return nil
@@ -157,11 +180,13 @@ func run(args []string, w, ew io.Writer) error {
 		case "ndatalog-new":
 			d = ast.DialectNDatalogNew
 		}
-		res, err := nondet.Run(prog, d, in, s.U, *seed, &nondet.Options{Stats: col})
+		res, err := nondet.Run(prog, d, in, s.U, *seed, &nondet.Options{Ctx: ctx, Stats: col})
+		if res != nil {
+			emitStats(res.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(res.Stats)
 		if res.Aborted {
 			fmt.Fprintf(w, "%% computation aborted (⊥ derived) after %d steps\n", res.Steps)
 			return nil
@@ -170,11 +195,13 @@ func run(args []string, w, ew io.Writer) error {
 		printAnswer(res.Out)
 		return nil
 	case "effects":
-		eff, err := nondet.Effects(prog, ast.DialectNDatalogNegNeg, in, s.U, &nondet.Options{Stats: col})
+		eff, err := nondet.Effects(prog, ast.DialectNDatalogNegNeg, in, s.U, &nondet.Options{Ctx: ctx, Stats: col})
+		if eff != nil {
+			emitStats(eff.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(eff.Stats)
 		fmt.Fprintf(w, "%% eff(P) has %d terminal states (%d states explored)\n", len(eff.States), eff.Explored)
 		for i, st := range eff.States {
 			fmt.Fprintf(w, "%% state %d:\n", i+1)
@@ -201,48 +228,60 @@ func run(args []string, w, ew io.Writer) error {
 			return explain(s, prog, in, *why, opt, w)
 		}
 		res, err := core.EvalInflationary(prog, in, s.U, opt)
+		if res != nil {
+			emitStats(res.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(res.Stats)
 		fmt.Fprintf(w, "%% fixpoint after %d stages\n", res.Stages)
 		out = res.Out
 	case unchained.NonInflationary:
 		res, err := core.EvalNonInflationary(prog, in, s.U, opt)
+		if res != nil {
+			emitStats(res.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(res.Stats)
 		fmt.Fprintf(w, "%% fixpoint after %d stages\n", res.Stages)
 		out = res.Out
 	case unchained.Invent:
 		res, err := core.EvalInvent(prog, in, s.U, opt)
+		if res != nil {
+			emitStats(res.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(res.Stats)
 		fmt.Fprintf(w, "%% fixpoint after %d stages (%d values invented)\n", res.Stages, s.U.FreshCount())
 		out = res.Out
 	case unchained.MinimalModel:
 		res, err := declarative.Eval(prog, in, s.U, dopt)
+		if res != nil {
+			emitStats(res.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(res.Stats)
 		out = res.Out
 	case unchained.Stratified:
 		res, err := declarative.EvalStratified(prog, in, s.U, dopt)
+		if res != nil {
+			emitStats(res.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(res.Stats)
 		out = res.Out
 	case unchained.SemiPositive:
 		res, err := declarative.EvalSemiPositive(prog, in, s.U, dopt)
+		if res != nil {
+			emitStats(res.Stats)
+		}
 		if err != nil {
 			return err
 		}
-		emitStats(res.Stats)
 		out = res.Out
 	default:
 		o, err := s.Eval(prog, in, sem)
@@ -256,7 +295,7 @@ func run(args []string, w, ew io.Writer) error {
 }
 
 // goalQuery answers a single query atom via the magic-sets rewriting.
-func goalQuery(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, col *stats.Collector, emitStats func(*stats.Summary), w io.Writer) error {
+func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, col *stats.Collector, emitStats func(*stats.Summary), w io.Writer) error {
 	// Parse "T(a,Y)" by reusing the rule parser on a synthetic rule.
 	r, err := parser.ParseRule(querySrc+" :- .", s.U)
 	if err != nil {
@@ -266,11 +305,11 @@ func goalQuery(s *unchained.Session, prog *unchained.Program, in *tuple.Instance
 		return fmt.Errorf("-query expects a single positive atom")
 	}
 	q := r.Head[0].Atom
-	ans, sum, err := magic.AnswerStats(prog, q, in, s.U, &declarative.Options{Stats: col})
+	ans, sum, err := magic.AnswerStats(prog, q, in, s.U, &declarative.Options{Ctx: ctx, Stats: col})
+	emitStats(sum)
 	if err != nil {
 		return err
 	}
-	emitStats(sum)
 	fmt.Fprintf(w, "%% %d answers (magic-sets evaluation)\n", ans.Len())
 	for _, t := range ans.SortedTuples(s.U) {
 		fmt.Fprintf(w, "%s%s.\n", q.Pred, t.String(s.U))
@@ -305,7 +344,7 @@ func explain(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, 
 }
 
 // runWhile parses and runs a while-language program.
-func runWhile(s *unchained.Session, src, factsPath string, attachOrder bool, col *stats.Collector, emitStats func(*stats.Summary), w io.Writer) error {
+func runWhile(ctx context.Context, s *unchained.Session, src, factsPath string, attachOrder bool, col *stats.Collector, emitStats func(*stats.Summary), w io.Writer) error {
 	prog, err := while.Parse(src, s.U)
 	if err != nil {
 		return fmt.Errorf("parse while program: %w", err)
@@ -328,11 +367,13 @@ func runWhile(s *unchained.Session, src, factsPath string, attachOrder bool, col
 	if prog.Fixpoint() {
 		kind = "fixpoint"
 	}
-	res, err := while.Run(prog, in, s.U, &while.Options{Stats: col})
+	res, err := while.Run(prog, in, s.U, &while.Options{Ctx: ctx, Stats: col})
+	if res != nil {
+		emitStats(res.Stats)
+	}
 	if err != nil {
 		return err
 	}
-	emitStats(res.Stats)
 	fmt.Fprintf(w, "%% %s program: %d loop iterations\n", kind, res.Iters)
 	fmt.Fprint(w, s.Format(res.Out))
 	return nil

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTimeoutNonTerminatingProgram checks the -timeout contract on
+// the shipped 30-bit counter (2^30 stages, effectively
+// non-terminating): the run fails within the deadline, maps to the
+// distinct exit code 2, and the message names the stage count.
+func TestTimeoutNonTerminatingProgram(t *testing.T) {
+	progDir, err := filepath.Abs("../../programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	start := time.Now()
+	err = run([]string{
+		"-program", filepath.Join(progDir, "counter.dl"),
+		"-semantics", "noninflationary",
+		"-timeout", "100ms",
+	}, &sb, io.Discard)
+	if err == nil {
+		t.Fatal("non-terminating program must fail under -timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("timeout not enforced: took %v", elapsed)
+	}
+	if exitCode(err) != 2 {
+		t.Fatalf("exit code = %d, want 2 (error: %v)", exitCode(err), err)
+	}
+	// The stage count varies with machine speed, so match the shape of
+	// the message rather than a golden text.
+	if ok, _ := regexp.MatchString(`deadline exceeded after \d+ stages`, err.Error()); !ok {
+		t.Fatalf("message = %q", err.Error())
+	}
+}
+
+// TestTimeoutTerminatingProgramUnaffected checks that a generous
+// -timeout leaves a terminating run untouched.
+func TestTimeoutTerminatingProgramUnaffected(t *testing.T) {
+	progDir, err := filepath.Abs("../../programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err = run([]string{
+		"-program", filepath.Join(progDir, "tc.dl"),
+		"-facts", filepath.Join(progDir, "facts", "chain.facts"),
+		"-timeout", "1m",
+	}, &sb, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "T(a,") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	if exitCode(errors.New("plain failure")) != 1 {
+		t.Fatal("ordinary errors must exit 1")
+	}
+}

@@ -1,0 +1,202 @@
+// Command unchained-serve is the long-lived HTTP/JSON evaluation
+// daemon: it parses, caches, and evaluates programs of the Datalog
+// family concurrently, with per-request deadlines that interrupt even
+// non-terminating programs cleanly (see internal/serve and
+// docs/API.md).
+//
+// Usage:
+//
+//	unchained-serve [-addr :8344] [-workers 8] [-cache 128]
+//	                [-timeout 30s] [-max-timeout 5m]
+//
+// The daemon drains in-flight evaluations on SIGINT/SIGTERM. The
+// -selftest flag boots the server on a loopback port, fires a health
+// check, one terminating evaluation, and one deadline-bounded
+// non-terminating evaluation, then exits — the smoke test used by
+// "make serve-smoke".
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"unchained/internal/queries"
+	"unchained/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, w, ew io.Writer) int {
+	fs := flag.NewFlagSet("unchained-serve", flag.ContinueOnError)
+	fs.SetOutput(ew)
+	addr := fs.String("addr", ":8344", "listen address")
+	workers := fs.Int("workers", 8, "maximum per-request stage-parallel workers")
+	cache := fs.Int("cache", 128, "parsed-program LRU cache capacity")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request evaluation timeout")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper clamp for per-request timeout_ms")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	selftest := fs.Bool("selftest", false, "boot on a loopback port, run a smoke sequence, exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := serve.Config{
+		MaxWorkers:     *workers,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+
+	if *selftest {
+		if err := runSelftest(cfg, w); err != nil {
+			fmt.Fprintf(ew, "selftest: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(w, "selftest: ok")
+		return 0
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(ew, "unchained-serve: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: serve.New(cfg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(w, "unchained-serve: listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(ew, "unchained-serve: %v\n", err)
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(w, "unchained-serve: %v, draining for up to %v\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Shutdown stops accepting and waits for in-flight handlers;
+		// per-request contexts keep their own deadlines, so draining
+		// cannot hang past the window.
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(ew, "unchained-serve: drain: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runSelftest boots the daemon on a loopback port and exercises the
+// endpoints end to end: /healthz, a terminating eval, a deadline-
+// bounded non-terminating eval (must report kind "deadline" with
+// partial stages), and /statsz.
+func runSelftest(cfg serve.Config, w io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.New(cfg)}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// 1. Health.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		return fmt.Errorf("healthz: status %d body %s", resp.StatusCode, body)
+	}
+	fmt.Fprintf(w, "selftest: healthz ok\n")
+
+	postJSON := func(path string, req any) (int, []byte, error) {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+
+	// 2. A terminating evaluation.
+	status, body, err := postJSON("/v1/eval", serve.EvalRequest{
+		Program:   "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
+		Facts:     "G(a,b). G(b,c).",
+		Semantics: "minimal-model",
+		Stats:     true,
+	})
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	if status != http.StatusOK || !strings.Contains(string(body), "T(a,c)") {
+		return fmt.Errorf("eval: status %d body %s", status, body)
+	}
+	fmt.Fprintf(w, "selftest: eval ok\n")
+
+	// 3. A non-terminating evaluation under a 100ms deadline.
+	start := time.Now()
+	status, body, err = postJSON("/v1/eval", serve.EvalRequest{
+		Program:   queries.Counter(30),
+		Semantics: "noninflationary",
+		TimeoutMS: 100,
+		Stats:     true,
+	})
+	if err != nil {
+		return fmt.Errorf("timeout eval: %w", err)
+	}
+	var evalResp serve.EvalResponse
+	if uerr := json.Unmarshal(body, &evalResp); uerr != nil {
+		return fmt.Errorf("timeout eval: %w (body %s)", uerr, body)
+	}
+	if status != http.StatusRequestTimeout || evalResp.Error == nil ||
+		evalResp.Error.Kind != "deadline" || evalResp.Stages == 0 {
+		return fmt.Errorf("timeout eval: status %d body %s", status, body)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		return fmt.Errorf("timeout eval took %v", elapsed)
+	}
+	fmt.Fprintf(w, "selftest: deadline eval interrupted after %d stages\n", evalResp.Stages)
+
+	// 4. Service counters.
+	resp, err = http.Get(base + "/statsz")
+	if err != nil {
+		return fmt.Errorf("statsz: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st serve.Statsz
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("statsz: %w (body %s)", err, body)
+	}
+	if st.EvalsOK < 1 || st.Timeouts < 1 {
+		return fmt.Errorf("statsz counters off: %s", body)
+	}
+	fmt.Fprintf(w, "selftest: statsz ok (evals_ok=%d timeouts=%d)\n", st.EvalsOK, st.Timeouts)
+	return nil
+}

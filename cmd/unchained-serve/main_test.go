@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSelftest boots the daemon on a loopback port and runs the full
+// smoke sequence (healthz, eval, deadline-bounded eval, statsz).
+func TestSelftest(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-selftest", "-timeout", "5s"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{"healthz ok", "eval ok", "deadline eval interrupted", "selftest: ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

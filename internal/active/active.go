@@ -12,11 +12,13 @@
 package active
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
 	"unchained/internal/ast"
+	"unchained/internal/engine"
 	"unchained/internal/eval"
 	"unchained/internal/stats"
 	"unchained/internal/tuple"
@@ -85,7 +87,15 @@ type System struct {
 }
 
 // Options tunes Run; the zero value is the default configuration.
+// The active engine keeps its own options type (its Trace hook
+// observes firings, not instance stages) but shares the engine
+// package's context discipline: Ctx is polled between firings and Run
+// stops with the typed engine error.
 type Options struct {
+	// Ctx, if non-nil, bounds the cascade: it is polled between
+	// firings and Run returns engine.ErrCanceled/ErrDeadline with the
+	// partial working memory when it is done.
+	Ctx context.Context
 	// MaxFirings bounds the total number of rule firings per Run
 	// (default 1<<16): ECA cascades can loop forever.
 	MaxFirings int
@@ -198,10 +208,18 @@ func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result
 
 	firings := 0
 	limit := opt.maxFirings()
+	var ctx context.Context
+	if opt != nil {
+		ctx = opt.Ctx
+	}
 	// Refraction (OPS5): an instantiation (rule, event, bound
 	// actions) fires at most once.
 	fired := map[string]bool{}
 	for {
+		if err := engine.Interrupted(ctx, firings); err != nil {
+			wm = wm.Restrict(withoutEvent(wm.Names()), nil)
+			return &Result{Out: wm, Firings: firings, Stats: col.Summary()}, err
+		}
 		// Conflict resolution: among unfired instantiations whose
 		// condition currently holds, pick by priority, then event
 		// recency, then rule order.

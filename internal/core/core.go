@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"unchained/internal/ast"
+	"unchained/internal/engine"
 	"unchained/internal/eval"
 	"unchained/internal/stats"
 	"unchained/internal/tuple"
@@ -46,116 +47,30 @@ var (
 	// ErrStageLimit reports that evaluation exceeded Options.MaxStages.
 	ErrStageLimit = errors.New("core: stage limit exceeded")
 	// ErrInvalidOptions reports an Options field outside its domain
-	// (negative MaxStages or Workers).
-	ErrInvalidOptions = errors.New("core: invalid options")
+	// (negative bounds or worker counts). It is the shared
+	// engine.ErrInvalidOptions, re-exported for compatibility.
+	ErrInvalidOptions = engine.ErrInvalidOptions
 )
 
 // ConflictPolicy selects how a Datalog¬¬ stage resolves the
-// simultaneous inference of A and ¬A (Section 4.2 lists the four
-// options; the paper adopts PreferPositive and notes the choice is
-// not crucial).
-type ConflictPolicy uint8
+// simultaneous inference of A and ¬A; it is the shared
+// engine.ConflictPolicy (Section 4.2 lists the four options; the
+// paper adopts PreferPositive).
+type ConflictPolicy = engine.ConflictPolicy
 
-// The conflict policies.
+// The conflict policies, re-exported from the shared engine layer.
 const (
-	// PreferPositive keeps A when both A and ¬A are inferred (the
-	// paper's chosen semantics).
-	PreferPositive ConflictPolicy = iota
-	// PreferNegative removes A when both are inferred (option (i)).
-	PreferNegative
-	// NoOp leaves A as it was in the previous instance (option (ii)).
-	NoOp
-	// Inconsistent makes the result undefined: evaluation fails with
-	// ErrInconsistent (option (iii)).
-	Inconsistent
+	PreferPositive = engine.PreferPositive
+	PreferNegative = engine.PreferNegative
+	NoOp           = engine.NoOp
+	Inconsistent   = engine.Inconsistent
 )
 
-func (c ConflictPolicy) String() string {
-	switch c {
-	case PreferPositive:
-		return "prefer-positive"
-	case PreferNegative:
-		return "prefer-negative"
-	case NoOp:
-		return "no-op"
-	case Inconsistent:
-		return "inconsistent"
-	default:
-		return fmt.Sprintf("ConflictPolicy(%d)", uint8(c))
-	}
-}
-
-// Options tunes forward-chaining evaluation. The zero value is the
-// default configuration.
-type Options struct {
-	// Scan disables hash-index probes (full-scan matching).
-	Scan bool
-	// Workers evaluates the rules of each stage across that many
-	// goroutines (inflationary engine only). Stage semantics fire all
-	// rules against the same previous instance, so rule evaluation is
-	// embarrassingly parallel and the result is identical to the
-	// sequential one. 0 or 1 means sequential.
-	Workers int
-	// Policy is the Datalog¬¬ conflict policy (default PreferPositive).
-	Policy ConflictPolicy
-	// MaxStages bounds the number of stages; 0 means the engine
-	// default (unbounded for the inflationary engine, which always
-	// terminates; 1<<20 for Datalog¬¬; 4096 for Datalog¬new, whose
-	// programs can run forever by design).
-	MaxStages int
-	// Trace, if non-nil, is called after every stage with the stage
-	// number (1-based) and the facts newly inferred (inflationary) or
-	// the full instance state (noninflationary).
-	Trace func(stage int, state *tuple.Instance)
-	// Stats, if non-nil, collects per-stage and per-rule evaluation
-	// statistics; the summary is attached to Result.Stats. A nil
-	// collector adds no work and no allocations.
-	Stats *stats.Collector
-}
-
-func (o *Options) scan() bool { return o != nil && o.Scan }
-
-func (o *Options) stats() *stats.Collector {
-	if o == nil {
-		return nil
-	}
-	return o.Stats
-}
-
-// validate rejects option values with no meaningful interpretation.
-// 0 keeps meaning "use the default" for both fields.
-func (o *Options) validate() error {
-	if o == nil {
-		return nil
-	}
-	if o.MaxStages < 0 {
-		return fmt.Errorf("%w: MaxStages must be >= 0, got %d", ErrInvalidOptions, o.MaxStages)
-	}
-	if o.Workers < 0 {
-		return fmt.Errorf("%w: Workers must be >= 0, got %d", ErrInvalidOptions, o.Workers)
-	}
-	return nil
-}
-
-func (o *Options) policy() ConflictPolicy {
-	if o == nil {
-		return PreferPositive
-	}
-	return o.Policy
-}
-
-func (o *Options) maxStages(def int) int {
-	if o == nil || o.MaxStages <= 0 {
-		return def
-	}
-	return o.MaxStages
-}
-
-func (o *Options) trace(stage int, state *tuple.Instance) {
-	if o != nil && o.Trace != nil {
-		o.Trace(stage, state)
-	}
-}
+// Options is the unified engine configuration (see engine.Options):
+// context, stats collector, stage bounds, stage-parallel workers, and
+// the Datalog¬¬ conflict policy. The zero value is the default
+// configuration; a nil *Options is valid.
+type Options = engine.Options
 
 // Result is the outcome of a forward-chaining evaluation.
 type Result struct {
@@ -191,7 +106,7 @@ func ruleNames(p *ast.Program, u *value.Universe, col *stats.Collector) []string
 // mutated. The program may of course be pure Datalog; on positive
 // programs the result coincides with the minimum model (Section 3.1).
 func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
-	if err := opt.validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(ast.DialectDatalogNeg); err != nil {
@@ -201,21 +116,21 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 	if err != nil {
 		return nil, err
 	}
-	col := opt.stats()
+	col := opt.Collector()
 	col.Reset("inflationary", ruleNames(p, u, col))
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	stages := 0
-	limit := opt.maxStages(1 << 30)
-	workers := 1
-	if opt != nil && opt.Workers > 1 {
-		workers = opt.Workers
-		// Index probes build lazily inside the shared relations; force
-		// the indexes each stage before fan-out so the workers only
-		// read (see stageParallel).
-	}
+	limit := opt.StageLimit(1 << 30)
+	// Index probes build lazily inside the shared relations; with
+	// workers > 1 the indexes are forced each stage before fan-out so
+	// the workers only read (see stageParallel).
+	workers := opt.WorkerCount()
 	for {
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan(), Stats: col}
+		if err := opt.Interrupted(stages); err != nil {
+			return &Result{Out: out, Stages: stages, Stats: col.Summary()}, err
+		}
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col}
 		col.BeginStage()
 		var pend []eval.Fact
 		if workers > 1 {
@@ -252,7 +167,7 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 		}
 		stages++
 		col.EndStage(delta.Facts())
-		opt.trace(stages, delta)
+		opt.EmitTrace(stages, delta)
 		if stages >= limit {
 			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
 		}
@@ -268,7 +183,7 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 // detection on instance states and returns ErrNonTerminating when a
 // state repeats without being a fixpoint.
 func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
-	if err := opt.validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(ast.DialectDatalogNegNeg); err != nil {
@@ -278,12 +193,12 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 	if err != nil {
 		return nil, err
 	}
-	col := opt.stats()
+	col := opt.Collector()
 	col.Reset("noninflationary", ruleNames(p, u, col))
 	cur := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
-	policy := opt.policy()
-	limit := opt.maxStages(1 << 20)
+	policy := opt.Conflict()
+	limit := opt.StageLimit(1 << 20)
 
 	// Brent's cycle detection: `saved` trails the current state and
 	// is refreshed at power-of-two stage numbers.
@@ -293,8 +208,11 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 
 	stages := 0
 	for {
+		if err := opt.Interrupted(stages); err != nil {
+			return &Result{Out: cur, Stages: stages, Stats: col.Summary()}, err
+		}
 		col.BeginStage()
-		next, applied, conflict := stageNonInflationary(rules, cur, adom, policy, opt.scan(), col)
+		next, applied, conflict := stageNonInflationary(rules, cur, adom, policy, opt.ScanEnabled(), col)
 		if conflict != nil {
 			return nil, conflict
 		}
@@ -303,7 +221,7 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 		}
 		stages++
 		col.EndStage(applied)
-		opt.trace(stages, next)
+		opt.EmitTrace(stages, next)
 		if stages >= limit {
 			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
 		}
@@ -421,7 +339,7 @@ func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.
 // computationally complete (Theorem 4.6), termination is not
 // guaranteed; the default stage limit is 4096.
 func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
-	if err := opt.validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(ast.DialectDatalogNew); err != nil {
@@ -431,11 +349,11 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 	if err != nil {
 		return nil, err
 	}
-	col := opt.stats()
+	col := opt.Collector()
 	col.Reset("invent", ruleNames(p, u, col))
 	out := in.Clone()
 	progConsts := p.Constants()
-	limit := opt.maxStages(4096)
+	limit := opt.StageLimit(4096)
 	stages := 0
 
 	// Skolem memo: (rule, body binding) -> invented values, one per
@@ -464,10 +382,13 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 	}
 
 	for {
+		if err := opt.Interrupted(stages); err != nil {
+			return &Result{Out: out, Stages: stages, Stats: col.Summary()}, err
+		}
 		// The active domain grows as values are invented; recompute
 		// per stage (adom(P, K) in the paper).
 		adom := eval.ActiveDomain(u, progConsts, out)
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan(), Stats: col}
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col}
 		col.BeginStage()
 		var pend []eval.Fact
 		for ri, cr := range rules {
@@ -513,7 +434,7 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 		}
 		stages++
 		col.EndStage(delta)
-		opt.trace(stages, out)
+		opt.EmitTrace(stages, out)
 		if stages >= limit {
 			return nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
 		}

@@ -114,13 +114,16 @@ func EvalInflationaryProv(p *ast.Program, in *tuple.Instance, u *value.Universe,
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	stages := 0
-	limit := opt.maxStages(1 << 30)
+	limit := opt.StageLimit(1 << 30)
 	type pending struct {
 		fact eval.Fact
 		der  Derivation
 	}
 	for {
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan()}
+		if err := opt.Interrupted(stages); err != nil {
+			return &Result{Out: out, Stages: stages, Stats: opt.Collector().Summary()}, prov, err
+		}
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled()}
 		var pend []pending
 		for ri, cr := range rules {
 			cr.Enumerate(ctx, func(b eval.Binding) bool {
@@ -145,7 +148,7 @@ func EvalInflationaryProv(p *ast.Program, in *tuple.Instance, u *value.Universe,
 			return &Result{Out: out, Stages: stages}, prov, nil
 		}
 		stages++
-		opt.trace(stages, out)
+		opt.EmitTrace(stages, out)
 		if stages >= limit {
 			return nil, nil, fmt.Errorf("%w (after %d stages)", ErrStageLimit, stages)
 		}

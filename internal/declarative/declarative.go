@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"unchained/internal/ast"
+	"unchained/internal/engine"
 	"unchained/internal/eval"
 	"unchained/internal/stats"
 	"unchained/internal/stratify"
@@ -16,26 +17,11 @@ import (
 	"unchained/internal/value"
 )
 
-// Options tunes evaluation. The zero value is the default
-// configuration (hash-index matching).
-type Options struct {
-	// Scan disables hash-index probes (full-scan matching); used by
-	// the index-ablation benchmark.
-	Scan bool
-	// Stats, if non-nil, collects per-round evaluation statistics;
-	// the summary is attached to the result. A nil collector adds no
-	// work and no allocations.
-	Stats *stats.Collector
-}
-
-func (o *Options) scan() bool { return o != nil && o.Scan }
-
-func (o *Options) stats() *stats.Collector {
-	if o == nil {
-		return nil
-	}
-	return o.Stats
-}
+// Options is the unified engine configuration (see engine.Options).
+// The declarative engines honor Ctx (deadline/cancellation between
+// semi-naive rounds), Scan, MaxStages and Stats; the zero value is
+// the default configuration and a nil *Options is valid.
+type Options = engine.Options
 
 // Result is the outcome of a 2-valued evaluation.
 type Result struct {
@@ -55,6 +41,9 @@ type Result struct {
 // the input instance using semi-naive evaluation (Section 3.1). The
 // input is not mutated.
 func Eval(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(ast.DialectDatalog); err != nil {
 		return nil, fmt.Errorf("declarative: %w", err)
 	}
@@ -62,7 +51,7 @@ func Eval(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (
 	if err != nil {
 		return nil, err
 	}
-	col := opt.stats()
+	col := opt.Collector()
 	col.Reset("minimal-model", nil)
 	out := in.Clone()
 	idb := map[string]bool{}
@@ -70,7 +59,10 @@ func Eval(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (
 		idb[n] = true
 	}
 	adom := eval.ActiveDomain(u, p.Constants(), in)
-	rounds := semiNaive(rules, out, nil, idb, adom, opt.scan(), col)
+	rounds, err := semiNaive(rules, out, nil, idb, adom, opt)
+	if err != nil {
+		return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, err
+	}
 	return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, nil
 }
 
@@ -85,15 +77,18 @@ func EvalNaive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Optio
 	if err != nil {
 		return nil, err
 	}
-	col := opt.stats()
+	col := opt.Collector()
 	col.Reset("naive", nil)
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	rounds := 0
 	for {
+		if err := opt.Interrupted(rounds); err != nil {
+			return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, err
+		}
 		rounds++
 		inserted := 0
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.scan(), Stats: col}
+		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col}
 		col.BeginStage()
 		var pend []eval.Fact
 		for _, cr := range rules {
@@ -132,10 +127,14 @@ func EvalNaive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Optio
 // test against out itself, which is only sound when the rules'
 // negated predicates never grow during this fixpoint (stratified
 // evaluation guarantees that). recursive is the set of predicates
-// that may grow during this fixpoint. col records each delta round as
-// one stage (callers Reset it; inner fixpoints only record). Returns
-// the number of delta rounds.
-func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, recursive map[string]bool, adom []value.Value, scan bool, col *stats.Collector) int {
+// that may grow during this fixpoint. opt supplies the scan switch
+// and the collector, which records each delta round as one stage
+// (callers Reset it; inner fixpoints only record), and the context
+// polled between rounds. Returns the number of delta rounds and a
+// typed engine error when the context interrupts the fixpoint.
+func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, recursive map[string]bool, adom []value.Value, opt *Options) (int, error) {
+	scan := opt.ScanEnabled()
+	col := opt.Collector()
 	// emit counts a firing's facts as derived/re-derived against the
 	// current instance; the Enabled guard keeps the extra Has probes
 	// off the disabled path.
@@ -199,6 +198,9 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 	}
 
 	for delta.Facts() > 0 {
+		if err := opt.Interrupted(rounds); err != nil {
+			return rounds, err
+		}
 		rounds++
 		col.BeginStage()
 		next := tuple.NewInstance()
@@ -220,7 +222,7 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 		delta = next
 		col.EndStage(delta.Facts())
 	}
-	return rounds
+	return rounds, nil
 }
 
 // EvalStratified evaluates a stratifiable Datalog¬ program under the
@@ -229,6 +231,9 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 // semi-naive evaluation; negation within a stratum refers only to
 // already-completed relations.
 func EvalStratified(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(ast.DialectDatalogNeg); err != nil {
 		return nil, fmt.Errorf("declarative: %w", err)
 	}
@@ -246,7 +251,7 @@ func EvalStratified(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *
 		s := strat.RuleStratum(p.Rules[i])
 		byStratum[s] = append(byStratum[s], cr)
 	}
-	col := opt.stats()
+	col := opt.Collector()
 	col.Reset("stratified", nil)
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
@@ -259,7 +264,11 @@ func EvalStratified(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *
 		for _, pred := range strat.Strata[s] {
 			recursive[pred] = true
 		}
-		totalRounds += semiNaive(srules, out, nil, recursive, adom, opt.scan(), col)
+		rounds, err := semiNaive(srules, out, nil, recursive, adom, opt)
+		totalRounds += rounds
+		if err != nil {
+			return &Result{Out: out, Rounds: totalRounds, Stats: col.Summary()}, err
+		}
 	}
 	return &Result{Out: out, Rounds: totalRounds, Stats: col.Summary()}, nil
 }
@@ -349,6 +358,9 @@ func (w *WFSResult) Total() bool {
 // set of true facts and the over-sequence decreases to the set of
 // true-or-unknown facts.
 func EvalWellFounded(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*WFSResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(ast.DialectDatalogNeg); err != nil {
 		return nil, fmt.Errorf("declarative: %w", err)
 	}
@@ -360,22 +372,34 @@ func EvalWellFounded(p *ast.Program, in *tuple.Instance, u *value.Universe, opt 
 	for _, n := range p.IDB() {
 		idb[n] = true
 	}
-	col := opt.stats()
+	col := opt.Collector()
 	col.Reset("wellfounded", nil)
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 
-	gamma := func(s *tuple.Instance) *tuple.Instance {
+	gamma := func(s *tuple.Instance) (*tuple.Instance, error) {
 		out := in.Clone()
-		semiNaive(rules, out, s, idb, adom, opt.scan(), col)
-		return out
+		_, err := semiNaive(rules, out, s, idb, adom, opt)
+		return out, err
 	}
 
 	under := in.Clone()
 	rounds := 0
 	var over *tuple.Instance
 	for {
-		over = gamma(under)
-		newUnder := gamma(over)
+		// The Γ application count is the natural "stage" of the
+		// alternating fixpoint; poll the context between applications
+		// so a deadline interrupts even slowly-converging models.
+		var err error
+		if over, err = gamma(under); err == nil {
+			err = opt.Interrupted(rounds + 1)
+		}
+		if err != nil {
+			return &WFSResult{True: under, Possible: over, u: u, Rounds: rounds, Adom: adom, Stats: col.Summary()}, err
+		}
+		newUnder, err := gamma(over)
+		if err != nil {
+			return &WFSResult{True: under, Possible: over, u: u, Rounds: rounds, Adom: adom, Stats: col.Summary()}, err
+		}
 		rounds += 2
 		if newUnder.Equal(under) {
 			break

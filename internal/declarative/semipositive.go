@@ -46,6 +46,9 @@ func ValidateSemiPositive(p *ast.Program) error {
 // this fragment already expresses db-ptime (Theorem 4.7, due to
 // Papadimitriou [101] in the paper's numbering).
 func EvalSemiPositive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := ValidateSemiPositive(p); err != nil {
 		return nil, err
 	}
@@ -57,10 +60,10 @@ func EvalSemiPositive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 	for _, n := range p.IDB() {
 		idb[n] = true
 	}
-	col := opt.stats()
+	col := opt.Collector()
 	col.Reset("semi-positive", nil)
 	out := in.Clone()
 	adom := eval.ActiveDomain(u, p.Constants(), in)
-	rounds := semiNaive(rules, out, nil, idb, adom, opt.scan(), col)
-	return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, nil
+	rounds, err := semiNaive(rules, out, nil, idb, adom, opt)
+	return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, err
 }

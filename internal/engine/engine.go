@@ -1,0 +1,308 @@
+// Package engine is the shared evaluation-options layer of the
+// repository: one Options struct carried by every engine (core,
+// declarative, while, nondet, incr, magic) instead of the per-package
+// option types and positional trailing collector arguments the
+// engines grew up with.
+//
+// The two things the package unifies:
+//
+//   - Configuration. Options gathers the cross-engine knobs — a
+//     context.Context for deadline/cancellation, the stats collector,
+//     stage/iteration bounds, stage-parallel worker count, the
+//     Datalog¬¬ conflict policy, and the index-ablation Scan switch —
+//     so the engine packages alias it (type Options = engine.Options)
+//     and existing composite literals keep compiling.
+//
+//   - Interruption. Engines call Options.Interrupted between stages;
+//     when the context is done they stop with a typed error
+//     (ErrCanceled or ErrDeadline) wrapped with the stage count at
+//     which evaluation was interrupted, and return their partial
+//     progress statistics alongside the error. This is what makes the
+//     Turing-complete members of the family (Datalog¬¬, Datalog¬new,
+//     the while language — Fig. 1 of the paper) safe to evaluate in a
+//     long-lived service: a caller can always bound a call with a
+//     deadline and get a clean, attributable failure instead of a
+//     hung goroutine.
+//
+// A nil *Options is valid everywhere and means "all defaults, no
+// context, no statistics".
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"unchained/internal/stats"
+	"unchained/internal/tuple"
+)
+
+// Sentinel errors.
+var (
+	// ErrCanceled reports that the evaluation's context was canceled
+	// between stages. Use errors.Is; the wrapped message carries the
+	// number of completed stages.
+	ErrCanceled = errors.New("engine: evaluation canceled")
+	// ErrDeadline reports that the evaluation's context deadline
+	// expired between stages. Use errors.Is; the wrapped message reads
+	// "deadline exceeded after N stages".
+	ErrDeadline = errors.New("engine: deadline exceeded")
+	// ErrInvalidOptions reports an Options field outside its domain
+	// (any negative bound or worker count).
+	ErrInvalidOptions = errors.New("engine: invalid options")
+)
+
+// ConflictPolicy selects how a Datalog¬¬ stage resolves the
+// simultaneous inference of A and ¬A (Section 4.2 of the paper lists
+// the four options; the paper adopts PreferPositive and notes the
+// choice is not crucial).
+type ConflictPolicy uint8
+
+// The conflict policies.
+const (
+	// PreferPositive keeps A when both A and ¬A are inferred (the
+	// paper's chosen semantics).
+	PreferPositive ConflictPolicy = iota
+	// PreferNegative removes A when both are inferred (option (i)).
+	PreferNegative
+	// NoOp leaves A as it was in the previous instance (option (ii)).
+	NoOp
+	// Inconsistent makes the result undefined: evaluation fails with
+	// core.ErrInconsistent (option (iii)).
+	Inconsistent
+)
+
+// conflictPolicyNames is the single table String and
+// ConflictPolicyByName derive from, so a policy can never gain a
+// printable name without a parseable one.
+var conflictPolicyNames = [...]string{
+	PreferPositive: "prefer-positive",
+	PreferNegative: "prefer-negative",
+	NoOp:           "no-op",
+	Inconsistent:   "inconsistent",
+}
+
+func (c ConflictPolicy) String() string {
+	if int(c) < len(conflictPolicyNames) {
+		return conflictPolicyNames[c]
+	}
+	return fmt.Sprintf("ConflictPolicy(%d)", uint8(c))
+}
+
+// ConflictPolicyByName parses a policy name as printed by String.
+func ConflictPolicyByName(name string) (ConflictPolicy, bool) {
+	for c, n := range conflictPolicyNames {
+		if n == name {
+			return ConflictPolicy(c), true
+		}
+	}
+	return PreferPositive, false
+}
+
+// Options is the unified evaluation configuration. The zero value is
+// the default configuration of every engine; fields irrelevant to an
+// engine are ignored by it.
+type Options struct {
+	// Ctx, if non-nil, bounds the evaluation: engines poll it between
+	// stages and stop with ErrCanceled/ErrDeadline (wrapped with the
+	// completed stage count) when it is done. A nil Ctx means no
+	// deadline and no cancellation, exactly as before the field
+	// existed.
+	Ctx context.Context
+
+	// Scan disables hash-index probes (full-scan matching); used by
+	// the index-ablation benchmark.
+	Scan bool
+
+	// Workers evaluates the rules of each stage across that many
+	// goroutines (inflationary engine only). Stage semantics fire all
+	// rules against the same previous instance, so rule evaluation is
+	// embarrassingly parallel and the result is identical to the
+	// sequential one. 0 or 1 means sequential.
+	Workers int
+
+	// Policy is the Datalog¬¬ conflict policy (default
+	// PreferPositive).
+	Policy ConflictPolicy
+
+	// MaxStages bounds the number of stages; 0 means the engine
+	// default (unbounded for the engines guaranteed to terminate;
+	// 1<<20 for Datalog¬¬; 4096 for Datalog¬new). For engines whose
+	// unit is not the stage (while iterations, nondet steps) it acts
+	// as the bound when the engine-specific field below is unset, so
+	// one knob caps every engine.
+	MaxStages int
+
+	// MaxIters bounds while-language loop-body iterations; 0 falls
+	// back to MaxStages, then the engine default (1<<20).
+	MaxIters int
+
+	// MaxSteps bounds a sampled nondeterministic run; 0 falls back to
+	// MaxStages, then the engine default (1<<20).
+	MaxSteps int
+
+	// MaxStates bounds exhaustive effect enumeration (distinct
+	// instance states; default 1<<16). MaxStages deliberately does
+	// not feed it: states are memory, not time.
+	MaxStates int
+
+	// Trace, if non-nil, is called after every stage with the stage
+	// number (1-based) and the facts newly inferred (inflationary) or
+	// the full instance state (noninflationary, invent).
+	Trace func(stage int, state *tuple.Instance)
+
+	// Stats, if non-nil, collects per-stage and per-rule evaluation
+	// statistics; the summary is attached to the engine's result. A
+	// nil collector adds no work and no allocations.
+	Stats *stats.Collector
+}
+
+// Validate rejects option values with no meaningful interpretation;
+// 0 keeps meaning "use the default" for every bound.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	for _, f := range [...]struct {
+		name string
+		v    int
+	}{
+		{"MaxStages", o.MaxStages},
+		{"MaxIters", o.MaxIters},
+		{"MaxSteps", o.MaxSteps},
+		{"MaxStates", o.MaxStates},
+		{"Workers", o.Workers},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s must be >= 0, got %d", ErrInvalidOptions, f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// Context returns the evaluation context, never nil.
+func (o *Options) Context() context.Context {
+	if o == nil || o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// Interrupted polls the evaluation context. It returns nil while the
+// context is live (or absent) and a typed, stage-stamped error —
+// "engine: deadline exceeded after N stages" or "engine: evaluation
+// canceled after N stages" — once it is done. Engines call it between
+// stages, so an in-flight stage always completes.
+func (o *Options) Interrupted(stages int) error {
+	if o == nil || o.Ctx == nil {
+		return nil
+	}
+	return Interrupted(o.Ctx, stages)
+}
+
+// Interrupted is the free-function form of Options.Interrupted, for
+// engines with their own options type (the active-database engine)
+// and for servers bracketing whole requests.
+func Interrupted(ctx context.Context, stages int) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		base := ErrCanceled
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			base = ErrDeadline
+		}
+		return fmt.Errorf("%w after %d stages", base, stages)
+	default:
+		return nil
+	}
+}
+
+// IsInterrupt reports whether err is a context interruption produced
+// by Interrupted (canceled or deadline). Engines use it to decide
+// whether partial progress should accompany the error.
+func IsInterrupt(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline)
+}
+
+// ScanEnabled reports the index-ablation switch.
+func (o *Options) ScanEnabled() bool { return o != nil && o.Scan }
+
+// Collector returns the configured stats collector (nil for none; a
+// nil *stats.Collector is itself a valid no-op recorder).
+func (o *Options) Collector() *stats.Collector {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
+}
+
+// Conflict returns the configured conflict policy.
+func (o *Options) Conflict() ConflictPolicy {
+	if o == nil {
+		return PreferPositive
+	}
+	return o.Policy
+}
+
+// WorkerCount returns the stage-parallel worker count (>= 1).
+func (o *Options) WorkerCount() int {
+	if o == nil || o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// StageLimit resolves the stage bound against the engine default.
+func (o *Options) StageLimit(def int) int {
+	if o == nil || o.MaxStages <= 0 {
+		return def
+	}
+	return o.MaxStages
+}
+
+// IterLimit resolves the while-iteration bound: MaxIters, then
+// MaxStages, then the engine default.
+func (o *Options) IterLimit(def int) int {
+	if o == nil {
+		return def
+	}
+	if o.MaxIters > 0 {
+		return o.MaxIters
+	}
+	if o.MaxStages > 0 {
+		return o.MaxStages
+	}
+	return def
+}
+
+// StepLimit resolves the nondet sampled-run bound: MaxSteps, then
+// MaxStages, then the engine default.
+func (o *Options) StepLimit(def int) int {
+	if o == nil {
+		return def
+	}
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	if o.MaxStages > 0 {
+		return o.MaxStages
+	}
+	return def
+}
+
+// StateLimit resolves the effect-enumeration bound.
+func (o *Options) StateLimit(def int) int {
+	if o == nil || o.MaxStates <= 0 {
+		return def
+	}
+	return o.MaxStates
+}
+
+// EmitTrace invokes the stage trace hook, if any.
+func (o *Options) EmitTrace(stage int, state *tuple.Instance) {
+	if o != nil && o.Trace != nil {
+		o.Trace(stage, state)
+	}
+}

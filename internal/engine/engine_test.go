@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilOptionsDefaults(t *testing.T) {
+	var o *Options
+	if err := o.Validate(); err != nil {
+		t.Fatalf("nil options should validate: %v", err)
+	}
+	if err := o.Interrupted(3); err != nil {
+		t.Fatalf("nil options should never interrupt: %v", err)
+	}
+	if o.Context() == nil {
+		t.Fatal("Context() must never return nil")
+	}
+	if o.ScanEnabled() || o.Collector() != nil {
+		t.Fatal("nil options: scan off, no collector")
+	}
+	if got := o.Conflict(); got != PreferPositive {
+		t.Fatalf("default policy = %v", got)
+	}
+	if o.WorkerCount() != 1 {
+		t.Fatalf("WorkerCount = %d", o.WorkerCount())
+	}
+	if o.StageLimit(7) != 7 || o.IterLimit(8) != 8 || o.StepLimit(9) != 9 || o.StateLimit(10) != 10 {
+		t.Fatal("nil options must yield engine defaults")
+	}
+	o.EmitTrace(1, nil) // must not panic
+}
+
+func TestValidate(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		opt  *Options
+		ok   bool
+	}{
+		{"zero", &Options{}, true},
+		{"all positive", &Options{MaxStages: 1, MaxIters: 2, MaxSteps: 3, MaxStates: 4, Workers: 5}, true},
+		{"MaxStages -1", &Options{MaxStages: -1}, false},
+		{"MaxIters -1", &Options{MaxIters: -1}, false},
+		{"MaxSteps -1", &Options{MaxSteps: -1}, false},
+		{"MaxStates -1", &Options{MaxStates: -1}, false},
+		{"Workers -1", &Options{Workers: -1}, false},
+	} {
+		err := c.opt.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: want ErrInvalidOptions, got %v", c.name, err)
+		}
+	}
+}
+
+func TestLimitFallbacks(t *testing.T) {
+	o := &Options{MaxStages: 100}
+	if o.IterLimit(5) != 100 || o.StepLimit(5) != 100 {
+		t.Fatal("MaxStages must act as the fallback bound for iters and steps")
+	}
+	if o.StateLimit(5) != 5 {
+		t.Fatal("MaxStages must not bound the state count")
+	}
+	o2 := &Options{MaxStages: 100, MaxIters: 7, MaxSteps: 9}
+	if o2.IterLimit(5) != 7 || o2.StepLimit(5) != 9 {
+		t.Fatal("engine-specific bounds must win over MaxStages")
+	}
+}
+
+func TestInterruptedCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	o := &Options{Ctx: ctx}
+	if err := o.Interrupted(2); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	err := o.Interrupted(2)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 2 stages") {
+		t.Fatalf("message must carry the stage count: %q", err.Error())
+	}
+}
+
+func TestInterruptedDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	err := Interrupted(ctx, 41)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "deadline exceeded after 41 stages") {
+		t.Fatalf("message = %q", err.Error())
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatal("deadline must not also read as canceled")
+	}
+}
+
+func TestConflictPolicyRoundTrip(t *testing.T) {
+	for _, c := range []ConflictPolicy{PreferPositive, PreferNegative, NoOp, Inconsistent} {
+		got, ok := ConflictPolicyByName(c.String())
+		if !ok || got != c {
+			t.Errorf("round-trip of %v failed: got %v ok=%v", c, got, ok)
+		}
+	}
+	if s := ConflictPolicy(9).String(); s != "ConflictPolicy(9)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+	if _, ok := ConflictPolicyByName("nope"); ok {
+		t.Error("unknown name must not parse")
+	}
+}

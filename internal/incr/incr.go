@@ -10,10 +10,12 @@
 package incr
 
 import (
+	"context"
 	"fmt"
 
 	"unchained/internal/ast"
 	"unchained/internal/declarative"
+	"unchained/internal/engine"
 	"unchained/internal/eval"
 	"unchained/internal/stats"
 	"unchained/internal/tuple"
@@ -34,6 +36,10 @@ type View struct {
 	state    *tuple.Instance // EDB ∪ derived IDB
 	adom     []value.Value
 	scan     bool
+	// ctx, inherited from the Materialize options, bounds every
+	// subsequent propagation; maintenance calls return the typed
+	// engine error when it is done. nil means no bound.
+	ctx context.Context
 	// Stats is the collector carried by the Materialize options (nil
 	// when none): it accumulates across the initial materialization
 	// and every subsequent Insert/Delete propagation, each delta round
@@ -66,6 +72,7 @@ func Materialize(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *dec
 	}
 	if opt != nil {
 		v.Stats = opt.Stats
+		v.ctx = opt.Ctx
 	}
 	// declarative.Eval labeled the collector "minimal-model"; from
 	// here on it accumulates maintenance work, so relabel without
@@ -134,7 +141,9 @@ func (v *View) Insert(pred string, t tuple.Tuple) (bool, error) {
 	v.extendAdom(t) // the new tuple may introduce new constants
 	delta := tuple.NewInstance()
 	delta.Insert(pred, t)
-	v.propagate(delta)
+	if err := v.propagate(delta); err != nil {
+		return true, err
+	}
 	return true, nil
 }
 
@@ -163,9 +172,17 @@ func (v *View) extendAdom(t tuple.Tuple) {
 	}
 }
 
-// propagate runs delta rounds until no new facts appear.
-func (v *View) propagate(delta *tuple.Instance) {
+// propagate runs delta rounds until no new facts appear, polling the
+// view's context between rounds. On interruption the state holds the
+// partially-propagated model; callers surface the typed error so the
+// view is known to be suspect.
+func (v *View) propagate(delta *tuple.Instance) error {
+	rounds := 0
 	for delta.Facts() > 0 {
+		if err := engine.Interrupted(v.ctx, rounds); err != nil {
+			return err
+		}
+		rounds++
 		v.Stats.BeginStage()
 		next := tuple.NewInstance()
 		for _, vs := range v.variants {
@@ -192,6 +209,7 @@ func (v *View) propagate(delta *tuple.Instance) {
 		delta = next
 		v.Stats.EndStage(delta.Facts())
 	}
+	return nil
 }
 
 // Delete removes an EDB fact and incrementally maintains the IDB with
@@ -223,7 +241,12 @@ func (v *View) Delete(pred string, t tuple.Tuple) (bool, error) {
 	round.Insert(pred, t)
 	v.Stats.Retracted(1)
 	var overestimate []eval.Fact
+	waves := 0
 	for round.Facts() > 0 {
+		if err := engine.Interrupted(v.ctx, waves); err != nil {
+			return true, err
+		}
+		waves++
 		v.Stats.BeginStage()
 		next := tuple.NewInstance()
 		for _, vs := range v.variants {
@@ -269,7 +292,9 @@ func (v *View) Delete(pred string, t tuple.Tuple) (bool, error) {
 				v.state.Insert(f.Pred, f.Tuple)
 				delta := tuple.NewInstance()
 				delta.Insert(f.Pred, f.Tuple)
-				v.propagate(delta)
+				if err := v.propagate(delta); err != nil {
+					return true, err
+				}
 				changed = true
 			} else {
 				remaining = append(remaining, f)

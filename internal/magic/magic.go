@@ -184,6 +184,12 @@ func AnswerStats(p *ast.Program, query ast.Atom, in *tuple.Instance, u *value.Un
 	}
 	res, err := declarative.Eval(rw, in, u, opt)
 	if err != nil {
+		// A context interruption still carries the partial-progress
+		// summary; relabel and surface it alongside the error.
+		if res != nil && res.Stats != nil {
+			res.Stats.Engine = "magic"
+			return nil, res.Stats, err
+		}
 		return nil, nil, err
 	}
 	if res.Stats != nil {

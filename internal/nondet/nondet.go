@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"unchained/internal/ast"
+	"unchained/internal/engine"
 	"unchained/internal/eval"
 	"unchained/internal/stats"
 	"unchained/internal/tuple"
@@ -54,44 +55,13 @@ var (
 	ErrAllAborted = errors.New("nondet: all sampled computations derived ⊥")
 )
 
-// Options tunes the nondeterministic engines; the zero value is the
-// default configuration.
-type Options struct {
-	// Scan disables hash-index probes.
-	Scan bool
-	// MaxSteps bounds a sampled run (default 1<<20 steps).
-	MaxSteps int
-	// MaxStates bounds exhaustive effect enumeration (default 1<<16
-	// distinct states).
-	MaxStates int
-	// Stats, if non-nil, collects evaluation statistics: each applied
-	// rule firing counts as one stage of a sampled run. A nil
-	// collector adds no work.
-	Stats *stats.Collector
-}
-
-func (o *Options) scan() bool { return o != nil && o.Scan }
-
-func (o *Options) stats() *stats.Collector {
-	if o == nil {
-		return nil
-	}
-	return o.Stats
-}
-
-func (o *Options) maxSteps() int {
-	if o == nil || o.MaxSteps <= 0 {
-		return 1 << 20
-	}
-	return o.MaxSteps
-}
-
-func (o *Options) maxStates() int {
-	if o == nil || o.MaxStates <= 0 {
-		return 1 << 16
-	}
-	return o.MaxStates
-}
+// Options is the unified engine configuration (see engine.Options).
+// The nondeterministic engines honor Ctx (polled between applied
+// firings in Run and between popped states in Effects), Scan,
+// MaxSteps (default 1<<20; MaxStages acts as fallback), MaxStates
+// (default 1<<16) and Stats: each applied rule firing counts as one
+// stage of a sampled run. A nil *Options is valid.
+type Options = engine.Options
 
 // program is a validated, compiled N-Datalog program.
 type program struct {
@@ -287,17 +257,23 @@ func Run(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Universe, s
 	if err != nil {
 		return nil, err
 	}
-	col := opt.stats()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	col := opt.Collector()
 	col.Reset("ndatalog", nil)
 	rng := rand.New(rand.NewSource(seed))
 	cur := in.Clone()
-	limit := opt.maxSteps()
+	limit := opt.StepLimit(1 << 20)
 	steps := 0
 	for {
-		if prog.bottomApplicable(cur, u, opt.scan()) {
+		if err := opt.Interrupted(steps); err != nil {
+			return &Result{Out: cur, Steps: steps, Stats: col.Summary()}, err
+		}
+		if prog.bottomApplicable(cur, u, opt.ScanEnabled()) {
 			return &Result{Steps: steps, Aborted: true, Stats: col.Summary()}, nil
 		}
-		cands := prog.successors(cur, u, opt.scan())
+		cands := prog.successors(cur, u, opt.ScanEnabled())
 		if len(cands) == 0 {
 			return &Result{Out: cur, Steps: steps, Stats: col.Summary()}, nil
 		}
@@ -361,9 +337,12 @@ func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Univers
 			return nil, fmt.Errorf("nondet: exhaustive effects are undefined for inventing rules (the state space is infinite); use Run")
 		}
 	}
-	col := opt.stats()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	col := opt.Collector()
 	col.Reset("effects", nil)
-	limit := opt.maxStates()
+	limit := opt.StateLimit(1 << 16)
 
 	type bucket []*tuple.Instance
 	seen := map[uint64]bucket{}
@@ -388,16 +367,21 @@ func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Univers
 	var effSeen = map[uint64]bucket{}
 
 	for len(queue) > 0 {
+		if err := opt.Interrupted(explored); err != nil {
+			eff.Explored = explored
+			eff.Stats = col.Summary()
+			return eff, err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		explored++
 		if explored > limit {
 			return nil, fmt.Errorf("%w (%d states)", ErrStateLimit, explored)
 		}
-		if prog.bottomApplicable(cur, u, opt.scan()) {
+		if prog.bottomApplicable(cur, u, opt.ScanEnabled()) {
 			continue // abandoned computation: contributes nothing
 		}
-		cands := prog.successors(cur, u, opt.scan())
+		cands := prog.successors(cur, u, opt.ScanEnabled())
 		if len(cands) == 0 {
 			fp := cur.Fingerprint()
 			dup := false

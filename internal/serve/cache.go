@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"unchained"
+)
+
+// cacheEntry is a parsed program bound to the session that interned
+// its constants. The entry is immutable after insertion: requests
+// never evaluate against the entry's session directly, they Fork it,
+// so one entry safely serves any number of concurrent requests.
+type cacheEntry struct {
+	key  string
+	prog *unchained.Program
+	base *unchained.Session
+}
+
+// progCache is an LRU cache of parsed programs keyed by the sha256 of
+// their source text. It is safe for concurrent use.
+type progCache struct {
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recently used; values are *cacheEntry
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+func newProgCache(capacity int) *progCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &progCache{cap: capacity, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// sourceKey hashes a program source to its cache key.
+func sourceKey(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// get returns the cached parse of src, parsing and inserting on miss.
+// The parse runs outside any evaluation: each entry gets its own
+// fresh session, so cached programs never share mutable state.
+func (c *progCache) get(src string) (*cacheEntry, error) {
+	key := sourceKey(src)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		entry := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		return entry, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock: parsing is pure relative to the fresh
+	// session, and a duplicate parse under contention only costs work.
+	base := unchained.NewSession()
+	prog, err := base.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	entry := &cacheEntry{key: key, prog: prog, base: base}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok { // lost the race: keep the winner
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry), nil
+	}
+	c.byKey[key] = c.order.PushFront(entry)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	return entry, nil
+}
+
+// stats returns hit/miss/size counters for /statsz.
+func (c *progCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

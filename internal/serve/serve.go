@@ -1,0 +1,426 @@
+// Package serve implements the long-lived HTTP/JSON evaluation
+// daemon (cmd/unchained-serve): a service boundary over the Session
+// facade that parses, caches, and evaluates programs concurrently.
+//
+// The design leans on three properties built into the engine layer:
+//
+//   - every engine polls its context between stages, so a per-request
+//     deadline (timeout_ms) or a dropped client connection interrupts
+//     even the Turing-complete members of the family (Datalog¬¬,
+//     Datalog¬new, while) with a typed error and partial statistics;
+//   - Universe handles are dense indices, so a program parsed once is
+//     valid against any clone of its universe — the parse cache holds
+//     an immutable (program, session) pair and each request evaluates
+//     against a Fork;
+//   - evaluation options are one struct threaded through the facade's
+//     functional options, so per-request knobs (workers, max_stages,
+//     stats) need no engine-specific plumbing.
+//
+// Endpoints: POST /v1/eval, POST /v1/query (magic-sets), GET
+// /healthz, GET /statsz.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"unchained"
+)
+
+// Config tunes the server; the zero value is a usable default.
+type Config struct {
+	// MaxWorkers clamps the per-request "workers" field (default 8).
+	MaxWorkers int
+	// DefaultWorkers is used when a request does not set "workers"
+	// (default 1, i.e. sequential).
+	DefaultWorkers int
+	// CacheSize is the LRU parse-cache capacity (default 128).
+	CacheSize int
+	// DefaultTimeout bounds requests that set no timeout_ms (default
+	// 30s; 0 keeps the default, use a negative value for unbounded).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps the per-request timeout_ms (default 5m).
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 8
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = 1
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the HTTP evaluation service. Create one with New; it is
+// safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *progCache
+	mux   *http.ServeMux
+	start time.Time
+
+	// Monotonic service counters, reported by /statsz.
+	requests  atomic.Uint64
+	evalsOK   atomic.Uint64
+	evalErrs  atomic.Uint64
+	timeouts  atomic.Uint64
+	cancels   atomic.Uint64
+	badReqs   atomic.Uint64
+	inFlight  atomic.Int64
+	stagesRun atomic.Uint64
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		cache: newProgCache(cfg.withDefaults().CacheSize),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/eval", s.handleEval)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// ErrorInfo is the JSON error payload.
+type ErrorInfo struct {
+	// Kind is one of "bad_request", "parse", "eval", "deadline",
+	// "canceled".
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// EvalRequest is the body of POST /v1/eval.
+type EvalRequest struct {
+	// Program is the program source (any dialect of the family).
+	Program string `json:"program"`
+	// Facts is the EDB as ground facts.
+	Facts string `json:"facts"`
+	// Semantics is a name accepted by SemanticsByName (default
+	// "minimal-model").
+	Semantics string `json:"semantics"`
+	// TimeoutMS bounds the evaluation; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// MaxStages bounds stages/iterations/steps; 0 is the engine
+	// default.
+	MaxStages int `json:"max_stages"`
+	// Workers is the stage-parallel worker count, clamped to the
+	// server maximum; 0 uses the server default.
+	Workers int `json:"workers"`
+	// Stats requests the evaluation statistics summary.
+	Stats bool `json:"stats"`
+}
+
+// EvalResponse is the body of POST /v1/eval responses. On a typed
+// interruption (deadline/cancel) OK is false, Error is set, and
+// Stages/Stats still report the partial progress.
+type EvalResponse struct {
+	OK        bool                    `json:"ok"`
+	Semantics string                  `json:"semantics,omitempty"`
+	Output    string                  `json:"output,omitempty"`
+	Stages    int                     `json:"stages,omitempty"`
+	Stats     *unchained.StatsSummary `json:"stats,omitempty"`
+	Error     *ErrorInfo              `json:"error,omitempty"`
+}
+
+// QueryRequest is the body of POST /v1/query: a goal-directed
+// (magic-sets) query against a positive Datalog program.
+type QueryRequest struct {
+	Program string `json:"program"`
+	Facts   string `json:"facts"`
+	// Query is the goal atom, e.g. "T(a,X)"; constant arguments are
+	// the bound positions.
+	Query     string `json:"query"`
+	TimeoutMS int64  `json:"timeout_ms"`
+	Stats     bool   `json:"stats"`
+}
+
+// QueryResponse is the body of POST /v1/query responses.
+type QueryResponse struct {
+	OK     bool                    `json:"ok"`
+	Tuples []string                `json:"tuples,omitempty"`
+	Count  int                     `json:"count"`
+	Stats  *unchained.StatsSummary `json:"stats,omitempty"`
+	Error  *ErrorInfo              `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+// decode reads a bounded JSON body. Programs are text, not bulk data;
+// 8 MiB is far beyond any reasonable request and bounds memory per
+// connection.
+func decode(r *http.Request, into any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, into)
+}
+
+// classify maps an evaluation error to (kind, HTTP status).
+func classify(err error) (string, int) {
+	switch {
+	case errors.Is(err, unchained.ErrDeadline):
+		return "deadline", http.StatusRequestTimeout
+	case errors.Is(err, unchained.ErrCanceled):
+		return "canceled", http.StatusRequestTimeout
+	default:
+		return "eval", http.StatusUnprocessableEntity
+	}
+}
+
+// requestContext derives the evaluation context: the request context
+// (so a dropped connection cancels the evaluation) bounded by the
+// effective timeout.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) workerCount(requested int) int {
+	w := requested
+	if w <= 0 {
+		w = s.cfg.DefaultWorkers
+	}
+	if w > s.cfg.MaxWorkers {
+		w = s.cfg.MaxWorkers
+	}
+	return w
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, EvalResponse{Error: &ErrorInfo{Kind: "bad_request", Message: "POST required"}})
+		return
+	}
+	var req EvalRequest
+	if err := decode(r, &req); err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: &ErrorInfo{Kind: "bad_request", Message: err.Error()}})
+		return
+	}
+	semName := req.Semantics
+	if semName == "" {
+		semName = "minimal-model"
+	}
+	sem, ok := unchained.SemanticsByName[semName]
+	if !ok {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: &ErrorInfo{Kind: "bad_request",
+			Message: fmt.Sprintf("unknown semantics %q (one of %v)", semName, unchained.SemanticsNames())}})
+		return
+	}
+
+	entry, err := s.cache.get(req.Program)
+	if err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		return
+	}
+	// The fork gives this request a private universe: the cached parse
+	// stays valid (dense handles survive cloning) and concurrent
+	// requests never contend.
+	sess := entry.base.Fork()
+	in, err := sess.Facts(req.Facts)
+	if err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	opts := []unchained.Opt{
+		unchained.WithMaxStages(req.MaxStages),
+		unchained.WithWorkers(s.workerCount(req.Workers)),
+	}
+	if req.Stats {
+		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
+	}
+
+	s.inFlight.Add(1)
+	res, err := sess.EvalContext(ctx, entry.prog, in, sem, opts...)
+	s.inFlight.Add(-1)
+
+	resp := EvalResponse{Semantics: sem.String()}
+	if res != nil {
+		resp.Stages = res.Stages
+		resp.Stats = res.Stats
+		s.stagesRun.Add(uint64(res.Stages))
+	}
+	if err != nil {
+		kind, status := classify(err)
+		switch kind {
+		case "deadline":
+			s.timeouts.Add(1)
+		case "canceled":
+			s.cancels.Add(1)
+		default:
+			s.evalErrs.Add(1)
+		}
+		resp.Error = &ErrorInfo{Kind: kind, Message: err.Error()}
+		writeJSON(w, status, resp)
+		return
+	}
+	s.evalsOK.Add(1)
+	resp.OK = true
+	resp.Output = sess.Format(res.Out)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, QueryResponse{Error: &ErrorInfo{Kind: "bad_request", Message: "POST required"}})
+		return
+	}
+	var req QueryRequest
+	if err := decode(r, &req); err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: &ErrorInfo{Kind: "bad_request", Message: err.Error()}})
+		return
+	}
+	entry, err := s.cache.get(req.Program)
+	if err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		return
+	}
+	sess := entry.base.Fork()
+	in, err := sess.Facts(req.Facts)
+	if err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		return
+	}
+	goal, err := sess.ParseAtom(req.Query)
+	if err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var opts []unchained.Opt
+	if req.Stats {
+		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
+	}
+
+	s.inFlight.Add(1)
+	rel, summary, err := sess.QueryContext(ctx, entry.prog, goal, in, opts...)
+	s.inFlight.Add(-1)
+
+	resp := QueryResponse{Stats: summary}
+	if err != nil {
+		kind, status := classify(err)
+		switch kind {
+		case "deadline":
+			s.timeouts.Add(1)
+		case "canceled":
+			s.cancels.Add(1)
+		default:
+			s.evalErrs.Add(1)
+		}
+		resp.Error = &ErrorInfo{Kind: kind, Message: err.Error()}
+		writeJSON(w, status, resp)
+		return
+	}
+	s.evalsOK.Add(1)
+	resp.OK = true
+	for _, t := range rel.SortedTuples(sess.U) {
+		resp.Tuples = append(resp.Tuples, goal.Pred+t.String(sess.U))
+	}
+	resp.Count = len(resp.Tuples)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Healthz is the body of GET /healthz.
+type Healthz struct {
+	Status   string `json:"status"`
+	UptimeMS int64  `json:"uptime_ms"`
+	InFlight int64  `json:"in_flight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Healthz{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		InFlight: s.inFlight.Load(),
+	})
+}
+
+// Statsz is the body of GET /statsz.
+type Statsz struct {
+	UptimeMS    int64  `json:"uptime_ms"`
+	Requests    uint64 `json:"requests"`
+	EvalsOK     uint64 `json:"evals_ok"`
+	EvalErrors  uint64 `json:"eval_errors"`
+	Timeouts    uint64 `json:"timeouts"`
+	Canceled    uint64 `json:"canceled"`
+	BadRequests uint64 `json:"bad_requests"`
+	InFlight    int64  `json:"in_flight"`
+	StagesRun   uint64 `json:"stages_run"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheSize   int    `json:"cache_size"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.stats()
+	writeJSON(w, http.StatusOK, Statsz{
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Requests:    s.requests.Load(),
+		EvalsOK:     s.evalsOK.Load(),
+		EvalErrors:  s.evalErrs.Load(),
+		Timeouts:    s.timeouts.Load(),
+		Canceled:    s.cancels.Load(),
+		BadRequests: s.badReqs.Load(),
+		InFlight:    s.inFlight.Load(),
+		StagesRun:   s.stagesRun.Load(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CacheSize:   size,
+	})
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unchained/internal/queries"
+)
+
+const tcProgram = `
+	T(X,Y) :- G(X,Y).
+	T(X,Y) :- G(X,Z), T(Z,Y).
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestEvalEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Program:   tcProgram,
+		Facts:     `G(a,b). G(b,c).`,
+		Semantics: "minimal-model",
+		Stats:     true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || !strings.Contains(out.Output, "T(a,c)") {
+		t.Fatalf("unexpected response: %+v", out)
+	}
+	if out.Stats == nil || out.Stats.Engine != "minimal-model" {
+		t.Fatalf("stats missing: %+v", out.Stats)
+	}
+}
+
+// TestEvalTimeoutReturnsTypedErrorAndPartialStats is the acceptance
+// scenario: a non-terminating Datalog¬¬ program (the 30-bit counter,
+// 2^30 stages) with timeout_ms must come back within the deadline
+// with a typed error and partial-progress statistics.
+func TestEvalTimeoutReturnsTypedErrorAndPartialStats(t *testing.T) {
+	ts := newTestServer(t)
+	start := time.Now()
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Program:   queries.Counter(30),
+		Semantics: "noninflationary",
+		TimeoutMS: 100,
+		Stats:     true,
+	})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("response took %v, deadline not enforced", elapsed)
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.OK || out.Error == nil || out.Error.Kind != "deadline" {
+		t.Fatalf("want deadline error, got %+v", out)
+	}
+	if !strings.Contains(out.Error.Message, "deadline exceeded after") {
+		t.Fatalf("message = %q", out.Error.Message)
+	}
+	if out.Stages == 0 || out.Stats == nil || out.Stats.Stages == 0 {
+		t.Fatalf("partial stats missing: stages=%d stats=%+v", out.Stages, out.Stats)
+	}
+}
+
+// TestConcurrentEvals fires 8 concurrent terminating requests over
+// the same cached program (plus the shared parse cache) — run under
+// -race this is the tentpole's concurrency acceptance test.
+func TestConcurrentEvals(t *testing.T) {
+	ts := newTestServer(t)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+				Program:   tcProgram,
+				Facts:     fmt.Sprintf(`G(a,b). G(b,c). G(c,d%d).`, i),
+				Semantics: "minimal-model",
+				Workers:   2,
+				Stats:     true,
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			var out EvalResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				errs[i] = err
+				return
+			}
+			want := fmt.Sprintf("T(a,d%d)", i)
+			if !out.OK || !strings.Contains(out.Output, want) {
+				errs[i] = fmt.Errorf("missing %s in %q", want, out.Output)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/query", QueryRequest{
+		Program: tcProgram,
+		Facts:   `G(a,b). G(b,c). G(x,y).`,
+		Query:   `T(a,X)`,
+		Stats:   true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.Count != 2 {
+		t.Fatalf("want 2 answers, got %+v", out)
+	}
+	joined := strings.Join(out.Tuples, " ")
+	if !strings.Contains(joined, "T(a,b)") || !strings.Contains(joined, "T(a,c)") {
+		t.Fatalf("tuples = %v", out.Tuples)
+	}
+	if strings.Contains(joined, "T(x,y)") {
+		t.Fatalf("magic-sets must not derive irrelevant facts: %v", out.Tuples)
+	}
+	if out.Stats == nil || out.Stats.Engine != "magic" {
+		t.Fatalf("stats = %+v", out.Stats)
+	}
+}
+
+func TestHealthzAndStatsz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Healthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// One OK eval and one parse failure, then check the counters.
+	post(t, ts.URL+"/v1/eval", EvalRequest{Program: tcProgram, Facts: `G(a,b).`})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Program: `syntax error here`})
+
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.EvalsOK < 1 || st.BadRequests < 1 || st.Requests < 3 {
+		t.Fatalf("statsz = %+v", st)
+	}
+}
+
+// TestParseCache checks LRU behavior: repeated programs hit, distinct
+// programs miss, and capacity bounds the resident set.
+func TestParseCache(t *testing.T) {
+	c := newProgCache(2)
+	p1 := `A(X) :- B(X).`
+	p2 := `C(X) :- D(X).`
+	p3 := `E(X) :- F(X).`
+	e1, err := c.get(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2, _ := c.get(p1); e2 != e1 {
+		t.Fatal("same source must hit the same entry")
+	}
+	if _, err := c.get(p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get(p3); err != nil { // evicts p1
+		t.Fatal(err)
+	}
+	if e4, _ := c.get(p1); e4 == e1 {
+		t.Fatal("evicted entry must be re-parsed")
+	}
+	hits, misses, size := c.stats()
+	if size != 2 {
+		t.Fatalf("size = %d, want capacity 2", size)
+	}
+	if hits != 1 || misses != 4 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if _, err := c.get(`not a program (`); err == nil {
+		t.Fatal("parse error must surface")
+	}
+}
+
+func TestBadSemantics(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Program:   tcProgram,
+		Semantics: "no-such-semantics",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "minimal-model") {
+		t.Fatalf("error should list the valid names: %s", body)
+	}
+}

@@ -109,6 +109,30 @@ func (u *Universe) Fresh() Value {
 	return v
 }
 
+// Clone returns a deep copy of the Universe. Because handles are
+// dense indices into the entry table, every Value issued by the
+// original remains valid — and means the same constant — in the
+// clone; interning or inventing in the clone never affects the
+// original. This is what makes a parsed program (whose constants are
+// Values of the original) evaluable against any number of clones
+// concurrently.
+func (u *Universe) Clone() *Universe {
+	c := &Universe{
+		entries: make([]entry, len(u.entries)),
+		syms:    make(map[string]Value, len(u.syms)),
+		ints:    make(map[int64]Value, len(u.ints)),
+		fresh:   u.fresh,
+	}
+	copy(c.entries, u.entries)
+	for k, v := range u.syms {
+		c.syms[k] = v
+	}
+	for k, v := range u.ints {
+		c.ints[k] = v
+	}
+	return c
+}
+
 // Lookup returns the Value interned for the symbol name, or None if
 // the name has never been interned. It never allocates.
 func (u *Universe) Lookup(name string) Value {

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"unchained/internal/engine"
 	"unchained/internal/eval"
 	"unchained/internal/fo"
 	"unchained/internal/stats"
@@ -86,30 +87,12 @@ func (p *Program) Fixpoint() bool {
 	return ok(p.Stmts)
 }
 
-// Options tunes the interpreter; the zero value is the default.
-type Options struct {
-	// MaxIters bounds the total number of loop-body iterations
-	// (default 1<<20). Fixpoint programs terminate on their own.
-	MaxIters int
-	// Stats, if non-nil, collects evaluation statistics: each
-	// assignment counts as a firing and each loop-body iteration as a
-	// stage. A nil collector adds no work.
-	Stats *stats.Collector
-}
-
-func (o *Options) maxIters() int {
-	if o == nil || o.MaxIters <= 0 {
-		return 1 << 20
-	}
-	return o.MaxIters
-}
-
-func (o *Options) stats() *stats.Collector {
-	if o == nil {
-		return nil
-	}
-	return o.Stats
-}
+// Options is the unified engine configuration (see engine.Options).
+// The interpreter honors Ctx (deadline/cancellation between loop-body
+// iterations), MaxIters (default 1<<20; MaxStages acts as fallback)
+// and Stats: each assignment counts as a firing and each loop-body
+// iteration as a stage. A nil *Options is valid.
+type Options = engine.Options
 
 // Result is the outcome of running a program.
 type Result struct {
@@ -128,19 +111,29 @@ type interp struct {
 	limit int
 	iters int
 	col   *stats.Collector
+	opt   *Options
 }
 
-// Run executes the program on the input (which is not mutated).
+// Run executes the program on the input (which is not mutated). When
+// the Options context is canceled or its deadline passes, Run returns
+// the typed engine error together with the partially-computed state.
 func Run(p *Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Result, error) {
-	col := opt.stats()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	col := opt.Collector()
 	col.Reset("while", nil)
 	state := in.Clone()
 	it := &interp{
 		adom:  eval.ActiveDomain(u, p.Consts, in),
-		limit: opt.maxIters(),
+		limit: opt.IterLimit(1 << 20),
 		col:   col,
+		opt:   opt,
 	}
 	if err := it.seq(p.Stmts, state); err != nil {
+		if engine.IsInterrupt(err) {
+			return &Result{Out: state, Iters: it.iters, Stats: col.Summary()}, err
+		}
 		return nil, err
 	}
 	return &Result{Out: state, Iters: it.iters, Stats: col.Summary()}, nil
@@ -208,6 +201,9 @@ func (it *interp) loop(l Loop, state *tuple.Instance) error {
 	saved := state.Clone()
 	power, lam := 1, 0
 	for {
+		if err := it.opt.Interrupted(it.iters); err != nil {
+			return err
+		}
 		before := state.Clone()
 		it.col.BeginStage()
 		if err := it.seq(l.Body, state); err != nil {

@@ -18,6 +18,18 @@
 //	out, _ := s.Eval(prog, edb, unchained.Stratified)
 //	fmt.Print(s.Format(out))
 //
+// The v2 evaluation surface is EvalContext and its functional options:
+//
+//	res, err := s.EvalContext(ctx, prog, edb, unchained.NonInflationary,
+//	    unchained.WithStats(unchained.NewStatsCollector()),
+//	    unchained.WithMaxStages(1000))
+//
+// A context deadline or cancellation interrupts every engine between
+// stages with a typed error (ErrCanceled/ErrDeadline) and the partial
+// result; see docs/API.md. Session is not safe for concurrent use,
+// but Fork returns an independent copy sharing no mutable state, so N
+// forks evaluate the same parsed programs in parallel.
+//
 // Each semantics of the paper is a Semantics value; nondeterministic
 // programs run through Session.RunNondet (one sampled computation)
 // and Session.Effects (exhaustive eff(P) with poss/cert). The
@@ -29,16 +41,19 @@
 package unchained
 
 import (
+	"context"
 	"fmt"
 
 	"unchained/internal/ast"
 	"unchained/internal/core"
 	"unchained/internal/declarative"
+	"unchained/internal/engine"
 	"unchained/internal/incr"
 	"unchained/internal/magic"
 	"unchained/internal/nondet"
 	"unchained/internal/order"
 	"unchained/internal/parser"
+	"unchained/internal/stats"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -47,6 +62,8 @@ import (
 type (
 	// Program is a parsed program of any dialect in the family.
 	Program = ast.Program
+	// Atom is a query/fact atom (see Session.ParseAtom).
+	Atom = ast.Atom
 	// Instance is a database instance.
 	Instance = tuple.Instance
 	// Tuple is a constant tuple.
@@ -57,7 +74,34 @@ type (
 	Value = value.Value
 	// Dialect identifies a language of the family.
 	Dialect = ast.Dialect
+	// StatsCollector accumulates per-stage/per-rule evaluation
+	// statistics (pass one via WithStats).
+	StatsCollector = stats.Collector
+	// StatsSummary is the immutable result of a collector.
+	StatsSummary = stats.Summary
+	// ConflictPolicy resolves simultaneous A / ¬A inference in
+	// Datalog¬¬ (pass one via WithConflictPolicy).
+	ConflictPolicy = engine.ConflictPolicy
 )
+
+// Typed evaluation-interruption errors (match with errors.Is). Every
+// engine polls its context between stages and stops with one of these
+// wrapped with the completed stage count.
+var (
+	ErrCanceled = engine.ErrCanceled
+	ErrDeadline = engine.ErrDeadline
+)
+
+// The Datalog¬¬ conflict policies (Section 4.2).
+const (
+	PreferPositive = engine.PreferPositive
+	PreferNegative = engine.PreferNegative
+	NoOp           = engine.NoOp
+	Inconsistent   = engine.Inconsistent
+)
+
+// NewStatsCollector returns an empty statistics collector.
+func NewStatsCollector() *StatsCollector { return stats.New() }
 
 // Semantics selects an evaluation semantics for Session.Eval,
 // following the map of the paper: the declarative column (Section 3)
@@ -87,45 +131,167 @@ const (
 	SemiPositive
 )
 
-func (s Semantics) String() string {
-	switch s {
-	case MinimalModel:
-		return "minimal-model"
-	case Stratified:
-		return "stratified"
-	case WellFounded:
-		return "well-founded"
-	case Inflationary:
-		return "inflationary"
-	case NonInflationary:
-		return "noninflationary"
-	case Invent:
-		return "invent"
-	case SemiPositive:
-		return "semi-positive"
-	default:
-		return fmt.Sprintf("Semantics(%d)", uint8(s))
-	}
+// semanticsTable is the single source of truth tying each Semantics
+// to its canonical name, its accepted aliases, and its engine.
+// Semantics.String, SemanticsByName and EvalContext's dispatch all
+// derive from it, so a semantics can never gain a printable name
+// without a parseable one or an engine without a name.
+var semanticsTable = []struct {
+	sem     Semantics
+	name    string   // canonical spelling, returned by String
+	aliases []string // additional spellings SemanticsByName accepts
+	eval    func(s *Session, p *Program, in *Instance, opt *engine.Options) (*EvalResult, error)
+}{
+	{MinimalModel, "minimal-model", []string{"datalog"},
+		func(s *Session, p *Program, in *Instance, opt *engine.Options) (*EvalResult, error) {
+			res, err := declarative.Eval(p, in, s.U, opt)
+			return evalResultOf(res, err)
+		}},
+	{Stratified, "stratified", nil,
+		func(s *Session, p *Program, in *Instance, opt *engine.Options) (*EvalResult, error) {
+			res, err := declarative.EvalStratified(p, in, s.U, opt)
+			return evalResultOf(res, err)
+		}},
+	{WellFounded, "well-founded", []string{"wellfounded"},
+		func(s *Session, p *Program, in *Instance, opt *engine.Options) (*EvalResult, error) {
+			res, err := declarative.EvalWellFounded(p, in, s.U, opt)
+			if res == nil {
+				return nil, err
+			}
+			return &EvalResult{Out: res.True, Stages: res.Rounds, Stats: res.Stats}, err
+		}},
+	{Inflationary, "inflationary", nil,
+		func(s *Session, p *Program, in *Instance, opt *engine.Options) (*EvalResult, error) {
+			res, err := core.EvalInflationary(p, in, s.U, opt)
+			return coreResultOf(res, err)
+		}},
+	{NonInflationary, "noninflationary", []string{"datalog-neg-neg"},
+		func(s *Session, p *Program, in *Instance, opt *engine.Options) (*EvalResult, error) {
+			res, err := core.EvalNonInflationary(p, in, s.U, opt)
+			return coreResultOf(res, err)
+		}},
+	{Invent, "invent", []string{"datalog-new"},
+		func(s *Session, p *Program, in *Instance, opt *engine.Options) (*EvalResult, error) {
+			res, err := core.EvalInvent(p, in, s.U, opt)
+			return coreResultOf(res, err)
+		}},
+	{SemiPositive, "semi-positive", []string{"semipositive"},
+		func(s *Session, p *Program, in *Instance, opt *engine.Options) (*EvalResult, error) {
+			res, err := declarative.EvalSemiPositive(p, in, s.U, opt)
+			return evalResultOf(res, err)
+		}},
 }
 
-// SemanticsByName maps the CLI spellings to Semantics values.
-var SemanticsByName = map[string]Semantics{
-	"minimal-model":   MinimalModel,
-	"datalog":         MinimalModel,
-	"stratified":      Stratified,
-	"well-founded":    WellFounded,
-	"wellfounded":     WellFounded,
-	"inflationary":    Inflationary,
-	"noninflationary": NonInflationary,
-	"datalog-neg-neg": NonInflationary,
-	"invent":          Invent,
-	"datalog-new":     Invent,
-	"semi-positive":   SemiPositive,
-	"semipositive":    SemiPositive,
+func evalResultOf(res *declarative.Result, err error) (*EvalResult, error) {
+	if res == nil {
+		return nil, err
+	}
+	return &EvalResult{Out: res.Out, Stages: res.Rounds, Stats: res.Stats}, err
+}
+
+func coreResultOf(res *core.Result, err error) (*EvalResult, error) {
+	if res == nil {
+		return nil, err
+	}
+	return &EvalResult{Out: res.Out, Stages: res.Stages, Stats: res.Stats}, err
+}
+
+func (s Semantics) String() string {
+	for _, e := range semanticsTable {
+		if e.sem == s {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("Semantics(%d)", uint8(s))
+}
+
+// SemanticsByName maps the CLI spellings (canonical names and
+// aliases) to Semantics values. It is derived from the same table as
+// Semantics.String, so every printable semantics parses back.
+var SemanticsByName = func() map[string]Semantics {
+	m := make(map[string]Semantics)
+	for _, e := range semanticsTable {
+		m[e.name] = e.sem
+		for _, a := range e.aliases {
+			m[a] = e.sem
+		}
+	}
+	return m
+}()
+
+// SemanticsNames returns the canonical semantics names in definition
+// order (for CLI usage strings and API discovery).
+func SemanticsNames() []string {
+	names := make([]string, len(semanticsTable))
+	for i, e := range semanticsTable {
+		names[i] = e.name
+	}
+	return names
+}
+
+// evalConfig is the target functional options apply to: the unified
+// engine options plus facade-level knobs (the nondet seed).
+type evalConfig struct {
+	opt  engine.Options
+	seed int64
+}
+
+// Opt is a functional evaluation option for the Context methods.
+type Opt func(*evalConfig)
+
+// WithStats attaches a statistics collector; the evaluation summary
+// is available on the result (and, for partial evaluations, alongside
+// the typed interruption error).
+func WithStats(c *StatsCollector) Opt { return func(cfg *evalConfig) { cfg.opt.Stats = c } }
+
+// WithMaxStages bounds the number of stages (or iterations/steps for
+// the engines whose unit differs); 0 means the engine default.
+func WithMaxStages(n int) Opt { return func(cfg *evalConfig) { cfg.opt.MaxStages = n } }
+
+// WithWorkers evaluates each stage's rules across n goroutines
+// (inflationary engine); 0 or 1 means sequential.
+func WithWorkers(n int) Opt { return func(cfg *evalConfig) { cfg.opt.Workers = n } }
+
+// WithSeed fixes the RNG seed of sampled nondeterministic runs.
+func WithSeed(seed int64) Opt { return func(cfg *evalConfig) { cfg.seed = seed } }
+
+// WithConflictPolicy selects the Datalog¬¬ conflict policy.
+func WithConflictPolicy(p ConflictPolicy) Opt { return func(cfg *evalConfig) { cfg.opt.Policy = p } }
+
+// WithScan disables hash-index probes (the index-ablation switch).
+func WithScan() Opt { return func(cfg *evalConfig) { cfg.opt.Scan = true } }
+
+// WithTrace observes every stage with the stage number and the
+// current (or newly-inferred) facts.
+func WithTrace(fn func(stage int, state *Instance)) Opt {
+	return func(cfg *evalConfig) { cfg.opt.Trace = fn }
+}
+
+// WithMaxStates bounds exhaustive effect enumeration (distinct
+// instance states; Effects only).
+func WithMaxStates(n int) Opt { return func(cfg *evalConfig) { cfg.opt.MaxStates = n } }
+
+func buildConfig(ctx context.Context, opts []Opt) *evalConfig {
+	cfg := &evalConfig{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	cfg.opt.Ctx = ctx
+	return cfg
+}
+
+// EvalResult is the outcome of EvalContext: the final (or, under a
+// typed interruption error, partial) instance, the number of stages
+// or rounds completed, and the statistics summary when a collector
+// was attached.
+type EvalResult struct {
+	Out    *Instance
+	Stages int
+	Stats  *StatsSummary
 }
 
 // Session ties a universe to parsing and evaluation. A Session is
-// not safe for concurrent use.
+// not safe for concurrent use; use Fork to evaluate concurrently.
 type Session struct {
 	// U is the session's value universe. All programs and instances
 	// of one session share it.
@@ -135,11 +301,21 @@ type Session struct {
 // NewSession returns a fresh session.
 func NewSession() *Session { return &Session{U: value.New()} }
 
+// Fork returns an independent copy of the session: a deep copy of the
+// universe sharing no mutable state with the original. Values — and
+// therefore parsed programs and instances — created before the fork
+// remain valid in both, so N forks can evaluate the same parsed
+// program concurrently (each goroutine uses its own fork).
+func (s *Session) Fork() *Session { return &Session{U: s.U.Clone()} }
+
 // Parse parses a program in the family's concrete syntax.
 func (s *Session) Parse(src string) (*Program, error) { return parser.Parse(src, s.U) }
 
 // MustParse parses a trusted program source, panicking on error.
 func (s *Session) MustParse(src string) *Program { return parser.MustParse(src, s.U) }
+
+// ParseAtom parses a single atom (for Query goals).
+func (s *Session) ParseAtom(src string) (Atom, error) { return parser.ParseAtom(src, s.U) }
 
 // Facts parses ground facts into a fresh instance.
 func (s *Session) Facts(src string) (*Instance, error) { return parser.ParseFacts(src, s.U) }
@@ -153,77 +329,82 @@ func (s *Session) Format(in *Instance) string { return in.String(s.U) }
 // Sym interns (or looks up) a symbol constant.
 func (s *Session) Sym(name string) Value { return s.U.Sym(name) }
 
-// Eval evaluates a deterministic program under the chosen semantics
-// and returns the final instance (input plus derived facts). For
-// WellFounded it returns the true facts; use EvalWellFounded3 for
-// the 3-valued model.
-func (s *Session) Eval(p *Program, in *Instance, sem Semantics) (*Instance, error) {
-	switch sem {
-	case MinimalModel:
-		res, err := declarative.Eval(p, in, s.U, nil)
-		if err != nil {
-			return nil, err
+// EvalContext evaluates a deterministic program under the chosen
+// semantics, bounded by the context: a deadline or cancellation
+// interrupts the engine between stages with ErrDeadline/ErrCanceled
+// (wrapped with the completed stage count) and the partial result.
+// For WellFounded the result instance holds the true facts; use
+// EvalWellFounded3Context for the 3-valued model.
+func (s *Session) EvalContext(ctx context.Context, p *Program, in *Instance, sem Semantics, opts ...Opt) (*EvalResult, error) {
+	cfg := buildConfig(ctx, opts)
+	for _, e := range semanticsTable {
+		if e.sem == sem {
+			return e.eval(s, p, in, &cfg.opt)
 		}
-		return res.Out, nil
-	case Stratified:
-		res, err := declarative.EvalStratified(p, in, s.U, nil)
-		if err != nil {
-			return nil, err
-		}
-		return res.Out, nil
-	case WellFounded:
-		res, err := declarative.EvalWellFounded(p, in, s.U, nil)
-		if err != nil {
-			return nil, err
-		}
-		return res.True, nil
-	case Inflationary:
-		res, err := core.EvalInflationary(p, in, s.U, nil)
-		if err != nil {
-			return nil, err
-		}
-		return res.Out, nil
-	case NonInflationary:
-		res, err := core.EvalNonInflationary(p, in, s.U, nil)
-		if err != nil {
-			return nil, err
-		}
-		return res.Out, nil
-	case Invent:
-		res, err := core.EvalInvent(p, in, s.U, nil)
-		if err != nil {
-			return nil, err
-		}
-		return res.Out, nil
-	case SemiPositive:
-		res, err := declarative.EvalSemiPositive(p, in, s.U, nil)
-		if err != nil {
-			return nil, err
-		}
-		return res.Out, nil
-	default:
-		return nil, fmt.Errorf("unchained: unknown semantics %v", sem)
 	}
+	return nil, fmt.Errorf("unchained: unknown semantics %v", sem)
+}
+
+// Eval evaluates a deterministic program under the chosen semantics
+// and returns the final instance (input plus derived facts).
+//
+// Deprecated: use EvalContext, which adds deadlines, statistics and
+// the other functional options. Eval remains as a thin wrapper.
+func (s *Session) Eval(p *Program, in *Instance, sem Semantics) (*Instance, error) {
+	res, err := s.EvalContext(context.Background(), p, in, sem)
+	if err != nil {
+		return nil, err
+	}
+	return res.Out, nil
 }
 
 // WFS is the 3-valued well-founded model (Section 3.3).
 type WFS = declarative.WFSResult
 
+// EvalWellFounded3Context computes the full 3-valued well-founded
+// model under a context bound.
+func (s *Session) EvalWellFounded3Context(ctx context.Context, p *Program, in *Instance, opts ...Opt) (*WFS, error) {
+	cfg := buildConfig(ctx, opts)
+	return declarative.EvalWellFounded(p, in, s.U, &cfg.opt)
+}
+
 // EvalWellFounded3 computes the full 3-valued well-founded model.
+//
+// Deprecated: use EvalWellFounded3Context.
 func (s *Session) EvalWellFounded3(p *Program, in *Instance) (*WFS, error) {
-	return declarative.EvalWellFounded(p, in, s.U, nil)
+	return s.EvalWellFounded3Context(context.Background(), p, in)
+}
+
+// RunNondetContext performs one sampled nondeterministic computation
+// under dialect d, reproducible in the seed (WithSeed), bounded by
+// the context.
+func (s *Session) RunNondetContext(ctx context.Context, p *Program, d Dialect, in *Instance, opts ...Opt) (*nondet.Result, error) {
+	cfg := buildConfig(ctx, opts)
+	return nondet.Run(p, d, in, s.U, cfg.seed, &cfg.opt)
 }
 
 // RunNondet performs one sampled nondeterministic computation under
 // dialect d (one of the N-Datalog dialects), reproducible in seed.
+//
+// Deprecated: use RunNondetContext with WithSeed.
 func (s *Session) RunNondet(p *Program, d Dialect, in *Instance, seed int64) (*nondet.Result, error) {
-	return nondet.Run(p, d, in, s.U, seed, nil)
+	return s.RunNondetContext(context.Background(), p, d, in, WithSeed(seed))
+}
+
+// EffectsContext exhaustively computes eff(P) on small inputs
+// (Definition 5.2), enabling poss/cert (Definition 5.10), bounded by
+// the context (polled between explored states).
+func (s *Session) EffectsContext(ctx context.Context, p *Program, d Dialect, in *Instance, opts ...Opt) (*nondet.EffectSet, error) {
+	cfg := buildConfig(ctx, opts)
+	return nondet.Effects(p, d, in, s.U, &cfg.opt)
 }
 
 // Effects exhaustively computes eff(P) on small inputs (Definition
 // 5.2), enabling poss/cert (Definition 5.10).
+//
+// Deprecated: use EffectsContext.
 func (s *Session) Effects(p *Program, d Dialect, in *Instance) (*nondet.EffectSet, error) {
-	return nondet.Effects(p, d, in, s.U, nil)
+	return s.EffectsContext(context.Background(), p, d, in)
 }
 
 // WithOrder returns a copy of the instance extended with Succ, First
@@ -246,27 +427,60 @@ const (
 	DialectNDatalogNew    = ast.DialectNDatalogNew
 )
 
-// EvalProvenance runs the inflationary semantics with derivation
-// tracking and returns the fixpoint plus a Provenance for Why
-// queries (see core.Provenance.Render for pretty derivation trees).
-func (s *Session) EvalProvenance(p *Program, in *Instance) (*Instance, *core.Provenance, error) {
-	res, prov, err := core.EvalInflationaryProv(p, in, s.U, nil)
+// EvalProvenanceContext runs the inflationary semantics with
+// derivation tracking under a context bound and returns the fixpoint
+// plus a Provenance for Why queries.
+func (s *Session) EvalProvenanceContext(ctx context.Context, p *Program, in *Instance, opts ...Opt) (*Instance, *core.Provenance, error) {
+	cfg := buildConfig(ctx, opts)
+	res, prov, err := core.EvalInflationaryProv(p, in, s.U, &cfg.opt)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Out, prov, nil
 }
 
+// EvalProvenance runs the inflationary semantics with derivation
+// tracking and returns the fixpoint plus a Provenance for Why
+// queries (see core.Provenance.Render for pretty derivation trees).
+//
+// Deprecated: use EvalProvenanceContext.
+func (s *Session) EvalProvenance(p *Program, in *Instance) (*Instance, *core.Provenance, error) {
+	return s.EvalProvenanceContext(context.Background(), p, in)
+}
+
+// MaterializeContext evaluates a positive Datalog program and returns
+// an incrementally maintainable view whose maintenance operations
+// inherit the context bound.
+func (s *Session) MaterializeContext(ctx context.Context, p *Program, in *Instance, opts ...Opt) (*incr.View, error) {
+	cfg := buildConfig(ctx, opts)
+	return incr.Materialize(p, in, s.U, &cfg.opt)
+}
+
 // Materialize evaluates a positive Datalog program and returns an
 // incrementally maintainable view (semi-naive insertion deltas,
 // delete–rederive for deletions).
+//
+// Deprecated: use MaterializeContext.
 func (s *Session) Materialize(p *Program, in *Instance) (*incr.View, error) {
-	return incr.Materialize(p, in, s.U, nil)
+	return s.MaterializeContext(context.Background(), p, in)
+}
+
+// QueryContext answers a single query atom goal-directedly via the
+// magic-sets rewriting (positive Datalog only) under a context bound,
+// returning the matching tuples and the evaluation summary (nil
+// unless WithStats was passed; on interruption the summary carries
+// the partial progress).
+func (s *Session) QueryContext(ctx context.Context, p *Program, query Atom, in *Instance, opts ...Opt) (*tuple.Relation, *StatsSummary, error) {
+	cfg := buildConfig(ctx, opts)
+	return magic.AnswerStats(p, query, in, s.U, &cfg.opt)
 }
 
 // Query answers a single query atom goal-directedly via the
 // magic-sets rewriting (positive Datalog only). Constant arguments of
 // the query are the bound positions.
+//
+// Deprecated: use QueryContext.
 func (s *Session) Query(p *Program, query ast.Atom, in *Instance) (*tuple.Relation, error) {
-	return magic.Answer(p, query, in, s.U, nil)
+	out, _, err := s.QueryContext(context.Background(), p, query, in)
+	return out, err
 }
