@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench verify serve-smoke
+.PHONY: all build vet test race bench bench-json verify serve-smoke explain-golden
 
 all: verify
 
@@ -20,10 +20,21 @@ test:
 # atomic stats collector, the HTTP daemon (concurrent forked
 # evaluations), and the facade's concurrency tests in the root package.
 race:
-	$(GO) test -race ./internal/core ./internal/eval ./internal/stats ./internal/serve .
+	$(GO) test -race ./internal/core ./internal/eval ./internal/stats ./internal/trace ./internal/serve .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the machine-readable experiment report (quick sizes).
+bench-json:
+	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR3.json
+
+# Render the win-game derivation explanation and diff it against the
+# checked-in golden — catches drift in either the WFS engine or the
+# trace narrative (see docs/OBSERVABILITY.md).
+explain-golden:
+	$(GO) run ./cmd/datalog -program programs/win.dl -facts programs/facts/game_e32.facts \
+		-semantics wellfounded -explain | diff -u cmd/datalog/testdata/golden/win_explain.txt -
 
 # Boot the HTTP daemon on a loopback port and run the smoke sequence:
 # /healthz, one terminating eval, one deadline-bounded eval (must be

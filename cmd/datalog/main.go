@@ -36,6 +36,7 @@ import (
 	"unchained/internal/nondet"
 	"unchained/internal/parser"
 	"unchained/internal/stats"
+	"unchained/internal/trace"
 	"unchained/internal/tuple"
 	"unchained/internal/while"
 )
@@ -74,6 +75,8 @@ func run(args []string, w, ew io.Writer) error {
 	statsOn := fs.Bool("stats", false, "print a JSON evaluation-statistics summary to stderr")
 	workers := fs.Int("workers", 0, "with -semantics inflationary: parallel stage workers (0 = sequential)")
 	timeout := fs.Duration("timeout", 0, "bound evaluation wall time (e.g. 500ms); expiry exits with code 2")
+	tracePath := fs.String("trace", "", "stream a JSONL span-stream trace of the evaluation to this file ('-' for stderr)")
+	explainOn := fs.Bool("explain", false, "render the evaluation as a stage-by-stage narrative (suppresses normal output)")
 	why := fs.String("why", "", "with -semantics inflationary: explain a derived fact, e.g. -why 'T(a,c)'")
 	query := fs.String("query", "", "positive Datalog only: goal-directed (magic-sets) query, e.g. -query 'T(a,Y)'")
 	if err := fs.Parse(args); err != nil {
@@ -94,10 +97,51 @@ func run(args []string, w, ew io.Writer) error {
 	if *statsOn {
 		col = stats.New()
 	}
+	// Tracing without -stats still attaches an auto-created collector
+	// (the span stream rides on it), so results carry a non-nil
+	// summary; the -stats flag alone decides whether it is printed.
 	emitStats := func(sum *stats.Summary) {
-		if sum != nil {
+		if *statsOn && sum != nil {
 			fmt.Fprintln(ew, sum.JSON())
 		}
+	}
+
+	var tracer trace.Tracer
+	var jl *trace.JSONL
+	if *tracePath != "" {
+		tw := ew
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			defer f.Close()
+			tw = f
+		}
+		jl = trace.NewJSONL(tw)
+		tracer = jl
+		defer func() {
+			if err := jl.Err(); err != nil {
+				fmt.Fprintf(ew, "datalog: -trace: %v\n", err)
+			}
+		}()
+	}
+	if *explainOn {
+		rec := trace.NewRecorder(0)
+		tracer = trace.Multi(tracer, rec)
+		// The narrative replaces the normal answer output; it renders
+		// after the run (even a failed one: non-termination and
+		// timeouts are exactly the runs worth explaining).
+		narrW := w
+		w = io.Discard
+		defer func() {
+			if rec.Dropped() > 0 {
+				fmt.Fprintf(narrW, "%% trace ring overflow: %d oldest events dropped\n", rec.Dropped())
+			}
+			if nerr := trace.Narrate(rec.Events(), narrW); nerr != nil {
+				fmt.Fprintf(ew, "datalog: -explain: %v\n", nerr)
+			}
+		}()
 	}
 
 	s := unchained.NewSession()
@@ -106,7 +150,7 @@ func run(args []string, w, ew io.Writer) error {
 		return err
 	}
 	if *language == "while" {
-		return runWhile(ctx, s, src, *factsPath, *attachOrder, col, emitStats, w)
+		return runWhile(ctx, s, src, *factsPath, *attachOrder, col, tracer, emitStats, w)
 	}
 	prog, err := s.Parse(src)
 	if err != nil {
@@ -128,7 +172,7 @@ func run(args []string, w, ew io.Writer) error {
 	}
 
 	if *query != "" {
-		return goalQuery(ctx, s, prog, in, *query, col, emitStats, w)
+		return goalQuery(ctx, s, prog, in, *query, col, tracer, emitStats, w)
 	}
 	var answerPreds []string
 	if *answer != "" {
@@ -138,13 +182,13 @@ func run(args []string, w, ew io.Writer) error {
 		ans := core.Answer(prog, out, answerPreds...)
 		fmt.Fprint(w, s.Format(ans))
 	}
-	opt := &core.Options{Ctx: ctx, Workers: *workers, Stats: col}
+	opt := &core.Options{Ctx: ctx, Workers: *workers, Stats: col, Tracer: tracer}
 	if *stages {
 		opt.Trace = func(stage int, state *tuple.Instance) {
 			fmt.Fprintf(w, "%% stage %d: %d facts\n", stage, state.Facts())
 		}
 	}
-	dopt := &declarative.Options{Ctx: ctx, Stats: col}
+	dopt := &declarative.Options{Ctx: ctx, Stats: col, Tracer: tracer}
 
 	switch *semantics {
 	case "wellfounded", "well-founded":
@@ -180,7 +224,7 @@ func run(args []string, w, ew io.Writer) error {
 		case "ndatalog-new":
 			d = ast.DialectNDatalogNew
 		}
-		res, err := nondet.Run(prog, d, in, s.U, *seed, &nondet.Options{Ctx: ctx, Stats: col})
+		res, err := nondet.Run(prog, d, in, s.U, *seed, &nondet.Options{Ctx: ctx, Stats: col, Tracer: tracer})
 		if res != nil {
 			emitStats(res.Stats)
 		}
@@ -195,7 +239,7 @@ func run(args []string, w, ew io.Writer) error {
 		printAnswer(res.Out)
 		return nil
 	case "effects":
-		eff, err := nondet.Effects(prog, ast.DialectNDatalogNegNeg, in, s.U, &nondet.Options{Ctx: ctx, Stats: col})
+		eff, err := nondet.Effects(prog, ast.DialectNDatalogNegNeg, in, s.U, &nondet.Options{Ctx: ctx, Stats: col, Tracer: tracer})
 		if eff != nil {
 			emitStats(eff.Stats)
 		}
@@ -295,7 +339,7 @@ func run(args []string, w, ew io.Writer) error {
 }
 
 // goalQuery answers a single query atom via the magic-sets rewriting.
-func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, col *stats.Collector, emitStats func(*stats.Summary), w io.Writer) error {
+func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, col *stats.Collector, tracer trace.Tracer, emitStats func(*stats.Summary), w io.Writer) error {
 	// Parse "T(a,Y)" by reusing the rule parser on a synthetic rule.
 	r, err := parser.ParseRule(querySrc+" :- .", s.U)
 	if err != nil {
@@ -305,7 +349,7 @@ func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Progra
 		return fmt.Errorf("-query expects a single positive atom")
 	}
 	q := r.Head[0].Atom
-	ans, sum, err := magic.AnswerStats(prog, q, in, s.U, &declarative.Options{Ctx: ctx, Stats: col})
+	ans, sum, err := magic.AnswerStats(prog, q, in, s.U, &declarative.Options{Ctx: ctx, Stats: col, Tracer: tracer})
 	emitStats(sum)
 	if err != nil {
 		return err
@@ -344,7 +388,7 @@ func explain(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, 
 }
 
 // runWhile parses and runs a while-language program.
-func runWhile(ctx context.Context, s *unchained.Session, src, factsPath string, attachOrder bool, col *stats.Collector, emitStats func(*stats.Summary), w io.Writer) error {
+func runWhile(ctx context.Context, s *unchained.Session, src, factsPath string, attachOrder bool, col *stats.Collector, tracer trace.Tracer, emitStats func(*stats.Summary), w io.Writer) error {
 	prog, err := while.Parse(src, s.U)
 	if err != nil {
 		return fmt.Errorf("parse while program: %w", err)
@@ -367,7 +411,7 @@ func runWhile(ctx context.Context, s *unchained.Session, src, factsPath string, 
 	if prog.Fixpoint() {
 		kind = "fixpoint"
 	}
-	res, err := while.Run(prog, in, s.U, &while.Options{Ctx: ctx, Stats: col})
+	res, err := while.Run(prog, in, s.U, &while.Options{Ctx: ctx, Stats: col, Tracer: tracer})
 	if res != nil {
 		emitStats(res.Stats)
 	}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unchained/internal/engine"
+	"unchained/internal/stats"
+	"unchained/internal/trace"
+)
+
+// explainCases golden-test the -explain narrative against the
+// paper's worked examples: the win game's WFS alternation, the
+// flip-flop non-termination prefix (Section 4.2), and the Theorem
+// 4.8 binary counter's stage counts.
+var explainCases = []struct {
+	name      string
+	args      []string
+	expectErr string // substring of the expected run error ("" = success)
+}{
+	{"win_explain", []string{"-program", "P/win.dl", "-facts", "P/facts/game_e32.facts", "-semantics", "wellfounded", "-explain"}, ""},
+	{"flip_flop_explain", []string{"-program", "P/flip_flop.dl", "-facts", "P/facts/flip.facts", "-semantics", "noninflationary", "-explain"}, "does not terminate"},
+	{"counter4_explain", []string{"-program", "P/counter4.dl", "-semantics", "noninflationary", "-explain"}, ""},
+}
+
+func TestGoldenExplain(t *testing.T) {
+	progDir, err := filepath.Abs("../../programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range explainCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			args := make([]string, len(c.args))
+			for i, a := range c.args {
+				args[i] = strings.Replace(a, "P/", progDir+string(filepath.Separator), 1)
+			}
+			var sb strings.Builder
+			err := run(args, &sb, io.Discard)
+			if c.expectErr == "" {
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), c.expectErr) {
+				t.Fatalf("run error = %v, want substring %q", err, c.expectErr)
+			}
+			got := sb.String()
+			goldenPath := filepath.Join("testdata", "golden", c.name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("narrative mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestTraceMatchesStats is the acceptance cross-check: the JSONL
+// span stream's per-stage derived counts must exactly match the
+// -stats summary, for the paper's three signature programs. Both
+// come from the same run, so this holds even when the counter is
+// interrupted by -timeout mid-count.
+func TestTraceMatchesStats(t *testing.T) {
+	progDir, err := filepath.Abs("../../programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		args      []string
+		interrupt bool
+	}{
+		{"tc_stratified", []string{"-program", "P/tc.dl", "-facts", "P/facts/chain.facts", "-semantics", "stratified"}, false},
+		{"win_wellfounded", []string{"-program", "P/win.dl", "-facts", "P/facts/game_e32.facts", "-semantics", "wellfounded"}, false},
+		{"counter_noninflationary", []string{"-program", "P/counter.dl", "-semantics", "noninflationary", "-timeout", "150ms"}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tracePath := filepath.Join(t.TempDir(), "out.jsonl")
+			args := []string{"-stats", "-trace", tracePath}
+			for _, a := range c.args {
+				args = append(args, strings.Replace(a, "P/", progDir+string(filepath.Separator), 1))
+			}
+			var ew strings.Builder
+			err := run(args, io.Discard, &ew)
+			if c.interrupt {
+				if !engine.IsInterrupt(err) {
+					t.Fatalf("run error = %v, want interrupt", err)
+				}
+			} else if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+
+			var sum stats.Summary
+			if err := json.Unmarshal([]byte(strings.TrimSpace(ew.String())), &sum); err != nil {
+				t.Fatalf("parse -stats output %q: %v", ew.String(), err)
+			}
+			if len(sum.PerStage) == 0 {
+				t.Fatal("stats summary has no per-stage breakdown")
+			}
+
+			f, err := os.Open(tracePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			stageEnds := map[int]trace.Event{}
+			total := 0
+			sc := bufio.NewScanner(f)
+			sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+			for sc.Scan() {
+				var ev trace.Event
+				if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+					t.Fatalf("parse trace line %q: %v", sc.Text(), err)
+				}
+				if ev.Ev == trace.EvEnd && ev.Span == trace.SpanStage && !ev.Confirm {
+					stageEnds[ev.Stage] = ev
+					total++
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			if total != sum.Stages {
+				t.Errorf("trace has %d stage spans, stats reports %d stages", total, sum.Stages)
+			}
+			// The stats per-stage list caps at 1024 entries (the
+			// counter overflows it); every retained entry must match
+			// its trace span exactly.
+			for _, st := range sum.PerStage {
+				ev, ok := stageEnds[st.Stage]
+				if !ok {
+					t.Errorf("stage %d in stats but not in trace", st.Stage)
+					continue
+				}
+				if ev.Derived != st.Derived || ev.Firings != st.Firings || ev.Rederived != st.Rederived || ev.Delta != st.Delta {
+					t.Errorf("stage %d mismatch: trace derived=%d firings=%d rederived=%d delta=%d, stats %d/%d/%d/%d",
+						st.Stage, ev.Derived, ev.Firings, ev.Rederived, ev.Delta,
+						st.Derived, st.Firings, st.Rederived, st.Delta)
+				}
+			}
+			if !sum.StagesTruncated && len(sum.PerStage) != total {
+				t.Errorf("untruncated stats has %d stage entries, trace has %d", len(sum.PerStage), total)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 )
 
 // experiment is one reproducible unit.
@@ -60,6 +61,7 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment id")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	list := flag.Bool("list", false, "list experiment ids")
+	jsonOut := flag.String("json", "", "also write a machine-readable report to this file")
 	flag.Parse()
 
 	if *list {
@@ -73,15 +75,23 @@ func main() {
 		ids[*exp] = true
 	}
 	ran := 0
+	report := benchReport{Quick: *quick}
 	for _, e := range experiments {
 		if *exp != "" && !ids[e.id] {
 			continue
 		}
 		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		digests = nil
+		start := time.Now()
 		if err := e.run(*quick); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		report.Experiments = append(report.Experiments, expReport{
+			ID: e.id, Title: e.title,
+			WallNS: time.Since(start).Nanoseconds(),
+			Stats:  digests,
+		})
 		fmt.Println()
 		ran++
 	}
@@ -93,5 +103,12 @@ func main() {
 		sort.Strings(known)
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %v)\n", *exp, known)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, report); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonOut, len(report.Experiments))
 	}
 }

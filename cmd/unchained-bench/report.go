@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// statsDigest is the machine-readable counterpart of statsNote's
+// one-line console digest.
+type statsDigest struct {
+	Engine      string `json:"engine"`
+	Stages      int    `json:"stages"`
+	Firings     uint64 `json:"firings"`
+	Derived     uint64 `json:"derived"`
+	Rederived   uint64 `json:"rederived"`
+	Retractions uint64 `json:"retractions"`
+	IndexProbes uint64 `json:"index_probes"`
+	FullScans   uint64 `json:"full_scans"`
+	WallNS      int64  `json:"wall_ns"`
+}
+
+// expReport is one experiment's entry in the -json report.
+type expReport struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	WallNS int64  `json:"wall_ns"`
+	// Stats holds the digests the experiment surfaced via statsNote
+	// (typically its largest configuration), in emission order.
+	Stats []statsDigest `json:"stats,omitempty"`
+}
+
+// benchReport is the top-level -json document ("make bench-json"
+// checks one in as BENCH_PR3.json).
+type benchReport struct {
+	Quick       bool        `json:"quick"`
+	Experiments []expReport `json:"experiments"`
+}
+
+// digests accumulates the current experiment's statsNote digests; the
+// bench runs experiments serially, so a single slice suffices.
+var digests []statsDigest
+
+func writeReport(path string, report benchReport) error {
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -8,12 +8,18 @@
 //
 //	unchained-serve [-addr :8344] [-workers 8] [-cache 128]
 //	                [-timeout 30s] [-max-timeout 5m]
+//	                [-ops-addr 127.0.0.1:8345] [-log text]
 //
-// The daemon drains in-flight evaluations on SIGINT/SIGTERM. The
-// -selftest flag boots the server on a loopback port, fires a health
-// check, one terminating evaluation, and one deadline-bounded
-// non-terminating evaluation, then exits — the smoke test used by
-// "make serve-smoke".
+// The daemon drains in-flight evaluations on SIGINT/SIGTERM. With
+// -ops-addr it runs a second listener carrying GET /metrics
+// (Prometheus text) and net/http/pprof under /debug/pprof/ — kept off
+// the service port so profiling endpoints are never exposed to
+// evaluation clients. -log selects structured request logging (text,
+// json, or off; see docs/OBSERVABILITY.md). The -selftest flag boots
+// the server on a loopback port, fires a health check, one
+// terminating evaluation, one deadline-bounded non-terminating
+// evaluation, a traced evaluation, and a /metrics scrape, then exits
+// — the smoke test used by "make serve-smoke".
 package main
 
 import (
@@ -23,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,8 +56,22 @@ func run(args []string, w, ew io.Writer) int {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request evaluation timeout")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper clamp for per-request timeout_ms")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	opsAddr := fs.String("ops-addr", "", "optional ops listener for /metrics and /debug/pprof/ (e.g. 127.0.0.1:8345)")
+	logMode := fs.String("log", "text", "request logging: text, json, or off")
 	selftest := fs.Bool("selftest", false, "boot on a loopback port, run a smoke sequence, exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(ew, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(ew, nil))
+	case "off":
+	default:
+		fmt.Fprintf(ew, "unchained-serve: -log must be text, json, or off (got %q)\n", *logMode)
 		return 2
 	}
 
@@ -58,6 +80,7 @@ func run(args []string, w, ew io.Writer) int {
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
 	}
 
 	if *selftest {
@@ -74,10 +97,23 @@ func run(args []string, w, ew io.Writer) int {
 		fmt.Fprintf(ew, "unchained-serve: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: serve.New(cfg)}
+	service := serve.New(cfg)
+	srv := &http.Server{Handler: service}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(w, "unchained-serve: listening on %s\n", ln.Addr())
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fmt.Fprintf(ew, "unchained-serve: ops listener: %v\n", err)
+			return 1
+		}
+		opsSrv = &http.Server{Handler: opsMux(service)}
+		go opsSrv.Serve(opsLn)
+		fmt.Fprintf(w, "unchained-serve: ops (metrics+pprof) on %s\n", opsLn.Addr())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -96,8 +132,26 @@ func run(args []string, w, ew io.Writer) int {
 			fmt.Fprintf(ew, "unchained-serve: drain: %v\n", err)
 			return 1
 		}
+		if opsSrv != nil {
+			opsSrv.Shutdown(ctx)
+		}
 	}
 	return 0
+}
+
+// opsMux builds the operational mux: Prometheus metrics plus the
+// net/http/pprof handlers. Registered explicitly (not via the pprof
+// package's init side effect on http.DefaultServeMux) so the profiling
+// surface exists only when -ops-addr is set.
+func opsMux(service *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", service.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // runSelftest boots the daemon on a loopback port and exercises the
@@ -183,10 +237,34 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "selftest: deadline eval interrupted after %d stages\n", evalResp.Stages)
 
-	// 4. Service counters.
+	// 4. A traced evaluation: the span stream must come back in the
+	// response, opening with a begin-eval event.
+	status, body, err = postJSON("/v1/eval", serve.EvalRequest{
+		Program:   "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
+		Facts:     "G(a,b). G(b,c).",
+		Semantics: "minimal-model",
+		Trace:     true,
+	})
+	if err != nil {
+		return fmt.Errorf("trace eval: %w", err)
+	}
+	var traced serve.EvalResponse
+	if uerr := json.Unmarshal(body, &traced); uerr != nil {
+		return fmt.Errorf("trace eval: %w (body %s)", uerr, body)
+	}
+	if status != http.StatusOK || len(traced.Trace) == 0 ||
+		traced.Trace[0].Ev != "begin" || traced.Trace[0].Span != "eval" {
+		return fmt.Errorf("trace eval: status %d, %d events", status, len(traced.Trace))
+	}
+	fmt.Fprintf(w, "selftest: trace eval ok (%d events)\n", len(traced.Trace))
+
+	// 5. Service counters.
 	resp, err = http.Get(base + "/statsz")
 	if err != nil {
 		return fmt.Errorf("statsz: %w", err)
+	}
+	if rid := resp.Header.Get("X-Request-Id"); !strings.HasPrefix(rid, "req-") {
+		return fmt.Errorf("statsz: X-Request-Id = %q", rid)
 	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
@@ -194,9 +272,27 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 	if err := json.Unmarshal(body, &st); err != nil {
 		return fmt.Errorf("statsz: %w (body %s)", err, body)
 	}
-	if st.EvalsOK < 1 || st.Timeouts < 1 {
+	if st.EvalsOK < 2 || st.Timeouts < 1 {
 		return fmt.Errorf("statsz counters off: %s", body)
 	}
 	fmt.Fprintf(w, "selftest: statsz ok (evals_ok=%d timeouts=%d)\n", st.EvalsOK, st.Timeouts)
+
+	// 6. Prometheus exposition.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# TYPE unchained_requests_total counter",
+		"unchained_evals_ok_total",
+		"unchained_request_duration_seconds_bucket{le=",
+	} {
+		if !strings.Contains(string(body), want) {
+			return fmt.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	fmt.Fprintf(w, "selftest: metrics ok\n")
 	return nil
 }

@@ -137,6 +137,7 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 			pend = stageParallel(rules, ctx, workers, col)
 		} else {
 			for ri, cr := range rules {
+				col.BeginRule(ri)
 				cr.Enumerate(ctx, func(b eval.Binding) bool {
 					derived, reder := 0, 0
 					for _, f := range cr.HeadFacts(b, nil) {
@@ -154,6 +155,7 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 					col.Fired(ri, derived, reder)
 					return true
 				})
+				col.EndRule(ri)
 			}
 		}
 		delta := tuple.NewInstance()
@@ -248,6 +250,7 @@ func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.
 	pos := tuple.NewInstance()
 	neg := tuple.NewInstance()
 	for ri, cr := range rules {
+		col.BeginRule(ri)
 		cr.Enumerate(ctx, func(b eval.Binding) bool {
 			derived, reder := 0, 0
 			for _, f := range cr.HeadFacts(b, nil) {
@@ -264,6 +267,7 @@ func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.
 			col.Fired(ri, derived, reder)
 			return true
 		})
+		col.EndRule(ri)
 	}
 	next := cur.Clone()
 	applied := 0
@@ -393,6 +397,7 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 		var pend []eval.Fact
 		for ri, cr := range rules {
 			ho := cr.HeadOnlyVarIDs()
+			col.BeginRule(ri)
 			cr.Enumerate(ctx, func(b eval.Binding) bool {
 				var facts []eval.Fact
 				if len(ho) == 0 {
@@ -422,6 +427,7 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 				col.Fired(ri, derived, reder)
 				return true
 			})
+			col.EndRule(ri)
 		}
 		delta := 0
 		for _, f := range pend {

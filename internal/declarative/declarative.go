@@ -264,7 +264,9 @@ func EvalStratified(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *
 		for _, pred := range strat.Strata[s] {
 			recursive[pred] = true
 		}
+		col.BeginPhase("stratum", s+1)
 		rounds, err := semiNaive(srules, out, nil, recursive, adom, opt)
+		col.EndPhase("stratum", s+1)
 		totalRounds += rounds
 		if err != nil {
 			return &Result{Out: out, Rounds: totalRounds, Stats: col.Summary()}, err
@@ -376,9 +378,13 @@ func EvalWellFounded(p *ast.Program, in *tuple.Instance, u *value.Universe, opt 
 	col.Reset("wellfounded", nil)
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 
+	gammaN := 0
 	gamma := func(s *tuple.Instance) (*tuple.Instance, error) {
+		gammaN++
+		col.BeginPhase("gamma", gammaN)
 		out := in.Clone()
 		_, err := semiNaive(rules, out, s, idb, adom, opt)
+		col.EndPhase("gamma", gammaN)
 		return out, err
 	}
 

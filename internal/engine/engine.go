@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"unchained/internal/stats"
+	"unchained/internal/trace"
 	"unchained/internal/tuple"
 )
 
@@ -149,12 +150,29 @@ type Options struct {
 	// Trace, if non-nil, is called after every stage with the stage
 	// number (1-based) and the facts newly inferred (inflationary) or
 	// the full instance state (noninflationary, invent).
+	//
+	// Deprecated: Trace is the legacy bare stage hook, kept as an
+	// adapter for callers that want the instance state itself (the
+	// structured span stream carries counters, not tuples). New code
+	// should use Tracer, which covers every engine uniformly.
 	Trace func(stage int, state *tuple.Instance)
 
 	// Stats, if non-nil, collects per-stage and per-rule evaluation
 	// statistics; the summary is attached to the engine's result. A
 	// nil collector adds no work and no allocations.
 	Stats *stats.Collector
+
+	// Tracer, if non-nil, receives the structured span stream (eval →
+	// stratum → stage → rule spans plus retraction/conflict/invention
+	// points) for the run. Emission rides on the stats collector:
+	// Collector() wires the tracer into Stats, creating a private
+	// collector when Stats is nil, so tracing works with or without
+	// explicit statistics.
+	Tracer trace.Tracer
+
+	// autoStats is the memoized collector Collector() creates when
+	// Tracer is set without Stats.
+	autoStats *stats.Collector
 }
 
 // Validate rejects option values with no meaningful interpretation;
@@ -229,13 +247,29 @@ func IsInterrupt(err error) bool {
 // ScanEnabled reports the index-ablation switch.
 func (o *Options) ScanEnabled() bool { return o != nil && o.Scan }
 
-// Collector returns the configured stats collector (nil for none; a
+// Collector returns the stats collector engines should record into:
+// the configured Stats, wired to the Tracer when one is set, or a
+// private collector created to carry the span stream when tracing is
+// requested without explicit statistics. Nil when neither is set (a
 // nil *stats.Collector is itself a valid no-op recorder).
 func (o *Options) Collector() *stats.Collector {
 	if o == nil {
 		return nil
 	}
-	return o.Stats
+	if o.Stats != nil {
+		if o.Tracer != nil {
+			o.Stats.SetTracer(o.Tracer)
+		}
+		return o.Stats
+	}
+	if o.Tracer != nil {
+		if o.autoStats == nil {
+			o.autoStats = stats.New()
+			o.autoStats.SetTracer(o.Tracer)
+		}
+		return o.autoStats
+	}
+	return nil
 }
 
 // Conflict returns the configured conflict policy.

@@ -71,7 +71,11 @@ func Materialize(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *dec
 		scan:  opt != nil && opt.Scan,
 	}
 	if opt != nil {
-		v.Stats = opt.Stats
+		// Collector() rather than the bare Stats field: when only a
+		// Tracer is configured, maintenance operations keep emitting
+		// into the same auto-created collector the materialization
+		// run traced through.
+		v.Stats = opt.Collector()
 		v.ctx = opt.Ctx
 	}
 	// declarative.Eval labeled the collector "minimal-model"; from

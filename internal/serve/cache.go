@@ -24,10 +24,11 @@ type cacheEntry struct {
 type progCache struct {
 	mu     sync.Mutex
 	cap    int
-	order  *list.List // front = most recently used; values are *cacheEntry
-	byKey  map[string]*list.Element
-	hits   uint64
-	misses uint64
+	order     *list.List // front = most recently used; values are *cacheEntry
+	byKey     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 func newProgCache(capacity int) *progCache {
@@ -79,13 +80,14 @@ func (c *progCache) get(src string) (*cacheEntry, error) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 	return entry, nil
 }
 
-// stats returns hit/miss/size counters for /statsz.
-func (c *progCache) stats() (hits, misses uint64, size int) {
+// stats returns hit/miss/eviction/size counters for /statsz.
+func (c *progCache) stats() (hits, misses, evictions uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.order.Len()
+	return c.hits, c.misses, c.evictions, c.order.Len()
 }

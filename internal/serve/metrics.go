@@ -1,0 +1,101 @@
+// Prometheus text-format exposition (version 0.0.4), hand-rolled so
+// the daemon stays dependency-free. GET /metrics renders the same
+// Statsz snapshot as /statsz plus two latency histograms and the
+// per-semantics eval counters.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// secBounds are the cumulative histogram bucket upper bounds, in
+// seconds: 1ms to 10s, roughly log-spaced. Requests slower than the
+// last bound land in the implicit +Inf bucket.
+var secBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// latHist is a lock-free cumulative latency histogram over secBounds.
+type latHist struct {
+	counts []atomic.Uint64 // len(secBounds)+1; last is +Inf
+	sumNS  atomic.Int64
+	n      atomic.Uint64
+}
+
+func newLatHist() *latHist {
+	return &latHist{counts: make([]atomic.Uint64, len(secBounds)+1)}
+}
+
+func (h *latHist) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(secBounds, sec) // first bound >= sec
+	h.counts[i].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	h.n.Add(1)
+}
+
+// writeHist renders one histogram family: cumulative _bucket series,
+// then _sum (seconds) and _count.
+func writeHist(w http.ResponseWriter, name, help string, h *latHist) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i, bound := range secBounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(secBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(float64(h.sumNS.Load())/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
+}
+
+func writeCounter(w http.ResponseWriter, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+func writeGauge(w http.ResponseWriter, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	z := s.snapshot()
+
+	writeCounter(w, "unchained_requests_total", "HTTP requests received.", z.Requests)
+	writeCounter(w, "unchained_evals_ok_total", "Evaluations completed successfully.", z.EvalsOK)
+	writeCounter(w, "unchained_eval_errors_total", "Evaluations failed with an evaluation error.", z.EvalErrors)
+	writeCounter(w, "unchained_timeouts_total", "Evaluations interrupted by deadline.", z.Timeouts)
+	writeCounter(w, "unchained_canceled_total", "Evaluations interrupted by client cancellation.", z.Canceled)
+	writeCounter(w, "unchained_bad_requests_total", "Requests rejected before evaluation.", z.BadRequests)
+	writeCounter(w, "unchained_stages_run_total", "Evaluation stages executed across all requests.", z.StagesRun)
+	writeCounter(w, "unchained_parse_cache_hits_total", "Parse cache hits.", z.CacheHits)
+	writeCounter(w, "unchained_parse_cache_misses_total", "Parse cache misses.", z.CacheMisses)
+	writeCounter(w, "unchained_parse_cache_evictions_total", "Parse cache LRU evictions.", z.CacheEvictions)
+	writeCounter(w, "unchained_workers_clamped_total", "Requests whose workers field was clamped to the server maximum.", z.WorkersClamped)
+	writeCounter(w, "unchained_timeouts_clamped_total", "Requests whose timeout_ms was clamped to the server maximum.", z.TimeoutsClamped)
+
+	writeGauge(w, "unchained_in_flight", "Evaluations currently running.", z.InFlight)
+	writeGauge(w, "unchained_parse_cache_size", "Programs currently cached.", int64(z.CacheSize))
+
+	fmt.Fprintf(w, "# HELP unchained_evals_by_semantics_total Evaluation attempts by semantics (\"query\" = magic-sets).\n")
+	fmt.Fprintf(w, "# TYPE unchained_evals_by_semantics_total counter\n")
+	names := make([]string, 0, len(s.semCounts))
+	for name := range s.semCounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "unchained_evals_by_semantics_total{semantics=%q} %d\n", name, s.semCounts[name].Load())
+	}
+
+	writeHist(w, "unchained_request_duration_seconds", "HTTP request latency.", s.reqLat)
+	writeHist(w, "unchained_eval_duration_seconds", "Engine evaluation latency (eval and query).", s.evalLat)
+}

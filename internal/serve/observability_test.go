@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"unchained/internal/queries"
+)
+
+func newTestLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+// newInstrumentedServer exposes the *Server alongside its listener so
+// tests can cross-check internal counters against the HTTP surfaces.
+func newInstrumentedServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestTimeoutIncrementsFailureCounterOnce: a 408 deadline must count
+// as exactly one timeout and zero eval errors — the satellite's
+// double-counting guard.
+func TestTimeoutIncrementsFailureCounterOnce(t *testing.T) {
+	srv, ts := newInstrumentedServer(t)
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Program:   queries.Counter(30),
+		Semantics: "noninflationary",
+		TimeoutMS: 100,
+	})
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	z := srv.snapshot()
+	if z.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want exactly 1", z.Timeouts)
+	}
+	if z.EvalErrors != 0 {
+		t.Errorf("eval_errors = %d, want 0 (timeout must not double-count)", z.EvalErrors)
+	}
+	if z.Canceled != 0 {
+		t.Errorf("canceled = %d, want 0", z.Canceled)
+	}
+}
+
+// parseMetrics reads the un-labeled series from a Prometheus text
+// exposition into name -> value.
+func parseMetrics(t *testing.T, body string) map[string]uint64 {
+	t.Helper()
+	out := map[string]uint64{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		out[name] = uint64(n)
+	}
+	return out
+}
+
+// TestStatszAndMetricsAgree is the satellite round-trip: every
+// counter must be reported identically by /statsz and /metrics. The
+// requests counter is the one principled exception — the /metrics GET
+// itself increments it, so it reads exactly one higher.
+func TestStatszAndMetricsAgree(t *testing.T) {
+	_, ts := newInstrumentedServer(t)
+	// Generate traffic on every counter class: one success, one parse
+	// failure, one timeout.
+	post(t, ts.URL+"/v1/eval", EvalRequest{Program: tcProgram, Facts: `G(a,b).`, Semantics: "minimal-model"})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Program: `not a program (`})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Program: queries.Counter(30), Semantics: "noninflationary", TimeoutMS: 50})
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var z Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&z); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(mresp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	mresp.Body.Close()
+	m := parseMetrics(t, sb.String())
+
+	pairs := []struct {
+		metric string
+		statsz uint64
+	}{
+		{"unchained_evals_ok_total", z.EvalsOK},
+		{"unchained_eval_errors_total", z.EvalErrors},
+		{"unchained_timeouts_total", z.Timeouts},
+		{"unchained_canceled_total", z.Canceled},
+		{"unchained_bad_requests_total", z.BadRequests},
+		{"unchained_stages_run_total", z.StagesRun},
+		{"unchained_parse_cache_hits_total", z.CacheHits},
+		{"unchained_parse_cache_misses_total", z.CacheMisses},
+		{"unchained_parse_cache_evictions_total", z.CacheEvictions},
+		{"unchained_workers_clamped_total", z.WorkersClamped},
+		{"unchained_timeouts_clamped_total", z.TimeoutsClamped},
+		{"unchained_parse_cache_size", uint64(z.CacheSize)},
+	}
+	for _, p := range pairs {
+		got, ok := m[p.metric]
+		if !ok {
+			t.Errorf("metric %s missing from /metrics", p.metric)
+			continue
+		}
+		if got != p.statsz {
+			t.Errorf("%s = %d in /metrics, %d in /statsz", p.metric, got, p.statsz)
+		}
+	}
+	// The /metrics GET ran after the /statsz snapshot: exactly one
+	// request apart, never more.
+	if got := m["unchained_requests_total"]; got != z.Requests+1 {
+		t.Errorf("requests_total = %d, want statsz %d + 1 (the /metrics GET itself)", got, z.Requests)
+	}
+	if z.EvalsOK != 1 || z.BadRequests != 1 || z.Timeouts != 1 {
+		t.Errorf("traffic not attributed: ok=%d bad=%d timeout=%d, want 1/1/1", z.EvalsOK, z.BadRequests, z.Timeouts)
+	}
+}
+
+// TestMetricsExposition checks the acceptance criterion directly: the
+// body is valid Prometheus text exposition with counters and at least
+// one histogram.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newInstrumentedServer(t)
+	post(t, ts.URL+"/v1/eval", EvalRequest{Program: tcProgram, Facts: `G(a,b).`, Semantics: "stratified"})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE unchained_requests_total counter",
+		"# TYPE unchained_in_flight gauge",
+		"# TYPE unchained_request_duration_seconds histogram",
+		"unchained_request_duration_seconds_bucket{le=\"+Inf\"}",
+		"unchained_eval_duration_seconds_bucket{le=\"0.001\"}",
+		"unchained_request_duration_seconds_sum",
+		"unchained_request_duration_seconds_count",
+		`unchained_evals_by_semantics_total{semantics="stratified"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Bucket counts must be cumulative: +Inf equals _count.
+	var infV, countV string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "unchained_request_duration_seconds_bucket{le=\"+Inf\"} ") {
+			infV = strings.Fields(line)[1]
+		}
+		if strings.HasPrefix(line, "unchained_request_duration_seconds_count ") {
+			countV = strings.Fields(line)[1]
+		}
+	}
+	if infV == "" || infV != countV {
+		t.Errorf("+Inf bucket %q != _count %q", infV, countV)
+	}
+}
+
+// TestEvalTraceCapture: "trace": true returns the span stream in the
+// response, and — because tracing rides an auto-created collector —
+// must NOT leak a stats block the request didn't ask for.
+func TestEvalTraceCapture(t *testing.T) {
+	_, ts := newInstrumentedServer(t)
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Program:   tcProgram,
+		Facts:     `G(a,b). G(b,c).`,
+		Semantics: "minimal-model",
+		Trace:     true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || len(out.Trace) == 0 {
+		t.Fatalf("no trace captured: %+v", out)
+	}
+	first := out.Trace[0]
+	if first.Ev != "begin" || first.Span != "eval" {
+		t.Errorf("first event %+v, want begin eval", first)
+	}
+	last := out.Trace[len(out.Trace)-1]
+	if last.Ev != "end" || last.Span != "eval" || last.Stages == 0 {
+		t.Errorf("last event %+v, want end eval with stage total", last)
+	}
+	if out.Stats != nil {
+		t.Errorf("stats leaked without \"stats\": true: %+v", out.Stats)
+	}
+	if out.TraceDropped != 0 {
+		t.Errorf("trace dropped %d events on a tiny program", out.TraceDropped)
+	}
+}
+
+// TestRequestIDHeader: every response carries a request ID, and the
+// logger (when configured) records it.
+func TestRequestIDHeader(t *testing.T) {
+	var logBuf strings.Builder
+	srv := New(Config{Logger: newTestLogger(&logBuf)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rid := resp.Header.Get("X-Request-Id")
+	if !strings.HasPrefix(rid, "req-") {
+		t.Fatalf("X-Request-Id = %q, want req- prefix", rid)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, rid) || !strings.Contains(logged, "/healthz") {
+		t.Errorf("log record missing id/path: %q", logged)
+	}
+}

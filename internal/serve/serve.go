@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,9 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps the per-request timeout_ms (default 5m).
 	MaxTimeout time.Duration
+	// Logger, if non-nil, receives one structured record per request
+	// (id, method, path, status, duration).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -76,36 +80,91 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	// Monotonic service counters, reported by /statsz.
-	requests  atomic.Uint64
-	evalsOK   atomic.Uint64
-	evalErrs  atomic.Uint64
-	timeouts  atomic.Uint64
-	cancels   atomic.Uint64
-	badReqs   atomic.Uint64
-	inFlight  atomic.Int64
-	stagesRun atomic.Uint64
+	// Monotonic service counters, reported by /statsz and /metrics.
+	requests       atomic.Uint64
+	evalsOK        atomic.Uint64
+	evalErrs       atomic.Uint64
+	timeouts       atomic.Uint64
+	cancels        atomic.Uint64
+	badReqs        atomic.Uint64
+	inFlight       atomic.Int64
+	stagesRun      atomic.Uint64
+	workersClamped atomic.Uint64
+	timeoutClamped atomic.Uint64
+
+	// Observability surface: request/eval latency histograms,
+	// per-semantics eval counters (map built once in New, so lock-free
+	// reads), structured request logging.
+	reqLat    *latHist
+	evalLat   *latHist
+	semCounts map[string]*atomic.Uint64
+	log       *slog.Logger
+	reqSeq    atomic.Uint64
 }
 
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg.withDefaults(),
-		cache: newProgCache(cfg.withDefaults().CacheSize),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:       cfg.withDefaults(),
+		cache:     newProgCache(cfg.withDefaults().CacheSize),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		reqLat:    newLatHist(),
+		evalLat:   newLatHist(),
+		semCounts: map[string]*atomic.Uint64{},
+		log:       cfg.Logger,
 	}
+	for _, name := range unchained.SemanticsNames() {
+		s.semCounts[name] = &atomic.Uint64{}
+	}
+	s.semCounts["query"] = &atomic.Uint64{}
 	s.mux.HandleFunc("/v1/eval", s.handleEval)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// MetricsHandler exposes just the Prometheus endpoint, for serving on
+// a separate ops listener alongside net/http/pprof. Requests through
+// it bypass the request counter/logger wrapper.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(s.handleMetrics)
+}
+
+// statusWriter captures the response status for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: counts, stamps a request ID,
+// times the request into the latency histogram, and logs one
+// structured record when a logger is configured.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
+	rid := fmt.Sprintf("req-%06x", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", rid)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	begin := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(begin)
+	s.reqLat.observe(dur)
+	if s.log != nil {
+		s.log.Info("request",
+			"id", rid,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(dur.Nanoseconds())/1e6,
+		)
+	}
 }
 
 // ErrorInfo is the JSON error payload.
@@ -135,6 +194,10 @@ type EvalRequest struct {
 	Workers int `json:"workers"`
 	// Stats requests the evaluation statistics summary.
 	Stats bool `json:"stats"`
+	// Trace requests a per-request capture of the structured span
+	// stream (bounded to the most recent events), returned in the
+	// response's "trace" field.
+	Trace bool `json:"trace"`
 }
 
 // EvalResponse is the body of POST /v1/eval responses. On a typed
@@ -146,7 +209,11 @@ type EvalResponse struct {
 	Output    string                  `json:"output,omitempty"`
 	Stages    int                     `json:"stages,omitempty"`
 	Stats     *unchained.StatsSummary `json:"stats,omitempty"`
-	Error     *ErrorInfo              `json:"error,omitempty"`
+	// Trace is the captured span stream (request field "trace": true);
+	// TraceDropped counts events that fell off the bounded ring.
+	Trace        []unchained.TraceEvent `json:"trace,omitempty"`
+	TraceDropped uint64                 `json:"trace_dropped,omitempty"`
+	Error        *ErrorInfo             `json:"error,omitempty"`
 }
 
 // QueryRequest is the body of POST /v1/query: a goal-directed
@@ -210,6 +277,9 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 		d = time.Duration(timeoutMS) * time.Millisecond
 	}
 	if d > s.cfg.MaxTimeout {
+		if timeoutMS > 0 {
+			s.timeoutClamped.Add(1)
+		}
 		d = s.cfg.MaxTimeout
 	}
 	if d <= 0 {
@@ -224,9 +294,18 @@ func (s *Server) workerCount(requested int) int {
 		w = s.cfg.DefaultWorkers
 	}
 	if w > s.cfg.MaxWorkers {
+		s.workersClamped.Add(1)
 		w = s.cfg.MaxWorkers
 	}
 	return w
+}
+
+// countSemantics attributes one evaluation attempt to its semantics
+// ("query" for magic-sets queries).
+func (s *Server) countSemantics(name string) {
+	if c, ok := s.semCounts[name]; ok {
+		c.Add(1)
+	}
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
@@ -279,16 +358,32 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if req.Stats {
 		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
 	}
+	var rec *unchained.TraceRecorder
+	if req.Trace {
+		rec = unchained.NewTraceRecorder(0)
+		opts = append(opts, unchained.WithTracer(rec))
+	}
 
+	s.countSemantics(sem.String())
 	s.inFlight.Add(1)
+	evalBegin := time.Now()
 	res, err := sess.EvalContext(ctx, entry.prog, in, sem, opts...)
+	s.evalLat.observe(time.Since(evalBegin))
 	s.inFlight.Add(-1)
 
 	resp := EvalResponse{Semantics: sem.String()}
 	if res != nil {
 		resp.Stages = res.Stages
-		resp.Stats = res.Stats
+		// Gate on the request flag: tracing attaches an auto-created
+		// collector, so res.Stats can be non-nil without "stats".
+		if req.Stats {
+			resp.Stats = res.Stats
+		}
 		s.stagesRun.Add(uint64(res.Stages))
+	}
+	if rec != nil {
+		resp.Trace = rec.Events()
+		resp.TraceDropped = rec.Dropped()
 	}
 	if err != nil {
 		kind, status := classify(err)
@@ -348,8 +443,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
 	}
 
+	s.countSemantics("query")
 	s.inFlight.Add(1)
+	evalBegin := time.Now()
 	rel, summary, err := sess.QueryContext(ctx, entry.prog, goal, in, opts...)
+	s.evalLat.observe(time.Since(evalBegin))
 	s.inFlight.Add(-1)
 
 	resp := QueryResponse{Stats: summary}
@@ -391,36 +489,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Statsz is the body of GET /statsz.
+// Statsz is the body of GET /statsz. It is also the single snapshot
+// /metrics renders from, so the two surfaces can never disagree on a
+// counter value taken at the same instant.
 type Statsz struct {
-	UptimeMS    int64  `json:"uptime_ms"`
-	Requests    uint64 `json:"requests"`
-	EvalsOK     uint64 `json:"evals_ok"`
-	EvalErrors  uint64 `json:"eval_errors"`
-	Timeouts    uint64 `json:"timeouts"`
-	Canceled    uint64 `json:"canceled"`
-	BadRequests uint64 `json:"bad_requests"`
-	InFlight    int64  `json:"in_flight"`
-	StagesRun   uint64 `json:"stages_run"`
-	CacheHits   uint64 `json:"cache_hits"`
-	CacheMisses uint64 `json:"cache_misses"`
-	CacheSize   int    `json:"cache_size"`
+	UptimeMS        int64  `json:"uptime_ms"`
+	Requests        uint64 `json:"requests"`
+	EvalsOK         uint64 `json:"evals_ok"`
+	EvalErrors      uint64 `json:"eval_errors"`
+	Timeouts        uint64 `json:"timeouts"`
+	Canceled        uint64 `json:"canceled"`
+	BadRequests     uint64 `json:"bad_requests"`
+	InFlight        int64  `json:"in_flight"`
+	StagesRun       uint64 `json:"stages_run"`
+	WorkersClamped  uint64 `json:"workers_clamped"`
+	TimeoutsClamped uint64 `json:"timeouts_clamped"`
+	CacheHits       uint64 `json:"cache_hits"`
+	CacheMisses     uint64 `json:"cache_misses"`
+	CacheEvictions  uint64 `json:"cache_evictions"`
+	CacheSize       int    `json:"cache_size"`
+}
+
+// snapshot reads every service counter once; both /statsz and
+// /metrics serialize this one struct.
+func (s *Server) snapshot() Statsz {
+	hits, misses, evictions, size := s.cache.stats()
+	return Statsz{
+		UptimeMS:        time.Since(s.start).Milliseconds(),
+		Requests:        s.requests.Load(),
+		EvalsOK:         s.evalsOK.Load(),
+		EvalErrors:      s.evalErrs.Load(),
+		Timeouts:        s.timeouts.Load(),
+		Canceled:        s.cancels.Load(),
+		BadRequests:     s.badReqs.Load(),
+		InFlight:        s.inFlight.Load(),
+		StagesRun:       s.stagesRun.Load(),
+		WorkersClamped:  s.workersClamped.Load(),
+		TimeoutsClamped: s.timeoutClamped.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvictions:  evictions,
+		CacheSize:       size,
+	}
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	hits, misses, size := s.cache.stats()
-	writeJSON(w, http.StatusOK, Statsz{
-		UptimeMS:    time.Since(s.start).Milliseconds(),
-		Requests:    s.requests.Load(),
-		EvalsOK:     s.evalsOK.Load(),
-		EvalErrors:  s.evalErrs.Load(),
-		Timeouts:    s.timeouts.Load(),
-		Canceled:    s.cancels.Load(),
-		BadRequests: s.badReqs.Load(),
-		InFlight:    s.inFlight.Load(),
-		StagesRun:   s.stagesRun.Load(),
-		CacheHits:   hits,
-		CacheMisses: misses,
-		CacheSize:   size,
-	})
+	writeJSON(w, http.StatusOK, s.snapshot())
 }

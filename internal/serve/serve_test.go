@@ -230,12 +230,15 @@ func TestParseCache(t *testing.T) {
 	if e4, _ := c.get(p1); e4 == e1 {
 		t.Fatal("evicted entry must be re-parsed")
 	}
-	hits, misses, size := c.stats()
+	hits, misses, evictions, size := c.stats()
 	if size != 2 {
 		t.Fatalf("size = %d, want capacity 2", size)
 	}
 	if hits != 1 || misses != 4 {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (p1 then p2 aged out)", evictions)
 	}
 	if _, err := c.get(`not a program (`); err == nil {
 		t.Fatal("parse error must surface")

@@ -25,6 +25,8 @@ import (
 	"encoding/json"
 	"sync/atomic"
 	"time"
+
+	"unchained/internal/trace"
 )
 
 // maxStageEntries bounds the per-stage detail list. Engines like the
@@ -151,6 +153,17 @@ type Collector struct {
 	stages     []StageStats
 	stageCount int
 	truncated  bool
+
+	// Tracing state: the collector doubles as the span-stream
+	// producer, because it is the one component every engine already
+	// brackets its stages through. All fields below are touched only
+	// from the engine's goroutine (like stage bracketing).
+	tracer     trace.Tracer
+	evalOpen   bool // begin-eval emitted, end-eval not yet
+	stageOpen  bool // begin-stage emitted, end-stage not yet
+	phaseStart time.Time
+	ruleStart  time.Time
+	ruleMark   counters
 }
 
 // counters is a snapshot of the cumulative counters, used to compute
@@ -168,6 +181,68 @@ func New() *Collector { return &Collector{} }
 // guard engines use before computing expensive method arguments.
 func (c *Collector) Enabled() bool { return c != nil }
 
+// SetTracer attaches a span-stream sink: from now on the collector
+// mirrors its stage bracketing (and rule/phase/point calls) as
+// trace.Events. Passing nil detaches. Must be called before the
+// engine runs, from the engine's goroutine.
+func (c *Collector) SetTracer(t trace.Tracer) {
+	if c == nil {
+		return
+	}
+	c.tracer = t
+}
+
+// Tracing reports whether a sink is attached.
+func (c *Collector) Tracing() bool { return c != nil && c.tracer != nil }
+
+// currentStage is the stage number events emitted right now belong
+// to: the open stage if one is open, else the last completed one.
+func (c *Collector) currentStage() int {
+	if c.stageOpen {
+		return c.stageCount + 1
+	}
+	return c.stageCount
+}
+
+// closeEval balances any dangling spans and emits the end-eval
+// event. confirm marks a dangling stage as the engines' final
+// no-change confirmation pass (the normal Summary path); Reset uses
+// confirm=false when closing a run abandoned on an error path.
+func (c *Collector) closeEval(confirm bool) {
+	if c.tracer == nil || !c.evalOpen {
+		return
+	}
+	cur := c.snapshot()
+	if c.stageOpen {
+		c.tracer.Emit(trace.Event{
+			Ev: trace.EvEnd, Span: trace.SpanStage,
+			Stage:       c.stageCount + 1,
+			Firings:     cur.firings - c.mark.firings,
+			Derived:     cur.derived - c.mark.derived,
+			Rederived:   cur.rederived - c.mark.rederived,
+			Retractions: cur.retractions - c.mark.retractions,
+			Conflicts:   cur.conflicts - c.mark.conflicts,
+			Invented:    cur.invented - c.mark.invented,
+			DurNS:       time.Since(c.stageStart).Nanoseconds(),
+			Confirm:     confirm,
+		})
+		c.stageOpen = false
+	}
+	c.tracer.Emit(trace.Event{
+		Ev: trace.EvEnd, Span: trace.SpanEval,
+		Engine:      c.engine,
+		Stages:      c.stageCount,
+		Firings:     cur.firings,
+		Derived:     cur.derived,
+		Rederived:   cur.rederived,
+		Retractions: cur.retractions,
+		Conflicts:   cur.conflicts,
+		Invented:    cur.invented,
+		DurNS:       time.Since(c.start).Nanoseconds(),
+	})
+	c.evalOpen = false
+}
+
 // Reset clears all counters and names the engine about to run.
 // ruleNames, when non-nil, enables the per-rule breakdown (Fired's
 // rule index refers into it). Called by top-level engine entry
@@ -176,6 +251,7 @@ func (c *Collector) Reset(engine string, ruleNames []string) {
 	if c == nil {
 		return
 	}
+	c.closeEval(false) // previous run abandoned without Summary
 	c.engine = engine
 	c.ruleNames = ruleNames
 	c.rules = make([]ruleCounters, len(ruleNames))
@@ -193,6 +269,11 @@ func (c *Collector) Reset(engine string, ruleNames []string) {
 	c.start = time.Now()
 	c.stageStart = c.start
 	c.mark = counters{}
+	if c.tracer != nil {
+		c.evalOpen = true
+		c.stageOpen = false
+		c.tracer.Emit(trace.Event{Ev: trace.EvBegin, Span: trace.SpanEval, Engine: engine})
+	}
 }
 
 // SetEngine renames the engine without clearing counters; wrappers
@@ -223,6 +304,10 @@ func (c *Collector) BeginStage() {
 	}
 	c.stageStart = time.Now()
 	c.mark = c.snapshot()
+	if c.tracer != nil {
+		c.stageOpen = true
+		c.tracer.Emit(trace.Event{Ev: trace.EvBegin, Span: trace.SpanStage, Stage: c.stageCount + 1})
+	}
 }
 
 // EndStage closes the stage opened by the last BeginStage, recording
@@ -235,12 +320,12 @@ func (c *Collector) EndStage(delta int) {
 		return
 	}
 	c.stageCount++
-	if len(c.stages) >= maxStageEntries {
+	if c.tracer == nil && len(c.stages) >= maxStageEntries {
 		c.truncated = true
 		return
 	}
 	cur := c.snapshot()
-	c.stages = append(c.stages, StageStats{
+	st := StageStats{
 		Stage:       c.stageCount,
 		Firings:     cur.firings - c.mark.firings,
 		Derived:     cur.derived - c.mark.derived,
@@ -250,6 +335,89 @@ func (c *Collector) EndStage(delta int) {
 		Invented:    cur.invented - c.mark.invented,
 		Delta:       int64(delta),
 		WallNS:      time.Since(c.stageStart).Nanoseconds(),
+	}
+	if c.tracer != nil {
+		c.stageOpen = false
+		c.tracer.Emit(trace.Event{
+			Ev: trace.EvEnd, Span: trace.SpanStage,
+			Stage:       st.Stage,
+			Firings:     st.Firings,
+			Derived:     st.Derived,
+			Rederived:   st.Rederived,
+			Retractions: st.Retractions,
+			Conflicts:   st.Conflicts,
+			Invented:    st.Invented,
+			Delta:       st.Delta,
+			DurNS:       st.WallNS,
+		})
+	}
+	if len(c.stages) >= maxStageEntries {
+		c.truncated = true
+		return
+	}
+	c.stages = append(c.stages, st)
+}
+
+// BeginRule marks the start of one rule's enumeration within the
+// open stage; only meaningful when tracing with per-rule attribution
+// (Reset with ruleNames). Serial engines only — the parallel stage
+// workers attribute firings via Fired alone.
+func (c *Collector) BeginRule(rule int) {
+	if c == nil || c.tracer == nil || rule < 0 || rule >= len(c.rules) {
+		return
+	}
+	rc := &c.rules[rule]
+	c.ruleStart = time.Now()
+	c.ruleMark = counters{
+		firings:   rc.firings.Load(),
+		derived:   rc.derived.Load(),
+		rederived: rc.rederived.Load(),
+	}
+}
+
+// EndRule closes the BeginRule bracket, emitting a self-contained
+// rule span — only when the rule fired at least once in the stage,
+// bounding event volume on long runs.
+func (c *Collector) EndRule(rule int) {
+	if c == nil || c.tracer == nil || rule < 0 || rule >= len(c.rules) {
+		return
+	}
+	rc := &c.rules[rule]
+	f := rc.firings.Load() - c.ruleMark.firings
+	if f == 0 {
+		return
+	}
+	c.tracer.Emit(trace.Event{
+		Ev: trace.EvSpan, Span: trace.SpanRule,
+		Stage:     c.currentStage(),
+		Rule:      c.ruleNames[rule],
+		Firings:   f,
+		Derived:   rc.derived.Load() - c.ruleMark.derived,
+		Rederived: rc.rederived.Load() - c.ruleMark.rederived,
+		DurNS:     time.Since(c.ruleStart).Nanoseconds(),
+	})
+}
+
+// BeginPhase opens a stratum-level span grouping the stages of one
+// stratum ("stratum") or one Γ application of the well-founded
+// alternating fixpoint ("gamma"). n is 1-based.
+func (c *Collector) BeginPhase(name string, n int) {
+	if c == nil || c.tracer == nil {
+		return
+	}
+	c.phaseStart = time.Now()
+	c.tracer.Emit(trace.Event{Ev: trace.EvBegin, Span: trace.SpanStratum, Name: name, Stratum: n})
+}
+
+// EndPhase closes the BeginPhase bracket.
+func (c *Collector) EndPhase(name string, n int) {
+	if c == nil || c.tracer == nil {
+		return
+	}
+	c.tracer.Emit(trace.Event{
+		Ev: trace.EvEnd, Span: trace.SpanStratum,
+		Name: name, Stratum: n,
+		DurNS: time.Since(c.phaseStart).Nanoseconds(),
 	})
 }
 
@@ -272,29 +440,40 @@ func (c *Collector) Fired(rule, derived, rederived int) {
 	}
 }
 
-// Retracted records n facts removed from the instance.
+// Retracted records n facts removed from the instance. Called from
+// the engine's goroutine only (no engine retracts concurrently), so
+// it may emit a trace point.
 func (c *Collector) Retracted(n int) {
 	if c == nil || n == 0 {
 		return
 	}
 	c.retractions.Add(uint64(n))
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Event{Ev: trace.EvPoint, Kind: trace.KindRetract, Stage: c.currentStage(), N: int64(n)})
+	}
 }
 
 // Conflict records one simultaneous A/¬A inference resolved by a
-// conflict policy.
+// conflict policy. Engine goroutine only.
 func (c *Collector) Conflict() {
 	if c == nil {
 		return
 	}
 	c.conflicts.Add(1)
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Event{Ev: trace.EvPoint, Kind: trace.KindConflict, Stage: c.currentStage(), N: 1})
+	}
 }
 
-// Invented records n freshly invented values.
+// Invented records n freshly invented values. Engine goroutine only.
 func (c *Collector) Invented(n int) {
 	if c == nil || n == 0 {
 		return
 	}
 	c.invented.Add(uint64(n))
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Event{Ev: trace.EvPoint, Kind: trace.KindInvent, Stage: c.currentStage(), N: int64(n)})
+	}
 }
 
 // Probe records one relation match: a full scan when scan is true, a
@@ -318,6 +497,11 @@ func (c *Collector) Summary() *Summary {
 	if c == nil {
 		return nil
 	}
+	// Close the span stream: engines call Summary exactly once at the
+	// end of a successful run. A still-open stage at this point is
+	// the final no-change confirmation pass (engines skip EndStage
+	// for it), closed here with Confirm so open/close stay balanced.
+	c.closeEval(true)
 	cur := c.snapshot()
 	s := &Summary{
 		Engine:          c.engine,
@@ -346,4 +530,14 @@ func (c *Collector) Summary() *Summary {
 		}
 	}
 	return s
+}
+
+// SummaryJSON renders Summary() as a single-line JSON object — the
+// one serialization of collector state shared by `-stats`, `/statsz`
+// and `/metrics`. Returns "null" on a nil collector.
+func (c *Collector) SummaryJSON() string {
+	if c == nil {
+		return "null"
+	}
+	return c.Summary().JSON()
 }

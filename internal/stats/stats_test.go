@@ -160,6 +160,27 @@ func TestSummaryJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSummaryJSONMethod covers the single-serialization entry point
+// shared by -stats, /statsz, and /metrics.
+func TestSummaryJSONMethod(t *testing.T) {
+	var nilC *Collector
+	if got := nilC.SummaryJSON(); got != "null" {
+		t.Fatalf("nil collector SummaryJSON() = %q, want \"null\"", got)
+	}
+	c := New()
+	c.Reset("sj", []string{"r"})
+	c.BeginStage()
+	c.Fired(0, 3, 0)
+	c.EndStage(3)
+	var got Summary
+	if err := json.Unmarshal([]byte(c.SummaryJSON()), &got); err != nil {
+		t.Fatalf("SummaryJSON() is not valid JSON: %v", err)
+	}
+	if got.Engine != "sj" || got.Derived != 3 {
+		t.Fatalf("SummaryJSON round-trip mismatch: %+v", got)
+	}
+}
+
 // TestConcurrentCounters hammers the counter methods from several
 // goroutines (the stageParallel sharing pattern); run under -race.
 func TestConcurrentCounters(t *testing.T) {

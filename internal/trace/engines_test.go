@@ -1,0 +1,200 @@
+// Every engine of the family must emit the same structured span
+// stream: at least one stage span, monotonically increasing stage
+// numbers, and balanced open/close events. The test lives in an
+// external package because the engines (via stats) import trace.
+package trace_test
+
+import (
+	"testing"
+
+	"unchained/internal/active"
+	"unchained/internal/ast"
+	"unchained/internal/core"
+	"unchained/internal/declarative"
+	"unchained/internal/incr"
+	"unchained/internal/magic"
+	"unchained/internal/nondet"
+	"unchained/internal/parser"
+	"unchained/internal/queries"
+	"unchained/internal/stats"
+	"unchained/internal/trace"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+	"unchained/internal/while"
+)
+
+// tcProgram is the shared fixture: transitive closure over a short
+// chain, valid under every Datalog-family semantics.
+const tcProgram = `
+T(X,Y) :- G(X,Y).
+T(X,Y) :- G(X,Z), T(Z,Y).
+`
+
+const tcFacts = `G(a,b). G(b,c). G(c,d).`
+
+func tcFixture(t *testing.T) (*ast.Program, *tuple.Instance, *value.Universe) {
+	t.Helper()
+	u := value.New()
+	p, err := parser.Parse(tcProgram, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := parser.MustParseFacts(tcFacts, u)
+	return p, in, u
+}
+
+// checkSpanStream asserts the structural invariants of a span stream.
+func checkSpanStream(t *testing.T, evs []trace.Event) {
+	t.Helper()
+	if len(evs) == 0 {
+		t.Fatal("no events emitted")
+	}
+	open := map[string]int{}
+	lastBegin, lastEnd, stageEnds := 0, 0, 0
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, i+1)
+		}
+		switch ev.Ev {
+		case trace.EvBegin:
+			open[ev.Span]++
+			if ev.Span == trace.SpanStage {
+				if ev.Stage <= lastBegin {
+					t.Errorf("stage begin %d not monotonic (last %d)", ev.Stage, lastBegin)
+				}
+				lastBegin = ev.Stage
+			}
+		case trace.EvEnd:
+			open[ev.Span]--
+			if open[ev.Span] < 0 {
+				t.Errorf("event %d: end %s without matching begin", i, ev.Span)
+			}
+			if ev.Span == trace.SpanStage {
+				if !ev.Confirm {
+					stageEnds++
+				}
+				if ev.Stage <= lastEnd {
+					t.Errorf("stage end %d not monotonic (last %d)", ev.Stage, lastEnd)
+				}
+				lastEnd = ev.Stage
+			}
+		}
+	}
+	for span, n := range open {
+		if n != 0 {
+			t.Errorf("span %s: %d unbalanced open(s)", span, n)
+		}
+	}
+	if stageEnds < 1 {
+		t.Errorf("want >= 1 completed stage span, got %d", stageEnds)
+	}
+}
+
+func TestEveryEngineEmitsSpanStream(t *testing.T) {
+	cases := []struct {
+		engine string
+		run    func(t *testing.T, tr trace.Tracer)
+	}{
+		{"core-inflationary", func(t *testing.T, tr trace.Tracer) {
+			p, in, u := tcFixture(t)
+			if _, err := core.EvalInflationary(p, in, u, &core.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"core-noninflationary", func(t *testing.T, tr trace.Tracer) {
+			p, in, u := tcFixture(t)
+			if _, err := core.EvalNonInflationary(p, in, u, &core.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"core-invent", func(t *testing.T, tr trace.Tracer) {
+			p, in, u := tcFixture(t)
+			if _, err := core.EvalInvent(p, in, u, &core.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"declarative-semi-naive", func(t *testing.T, tr trace.Tracer) {
+			p, in, u := tcFixture(t)
+			if _, err := declarative.Eval(p, in, u, &declarative.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"declarative-stratified", func(t *testing.T, tr trace.Tracer) {
+			p, in, u := tcFixture(t)
+			if _, err := declarative.EvalStratified(p, in, u, &declarative.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"declarative-wellfounded", func(t *testing.T, tr trace.Tracer) {
+			u := value.New()
+			p, err := parser.Parse(`Win(X) :- Moves(X,Y), !Win(Y).`, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := parser.MustParseFacts(`Moves(a,b). Moves(b,c).`, u)
+			if _, err := declarative.EvalWellFounded(p, in, u, &declarative.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"while", func(t *testing.T, tr trace.Tracer) {
+			u := value.New()
+			in := parser.MustParseFacts(tcFacts, u)
+			if _, err := while.Run(queries.TCFixpoint(), in, u, &while.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"nondet", func(t *testing.T, tr trace.Tracer) {
+			p, in, u := tcFixture(t)
+			if _, err := nondet.Run(p, ast.DialectNDatalogNegNeg, in, u, 1, &nondet.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"incr", func(t *testing.T, tr trace.Tracer) {
+			p, in, u := tcFixture(t)
+			v, err := incr.Materialize(p, in, u, &declarative.Options{Tracer: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Maintenance stages continue the same span stream.
+			if _, err := v.Insert("G", tuple.Tuple{u.Sym("d"), u.Sym("e")}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"magic", func(t *testing.T, tr trace.Tracer) {
+			p, in, u := tcFixture(t)
+			q := ast.NewAtom("T", ast.C(u.Sym("a")), ast.V("Y"))
+			if _, _, err := magic.AnswerStats(p, q, in, u, &declarative.Options{Tracer: tr}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"active", func(t *testing.T, tr trace.Tracer) {
+			u := value.New()
+			sys, err := active.NewSystem(u, []active.Rule{{
+				Name: "copy", On: active.Inserted, Pred: "P", Vars: []string{"X"},
+				Actions: []ast.Literal{ast.Pos(ast.NewAtom("Q", ast.V("X")))},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The active engine has its own Options type without a
+			// Tracer field; the collector carries the sink instead.
+			col := stats.New()
+			col.SetTracer(tr)
+			ev := active.Insert("P", tuple.Tuple{u.Sym("a")})
+			if _, err := sys.Run(tuple.NewInstance(), []active.Event{ev}, &active.Options{Stats: col}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.engine, func(t *testing.T) {
+			rec := trace.NewRecorder(0)
+			tc.run(t, rec)
+			evs := rec.Events()
+			checkSpanStream(t, evs)
+			if evs[0].Ev != trace.EvBegin || evs[0].Span != trace.SpanEval {
+				t.Errorf("first event %+v, want begin eval", evs[0])
+			}
+		})
+	}
+}

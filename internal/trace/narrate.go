@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Narrate renders a span stream as the stage-by-stage narrative the
+// paper walks through by hand (Examples 3.2, 4.1, 4.3-4.4, 5.4-5.5):
+// one line per stage with its counter slice and net delta, rule and
+// point detail lines beneath it, stratum/Γ headers around stage
+// groups, and run totals at the end. Durations and timestamps are
+// deliberately omitted so the output is deterministic and can be
+// golden-tested.
+func Narrate(events []Event, w io.Writer) error {
+	var (
+		indent  string
+		pending []string // rule/point lines buffered until the stage closes
+		err     error
+	)
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+	for _, ev := range events {
+		switch {
+		case ev.Ev == EvBegin && ev.Span == SpanEval:
+			p("== eval: engine %s ==", ev.Engine)
+		case ev.Ev == EvEnd && ev.Span == SpanEval:
+			line := fmt.Sprintf("== done: %d stage%s, %d firings, %d derived",
+				ev.Stages, plural(ev.Stages), ev.Firings, ev.Derived)
+			if ev.Rederived > 0 {
+				line += fmt.Sprintf(", %d rederived", ev.Rederived)
+			}
+			line += extras(ev)
+			p("%s ==", line)
+		case ev.Ev == EvBegin && ev.Span == SpanStratum:
+			p("%s %d:", ev.Name, ev.Stratum)
+			indent = "  "
+		case ev.Ev == EvEnd && ev.Span == SpanStratum:
+			indent = ""
+		case ev.Ev == EvBegin && ev.Span == SpanStage:
+			pending = pending[:0]
+		case ev.Ev == EvEnd && ev.Span == SpanStage:
+			if ev.Confirm {
+				p("%sstage %d: no change — fixpoint confirmed", indent, ev.Stage)
+			} else {
+				line := fmt.Sprintf("%sstage %d: firings=%d derived=%d",
+					indent, ev.Stage, ev.Firings, ev.Derived)
+				if ev.Rederived > 0 {
+					line += fmt.Sprintf(" rederived=%d", ev.Rederived)
+				}
+				line += extras(ev)
+				p("%s (delta %+d)", line, ev.Delta)
+			}
+			for _, d := range pending {
+				p("%s  - %s", indent, d)
+			}
+			pending = pending[:0]
+		case ev.Ev == EvSpan && ev.Span == SpanRule:
+			d := fmt.Sprintf("rule fired %dx (%d derived", ev.Firings, ev.Derived)
+			if ev.Rederived > 0 {
+				d += fmt.Sprintf(", %d rederived", ev.Rederived)
+			}
+			d += "): " + strings.TrimSpace(ev.Rule)
+			pending = append(pending, d)
+		case ev.Ev == EvPoint:
+			switch ev.Kind {
+			case KindRetract:
+				pending = append(pending, fmt.Sprintf("retracted %d fact%s", ev.N, plural(int(ev.N))))
+			case KindConflict:
+				pending = append(pending, "conflict: simultaneous insert and delete of the same fact")
+			case KindInvent:
+				pending = append(pending, fmt.Sprintf("invented %d value%s", ev.N, plural(int(ev.N))))
+			}
+		}
+	}
+	// A truncated stream (e.g. interrupted run) can leave detail
+	// lines without a closing stage; don't drop them silently.
+	for _, d := range pending {
+		p("%s  - %s (stage unfinished)", indent, d)
+	}
+	return err
+}
+
+// extras renders the low-frequency counters shared by stage- and
+// eval-end lines.
+func extras(ev Event) string {
+	var line string
+	if ev.Retractions > 0 {
+		line += fmt.Sprintf(" retracted=%d", ev.Retractions)
+	}
+	if ev.Conflicts > 0 {
+		line += fmt.Sprintf(" conflicts=%d", ev.Conflicts)
+	}
+	if ev.Invented > 0 {
+		line += fmt.Sprintf(" invented=%d", ev.Invented)
+	}
+	return line
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

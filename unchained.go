@@ -43,6 +43,7 @@ package unchained
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"unchained/internal/ast"
 	"unchained/internal/core"
@@ -54,6 +55,7 @@ import (
 	"unchained/internal/order"
 	"unchained/internal/parser"
 	"unchained/internal/stats"
+	"unchained/internal/trace"
 	"unchained/internal/tuple"
 	"unchained/internal/value"
 )
@@ -82,7 +84,23 @@ type (
 	// ConflictPolicy resolves simultaneous A / ¬A inference in
 	// Datalog¬¬ (pass one via WithConflictPolicy).
 	ConflictPolicy = engine.ConflictPolicy
+	// Tracer is a structured span-stream sink (pass one via
+	// WithTracer); see docs/OBSERVABILITY.md for the event model.
+	Tracer = trace.Tracer
+	// TraceEvent is one record of the span stream.
+	TraceEvent = trace.Event
+	// TraceRecorder is the bounded in-memory Tracer with JSONL export
+	// and latency histograms.
+	TraceRecorder = trace.Recorder
 )
+
+// NewTraceRecorder returns a TraceRecorder keeping the most recent
+// capacity events (<= 0 selects the package default).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// NarrateTrace renders recorded span-stream events as the
+// stage-by-stage narrative used by `cmd/datalog -explain`.
+func NarrateTrace(events []TraceEvent, w io.Writer) error { return trace.Narrate(events, w) }
 
 // Typed evaluation-interruption errors (match with errors.Is). Every
 // engine polls its context between stages and stops with one of these
@@ -263,8 +281,26 @@ func WithScan() Opt { return func(cfg *evalConfig) { cfg.opt.Scan = true } }
 
 // WithTrace observes every stage with the stage number and the
 // current (or newly-inferred) facts.
+//
+// Deprecated: WithTrace is the legacy bare stage hook, kept as an
+// adapter for callers that need the instance state itself. Use
+// WithTracer (structured span stream covering every engine) or
+// WithTraceFile; see docs/OBSERVABILITY.md for the migration path.
 func WithTrace(fn func(stage int, state *Instance)) Opt {
 	return func(cfg *evalConfig) { cfg.opt.Trace = fn }
+}
+
+// WithTracer streams structured evaluation spans (eval → stratum →
+// stage → rule) and typed events to t. Repeated/combined uses fan
+// out to every sink.
+func WithTracer(t Tracer) Opt {
+	return func(cfg *evalConfig) { cfg.opt.Tracer = trace.Multi(cfg.opt.Tracer, t) }
+}
+
+// WithTraceFile streams the span stream to w as JSON Lines, one
+// event per line (the `cmd/datalog -trace` format).
+func WithTraceFile(w io.Writer) Opt {
+	return func(cfg *evalConfig) { cfg.opt.Tracer = trace.Multi(cfg.opt.Tracer, trace.NewJSONL(w)) }
 }
 
 // WithMaxStates bounds exhaustive effect enumeration (distinct
