@@ -1,8 +1,9 @@
 # Developer entry points. Stdlib-only Go; no external tools needed.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json verify serve-smoke explain-golden
+.PHONY: all build vet test race bench bench-json bench-baseline fmt-check fuzz-smoke verify serve-smoke explain-golden
 
 all: verify
 
@@ -12,22 +13,35 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail if any file needs gofmt; print the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
-# Race-exercise the packages with concurrent code paths: the parallel
-# stage loop of internal/core, the evaluator it drives, the shared
-# atomic stats collector, the HTTP daemon (concurrent forked
-# evaluations), and the facade's concurrency tests in the root package.
 race:
-	$(GO) test -race ./internal/core ./internal/eval ./internal/stats ./internal/trace ./internal/serve .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the machine-readable experiment report (quick sizes).
 bench-json:
-	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR3.json
+	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR4.json
+
+# Compare a fresh quick run against the checked-in report; exits
+# non-zero when an experiment or benchmark slowed down by >25%.
+bench-baseline:
+	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR4.json -tolerance 0.25
+
+# Run each native fuzz target briefly ("go test -fuzz" accepts one
+# target per invocation). Override FUZZTIME for longer local hunts.
+fuzz-smoke:
+	$(GO) test ./internal/parser -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/parser -run='^$$' -fuzz='^FuzzParseFacts$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/while -run='^$$' -fuzz='^FuzzWhileParse$$' -fuzztime=$(FUZZTIME)
 
 # Render the win-game derivation explanation and diff it against the
 # checked-in golden — catches drift in either the WFS engine or the
@@ -43,4 +57,4 @@ serve-smoke:
 	$(GO) run ./cmd/unchained-serve -selftest
 
 # Tier-1 verification (see ROADMAP.md).
-verify: build vet test race
+verify: fmt-check build vet test race

@@ -1,0 +1,71 @@
+package main
+
+import "fmt"
+
+// compareReports checks the current run against a baseline report and
+// returns one line per regression: an experiment whose wall time, or
+// a benchmark whose ns/op, grew by more than tol (a fraction, so 0.25
+// means "25% slower fails").
+//
+// Experiments faster than minWallNS in the baseline are skipped —
+// sub-noise-floor timings regress by 2x from scheduler jitter alone.
+// Entries present on only one side are skipped too, except that an
+// experiment or benchmark that *vanished* from the current run is
+// reported: silently dropping a slow experiment must not turn the
+// gate green.
+func compareReports(base, cur benchReport, tol float64, minWallNS int64) []string {
+	var regs []string
+	if base.Quick != cur.Quick {
+		return []string{fmt.Sprintf("baseline quick=%v but current run quick=%v; runs are not comparable", base.Quick, cur.Quick)}
+	}
+
+	curExp := make(map[string]expReport, len(cur.Experiments))
+	for _, e := range cur.Experiments {
+		curExp[e.ID] = e
+	}
+	for _, b := range base.Experiments {
+		c, ok := curExp[b.ID]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("experiment %s present in baseline but missing from current run", b.ID))
+			continue
+		}
+		if b.WallNS < minWallNS {
+			continue
+		}
+		if ratio := float64(c.WallNS) / float64(b.WallNS); ratio > 1+tol {
+			regs = append(regs, fmt.Sprintf("experiment %s: wall %s -> %s (%.2fx, tolerance %.2fx)",
+				b.ID, fmtNS(b.WallNS), fmtNS(c.WallNS), ratio, 1+tol))
+		}
+	}
+
+	curBench := make(map[string]benchmarkResult, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBench[b.Name] = b
+	}
+	for _, b := range base.Benchmarks {
+		c, ok := curBench[b.Name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("benchmark %s present in baseline but missing from current run", b.Name))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := float64(c.NsPerOp) / float64(b.NsPerOp); ratio > 1+tol {
+			regs = append(regs, fmt.Sprintf("benchmark %s: %d -> %d ns/op (%.2fx, tolerance %.2fx)",
+				b.Name, b.NsPerOp, c.NsPerOp, ratio, 1+tol))
+		}
+	}
+	return regs
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

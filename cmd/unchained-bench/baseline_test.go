@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(quick bool, exps []expReport, benches []benchmarkResult) benchReport {
+	return benchReport{Quick: quick, Experiments: exps, Benchmarks: benches}
+}
+
+func TestCompareReportsToleranceBoundary(t *testing.T) {
+	base := report(true, []expReport{{ID: "X", WallNS: 100_000_000}}, nil)
+	within := report(true, []expReport{{ID: "X", WallNS: 124_000_000}}, nil)
+	if regs := compareReports(base, within, 0.25, 0); len(regs) != 0 {
+		t.Fatalf("24%% slowdown inside 25%% tolerance flagged: %v", regs)
+	}
+	over := report(true, []expReport{{ID: "X", WallNS: 130_000_000}}, nil)
+	regs := compareReports(base, over, 0.25, 0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "experiment X") {
+		t.Fatalf("30%% slowdown not flagged: %v", regs)
+	}
+}
+
+func TestCompareReportsNoiseFloor(t *testing.T) {
+	// A 10x slowdown on a 1ms experiment is below a 25ms noise floor.
+	base := report(true, []expReport{{ID: "tiny", WallNS: 1_000_000}}, nil)
+	cur := report(true, []expReport{{ID: "tiny", WallNS: 10_000_000}}, nil)
+	if regs := compareReports(base, cur, 0.25, 25_000_000); len(regs) != 0 {
+		t.Fatalf("sub-noise-floor experiment flagged: %v", regs)
+	}
+	if regs := compareReports(base, cur, 0.25, 0); len(regs) != 1 {
+		t.Fatalf("with no floor the slowdown should be flagged: %v", regs)
+	}
+}
+
+func TestCompareReportsBenchmarks(t *testing.T) {
+	base := report(true, nil, []benchmarkResult{{Name: "fork/cow-snapshot", NsPerOp: 1000}})
+	ok := report(true, nil, []benchmarkResult{{Name: "fork/cow-snapshot", NsPerOp: 1200}})
+	if regs := compareReports(base, ok, 0.25, 0); len(regs) != 0 {
+		t.Fatalf("20%% ns/op growth inside tolerance flagged: %v", regs)
+	}
+	bad := report(true, nil, []benchmarkResult{{Name: "fork/cow-snapshot", NsPerOp: 2000}})
+	if regs := compareReports(base, bad, 0.25, 0); len(regs) != 1 {
+		t.Fatalf("2x ns/op growth not flagged: %v", regs)
+	}
+}
+
+func TestCompareReportsMissingAndMismatch(t *testing.T) {
+	base := report(true, []expReport{{ID: "X", WallNS: 100_000_000}},
+		[]benchmarkResult{{Name: "b", NsPerOp: 10}})
+	empty := report(true, nil, nil)
+	regs := compareReports(base, empty, 0.25, 0)
+	if len(regs) != 2 {
+		t.Fatalf("dropped experiment+benchmark should both be flagged: %v", regs)
+	}
+	mix := compareReports(report(true, nil, nil), report(false, nil, nil), 0.25, 0)
+	if len(mix) != 1 || !strings.Contains(mix[0], "not comparable") {
+		t.Fatalf("quick/full mismatch not flagged: %v", mix)
+	}
+	// New entries in the current run (no baseline counterpart) are fine.
+	grown := report(true,
+		[]expReport{{ID: "X", WallNS: 100_000_000}, {ID: "NEW", WallNS: 1}},
+		[]benchmarkResult{{Name: "b", NsPerOp: 10}, {Name: "new", NsPerOp: 1}})
+	if regs := compareReports(base, grown, 0.25, 0); len(regs) != 0 {
+		t.Fatalf("new current-only entries flagged: %v", regs)
+	}
+}
+
+// TestInflatedBaselineFailsEndToEnd is the ISSUE acceptance check: a
+// real bench run compared against an artificially *deflated* baseline
+// (claiming everything used to be far faster) must exit non-zero.
+// It builds and runs the actual binary so the os.Exit path is covered.
+func TestInflatedBaselineFailsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the bench binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "unchained-bench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// First run one cheap experiment to get an honest report.
+	honest := filepath.Join(dir, "honest.json")
+	cmd := exec.Command(bin, "-quick", "-exp", "E32", "-json", honest)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("honest run: %v\n%s", err, out)
+	}
+	rep, err := loadReport(honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 1 {
+		t.Fatalf("want 1 experiment, got %d", len(rep.Experiments))
+	}
+
+	// The honest report compared against itself passes.
+	cmd = exec.Command(bin, "-quick", "-exp", "E32", "-baseline", honest, "-min-wall", "0s")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("self-comparison should pass: %v\n%s", err, out)
+	}
+
+	// Now claim the experiment used to take a few nanoseconds: any
+	// real run is a massive "regression" and the gate must trip.
+	rep.Experiments[0].WallNS = 5
+	rigged := filepath.Join(dir, "rigged.json")
+	if err := writeReport(rigged, rep); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(bin, "-quick", "-exp", "E32", "-baseline", rigged, "-min-wall", "0s")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("rigged baseline accepted:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit code 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "PERFORMANCE REGRESSION") {
+		t.Fatalf("missing regression banner:\n%s", out)
+	}
+	_ = os.Remove(rigged)
+}

@@ -54,6 +54,7 @@ var experiments = []experiment{
 	{"P5", "Ablation: magic-sets rewriting vs full evaluation", expP5},
 	{"P6", "Ablation: rule-level parallelism in the inflationary engine", expP6},
 	{"P7", "Ablation: incremental maintenance (DRed) vs recompute", expP7},
+	{"P8", "COW fork: Instance.Snapshot vs deep clone (>=100k tuples)", expP8},
 	{"A1", "Sections 6–7: active-database rule cascades", expA1},
 }
 
@@ -62,6 +63,9 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller workloads")
 	list := flag.Bool("list", false, "list experiment ids")
 	jsonOut := flag.String("json", "", "also write a machine-readable report to this file")
+	baseline := flag.String("baseline", "", "compare against a previous -json report; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed slowdown vs -baseline (0.25 = 25%)")
+	minWall := flag.Duration("min-wall", 25*time.Millisecond, "skip -baseline wall-time checks for experiments faster than this")
 	flag.Parse()
 
 	if *list {
@@ -104,6 +108,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %v)\n", *exp, known)
 		os.Exit(2)
 	}
+	report.Benchmarks = benchmarks
 	if *jsonOut != "" {
 		if err := writeReport(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
@@ -111,4 +116,47 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d experiments)\n", *jsonOut, len(report.Experiments))
 	}
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		// A -exp run covers a subset; only compare what actually ran.
+		if *exp != "" {
+			base.Experiments = filterExperiments(base.Experiments, ids)
+			ran := make(map[string]bool, len(report.Benchmarks))
+			for _, b := range report.Benchmarks {
+				ran[b.Name] = true
+			}
+			kept := base.Benchmarks[:0:0]
+			for _, b := range base.Benchmarks {
+				if ran[b.Name] {
+					kept = append(kept, b)
+				}
+			}
+			base.Benchmarks = kept
+		}
+		regs := compareReports(base, report, *tolerance, minWall.Nanoseconds())
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "PERFORMANCE REGRESSION vs %s (tolerance %.0f%%):\n", *baseline, *tolerance*100)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+	}
+}
+
+// filterExperiments keeps only the baseline entries whose id is in
+// ids, so a partial -exp run is not blamed for "missing" experiments.
+func filterExperiments(exps []expReport, ids map[string]bool) []expReport {
+	out := exps[:0:0]
+	for _, e := range exps {
+		if ids[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -29,16 +29,27 @@ type expReport struct {
 	Stats []statsDigest `json:"stats,omitempty"`
 }
 
+// benchmarkResult is one testing.Benchmark measurement (the fork
+// experiment emits these); ns_per_op is what -baseline compares.
+type benchmarkResult struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
 // benchReport is the top-level -json document ("make bench-json"
-// checks one in as BENCH_PR3.json).
+// checks one in as BENCH_PR4.json, which CI replays as a baseline).
 type benchReport struct {
-	Quick       bool        `json:"quick"`
-	Experiments []expReport `json:"experiments"`
+	Quick       bool              `json:"quick"`
+	Experiments []expReport       `json:"experiments"`
+	Benchmarks  []benchmarkResult `json:"benchmarks,omitempty"`
 }
 
 // digests accumulates the current experiment's statsNote digests; the
 // bench runs experiments serially, so a single slice suffices.
 var digests []statsDigest
+
+// benchmarks accumulates benchNote results across the whole run.
+var benchmarks []benchmarkResult
 
 func writeReport(path string, report benchReport) error {
 	b, err := json.MarshalIndent(report, "", "  ")
@@ -46,4 +57,16 @@ func writeReport(path string, report benchReport) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func loadReport(path string) (benchReport, error) {
+	var r benchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, err
+	}
+	return r, nil
 }

@@ -1,0 +1,66 @@
+package unchained_test
+
+import (
+	"context"
+	"testing"
+
+	"unchained"
+)
+
+// TestStatsExposeCowCounters checks the end-to-end COW accounting
+// path: an instrumented evaluation reports the snapshot its engine
+// took of the input and the promotions its writes triggered.
+func TestStatsExposeCowCounters(t *testing.T) {
+	s := unchained.NewSession()
+	p := s.MustParse(`
+		T(X,Y) :- G(X,Y).
+		T(X,Z) :- T(X,Y), G(Y,Z).
+	`)
+	// Seed T so the engine's first derived fact writes into a shared
+	// relation (forcing a promotion) instead of a fresh private one.
+	in := s.MustFacts(`G(a,b). G(b,c). G(c,d). T(a,a).`)
+	col := unchained.NewStatsCollector()
+	res, err := s.EvalContext(context.Background(), p, in, unchained.Inflationary, unchained.WithStats(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil {
+		t.Fatal("no stats summary")
+	}
+	if res.Stats.CowSnapshots == 0 {
+		t.Errorf("cow_snapshots = 0, want at least the engine's entry snapshot")
+	}
+	if res.Stats.CowPromotions == 0 {
+		t.Errorf("cow_promotions = 0, want >0 (the engine wrote derived facts)")
+	}
+	// The input instance must be untouched by the evaluation.
+	if in.Facts() != 4 {
+		t.Fatalf("input mutated: %d facts", in.Facts())
+	}
+}
+
+// TestForkSharesUntilWrite pins the O(1) fork contract on the public
+// surface: a forked session answers queries against instances built
+// before the fork, and writes on one side never shows up on the other.
+func TestForkSharesUntilWrite(t *testing.T) {
+	s := unchained.NewSession()
+	in := s.MustFacts(`E(a,b). E(b,c).`)
+	f := s.Fork()
+
+	snap := in.Snapshot()
+	snap.Insert("E", s.MustFacts(`E(c,d).`).Relation("E").Tuples()[0])
+	if in.Relation("E").Len() != 2 {
+		t.Fatalf("snapshot write leaked into original")
+	}
+	if snap.Relation("E").Len() != 3 {
+		t.Fatalf("snapshot write lost")
+	}
+	// The fork interns new constants without affecting the parent.
+	v := f.U.Sym("newsym")
+	if f.U.Name(v) != "newsym" {
+		t.Fatalf("fork interning broken")
+	}
+	if s.U.Lookup("newsym") != 0 {
+		t.Fatalf("fork interning leaked into parent universe")
+	}
+}

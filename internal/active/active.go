@@ -186,7 +186,7 @@ func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result
 		}
 		col.Reset("active", names)
 	}
-	wm := in.Clone()
+	wm := in.SnapshotWith(col.Cow())
 	var agenda []Event
 	seq := 0
 	push := func(ev Event) {

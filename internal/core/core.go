@@ -118,7 +118,7 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 	}
 	col := opt.Collector()
 	col.Reset("inflationary", ruleNames(p, u, col))
-	out := in.Clone()
+	out := in.SnapshotWith(col.Cow())
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	stages := 0
 	limit := opt.StageLimit(1 << 30)
@@ -197,7 +197,7 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 	}
 	col := opt.Collector()
 	col.Reset("noninflationary", ruleNames(p, u, col))
-	cur := in.Clone()
+	cur := in.SnapshotWith(col.Cow())
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	policy := opt.Conflict()
 	limit := opt.StageLimit(1 << 20)
@@ -355,7 +355,7 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 	}
 	col := opt.Collector()
 	col.Reset("invent", ruleNames(p, u, col))
-	out := in.Clone()
+	out := in.SnapshotWith(col.Cow())
 	progConsts := p.Constants()
 	limit := opt.StageLimit(4096)
 	stages := 0

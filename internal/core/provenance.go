@@ -111,7 +111,7 @@ func EvalInflationaryProv(p *ast.Program, in *tuple.Instance, u *value.Universe,
 		return nil, nil, err
 	}
 	prov := &Provenance{prog: p, u: u, input: in.Clone(), m: map[string]Derivation{}}
-	out := in.Clone()
+	out := in.SnapshotWith(opt.Collector().Cow())
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	stages := 0
 	limit := opt.StageLimit(1 << 30)

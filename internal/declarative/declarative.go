@@ -53,7 +53,7 @@ func Eval(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Options) (
 	}
 	col := opt.Collector()
 	col.Reset("minimal-model", nil)
-	out := in.Clone()
+	out := in.SnapshotWith(col.Cow())
 	idb := map[string]bool{}
 	for _, n := range p.IDB() {
 		idb[n] = true
@@ -79,7 +79,7 @@ func EvalNaive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Optio
 	}
 	col := opt.Collector()
 	col.Reset("naive", nil)
-	out := in.Clone()
+	out := in.SnapshotWith(col.Cow())
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	rounds := 0
 	for {
@@ -253,7 +253,7 @@ func EvalStratified(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *
 	}
 	col := opt.Collector()
 	col.Reset("stratified", nil)
-	out := in.Clone()
+	out := in.SnapshotWith(col.Cow())
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	totalRounds := 0
 	for s, srules := range byStratum {
@@ -382,13 +382,13 @@ func EvalWellFounded(p *ast.Program, in *tuple.Instance, u *value.Universe, opt 
 	gamma := func(s *tuple.Instance) (*tuple.Instance, error) {
 		gammaN++
 		col.BeginPhase("gamma", gammaN)
-		out := in.Clone()
+		out := in.SnapshotWith(col.Cow())
 		_, err := semiNaive(rules, out, s, idb, adom, opt)
 		col.EndPhase("gamma", gammaN)
 		return out, err
 	}
 
-	under := in.Clone()
+	under := in.SnapshotWith(col.Cow())
 	rounds := 0
 	var over *tuple.Instance
 	for {

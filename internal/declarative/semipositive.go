@@ -62,7 +62,7 @@ func EvalSemiPositive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 	}
 	col := opt.Collector()
 	col.Reset("semi-positive", nil)
-	out := in.Clone()
+	out := in.SnapshotWith(col.Cow())
 	adom := eval.ActiveDomain(u, p.Constants(), in)
 	rounds, err := semiNaive(rules, out, nil, idb, adom, opt)
 	return &Result{Out: out, Rounds: rounds, Stats: col.Summary()}, err

@@ -82,6 +82,10 @@ func Materialize(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *dec
 	// here on it accumulates maintenance work, so relabel without
 	// clearing the materialization counters.
 	v.Stats.SetEngine("incr")
+	// Bind the maintained state's copy-on-write counters to the same
+	// collector: Snapshot() forks and the promotes that maintenance
+	// writes trigger afterwards show up in the summary.
+	v.state.SetCow(v.Stats.Cow())
 	for _, n := range p.IDB() {
 		v.idb[n] = true
 	}
@@ -128,6 +132,12 @@ func (v *View) refreshAdom() {
 // Instance returns the maintained instance (EDB plus derived IDB).
 // Callers must not mutate it.
 func (v *View) Instance() *tuple.Instance { return v.state }
+
+// Snapshot returns a copy-on-write snapshot of the maintained
+// instance: an O(#relations) fork that stays fixed while the view
+// keeps absorbing Insert/Delete batches. The view pays a per-relation
+// promotion only for relations it actually touches afterwards.
+func (v *View) Snapshot() *tuple.Instance { return v.state.Snapshot() }
 
 // Has reports whether the fact holds in the maintained model.
 func (v *View) Has(pred string, t tuple.Tuple) bool { return v.state.Has(pred, t) }

@@ -263,7 +263,7 @@ func Run(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Universe, s
 	col := opt.Collector()
 	col.Reset("ndatalog", nil)
 	rng := rand.New(rand.NewSource(seed))
-	cur := in.Clone()
+	cur := in.SnapshotWith(col.Cow())
 	limit := opt.StepLimit(1 << 20)
 	steps := 0
 	for {
@@ -359,7 +359,7 @@ func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Univers
 		seen[fp] = append(seen[fp], s)
 	}
 
-	start := in.Clone()
+	start := in.SnapshotWith(col.Cow())
 	queue := []*tuple.Instance{start}
 	remember(start)
 	explored := 0

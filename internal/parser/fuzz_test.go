@@ -1,0 +1,55 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"unchained/internal/value"
+)
+
+// seedFrom adds every file matching glob as a fuzz corpus entry; the
+// checked-in programs are the richest syntax examples we have.
+func seedFrom(f *testing.F, glob string) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+}
+
+// FuzzParse checks that the rule parser never panics: arbitrary input
+// must either parse or return an error.
+func FuzzParse(f *testing.F) {
+	seedFrom(f, filepath.Join("..", "..", "programs", "*.dl"))
+	f.Add("T(X,Y) :- G(X,Y).")
+	f.Add("P(X) :- ¬Q(X), X = a.")
+	f.Add("p :- .")
+	f.Fuzz(func(t *testing.T, src string) {
+		u := value.New()
+		prog, err := Parse(src, u)
+		if err == nil && prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+	})
+}
+
+// FuzzParseFacts does the same for the fact-list parser.
+func FuzzParseFacts(f *testing.F) {
+	seedFrom(f, filepath.Join("..", "..", "programs", "facts", "*.facts"))
+	f.Add("G(a,b). G(b,c).")
+	f.Add("R(1, -2, x).")
+	f.Fuzz(func(t *testing.T, src string) {
+		u := value.New()
+		in, err := ParseFacts(src, u)
+		if err == nil && in == nil {
+			t.Fatal("nil instance with nil error")
+		}
+	})
+}

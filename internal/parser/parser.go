@@ -124,6 +124,10 @@ func ParseFacts(src string, u *value.Universe) (*tuple.Instance, error) {
 			}
 			t[j] = a.Const
 		}
+		if r := in.Relation(h.Atom.Pred); r != nil && r.Arity() != len(t) {
+			return nil, fmt.Errorf("fact %d: %s has arity %d here but %d earlier",
+				i+1, h.Atom.Pred, len(t), r.Arity())
+		}
 		in.Insert(h.Atom.Pred, t)
 	}
 	return in, nil

@@ -22,8 +22,8 @@ type cacheEntry struct {
 // progCache is an LRU cache of parsed programs keyed by the sha256 of
 // their source text. It is safe for concurrent use.
 type progCache struct {
-	mu     sync.Mutex
-	cap    int
+	mu        sync.Mutex
+	cap       int
 	order     *list.List // front = most recently used; values are *cacheEntry
 	byKey     map[string]*list.Element
 	hits      uint64

@@ -81,6 +81,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(w, "unchained_parse_cache_evictions_total", "Parse cache LRU evictions.", z.CacheEvictions)
 	writeCounter(w, "unchained_workers_clamped_total", "Requests whose workers field was clamped to the server maximum.", z.WorkersClamped)
 	writeCounter(w, "unchained_timeouts_clamped_total", "Requests whose timeout_ms was clamped to the server maximum.", z.TimeoutsClamped)
+	writeCounter(w, "unchained_cow_snapshots_total", "Copy-on-write instance snapshots taken by instrumented evaluations.", z.CowSnapshots)
+	writeCounter(w, "unchained_cow_promotions_total", "Relations promoted to private copies by a post-snapshot write.", z.CowPromotions)
+	writeCounter(w, "unchained_cow_tuples_copied_total", "Tuples physically copied by copy-on-write promotions.", z.CowTuplesCopied)
 
 	writeGauge(w, "unchained_in_flight", "Evaluations currently running.", z.InFlight)
 	writeGauge(w, "unchained_parse_cache_size", "Programs currently cached.", int64(z.CacheSize))

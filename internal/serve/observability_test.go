@@ -127,6 +127,9 @@ func TestStatszAndMetricsAgree(t *testing.T) {
 		{"unchained_parse_cache_evictions_total", z.CacheEvictions},
 		{"unchained_workers_clamped_total", z.WorkersClamped},
 		{"unchained_timeouts_clamped_total", z.TimeoutsClamped},
+		{"unchained_cow_snapshots_total", z.CowSnapshots},
+		{"unchained_cow_promotions_total", z.CowPromotions},
+		{"unchained_cow_tuples_copied_total", z.CowTuplesCopied},
 		{"unchained_parse_cache_size", uint64(z.CacheSize)},
 	}
 	for _, p := range pairs {

@@ -91,6 +91,11 @@ type Server struct {
 	stagesRun      atomic.Uint64
 	workersClamped atomic.Uint64
 	timeoutClamped atomic.Uint64
+	// Storage-layer copy-on-write traffic, summed from the per-request
+	// stats summaries (only requests that carry a collector report it).
+	cowSnapshots  atomic.Uint64
+	cowPromotions atomic.Uint64
+	cowTuples     atomic.Uint64
 
 	// Observability surface: request/eval latency histograms,
 	// per-semantics eval counters (map built once in New, so lock-free
@@ -380,6 +385,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			resp.Stats = res.Stats
 		}
 		s.stagesRun.Add(uint64(res.Stages))
+		s.countCow(res.Stats)
 	}
 	if rec != nil {
 		resp.Trace = rec.Events()
@@ -449,6 +455,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	rel, summary, err := sess.QueryContext(ctx, entry.prog, goal, in, opts...)
 	s.evalLat.observe(time.Since(evalBegin))
 	s.inFlight.Add(-1)
+	s.countCow(summary)
 
 	resp := QueryResponse{Stats: summary}
 	if err != nil {
@@ -504,6 +511,9 @@ type Statsz struct {
 	StagesRun       uint64 `json:"stages_run"`
 	WorkersClamped  uint64 `json:"workers_clamped"`
 	TimeoutsClamped uint64 `json:"timeouts_clamped"`
+	CowSnapshots    uint64 `json:"cow_snapshots"`
+	CowPromotions   uint64 `json:"cow_promotions"`
+	CowTuplesCopied uint64 `json:"cow_tuples_copied"`
 	CacheHits       uint64 `json:"cache_hits"`
 	CacheMisses     uint64 `json:"cache_misses"`
 	CacheEvictions  uint64 `json:"cache_evictions"`
@@ -526,11 +536,27 @@ func (s *Server) snapshot() Statsz {
 		StagesRun:       s.stagesRun.Load(),
 		WorkersClamped:  s.workersClamped.Load(),
 		TimeoutsClamped: s.timeoutClamped.Load(),
+		CowSnapshots:    s.cowSnapshots.Load(),
+		CowPromotions:   s.cowPromotions.Load(),
+		CowTuplesCopied: s.cowTuples.Load(),
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		CacheEvictions:  evictions,
 		CacheSize:       size,
 	}
+}
+
+// countCow folds one evaluation's copy-on-write counters into the
+// service totals. Summaries are only present when the request carried
+// a stats collector (stats or trace flags), so the totals are a lower
+// bound on actual COW traffic.
+func (s *Server) countCow(sum *unchained.StatsSummary) {
+	if sum == nil {
+		return
+	}
+	s.cowSnapshots.Add(sum.CowSnapshots)
+	s.cowPromotions.Add(sum.CowPromotions)
+	s.cowTuples.Add(sum.CowTuplesCopied)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

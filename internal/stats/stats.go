@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"unchained/internal/trace"
+	"unchained/internal/tuple"
 )
 
 // maxStageEntries bounds the per-stage detail list. Engines like the
@@ -102,6 +103,16 @@ type Summary struct {
 	FullScans   uint64 `json:"full_scans"`
 	// WallNS is the total monotonic wall-clock time in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
+	// CowSnapshots, CowPromotions, CowTuplesCopied and
+	// CowIndexesCarried expose the storage layer's copy-on-write
+	// traffic for the run: instance snapshots taken, relations
+	// promoted onto private copies by a post-snapshot write, tuples
+	// physically copied by those promotions, and warm hash indexes
+	// carried across instead of rebuilt (see docs/STORAGE.md).
+	CowSnapshots      uint64 `json:"cow_snapshots,omitempty"`
+	CowPromotions     uint64 `json:"cow_promotions,omitempty"`
+	CowTuplesCopied   uint64 `json:"cow_tuples_copied,omitempty"`
+	CowIndexesCarried uint64 `json:"cow_indexes_carried,omitempty"`
 	// PerStage is the stage breakdown, capped at maxStageEntries.
 	PerStage []StageStats `json:"per_stage,omitempty"`
 	// StagesTruncated reports that PerStage hit the cap and later
@@ -164,6 +175,20 @@ type Collector struct {
 	phaseStart time.Time
 	ruleStart  time.Time
 	ruleMark   counters
+
+	// cow receives the storage layer's copy-on-write counters; engines
+	// attach it to their working instance via Instance.SetCow(c.Cow()).
+	cow tuple.Counters
+}
+
+// Cow returns the collector's copy-on-write counter sink, or nil on a
+// nil collector (tuple.Counters methods are nil-safe, so the result
+// can be attached to an Instance unconditionally).
+func (c *Collector) Cow() *tuple.Counters {
+	if c == nil {
+		return nil
+	}
+	return &c.cow
 }
 
 // counters is a snapshot of the cumulative counters, used to compute
@@ -266,6 +291,7 @@ func (c *Collector) Reset(engine string, ruleNames []string) {
 	c.stages = nil
 	c.stageCount = 0
 	c.truncated = false
+	c.cow.Reset()
 	c.start = time.Now()
 	c.stageStart = c.start
 	c.mark = counters{}
@@ -518,6 +544,11 @@ func (c *Collector) Summary() *Summary {
 		PerStage:        append([]StageStats(nil), c.stages...),
 		StagesTruncated: c.truncated,
 	}
+	cw := c.cow.Load()
+	s.CowSnapshots = cw.Snapshots
+	s.CowPromotions = cw.Promotions
+	s.CowTuplesCopied = cw.TuplesCopied
+	s.CowIndexesCarried = cw.IndexesCarried
 	for i := range c.rules {
 		rc := &c.rules[i]
 		if f := rc.firings.Load(); f > 0 {

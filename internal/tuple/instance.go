@@ -35,11 +35,24 @@ func (s Schema) Names() []string {
 // to relations. The zero Instance is not ready; use NewInstance.
 type Instance struct {
 	rels map[string]*Relation
+	// cow, when set, tallies snapshot/promote traffic for this
+	// instance and everything forked from it (see Counters).
+	cow *Counters
 }
 
 // NewInstance returns an empty instance.
 func NewInstance() *Instance {
 	return &Instance{rels: make(map[string]*Relation)}
+}
+
+// SetCow attaches a copy-on-write counter sink to the instance and
+// all its relations. Snapshots inherit the sink, so one collector
+// observes an engine's whole fork tree. A nil sink detaches.
+func (in *Instance) SetCow(c *Counters) {
+	in.cow = c
+	for _, r := range in.rels {
+		r.cow = c
+	}
 }
 
 // Ensure returns the relation named name, creating it with the given
@@ -53,6 +66,7 @@ func (in *Instance) Ensure(name string, arity int) *Relation {
 		return r
 	}
 	r := NewRelation(arity)
+	r.cow = in.cow
 	in.rels[name] = r
 	return r
 }
@@ -99,11 +113,50 @@ func (in *Instance) Schema() Schema {
 	return s
 }
 
-// Clone returns a deep copy of the instance.
-func (in *Instance) Clone() *Instance {
-	c := NewInstance()
+// Snapshot returns a copy-on-write fork of the instance: O(#relations)
+// pointer copies that share every relation's storage with the parent.
+// Either side may keep reading and probing the shared data; the first
+// write to a relation (on either side) promotes that relation — and
+// only that relation — onto a private copy. Taking snapshots of the
+// same instance from several goroutines is safe; mutating it is not.
+func (in *Instance) Snapshot() *Instance {
+	c := &Instance{rels: make(map[string]*Relation, len(in.rels)), cow: in.cow}
 	for k, r := range in.rels {
-		c.rels[k] = r.Clone()
+		c.rels[k] = r.Snapshot()
+	}
+	in.cow.addSnapshot()
+	return c
+}
+
+// Clone returns a copy of the instance with value semantics. Since
+// the COW rewrite it is an alias for Snapshot; use DeepClone for an
+// eager deep copy.
+func (in *Instance) Clone() *Instance { return in.Snapshot() }
+
+// SnapshotWith is Snapshot with the fork — and all later copy-on-write
+// traffic of the snapshot's fork tree — attributed to the counter sink
+// c instead of any sink inherited from the parent. Engine entry points
+// use it to bind their working copy to the run's stats collector
+// without touching the caller's instance.
+func (in *Instance) SnapshotWith(c *Counters) *Instance {
+	out := &Instance{rels: make(map[string]*Relation, len(in.rels)), cow: c}
+	for k, r := range in.rels {
+		nr := r.Snapshot()
+		nr.cow = c
+		out.rels[k] = nr
+	}
+	c.addSnapshot()
+	return out
+}
+
+// DeepClone returns an eager deep copy (the pre-COW Clone): every
+// relation's tuple map is copied up front and nothing is shared. It
+// exists for benchmarks and for callers that want to pay the whole
+// copy immediately.
+func (in *Instance) DeepClone() *Instance {
+	c := &Instance{rels: make(map[string]*Relation, len(in.rels)), cow: in.cow}
+	for k, r := range in.rels {
+		c.rels[k] = r.DeepClone()
 	}
 	return c
 }
@@ -171,7 +224,7 @@ func maphash64(s string) uint64 {
 // (with duplicates) and returns the extended slice. Callers dedupe.
 func (in *Instance) ActiveDomain(dst []value.Value) []value.Value {
 	for _, r := range in.rels {
-		for _, t := range r.tuples {
+		for _, t := range r.data.tuples {
 			dst = append(dst, t...)
 		}
 	}
@@ -183,9 +236,10 @@ func (in *Instance) ActiveDomain(dst []value.Value) []value.Value {
 // schema, or are skipped when sch is nil and the relation is absent).
 func (in *Instance) Restrict(names []string, sch Schema) *Instance {
 	out := NewInstance()
+	out.cow = in.cow
 	for _, n := range names {
 		if r := in.rels[n]; r != nil {
-			out.rels[n] = r.Clone()
+			out.rels[n] = r.Snapshot()
 		} else if sch != nil {
 			if a, ok := sch[n]; ok {
 				out.rels[n] = NewRelation(a)

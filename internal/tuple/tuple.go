@@ -8,6 +8,10 @@
 // schema (relation name -> arity) and support the cloning, equality,
 // and fingerprinting operations the forward-chaining engines need for
 // stage iteration and cycle detection (Section 4.2).
+//
+// Cloning is copy-on-write (cow.go): Instance.Snapshot and Clone are
+// O(#relations) structural shares, and a relation's storage is only
+// copied when one side of a fork first writes to it.
 package tuple
 
 import (
@@ -15,6 +19,7 @@ import (
 	"hash/maphash"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"unchained/internal/value"
 )
@@ -71,32 +76,43 @@ var hashSeed = maphash.MakeSeed()
 
 // Relation is a finite set of constant tuples of a fixed arity.
 // The zero Relation is not ready; use NewRelation.
+//
+// Storage is copy-on-write (see cow.go): data points at a possibly
+// shared relData holding the tuple map and the lazily built secondary
+// hash indexes (column-set bitmask -> packed key -> tuples). While
+// shared, mutations first promote onto a private generation, and
+// freshly built indexes go into the private own overlay instead of
+// the frozen shared map.
 type Relation struct {
-	arity  int
-	tuples map[string]Tuple
-	// indexes maps a column-set bitmask to a hash index from the
-	// packed values at those columns to the tuples having them.
-	// Indexes are built lazily on first probe and maintained
-	// incrementally on mutation.
-	indexes map[uint32]map[string][]Tuple
+	arity int
+	data  *relData
+	// own holds indexes built while data was shared; the frozen base
+	// cannot accept new masks without racing sibling readers.
+	own map[uint32]map[string][]Tuple
+	// shared marks the storage as reachable from a snapshot. It is
+	// atomic so concurrent Snapshot calls on the same relation are
+	// race-free.
+	shared atomic.Bool
 	// fp caches the order-independent fingerprint; fpValid marks it.
 	fp      uint64
 	fpValid bool
+	// cow, when set, tallies snapshot/promote traffic (see Counters).
+	cow *Counters
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+	return &Relation{arity: arity, data: &relData{tuples: make(map[string]Tuple)}}
 }
 
 // Arity reports the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len reports the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return len(r.data.tuples) }
 
 // Empty reports whether the relation has no tuples.
-func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+func (r *Relation) Empty() bool { return len(r.data.tuples) == 0 }
 
 // maskKey packs the values of t at the masked columns.
 func maskKey(t Tuple, mask uint32) string {
@@ -115,9 +131,10 @@ func maskKey(t Tuple, mask uint32) string {
 
 // indexInsert adds the stored tuple to every live index. Appending
 // never disturbs probe slices already handed out (their lengths are
-// fixed), so engines may mutate between probes safely.
+// fixed), so engines may mutate between probes safely. Only called
+// while r solely owns its data (promote guarantees own is nil).
 func (r *Relation) indexInsert(stored Tuple) {
-	for mask, idx := range r.indexes {
+	for mask, idx := range r.data.indexes {
 		k := maskKey(stored, mask)
 		idx[k] = append(idx[k], stored)
 	}
@@ -127,7 +144,7 @@ func (r *Relation) indexInsert(stored Tuple) {
 // rebuilt into fresh slices so probe slices already handed out keep
 // their (stale but memory-safe) contents.
 func (r *Relation) indexDelete(t Tuple) {
-	for mask, idx := range r.indexes {
+	for mask, idx := range r.data.indexes {
 		k := maskKey(t, mask)
 		old := idx[k]
 		if len(old) == 0 {
@@ -155,11 +172,12 @@ func (r *Relation) Insert(t Tuple) bool {
 		panic(fmt.Sprintf("tuple: insert arity %d into relation of arity %d", len(t), r.arity))
 	}
 	k := t.Key()
-	if _, ok := r.tuples[k]; ok {
+	if _, ok := r.data.tuples[k]; ok {
 		return false
 	}
+	r.promote()
 	stored := t.Clone()
-	r.tuples[k] = stored
+	r.data.tuples[k] = stored
 	r.indexInsert(stored)
 	r.fpValid = false
 	return true
@@ -171,10 +189,11 @@ func (r *Relation) Delete(t Tuple) bool {
 		return false
 	}
 	k := t.Key()
-	if _, ok := r.tuples[k]; !ok {
+	if _, ok := r.data.tuples[k]; !ok {
 		return false
 	}
-	delete(r.tuples, k)
+	r.promote()
+	delete(r.data.tuples, k)
 	r.indexDelete(t)
 	r.fpValid = false
 	return true
@@ -185,14 +204,14 @@ func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	_, ok := r.tuples[t.Key()]
+	_, ok := r.data.tuples[t.Key()]
 	return ok
 }
 
 // Each calls fn for every tuple in unspecified order; fn must not
 // mutate the relation. If fn returns false, iteration stops.
 func (r *Relation) Each(fn func(Tuple) bool) {
-	for _, t := range r.tuples {
+	for _, t := range r.data.tuples {
 		if !fn(t) {
 			return
 		}
@@ -202,8 +221,8 @@ func (r *Relation) Each(fn func(Tuple) bool) {
 // Tuples returns all tuples in unspecified order. The returned slice
 // is fresh but the tuples are shared; callers must not mutate them.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(r.tuples))
-	for _, t := range r.tuples {
+	out := make([]Tuple, 0, len(r.data.tuples))
+	for _, t := range r.data.tuples {
 		out = append(out, t)
 	}
 	return out
@@ -225,23 +244,27 @@ func (r *Relation) SortedTuples(u *value.Universe) []Tuple {
 	return out
 }
 
-// Clone returns a deep copy of the relation (indexes are not copied).
-func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.arity)
-	for k, t := range r.tuples {
-		c.tuples[k] = t
-	}
-	c.fp, c.fpValid = r.fp, r.fpValid
-	return c
-}
+// Clone returns a copy of the relation with value semantics. Since
+// the COW rewrite it is an alias for Snapshot: an O(1) structural
+// share whose first mutation (on either side) promotes onto a private
+// copy. Use DeepClone for an eager copy.
+func (r *Relation) Clone() *Relation { return r.Snapshot() }
 
 // Equal reports whether r and o hold exactly the same tuples.
+// Relations sharing the same storage generation (e.g. a snapshot and
+// its untouched parent) compare in O(1).
 func (r *Relation) Equal(o *Relation) bool {
-	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
+	if r.arity != o.arity {
 		return false
 	}
-	for k := range r.tuples {
-		if _, ok := o.tuples[k]; !ok {
+	if r.data == o.data {
+		return true
+	}
+	if len(r.data.tuples) != len(o.data.tuples) {
+		return false
+	}
+	for k := range r.data.tuples {
+		if _, ok := o.data.tuples[k]; !ok {
 			return false
 		}
 	}
@@ -252,7 +275,7 @@ func (r *Relation) Equal(o *Relation) bool {
 // were new.
 func (r *Relation) UnionInPlace(o *Relation) int {
 	added := 0
-	for _, t := range o.tuples {
+	for _, t := range o.data.tuples {
 		if r.Insert(t) {
 			added++
 		}
@@ -268,12 +291,12 @@ func (r *Relation) Fingerprint() uint64 {
 		return r.fp
 	}
 	var acc uint64
-	for k := range r.tuples {
+	for k := range r.data.tuples {
 		acc ^= maphash.String(hashSeed, k)
 	}
 	// Mix in arity and cardinality so that, e.g., the empty relations
 	// of different arities differ only via the instance-level mix.
-	acc ^= uint64(len(r.tuples))*0x9e3779b97f4a7c15 + uint64(r.arity)
+	acc ^= uint64(len(r.data.tuples))*0x9e3779b97f4a7c15 + uint64(r.arity)
 	r.fp = acc
 	r.fpValid = true
 	return acc
@@ -281,19 +304,32 @@ func (r *Relation) Fingerprint() uint64 {
 
 // index returns (building if needed) the hash index for the given
 // column set. mask bit i set means column i participates in the key.
+// While the storage is shared, snapshots reuse the warm indexes baked
+// into it, and new masks are built into the private own overlay (the
+// frozen base is read-only); a sole owner extends the base in place.
 func (r *Relation) index(mask uint32) map[string][]Tuple {
-	if r.indexes == nil {
-		r.indexes = make(map[uint32]map[string][]Tuple)
+	if idx, ok := r.data.indexes[mask]; ok {
+		return idx
 	}
-	if idx, ok := r.indexes[mask]; ok {
+	if idx, ok := r.own[mask]; ok {
 		return idx
 	}
 	idx := make(map[string][]Tuple)
-	for _, t := range r.tuples {
+	for _, t := range r.data.tuples {
 		k := maskKey(t, mask)
 		idx[k] = append(idx[k], t)
 	}
-	r.indexes[mask] = idx
+	if r.shared.Load() {
+		if r.own == nil {
+			r.own = make(map[uint32]map[string][]Tuple)
+		}
+		r.own[mask] = idx
+	} else {
+		if r.data.indexes == nil {
+			r.data.indexes = make(map[uint32]map[string][]Tuple)
+		}
+		r.data.indexes[mask] = idx
+	}
 	return idx
 }
 
@@ -308,7 +344,7 @@ func (r *Relation) Probe(mask uint32, pattern Tuple) []Tuple {
 		return r.Tuples()
 	}
 	if r.arity <= 32 && mask == uint32(1)<<uint(r.arity)-1 {
-		if stored, ok := r.tuples[pattern.Key()]; ok {
+		if stored, ok := r.data.tuples[pattern.Key()]; ok {
 			return []Tuple{stored}
 		}
 		return nil
@@ -323,7 +359,7 @@ func (r *Relation) ProbeScan(mask uint32, pattern Tuple) []Tuple {
 		return r.Tuples()
 	}
 	var out []Tuple
-	for _, t := range r.tuples {
+	for _, t := range r.data.tuples {
 		ok := true
 		for i := 0; i < r.arity; i++ {
 			if mask&(1<<uint(i)) != 0 && t[i] != pattern[i] {

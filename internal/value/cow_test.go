@@ -1,0 +1,88 @@
+package value
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCloneIsolationCOW(t *testing.T) {
+	u := New()
+	a := u.Sym("a")
+	n := u.Int(7)
+
+	c := u.Clone()
+	// Shared constants mean the same thing on both sides.
+	if c.Name(a) != "a" || c.Lookup("a") != a || c.LookupInt(7) != n {
+		t.Fatalf("clone lost shared constants")
+	}
+	// Interning in the clone must not leak into the parent.
+	cb := c.Sym("b")
+	if u.Lookup("b") != None {
+		t.Fatalf("clone intern visible in parent")
+	}
+	// And vice versa: the parent keeps interning independently.
+	ub := u.Sym("bb")
+	if c.Lookup("bb") != None {
+		t.Fatalf("parent intern visible in clone")
+	}
+	if c.Name(cb) != "b" || u.Name(ub) != "bb" {
+		t.Fatalf("post-clone interning broken: %q %q", c.Name(cb), u.Name(ub))
+	}
+	// Fresh counters diverge independently too.
+	f1 := u.Fresh()
+	if c.Name(f1) != "?" {
+		t.Fatalf("parent fresh visible in clone: %q", c.Name(f1))
+	}
+	f2 := c.Fresh()
+	if u.Name(f1) == "?" || c.Name(f2) == "?" {
+		t.Fatalf("fresh after clone broken")
+	}
+}
+
+func TestCloneChainAndReclone(t *testing.T) {
+	u := New()
+	for i := 0; i < 100; i++ {
+		u.Int(int64(i))
+	}
+	c1 := u.Clone()
+	c1.Sym("only-c1") // promotes c1
+	c2 := c1.Clone()  // clone of a promoted clone
+	if c2.Lookup("only-c1") == None {
+		t.Fatalf("second-level clone lost promoted constant")
+	}
+	c2.Sym("only-c2")
+	if c1.Lookup("only-c2") != None || u.Lookup("only-c1") != None {
+		t.Fatalf("chain isolation broken")
+	}
+	if c2.LookupInt(42) == None {
+		t.Fatalf("chain lost root constants")
+	}
+}
+
+func TestConcurrentCloneFromOneUniverse(t *testing.T) {
+	u := New()
+	for i := 0; i < 1000; i++ {
+		u.Sym(fmt.Sprintf("s%d", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := u.Clone()
+			// Each goroutine interns into its own clone only.
+			v := c.Sym(fmt.Sprintf("private-%d", g))
+			if c.Name(v) != fmt.Sprintf("private-%d", g) {
+				t.Errorf("goroutine %d: wrong name", g)
+			}
+			if c.Lookup("s500") == None {
+				t.Errorf("goroutine %d: lost shared symbol", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if u.Lookup("private-3") != None {
+		t.Fatalf("clone intern leaked into shared parent")
+	}
+}

@@ -19,6 +19,7 @@ package value
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 )
 
 // Value is a handle to an interned domain constant. The zero Value is
@@ -60,11 +61,21 @@ type entry struct {
 
 // Universe interns domain constants and hands out fresh invented
 // values. The zero Universe is not ready; use New.
+//
+// Clone is copy-on-write: clones share the entry table prefix and the
+// interning maps until one side interns something new, at which point
+// that side promotes onto private maps. Taking clones of the same
+// Universe from several goroutines is safe; interning concurrently
+// with anything else on the same Universe is not.
 type Universe struct {
 	entries []entry          // entries[0] is a dummy for the None sentinel
 	syms    map[string]Value // symbol text -> Value
 	ints    map[int64]Value  // integer -> Value
 	fresh   int64            // count of invented values issued
+	// shared marks syms/ints as reachable from a clone and therefore
+	// read-only until promoted. Atomic so concurrent Clone calls on
+	// the same Universe (Session.Fork per request) are race-free.
+	shared atomic.Bool
 }
 
 // New returns an empty Universe.
@@ -76,12 +87,34 @@ func New() *Universe {
 	}
 }
 
+// promote gives u private copies of the interning maps; it must be
+// called before writing to them while u is shared with clones. The
+// entry slice needs no copy: clones hold capacity-trimmed views, so
+// appends beyond their length reallocate on their side and are
+// invisible on this one.
+func (u *Universe) promote() {
+	if !u.shared.Load() {
+		return
+	}
+	syms := make(map[string]Value, len(u.syms)+1)
+	for k, v := range u.syms {
+		syms[k] = v
+	}
+	ints := make(map[int64]Value, len(u.ints)+1)
+	for k, v := range u.ints {
+		ints[k] = v
+	}
+	u.syms, u.ints = syms, ints
+	u.shared.Store(false)
+}
+
 // Sym interns the symbol with the given name and returns its Value.
 // Interning the same name twice returns the same Value.
 func (u *Universe) Sym(name string) Value {
 	if v, ok := u.syms[name]; ok {
 		return v
 	}
+	u.promote()
 	v := Value(len(u.entries))
 	u.entries = append(u.entries, entry{kind: KindSym, name: name})
 	u.syms[name] = v
@@ -93,6 +126,7 @@ func (u *Universe) Int(n int64) Value {
 	if v, ok := u.ints[n]; ok {
 		return v
 	}
+	u.promote()
 	v := Value(len(u.entries))
 	u.entries = append(u.entries, entry{kind: KindInt, num: n})
 	u.ints[n] = v
@@ -109,27 +143,32 @@ func (u *Universe) Fresh() Value {
 	return v
 }
 
-// Clone returns a deep copy of the Universe. Because handles are
-// dense indices into the entry table, every Value issued by the
+// Clone returns a copy-on-write copy of the Universe. Because handles
+// are dense indices into the entry table, every Value issued by the
 // original remains valid — and means the same constant — in the
 // clone; interning or inventing in the clone never affects the
 // original. This is what makes a parsed program (whose constants are
 // Values of the original) evaluable against any number of clones
 // concurrently.
+//
+// The copy is O(1): both sides share the entry prefix and the
+// interning maps until one of them interns a new constant, which
+// promotes that side onto private maps. Concurrent Clone calls on the
+// same Universe are safe (the per-request fork in internal/serve
+// relies on this); concurrent interning is not.
 func (u *Universe) Clone() *Universe {
+	u.shared.Store(true)
 	c := &Universe{
-		entries: make([]entry, len(u.entries)),
-		syms:    make(map[string]Value, len(u.syms)),
-		ints:    make(map[int64]Value, len(u.ints)),
+		// Trim capacity so an append in the clone reallocates instead
+		// of writing into the shared backing array. The parent keeps
+		// its capacity: its appends land beyond every clone's length
+		// and are invisible to them.
+		entries: u.entries[:len(u.entries):len(u.entries)],
+		syms:    u.syms,
+		ints:    u.ints,
 		fresh:   u.fresh,
 	}
-	copy(c.entries, u.entries)
-	for k, v := range u.syms {
-		c.syms[k] = v
-	}
-	for k, v := range u.ints {
-		c.ints[k] = v
-	}
+	c.shared.Store(true)
 	return c
 }
 

@@ -1,0 +1,35 @@
+package while
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"unchained/internal/value"
+)
+
+// FuzzWhileParse checks that the while-language parser never panics:
+// arbitrary input must either parse or return an error.
+func FuzzWhileParse(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "programs", "*.wl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+	f.Add("while changes do T += { T(X,Y) :- G(X,Y) } od")
+	f.Add("T := { T(X) :- }")
+	f.Add("while")
+	f.Fuzz(func(t *testing.T, src string) {
+		u := value.New()
+		prog, err := Parse(src, u)
+		if err == nil && prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+	})
+}

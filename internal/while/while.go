@@ -123,7 +123,7 @@ func Run(p *Program, in *tuple.Instance, u *value.Universe, opt *Options) (*Resu
 	}
 	col := opt.Collector()
 	col.Reset("while", nil)
-	state := in.Clone()
+	state := in.SnapshotWith(col.Cow())
 	it := &interp{
 		adom:  eval.ActiveDomain(u, p.Consts, in),
 		limit: opt.IterLimit(1 << 20),

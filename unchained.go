@@ -337,11 +337,16 @@ type Session struct {
 // NewSession returns a fresh session.
 func NewSession() *Session { return &Session{U: value.New()} }
 
-// Fork returns an independent copy of the session: a deep copy of the
-// universe sharing no mutable state with the original. Values — and
+// Fork returns an independent copy of the session. Values — and
 // therefore parsed programs and instances — created before the fork
 // remain valid in both, so N forks can evaluate the same parsed
 // program concurrently (each goroutine uses its own fork).
+//
+// Forking is O(1): the universe is copied copy-on-write (shared
+// interning tables, promoted on the first new constant either side
+// interns), and instances are already copy-on-write at the storage
+// layer (see docs/STORAGE.md). Calling Fork concurrently from several
+// goroutines is safe; the per-request fork in internal/serve does so.
 func (s *Session) Fork() *Session { return &Session{U: s.U.Clone()} }
 
 // Parse parses a program in the family's concrete syntax.
