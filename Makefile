@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json bench-baseline fmt-check fuzz-smoke verify serve-smoke explain-golden
+.PHONY: all build vet vet-custom lint-programs test race bench bench-json bench-baseline fmt-check fuzz-smoke verify serve-smoke explain-golden
 
 all: verify
 
@@ -12,6 +12,22 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Custom analyzers (internal/lint via cmd/vet-unchained): stage loops
+# must poll context cancellation, tuple payloads must not be mutated
+# outside internal/tuple. See docs/ANALYSIS.md.
+vet-custom:
+	$(GO) build -o bin/vet-unchained ./cmd/vet-unchained
+	$(GO) vet -vettool=$(CURDIR)/bin/vet-unchained ./...
+
+# Run the static analyzer (-lint) over every shipped program; exits
+# non-zero if any acquires an error-severity diagnostic.
+lint-programs:
+	@for p in programs/*.dl; do \
+		$(GO) run ./cmd/datalog -program $$p -lint >/dev/null || exit 1; done
+	@for p in programs/*.wl; do \
+		$(GO) run ./cmd/datalog -program $$p -language while -lint >/dev/null || exit 1; done
+	@echo "lint-programs: all programs clean"
 
 # Fail if any file needs gofmt; print the offenders.
 fmt-check:
@@ -42,6 +58,7 @@ fuzz-smoke:
 	$(GO) test ./internal/parser -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/parser -run='^$$' -fuzz='^FuzzParseFacts$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/while -run='^$$' -fuzz='^FuzzWhileParse$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/analyze -run='^$$' -fuzz='^FuzzAnalyze$$' -fuzztime=$(FUZZTIME)
 
 # Render the win-game derivation explanation and diff it against the
 # checked-in golden — catches drift in either the WFS engine or the
@@ -56,5 +73,6 @@ explain-golden:
 serve-smoke:
 	$(GO) run ./cmd/unchained-serve -selftest
 
-# Tier-1 verification (see ROADMAP.md).
-verify: fmt-check build vet test race
+# Tier-1 verification (see ROADMAP.md) plus the custom analyzers and
+# the program-library lint sweep.
+verify: fmt-check build vet vet-custom test race lint-programs

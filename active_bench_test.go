@@ -17,9 +17,9 @@ func runActiveBench(n int) error {
 		{
 			Name: "reserve", Priority: 10,
 			On: active.Inserted, Pred: "Order", Vars: []string{"O", "Item"},
-			Cond: []ast.Literal{ast.Pos(ast.NewAtom("InStock", ast.V("Item")))},
+			Cond: []ast.Literal{ast.PosLit(ast.NewAtom("InStock", ast.V("Item")))},
 			Actions: []ast.Literal{
-				ast.Pos(ast.NewAtom("Reserved", ast.V("O"), ast.V("Item"))),
+				ast.PosLit(ast.NewAtom("Reserved", ast.V("O"), ast.V("Item"))),
 				ast.Neg(ast.NewAtom("InStock", ast.V("Item"))),
 			},
 		},
@@ -30,12 +30,12 @@ func runActiveBench(n int) error {
 				ast.Neg(ast.NewAtom("InStock", ast.V("Item"))),
 				ast.Neg(ast.NewAtom("Reserved", ast.V("O"), ast.V("Item"))),
 			},
-			Actions: []ast.Literal{ast.Pos(ast.NewAtom("Backorder", ast.V("O"), ast.V("Item")))},
+			Actions: []ast.Literal{ast.PosLit(ast.NewAtom("Backorder", ast.V("O"), ast.V("Item")))},
 		},
 		{
 			Name: "reorder", Priority: 1,
 			On: active.Deleted, Pred: "InStock", Vars: []string{"Item"},
-			Actions: []ast.Literal{ast.Pos(ast.NewAtom("Reorder", ast.V("Item")))},
+			Actions: []ast.Literal{ast.PosLit(ast.NewAtom("Reorder", ast.V("Item")))},
 		},
 	}
 	sys, err := active.NewSystem(u, rules)

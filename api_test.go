@@ -20,7 +20,7 @@ func TestSemanticsRoundTrip(t *testing.T) {
 	all := []unchained.Semantics{
 		unchained.MinimalModel, unchained.Stratified, unchained.WellFounded,
 		unchained.Inflationary, unchained.NonInflationary, unchained.Invent,
-		unchained.SemiPositive,
+		unchained.SemiPositive, unchained.SemanticsAuto,
 	}
 	names := unchained.SemanticsNames()
 	if len(names) != len(all) {

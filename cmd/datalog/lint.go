@@ -1,0 +1,127 @@
+// The -lint surface: render the static analyzer's report as
+// position-tagged diagnostic lines (or JSON with -json), exiting
+// nonzero when any error-severity finding is present.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"unchained"
+	"unchained/internal/while"
+)
+
+// lintDatalog analyzes prog and renders the report. The text form
+// leads with the machine-readable classification as %-comments, then
+// one line per diagnostic in deterministic order, with related
+// witness positions indented beneath.
+func lintDatalog(s *unchained.Session, prog *unchained.Program, jsonOut bool, w io.Writer) error {
+	rep := s.Analyze(prog)
+	if jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", b)
+	} else {
+		fmt.Fprintf(w, "%% dialect: %s\n", rep.Dialect)
+		if rep.Semantics != "" {
+			det := "deterministic"
+			if !rep.Deterministic {
+				det = "nondeterministic"
+			}
+			fmt.Fprintf(w, "%% semantics: %s (%s)\n", rep.Semantics, det)
+		}
+		fmt.Fprintf(w, "%% stratifiable: %v\n", rep.Stratifiable)
+		if len(rep.EDB) > 0 {
+			fmt.Fprintf(w, "%% edb: %s\n", join(rep.EDB))
+		}
+		if len(rep.IDB) > 0 {
+			fmt.Fprintf(w, "%% idb: %s\n", join(rep.IDB))
+		}
+		for _, d := range rep.Diags {
+			fmt.Fprintf(w, "%s\n", d.String())
+			for _, rel := range d.Related {
+				fmt.Fprintf(w, "    %s: %s\n", rel.Pos, rel.Message)
+			}
+		}
+	}
+	if n := rep.Diags.Count(unchained.SevError); n > 0 {
+		return fmt.Errorf("lint: %d error(s)", n)
+	}
+	return nil
+}
+
+// whileReport is the limited -lint report for the while/fixpoint
+// languages: there is no dialect lattice to walk, but the fragment
+// decides termination (fixpoint programs always terminate, while
+// programs may diverge).
+type whileReport struct {
+	Language   string   `json:"language"` // "while" or "fixpoint"
+	Terminates bool     `json:"terminates"`
+	Statements int      `json:"statements"`
+	Relations  []string `json:"relations,omitempty"`
+}
+
+// lintWhile parses src as a while program and renders the limited
+// report.
+func lintWhile(s *unchained.Session, src string, jsonOut bool, w io.Writer) error {
+	prog, err := while.Parse(src, s.U)
+	if err != nil {
+		return fmt.Errorf("parse while program: %w", err)
+	}
+	rep := whileReport{Language: "while"}
+	if prog.Fixpoint() {
+		rep.Language = "fixpoint"
+		rep.Terminates = true
+	}
+	rels := map[string]bool{}
+	var walk func(ss []while.Stmt)
+	walk = func(ss []while.Stmt) {
+		for _, st := range ss {
+			rep.Statements++
+			switch st := st.(type) {
+			case while.Assign:
+				rels[st.Rel] = true
+			case while.Loop:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(prog.Stmts)
+	for r := range rels {
+		rep.Relations = append(rep.Relations, r)
+	}
+	sort.Strings(rep.Relations)
+	if jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", b)
+		return nil
+	}
+	term := "destructive assignment, may diverge"
+	if rep.Terminates {
+		term = "terminates in polynomial time"
+	}
+	fmt.Fprintf(w, "%% language: %s (%s)\n", rep.Language, term)
+	fmt.Fprintf(w, "%% statements: %d\n", rep.Statements)
+	if len(rep.Relations) > 0 {
+		fmt.Fprintf(w, "%% relations: %s\n", join(rep.Relations))
+	}
+	return nil
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

@@ -7,11 +7,20 @@
 //	datalog -program win.dl -facts game.facts -semantics wellfounded -three
 //	datalog -program orient.dl -facts g.facts -semantics ndatalog -seed 7
 //	datalog -program orient.dl -facts g.facts -semantics effects
+//	datalog -program tc.dl -lint
+//	datalog -program tc.dl -lint -json
 //
 // Semantics: datalog (minimal model), stratified, wellfounded,
 // inflationary, noninflationary, invent, ndatalog (one sampled
 // nondeterministic run of N-Datalog¬¬), ndatalog-bottom,
-// ndatalog-forall, effects (exhaustive eff(P) of N-Datalog¬¬).
+// ndatalog-forall, effects (exhaustive eff(P) of N-Datalog¬¬), and
+// auto (run the static analyzer and dispatch to the recommended
+// engine).
+//
+// -lint analyzes the program instead of evaluating it: dialect
+// inference, recommended semantics, stratifiability, and positioned
+// diagnostics (see docs/ANALYSIS.md for the code table); -json emits
+// the full report for machine consumers. Error diagnostics exit 1.
 //
 // Programs use the syntax of internal/parser: variables upper-case,
 // constants lower-case/quoted/integers, '!' or 'not' for negation
@@ -79,6 +88,8 @@ func run(args []string, w, ew io.Writer) error {
 	explainOn := fs.Bool("explain", false, "render the evaluation as a stage-by-stage narrative (suppresses normal output)")
 	why := fs.String("why", "", "with -semantics inflationary: explain a derived fact, e.g. -why 'T(a,c)'")
 	query := fs.String("query", "", "positive Datalog only: goal-directed (magic-sets) query, e.g. -query 'T(a,Y)'")
+	lintOn := fs.Bool("lint", false, "analyze the program instead of evaluating it; exits 1 on error diagnostics")
+	jsonOut := fs.Bool("json", false, "with -lint: emit the full analysis report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -149,12 +160,30 @@ func run(args []string, w, ew io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *lintOn {
+		if *language == "while" {
+			return lintWhile(s, src, *jsonOut, w)
+		}
+		prog, err := s.Parse(src)
+		if err != nil {
+			return fmt.Errorf("parse program: %w", err)
+		}
+		return lintDatalog(s, prog, *jsonOut, w)
+	}
 	if *language == "while" {
 		return runWhile(ctx, s, src, *factsPath, *attachOrder, col, tracer, emitStats, w)
 	}
 	prog, err := s.Parse(src)
 	if err != nil {
 		return fmt.Errorf("parse program: %w", err)
+	}
+	if *semantics == "auto" {
+		rep := s.Analyze(prog)
+		if lerr := rep.Diags.Err(); lerr != nil {
+			return fmt.Errorf("auto semantics: %w", lerr)
+		}
+		fmt.Fprintf(w, "%% auto semantics: %s (%s)\n", rep.Semantics, rep.Dialect)
+		*semantics = rep.Semantics
 	}
 	in := tuple.NewInstance()
 	if *factsPath != "" {

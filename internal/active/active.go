@@ -146,7 +146,7 @@ func NewSystem(u *value.Universe, rules []Rule) (*System, error) {
 		for j, v := range r.Vars {
 			evArgs[j] = ast.V(v)
 		}
-		body := append([]ast.Literal{ast.Pos(ast.NewAtom(eventRel(len(r.Vars)), evArgs...))}, r.Cond...)
+		body := append([]ast.Literal{ast.PosLit(ast.NewAtom(eventRel(len(r.Vars)), evArgs...))}, r.Cond...)
 		rule := ast.Rule{Head: r.Actions, Body: body}
 		prog := ast.NewProgram(rule)
 		if err := prog.Validate(ast.DialectNDatalogNegNeg); err != nil {

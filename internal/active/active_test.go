@@ -19,10 +19,10 @@ func orderRules(u *value.Universe) []Rule {
 			Name: "reserve", Priority: 10,
 			On: Inserted, Pred: "Order", Vars: []string{"O", "Item"},
 			Cond: []ast.Literal{
-				ast.Pos(ast.NewAtom("InStock", ast.V("Item"))),
+				ast.PosLit(ast.NewAtom("InStock", ast.V("Item"))),
 			},
 			Actions: []ast.Literal{
-				ast.Pos(ast.NewAtom("Reserved", ast.V("O"), ast.V("Item"))),
+				ast.PosLit(ast.NewAtom("Reserved", ast.V("O"), ast.V("Item"))),
 				ast.Neg(ast.NewAtom("InStock", ast.V("Item"))),
 			},
 		},
@@ -38,14 +38,14 @@ func orderRules(u *value.Universe) []Rule {
 				ast.Neg(ast.NewAtom("Reserved", ast.V("O"), ast.V("Item"))),
 			},
 			Actions: []ast.Literal{
-				ast.Pos(ast.NewAtom("Backorder", ast.V("O"), ast.V("Item"))),
+				ast.PosLit(ast.NewAtom("Backorder", ast.V("O"), ast.V("Item"))),
 			},
 		},
 		{
 			Name: "reorder", Priority: 1,
 			On: Deleted, Pred: "InStock", Vars: []string{"Item"},
 			Actions: []ast.Literal{
-				ast.Pos(ast.NewAtom("Reorder", ast.V("Item"))),
+				ast.PosLit(ast.NewAtom("Reorder", ast.V("Item"))),
 			},
 		},
 	}
@@ -107,7 +107,7 @@ func TestRecencyOrdering(t *testing.T) {
 	var trace []string
 	rules := []Rule{{
 		Name: "log", On: Inserted, Pred: "P", Vars: []string{"X"},
-		Actions: []ast.Literal{ast.Pos(ast.NewAtom("Logged", ast.V("X")))},
+		Actions: []ast.Literal{ast.PosLit(ast.NewAtom("Logged", ast.V("X")))},
 	}}
 	sys, err := NewSystem(u, rules)
 	if err != nil {
@@ -132,7 +132,7 @@ func TestRefractionNoInfiniteRefire(t *testing.T) {
 	u := value.New()
 	rules := []Rule{{
 		Name: "idem", On: Inserted, Pred: "P", Vars: []string{"X"},
-		Actions: []ast.Literal{ast.Pos(ast.NewAtom("P", ast.V("X")))},
+		Actions: []ast.Literal{ast.PosLit(ast.NewAtom("P", ast.V("X")))},
 	}}
 	sys, err := NewSystem(u, rules)
 	if err != nil {
@@ -154,7 +154,7 @@ func TestFiringLimit(t *testing.T) {
 		{Name: "pp", On: Inserted, Pred: "P", Vars: []string{"X"},
 			Actions: []ast.Literal{ast.Neg(ast.NewAtom("P", ast.V("X")))}},
 		{Name: "qq", On: Deleted, Pred: "P", Vars: []string{"X"},
-			Actions: []ast.Literal{ast.Pos(ast.NewAtom("P", ast.V("X")))}},
+			Actions: []ast.Literal{ast.PosLit(ast.NewAtom("P", ast.V("X")))}},
 	}
 	sys, err := NewSystem(u, rules)
 	if err != nil {
@@ -171,9 +171,9 @@ func TestConditionJoinsWorkingMemory(t *testing.T) {
 	u := value.New()
 	rules := []Rule{{
 		Name: "fragile", On: Inserted, Pred: "Order", Vars: []string{"O", "Item"},
-		Cond: []ast.Literal{ast.Pos(ast.NewAtom("Fragile", ast.V("Item")))},
+		Cond: []ast.Literal{ast.PosLit(ast.NewAtom("Fragile", ast.V("Item")))},
 		Actions: []ast.Literal{
-			ast.Pos(ast.NewAtom("HandleWithCare", ast.V("O")))},
+			ast.PosLit(ast.NewAtom("HandleWithCare", ast.V("O")))},
 	}}
 	sys, err := NewSystem(u, rules)
 	if err != nil {
@@ -218,7 +218,7 @@ func TestInputNotMutatedAndInternalRelationHidden(t *testing.T) {
 
 func TestNewSystemValidation(t *testing.T) {
 	u := value.New()
-	if _, err := NewSystem(u, []Rule{{Name: "x", Pred: "", Actions: []ast.Literal{ast.Pos(ast.NewAtom("A"))}}}); err == nil {
+	if _, err := NewSystem(u, []Rule{{Name: "x", Pred: "", Actions: []ast.Literal{ast.PosLit(ast.NewAtom("A"))}}}); err == nil {
 		t.Fatalf("empty trigger accepted")
 	}
 	if _, err := NewSystem(u, []Rule{{Name: "x", Pred: "P"}}); err == nil {
@@ -230,7 +230,7 @@ func TestNewSystemValidation(t *testing.T) {
 	}
 	// Unbound action variable.
 	if _, err := NewSystem(u, []Rule{{Name: "x", Pred: "P", Vars: []string{"X"},
-		Actions: []ast.Literal{ast.Pos(ast.NewAtom("A", ast.V("Y")))}}}); err == nil {
+		Actions: []ast.Literal{ast.PosLit(ast.NewAtom("A", ast.V("Y")))}}}); err == nil {
 		t.Fatalf("unbound action variable accepted")
 	}
 }
@@ -245,15 +245,15 @@ func TestSpecificityStrategy(t *testing.T) {
 		{
 			Name: "generic", On: Inserted, Pred: "Order", Vars: []string{"O"},
 			Cond:    []ast.Literal{ast.Neg(ast.NewAtom("Routed", ast.V("O")))},
-			Actions: []ast.Literal{ast.Pos(ast.NewAtom("Standard", ast.V("O"))), ast.Pos(ast.NewAtom("Routed", ast.V("O")))},
+			Actions: []ast.Literal{ast.PosLit(ast.NewAtom("Standard", ast.V("O"))), ast.PosLit(ast.NewAtom("Routed", ast.V("O")))},
 		},
 		{
 			Name: "vip", On: Inserted, Pred: "Order", Vars: []string{"O"},
 			Cond: []ast.Literal{
 				ast.Neg(ast.NewAtom("Routed", ast.V("O"))),
-				ast.Pos(ast.NewAtom("Vip", ast.V("O"))),
+				ast.PosLit(ast.NewAtom("Vip", ast.V("O"))),
 			},
-			Actions: []ast.Literal{ast.Pos(ast.NewAtom("Express", ast.V("O"))), ast.Pos(ast.NewAtom("Routed", ast.V("O")))},
+			Actions: []ast.Literal{ast.PosLit(ast.NewAtom("Express", ast.V("O"))), ast.PosLit(ast.NewAtom("Routed", ast.V("O")))},
 		},
 	}
 	o1 := tuple.Tuple{u.Sym("o1")}

@@ -1,0 +1,586 @@
+// Package analyze is the static program analyzer: a multi-pass walk
+// over an ast.Program producing positioned, severity-tagged
+// diagnostics and a classification Report. The passes mirror the
+// syntactic bottom of the paper's Figure 1 hierarchy:
+//
+//  1. validation — every dialect violation, unsafe variable, and
+//     arity conflict of Program.ValidateDiags, aggregated;
+//  2. dialect inference — the minimal dialect in the Figure 1 lattice
+//     admitting the program, with a rejection reason (rule + position)
+//     for every stricter dialect;
+//  3. dependency graph — SCC condensation via internal/stratify,
+//     negative-cycle witness paths for non-stratifiable Datalog¬,
+//     EDB/IDB split, unused and underivable predicates;
+//  4. termination heuristic — Datalog¬¬ derive/retract flip-flop
+//     cycles warn (Section 4.2's non-terminating program) unless a
+//     monotone sentinel guards every pair, which is the
+//     ordered-database counter shape of Theorem 4.8 (info, never an
+//     error);
+//  5. semantics recommendation — the cheapest sound engine for the
+//     inferred class, which SemanticsAuto in the facade dispatches on.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"unchained/internal/ast"
+	"unchained/internal/stratify"
+	"unchained/internal/trace"
+)
+
+// Diagnostic codes produced by the analyzer, extending the E001–E003
+// codes of ast.ValidateDiags (see docs/ANALYSIS.md for the table).
+const (
+	// CodeNoDialect: no dialect of the family admits the program.
+	CodeNoDialect = "E004"
+	// CodeNotStratifiable: recursion through negation in a Datalog¬
+	// program (the stratified engine cannot run it).
+	CodeNotStratifiable = "W001"
+	// CodeNonTermination: an unguarded derive/retract flip-flop;
+	// noninflationary evaluation may not terminate.
+	CodeNonTermination = "W002"
+	// CodeUnderivable: a derived predicate none of whose rules can
+	// ever fire.
+	CodeUnderivable = "W003"
+	// CodeProgramClass: the inferred dialect and recommended
+	// semantics (the report summary as a diagnostic).
+	CodeProgramClass = "I001"
+	// CodeRejection: why a stricter dialect rejects the program.
+	CodeRejection = "I002"
+	// CodeUnused: a derived predicate never read by any body
+	// (possibly the answer relation).
+	CodeUnused = "I003"
+	// CodeOrderedCounter: the Theorem 4.8 counter shape — a guarded
+	// derive/retract pair whose stages are bounded by a sentinel.
+	CodeOrderedCounter = "I004"
+)
+
+// lattice linearizes Figure 1 (deterministic column first, then the
+// nondeterministic one): dialect inference returns the first entry
+// that admits the program, so earlier entries are "stricter".
+var lattice = []ast.Dialect{
+	ast.DialectDatalog,
+	ast.DialectDatalogNeg,
+	ast.DialectDatalogNegNeg,
+	ast.DialectDatalogNew,
+	ast.DialectNDatalogNeg,
+	ast.DialectNDatalogNegNeg,
+	ast.DialectNDatalogBot,
+	ast.DialectNDatalogAll,
+	ast.DialectNDatalogNew,
+}
+
+// Rejection records why one stricter dialect does not admit the
+// program: the first violation, with its rule and position.
+type Rejection struct {
+	Dialect ast.Dialect `json:"dialect"`
+	Pos     ast.Pos     `json:"pos"`
+	Reason  string      `json:"reason"`
+}
+
+// Report is the analyzer's result. Diags carries every finding
+// (including the report summary itself as an I001 info); the
+// remaining fields are the machine-readable classification.
+type Report struct {
+	// Dialect is the minimal admitting dialect (DialectUnknown when
+	// none admits the program).
+	Dialect ast.Dialect `json:"dialect"`
+	// Semantics is the recommended engine's canonical -semantics
+	// name, empty when no engine can run the program.
+	Semantics string `json:"semantics,omitempty"`
+	// Deterministic reports whether the recommended semantics is
+	// deterministic (false for the N-Datalog engines).
+	Deterministic bool `json:"deterministic"`
+	// Stratifiable reports whether the dependency graph has no cycle
+	// through negation.
+	Stratifiable bool `json:"stratifiable"`
+	// EDB and IDB are the extensional/intensional relation names.
+	EDB []string `json:"edb,omitempty"`
+	IDB []string `json:"idb,omitempty"`
+	// Rejections explains, for each dialect stricter than Dialect,
+	// why it does not admit the program.
+	Rejections []Rejection `json:"rejections,omitempty"`
+	// Diags are all findings in deterministic order.
+	Diags ast.Diagnostics `json:"diagnostics"`
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Tracer receives analyze span events (may be nil).
+	Tracer trace.Tracer
+}
+
+// Analyze runs every pass over p. It never fails: problems are
+// diagnostics, and the zero ast.Pos marks findings on hand-built
+// rules.
+func Analyze(p *ast.Program, opt *Options) *Report {
+	var tr trace.Tracer
+	if opt != nil {
+		tr = opt.Tracer
+	}
+	start := time.Now()
+	if tr != nil {
+		tr.Emit(trace.Event{Ev: trace.EvBegin, Span: trace.SpanAnalyze, Engine: "analyze"})
+	}
+	pass := func(name string, t0 time.Time) {
+		if tr != nil {
+			tr.Emit(trace.Event{Ev: trace.EvSpan, Span: trace.SpanAnalyze, Name: name, DurNS: time.Since(t0).Nanoseconds()})
+		}
+	}
+
+	r := &Report{Dialect: ast.DialectUnknown}
+
+	t0 := time.Now()
+	arity, perDialect := validateAcross(p)
+	pass("validate", t0)
+
+	t0 = time.Now()
+	r.Diags = append(r.Diags, arity...)
+	inferDialect(p, r, perDialect)
+	pass("dialect", t0)
+
+	t0 = time.Now()
+	sh := shapeOf(p)
+	g := stratify.BuildGraph(p)
+	cycle := g.NegativeCycle()
+	r.Stratifiable = cycle == nil
+	r.EDB, r.IDB = p.EDB(), p.IDB()
+	if cycle != nil && r.Dialect == ast.DialectDatalogNeg {
+		r.Diags = append(r.Diags, negCycleDiag(cycle))
+	}
+	r.Diags = append(r.Diags, unusedDiags(p, sh)...)
+	r.Diags = append(r.Diags, underivableDiags(p, sh)...)
+	pass("depgraph", t0)
+
+	t0 = time.Now()
+	r.Diags = append(r.Diags, terminationDiags(p, sh)...)
+	pass("termination", t0)
+
+	r.Semantics, r.Deterministic = recommend(p, r, sh)
+	if r.Dialect != ast.DialectUnknown {
+		r.Diags = append(r.Diags, classDiag(r))
+	}
+	r.Diags.Sort()
+
+	if tr != nil {
+		tr.Emit(trace.Event{Ev: trace.EvEnd, Span: trace.SpanAnalyze, Engine: "analyze", DurNS: time.Since(start).Nanoseconds()})
+	}
+	return r
+}
+
+// validateAcross validates p against every dialect of the lattice,
+// splitting off the arity conflicts (which are dialect-independent
+// and would otherwise make every dialect fail).
+func validateAcross(p *ast.Program) (arity ast.Diagnostics, perDialect map[ast.Dialect]ast.Diagnostics) {
+	perDialect = make(map[ast.Dialect]ast.Diagnostics, len(lattice))
+	for i, d := range lattice {
+		var rest ast.Diagnostics
+		for _, dg := range p.ValidateDiags(d) {
+			if dg.Code == ast.CodeArity {
+				if i == 0 {
+					arity = append(arity, dg)
+				}
+				continue
+			}
+			rest = append(rest, dg)
+		}
+		perDialect[d] = rest
+	}
+	return arity, perDialect
+}
+
+// inferDialect picks the first lattice dialect with no (non-arity)
+// errors, records a Rejection per stricter dialect, and reports
+// E004 plus the least-bad dialect's violations when nothing admits
+// the program.
+func inferDialect(p *ast.Program, r *Report, perDialect map[ast.Dialect]ast.Diagnostics) {
+	for _, d := range lattice {
+		if !perDialect[d].HasErrors() {
+			r.Dialect = d
+			break
+		}
+	}
+	if r.Dialect == ast.DialectUnknown {
+		// Show the violations of the least-bad candidate so the E004
+		// is actionable.
+		best := lattice[0]
+		bestN := -1
+		for _, d := range lattice {
+			if n := perDialect[d].Count(ast.SevError); bestN < 0 || n < bestN {
+				best, bestN = d, n
+			}
+		}
+		r.Diags = append(r.Diags, perDialect[best]...)
+		r.Diags = append(r.Diags, ast.Diagnostic{
+			Severity: ast.SevError,
+			Code:     CodeNoDialect,
+			Message:  fmt.Sprintf("no dialect of the family admits this program (closest: %s)", best),
+		})
+		return
+	}
+	r.Diags = append(r.Diags, perDialect[r.Dialect]...)
+	for _, d := range lattice {
+		if d == r.Dialect {
+			break
+		}
+		if !r.Dialect.Includes(d) {
+			continue // incomparable, not stricter
+		}
+		first := firstError(perDialect[d])
+		r.Rejections = append(r.Rejections, Rejection{Dialect: d, Pos: first.Pos, Reason: first.Message})
+		r.Diags = append(r.Diags, ast.Diagnostic{
+			Pos:      first.Pos,
+			Severity: ast.SevInfo,
+			Code:     CodeRejection,
+			Message:  fmt.Sprintf("not %s: %s", d, first.Message),
+		})
+	}
+}
+
+func firstError(ds ast.Diagnostics) ast.Diagnostic {
+	sorted := append(ast.Diagnostics(nil), ds...)
+	sorted.Sort()
+	for _, d := range sorted {
+		if d.Severity == ast.SevError {
+			return d
+		}
+	}
+	return ast.Diagnostic{Message: "rejected"}
+}
+
+// shape is the per-predicate occurrence summary the graph passes
+// share: who derives, who retracts, who reads, and where.
+type shape struct {
+	posHead     map[string]bool    // pred has a positive head occurrence
+	retractHead map[string]bool    // pred has a negated head occurrence
+	bodyRead    map[string]bool    // pred occurs in some body
+	headPos     map[string]ast.Pos // first head occurrence (any polarity)
+	// deriveRules / retractRules index p.Rules by head pred.
+	deriveRules  map[string][]int
+	retractRules map[string][]int
+}
+
+func shapeOf(p *ast.Program) *shape {
+	sh := &shape{
+		posHead:      map[string]bool{},
+		retractHead:  map[string]bool{},
+		bodyRead:     map[string]bool{},
+		headPos:      map[string]ast.Pos{},
+		deriveRules:  map[string][]int{},
+		retractRules: map[string][]int{},
+	}
+	var walkBody func(l ast.Literal)
+	walkBody = func(l ast.Literal) {
+		switch l.Kind {
+		case ast.LitAtom:
+			sh.bodyRead[l.Atom.Pred] = true
+		case ast.LitForall:
+			for _, b := range l.ForallBody {
+				walkBody(b)
+			}
+		}
+	}
+	for ri, r := range p.Rules {
+		for _, h := range r.Head {
+			if h.Kind != ast.LitAtom {
+				continue
+			}
+			n := h.Atom.Pred
+			if _, ok := sh.headPos[n]; !ok {
+				sh.headPos[n] = h.SrcPos
+			}
+			if h.Neg {
+				sh.retractHead[n] = true
+				sh.retractRules[n] = append(sh.retractRules[n], ri)
+			} else {
+				sh.posHead[n] = true
+				sh.deriveRules[n] = append(sh.deriveRules[n], ri)
+			}
+		}
+		for _, b := range r.Body {
+			walkBody(b)
+		}
+	}
+	return sh
+}
+
+// negCycleDiag renders a negative-cycle witness path: the finding the
+// stratified engine's "recursion through negation" error becomes,
+// with one Related entry per edge of the cycle.
+func negCycleDiag(cycle []stratify.Edge) ast.Diagnostic {
+	var path strings.Builder
+	path.WriteString(cycle[0].From)
+	for _, e := range cycle {
+		if e.Negative {
+			path.WriteString(" ¬→ ")
+		} else {
+			path.WriteString(" → ")
+		}
+		path.WriteString(e.To)
+	}
+	d := ast.Diagnostic{
+		Pos:      cycle[0].Pos,
+		Severity: ast.SevWarn,
+		Code:     CodeNotStratifiable,
+		Message:  fmt.Sprintf("not stratifiable: recursion through negation (%s); the stratified engine rejects this program, use well-founded semantics", path.String()),
+	}
+	for _, e := range cycle {
+		dep := "depends on"
+		if e.Negative {
+			dep = "negatively depends on"
+		}
+		d.Related = append(d.Related, ast.Related{
+			Pos:     e.Pos,
+			Message: fmt.Sprintf("%s %s %s (rule %d)", e.From, dep, e.To, e.Rule+1),
+		})
+	}
+	return d
+}
+
+// unusedDiags flags derived predicates never read by any body: either
+// the intended answer relation or dead rules.
+func unusedDiags(p *ast.Program, sh *shape) ast.Diagnostics {
+	var ds ast.Diagnostics
+	for _, n := range p.IDB() {
+		if !sh.bodyRead[n] {
+			ds = append(ds, ast.Diagnostic{
+				Pos:      sh.headPos[n],
+				Severity: ast.SevInfo,
+				Code:     CodeUnused,
+				Message:  fmt.Sprintf("%s is derived but never read (the answer relation, or dead rules)", n),
+			})
+		}
+	}
+	return ds
+}
+
+// underivableDiags flags derived predicates that can never hold a
+// fact: the least fixpoint of "some rule's positive body atoms are
+// all input-fed or derivable" never reaches them. Input-fed means no
+// positive head occurrence (classic EDB, plus retract-only relations
+// whose facts come from the database).
+func underivableDiags(p *ast.Program, sh *shape) ast.Diagnostics {
+	derivable := map[string]bool{}
+	var preds []string
+	for n := range sh.headPos {
+		preds = append(preds, n)
+	}
+	for _, n := range preds {
+		if !sh.posHead[n] {
+			derivable[n] = true
+		}
+	}
+	var posBodyPreds func(l ast.Literal, dst []string) []string
+	posBodyPreds = func(l ast.Literal, dst []string) []string {
+		switch l.Kind {
+		case ast.LitAtom:
+			if !l.Neg {
+				dst = append(dst, l.Atom.Pred)
+			}
+		case ast.LitForall:
+			for _, b := range l.ForallBody {
+				dst = posBodyPreds(b, dst)
+			}
+		}
+		return dst
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			fires := true
+			for _, b := range r.Body {
+				for _, n := range posBodyPreds(b, nil) {
+					if !derivable[n] && sh.posHead[n] {
+						fires = false
+					}
+				}
+			}
+			if !fires {
+				continue
+			}
+			for _, h := range r.Head {
+				if h.Kind == ast.LitAtom && !h.Neg && !derivable[h.Atom.Pred] {
+					derivable[h.Atom.Pred] = true
+					changed = true
+				}
+			}
+		}
+	}
+	var ds ast.Diagnostics
+	sort.Strings(preds)
+	for _, n := range preds {
+		if sh.posHead[n] && !derivable[n] {
+			ds = append(ds, ast.Diagnostic{
+				Pos:      sh.headPos[n],
+				Severity: ast.SevWarn,
+				Code:     CodeUnderivable,
+				Message:  fmt.Sprintf("%s can never be derived: every rule for it depends on an underivable relation", n),
+			})
+		}
+	}
+	return ds
+}
+
+// terminationDiags implements the flip-flop heuristic of Section 4.2
+// vs Theorem 4.8: a predicate that is both derived and retracted
+// warns (W002) unless every derive/retract rule is guarded by a
+// negated monotone sentinel — a relation that is derived but never
+// retracted, so once it holds, the flip-flop shuts off for good.
+// That guarded shape is the ordered-database counter (I004, info).
+func terminationDiags(p *ast.Program, sh *shape) ast.Diagnostics {
+	var preds []string
+	for n := range sh.headPos {
+		if sh.posHead[n] && sh.retractHead[n] {
+			preds = append(preds, n)
+		}
+	}
+	sort.Strings(preds)
+	var ds ast.Diagnostics
+	for _, n := range preds {
+		rules := append(append([]int(nil), sh.deriveRules[n]...), sh.retractRules[n]...)
+		sentinel := commonSentinel(p, sh, n, rules)
+		retractPos := p.Rules[sh.retractRules[n][0]].SrcPos
+		derivePos := p.Rules[sh.deriveRules[n][0]].SrcPos
+		if sentinel != "" {
+			ds = append(ds, ast.Diagnostic{
+				Pos:      retractPos,
+				Severity: ast.SevInfo,
+				Code:     CodeOrderedCounter,
+				Message:  fmt.Sprintf("%s is alternately derived and retracted under sentinel guard !%s (ordered-database counter, Theorem 4.8): stages are bounded, evaluation terminates once %s holds", n, sentinel, sentinel),
+				Related:  []ast.Related{{Pos: derivePos, Message: fmt.Sprintf("%s derived here", n)}},
+			})
+			continue
+		}
+		ds = append(ds, ast.Diagnostic{
+			Pos:      retractPos,
+			Severity: ast.SevWarn,
+			Code:     CodeNonTermination,
+			Message:  fmt.Sprintf("%s is alternately derived and retracted with no stopping guard (the Section 4.2 flip-flop): noninflationary evaluation may not terminate", n),
+			Related:  []ast.Related{{Pos: derivePos, Message: fmt.Sprintf("%s derived here", n)}},
+		})
+	}
+	return ds
+}
+
+// commonSentinel returns a predicate S (≠ n) that every listed rule
+// guards with a negated body atom, where S itself is never retracted
+// — or "" when no such sentinel exists.
+func commonSentinel(p *ast.Program, sh *shape, n string, rules []int) string {
+	var candidates map[string]bool
+	var negBodyPreds func(l ast.Literal, dst map[string]bool)
+	negBodyPreds = func(l ast.Literal, dst map[string]bool) {
+		switch l.Kind {
+		case ast.LitAtom:
+			if l.Neg && l.Atom.Pred != n && !sh.retractHead[l.Atom.Pred] {
+				dst[l.Atom.Pred] = true
+			}
+		case ast.LitForall:
+			for _, b := range l.ForallBody {
+				negBodyPreds(b, dst)
+			}
+		}
+	}
+	for _, ri := range rules {
+		guards := map[string]bool{}
+		for _, b := range p.Rules[ri].Body {
+			negBodyPreds(b, guards)
+		}
+		if candidates == nil {
+			candidates = guards
+			continue
+		}
+		for c := range candidates {
+			if !guards[c] {
+				delete(candidates, c)
+			}
+		}
+	}
+	var names []string
+	for c := range candidates {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
+}
+
+// recommend picks the cheapest sound engine for the inferred class
+// (the names are the facade's canonical -semantics spellings).
+func recommend(p *ast.Program, r *Report, sh *shape) (string, bool) {
+	switch r.Dialect {
+	case ast.DialectDatalog:
+		return "minimal-model", true
+	case ast.DialectDatalogNeg:
+		if negationOnInputsOnly(p, sh) {
+			return "semi-positive", true
+		}
+		if r.Stratifiable {
+			return "stratified", true
+		}
+		return "well-founded", true
+	case ast.DialectDatalogNegNeg:
+		return "noninflationary", true
+	case ast.DialectDatalogNew:
+		return "invent", true
+	case ast.DialectNDatalogNeg, ast.DialectNDatalogNegNeg:
+		return "ndatalog", false
+	case ast.DialectNDatalogBot:
+		return "ndatalog-bottom", false
+	case ast.DialectNDatalogAll:
+		return "ndatalog-forall", false
+	case ast.DialectNDatalogNew:
+		return "ndatalog-new", false
+	default:
+		return "", false
+	}
+}
+
+// negationOnInputsOnly reports whether every negated body atom is on
+// an input-fed relation — the semi-positive class of Theorem 4.7.
+func negationOnInputsOnly(p *ast.Program, sh *shape) bool {
+	ok := true
+	var walk func(l ast.Literal)
+	walk = func(l ast.Literal) {
+		switch l.Kind {
+		case ast.LitAtom:
+			if l.Neg && sh.posHead[l.Atom.Pred] {
+				ok = false
+			}
+		case ast.LitForall:
+			for _, b := range l.ForallBody {
+				walk(b)
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		for _, b := range r.Body {
+			walk(b)
+		}
+	}
+	return ok
+}
+
+// classDiag renders the report summary as the I001 info diagnostic.
+func classDiag(r *Report) ast.Diagnostic {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dialect: %s", r.Dialect)
+	if r.Dialect == ast.DialectDatalogNeg {
+		if r.Stratifiable {
+			b.WriteString(" (stratifiable)")
+		} else {
+			b.WriteString(" (not stratifiable)")
+		}
+	}
+	if r.Semantics != "" {
+		fmt.Fprintf(&b, "; recommended semantics: %s", r.Semantics)
+		if !r.Deterministic {
+			b.WriteString(" (nondeterministic)")
+		}
+	}
+	return ast.Diagnostic{Severity: ast.SevInfo, Code: CodeProgramClass, Message: b.String()}
+}

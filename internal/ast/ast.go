@@ -21,9 +21,12 @@ import (
 
 // Term is a variable or a constant. Exactly one of Var/Const is set:
 // variables have Var != "" and constants have Const != value.None.
+// SrcPos, when set by the parser, is the term's source position (the
+// zero value means "unknown": hand-built terms need not set it).
 type Term struct {
-	Var   string
-	Const value.Value
+	Var    string
+	Const  value.Value
+	SrcPos Pos
 }
 
 // V returns a variable term.
@@ -43,10 +46,12 @@ func (t Term) String(u *value.Universe) string {
 	return u.Name(t.Const)
 }
 
-// Atom is a predicate applied to terms.
+// Atom is a predicate applied to terms. SrcPos, when set by the
+// parser, is the position of the predicate name.
 type Atom struct {
-	Pred string
-	Args []Term
+	Pred   string
+	Args   []Term
+	SrcPos Pos
 }
 
 // NewAtom builds an atom.
@@ -90,13 +95,18 @@ type Literal struct {
 
 	ForallVars []string  // LitForall: the quantified variables
 	ForallBody []Literal // LitForall: the quantified conjunction
+
+	// SrcPos is the literal's source position when parsed (the '!' of
+	// a negated atom, the predicate name otherwise).
+	SrcPos Pos
 }
 
-// Pos returns a positive atom literal.
-func Pos(a Atom) Literal { return Literal{Kind: LitAtom, Atom: a} }
+// PosLit returns a positive atom literal. (Named PosLit rather than
+// Pos because Pos is the source-position type.)
+func PosLit(a Atom) Literal { return Literal{Kind: LitAtom, Atom: a, SrcPos: a.SrcPos} }
 
 // Neg returns a negated atom literal.
-func Neg(a Atom) Literal { return Literal{Kind: LitAtom, Neg: true, Atom: a} }
+func Neg(a Atom) Literal { return Literal{Kind: LitAtom, Neg: true, Atom: a, SrcPos: a.SrcPos} }
 
 // Eq returns an equality literal l = r.
 func Eq(l, r Term) Literal { return Literal{Kind: LitEq, Left: l, Right: r} }
@@ -208,6 +218,10 @@ func (l Literal) constants(dst []value.Value) []value.Value {
 type Rule struct {
 	Head []Literal
 	Body []Literal
+
+	// SrcPos is the rule's source position when parsed (its first
+	// token); the zero value means "unknown".
+	SrcPos Pos
 }
 
 // R builds a single-head rule.

@@ -10,8 +10,8 @@ import (
 func tcProgram(u *value.Universe) *Program {
 	// T(X,Y) :- G(X,Y).  T(X,Y) :- G(X,Z), T(Z,Y).
 	return NewProgram(
-		R(Pos(NewAtom("T", V("X"), V("Y"))), Pos(NewAtom("G", V("X"), V("Y")))),
-		R(Pos(NewAtom("T", V("X"), V("Y"))), Pos(NewAtom("G", V("X"), V("Z"))), Pos(NewAtom("T", V("Z"), V("Y")))),
+		R(PosLit(NewAtom("T", V("X"), V("Y"))), PosLit(NewAtom("G", V("X"), V("Y")))),
+		R(PosLit(NewAtom("T", V("X"), V("Y"))), PosLit(NewAtom("G", V("X"), V("Z"))), PosLit(NewAtom("T", V("Z"), V("Y")))),
 	)
 }
 
@@ -43,8 +43,8 @@ func TestSchemaInference(t *testing.T) {
 
 func TestSchemaConflict(t *testing.T) {
 	p := NewProgram(
-		R(Pos(NewAtom("P", V("X"))), Pos(NewAtom("G", V("X"), V("X")))),
-		R(Pos(NewAtom("P", V("X"), V("Y"))), Pos(NewAtom("G", V("X"), V("Y")))),
+		R(PosLit(NewAtom("P", V("X"))), PosLit(NewAtom("G", V("X"), V("X")))),
+		R(PosLit(NewAtom("P", V("X"), V("Y"))), PosLit(NewAtom("G", V("X"), V("Y")))),
 	)
 	if _, err := p.Schema(); err == nil {
 		t.Fatalf("arity conflict not detected")
@@ -55,7 +55,7 @@ func TestSchemaConflict(t *testing.T) {
 }
 
 func TestHeadOnlyVars(t *testing.T) {
-	r := R(Pos(NewAtom("P", V("X"), V("N"))), Pos(NewAtom("Q", V("X"))))
+	r := R(PosLit(NewAtom("P", V("X"), V("N"))), PosLit(NewAtom("Q", V("X"))))
 	ho := r.HeadOnlyVars()
 	if len(ho) != 1 || ho[0] != "N" {
 		t.Fatalf("HeadOnlyVars = %v", ho)
@@ -63,7 +63,7 @@ func TestHeadOnlyVars(t *testing.T) {
 }
 
 func TestVarsOrder(t *testing.T) {
-	r := R(Pos(NewAtom("P", V("A"))), Pos(NewAtom("Q", V("B"), V("A"))), Pos(NewAtom("S", V("C"))))
+	r := R(PosLit(NewAtom("P", V("A"))), PosLit(NewAtom("Q", V("B"), V("A"))), PosLit(NewAtom("S", V("C"))))
 	got := r.Vars()
 	want := []string{"A", "B", "C"}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
@@ -76,7 +76,7 @@ func TestConstants(t *testing.T) {
 	a := u.Sym("a")
 	one := u.Int(1)
 	p := NewProgram(
-		R(Pos(NewAtom("P", C(a))), Pos(NewAtom("Q", C(one), V("X"))), Neq(V("X"), C(a))),
+		R(PosLit(NewAtom("P", C(a))), PosLit(NewAtom("Q", C(one), V("X"))), Neq(V("X"), C(a))),
 	)
 	consts := p.Constants()
 	if len(consts) != 2 {
@@ -85,7 +85,7 @@ func TestConstants(t *testing.T) {
 }
 
 func TestValidateDatalogRejectsUnsafeHead(t *testing.T) {
-	p := NewProgram(R(Pos(NewAtom("P", V("X"), V("Y"))), Pos(NewAtom("Q", V("X")))))
+	p := NewProgram(R(PosLit(NewAtom("P", V("X"), V("Y"))), PosLit(NewAtom("Q", V("X")))))
 	if err := p.Validate(DialectDatalog); err == nil {
 		t.Fatalf("unsafe head variable accepted")
 	}
@@ -98,7 +98,7 @@ func TestValidateNegVarViaAdomIsLegal(t *testing.T) {
 	// CT(X,Y) :- !T(X,Y). : head vars occur in the body (in a
 	// negative literal); the paper's semantics ranges them over the
 	// active domain, so plain Datalog¬ accepts this.
-	p := NewProgram(R(Pos(NewAtom("CT", V("X"), V("Y"))), Neg(NewAtom("T", V("X"), V("Y")))))
+	p := NewProgram(R(PosLit(NewAtom("CT", V("X"), V("Y"))), Neg(NewAtom("T", V("X"), V("Y")))))
 	if err := p.Validate(DialectDatalogNeg); err != nil {
 		t.Fatalf("Datalog¬ should accept adom-ranged head vars: %v", err)
 	}
@@ -110,11 +110,11 @@ func TestValidateNegVarViaAdomIsLegal(t *testing.T) {
 }
 
 func TestValidateBottomOnlyInHeads(t *testing.T) {
-	p := NewProgram(Rule{Head: []Literal{Pos(NewAtom("P"))}, Body: []Literal{Bottom()}})
+	p := NewProgram(Rule{Head: []Literal{PosLit(NewAtom("P"))}, Body: []Literal{Bottom()}})
 	if err := p.Validate(DialectNDatalogBot); err == nil {
 		t.Fatalf("⊥ in body accepted")
 	}
-	p2 := NewProgram(Rule{Head: []Literal{Bottom()}, Body: []Literal{Pos(NewAtom("Q"))}})
+	p2 := NewProgram(Rule{Head: []Literal{Bottom()}, Body: []Literal{PosLit(NewAtom("Q"))}})
 	if err := p2.Validate(DialectNDatalogBot); err != nil {
 		t.Fatalf("⊥ head rejected: %v", err)
 	}
@@ -124,28 +124,28 @@ func TestValidateBottomOnlyInHeads(t *testing.T) {
 }
 
 func TestValidateForallRestrictions(t *testing.T) {
-	inner := Forall([]string{"Y"}, Pos(NewAtom("P", V("X"))), Neg(NewAtom("Q", V("X"), V("Y"))))
-	p := NewProgram(R(Pos(NewAtom("A", V("X"))), inner))
+	inner := Forall([]string{"Y"}, PosLit(NewAtom("P", V("X"))), Neg(NewAtom("Q", V("X"), V("Y"))))
+	p := NewProgram(R(PosLit(NewAtom("A", V("X"))), inner))
 	if err := p.Validate(DialectNDatalogAll); err != nil {
 		t.Fatalf("forall rule rejected: %v", err)
 	}
 	if err := p.Validate(DialectNDatalogNeg); err == nil {
 		t.Fatalf("forall accepted outside N-Datalog¬∀")
 	}
-	nested := Forall([]string{"Y"}, Forall([]string{"Z"}, Pos(NewAtom("P", V("Z")))))
-	p2 := NewProgram(R(Pos(NewAtom("A")), nested))
+	nested := Forall([]string{"Y"}, Forall([]string{"Z"}, PosLit(NewAtom("P", V("Z")))))
+	p2 := NewProgram(R(PosLit(NewAtom("A")), nested))
 	if err := p2.Validate(DialectNDatalogAll); err == nil {
 		t.Fatalf("nested forall accepted")
 	}
-	empty := Forall(nil, Pos(NewAtom("P", V("X"))))
-	p3 := NewProgram(R(Pos(NewAtom("A", V("X"))), Pos(NewAtom("P", V("X"))), empty))
+	empty := Forall(nil, PosLit(NewAtom("P", V("X"))))
+	p3 := NewProgram(R(PosLit(NewAtom("A", V("X"))), PosLit(NewAtom("P", V("X"))), empty))
 	if err := p3.Validate(DialectNDatalogAll); err == nil {
 		t.Fatalf("forall without quantified vars accepted")
 	}
 }
 
 func TestValidateEmptyHead(t *testing.T) {
-	p := NewProgram(Rule{Body: []Literal{Pos(NewAtom("P"))}})
+	p := NewProgram(Rule{Body: []Literal{PosLit(NewAtom("P"))}})
 	if err := p.Validate(DialectDatalog); err == nil {
 		t.Fatalf("empty head accepted")
 	}
@@ -186,8 +186,8 @@ func TestRuleString(t *testing.T) {
 	u := value.New()
 	a := u.Sym("a")
 	r := MultiR(
-		[]Literal{Pos(NewAtom("A", V("X"))), Neg(NewAtom("B", V("X")))},
-		Pos(NewAtom("C", V("X"), C(a))),
+		[]Literal{PosLit(NewAtom("A", V("X"))), Neg(NewAtom("B", V("X")))},
+		PosLit(NewAtom("C", V("X"), C(a))),
 		Neq(V("X"), C(a)),
 	)
 	got := r.String(u)
@@ -195,7 +195,7 @@ func TestRuleString(t *testing.T) {
 	if got != want {
 		t.Fatalf("String = %q, want %q", got, want)
 	}
-	fact := R(Pos(NewAtom("Delay")))
+	fact := R(PosLit(NewAtom("Delay")))
 	if fact.String(u) != "Delay." {
 		t.Fatalf("fact String = %q", fact.String(u))
 	}

@@ -11,12 +11,12 @@ func TestLiteralStringForms(t *testing.T) {
 	u := value.New()
 	a := u.Sym("a")
 	cases := map[string]Literal{
-		"P(X,a)":               Pos(NewAtom("P", V("X"), C(a))),
+		"P(X,a)":               PosLit(NewAtom("P", V("X"), C(a))),
 		"!P(X)":                Neg(NewAtom("P", V("X"))),
 		"X = a":                Eq(V("X"), C(a)),
 		"X != Y":               Neq(V("X"), V("Y")),
 		"bottom":               Bottom(),
-		"forall Y (P(X,Y))":    Forall([]string{"Y"}, Pos(NewAtom("P", V("X"), V("Y")))),
+		"forall Y (P(X,Y))":    Forall([]string{"Y"}, PosLit(NewAtom("P", V("X"), V("Y")))),
 		"forall Y,Z (!Q(Y,Z))": Forall([]string{"Y", "Z"}, Neg(NewAtom("Q", V("Y"), V("Z")))),
 	}
 	for want, l := range cases {
@@ -29,8 +29,8 @@ func TestLiteralStringForms(t *testing.T) {
 func TestProgramString(t *testing.T) {
 	u := value.New()
 	p := NewProgram(
-		R(Pos(NewAtom("T", V("X"))), Pos(NewAtom("G", V("X")))),
-		R(Pos(NewAtom("Done"))),
+		R(PosLit(NewAtom("T", V("X"))), PosLit(NewAtom("G", V("X")))),
+		R(PosLit(NewAtom("Done"))),
 	)
 	got := p.String(u)
 	if !strings.Contains(got, "T(X) :- G(X).") || !strings.Contains(got, "Done.") {
@@ -39,9 +39,9 @@ func TestProgramString(t *testing.T) {
 }
 
 func TestBodyVarsAcrossLiteralKinds(t *testing.T) {
-	r := R(Pos(NewAtom("H", V("A"))),
+	r := R(PosLit(NewAtom("H", V("A"))),
 		Eq(V("A"), V("B")),
-		Forall([]string{"Q"}, Pos(NewAtom("P", V("Q"), V("C")))),
+		Forall([]string{"Q"}, PosLit(NewAtom("P", V("Q"), V("C")))),
 		Neg(NewAtom("R", V("D"))),
 	)
 	got := strings.Join(r.BodyVars(), ",")
@@ -55,10 +55,10 @@ func TestConstantsAcrossLiteralKinds(t *testing.T) {
 	u := value.New()
 	a, b, c := u.Sym("a"), u.Sym("b"), u.Sym("c")
 	p := NewProgram(Rule{
-		Head: []Literal{Pos(NewAtom("H", C(a)))},
+		Head: []Literal{PosLit(NewAtom("H", C(a)))},
 		Body: []Literal{
 			Eq(V("X"), C(b)),
-			Forall([]string{"Y"}, Pos(NewAtom("P", V("Y"), C(c)))),
+			Forall([]string{"Y"}, PosLit(NewAtom("P", V("Y"), C(c)))),
 		},
 	})
 	if got := len(p.Constants()); got != 3 {
@@ -71,12 +71,12 @@ func TestInventTaintDirect(t *testing.T) {
 	_ = u
 	// Cell invents at position 0 only; Name projects the clean column.
 	p := NewProgram(
-		Rule{Head: []Literal{Pos(NewAtom("Cell", V("N"), V("X")))},
-			Body: []Literal{Pos(NewAtom("P", V("X")))}},
-		Rule{Head: []Literal{Pos(NewAtom("Name", V("X")))},
-			Body: []Literal{Pos(NewAtom("Cell", V("M"), V("X")))}},
-		Rule{Head: []Literal{Pos(NewAtom("Id", V("M")))},
-			Body: []Literal{Pos(NewAtom("Cell", V("M"), V("X")))}},
+		Rule{Head: []Literal{PosLit(NewAtom("Cell", V("N"), V("X")))},
+			Body: []Literal{PosLit(NewAtom("P", V("X")))}},
+		Rule{Head: []Literal{PosLit(NewAtom("Name", V("X")))},
+			Body: []Literal{PosLit(NewAtom("Cell", V("M"), V("X")))}},
+		Rule{Head: []Literal{PosLit(NewAtom("Id", V("M")))},
+			Body: []Literal{PosLit(NewAtom("Cell", V("M"), V("X")))}},
 	)
 	taint := p.InventTaint()
 	if !taint["Cell"][0] || taint["Cell"][1] {
@@ -97,11 +97,11 @@ func TestInventTaintDirect(t *testing.T) {
 func TestInventTaintThroughForall(t *testing.T) {
 	// A tainted variable bound inside a ∀-literal propagates too.
 	p := NewProgram(
-		Rule{Head: []Literal{Pos(NewAtom("A", V("N")))},
-			Body: []Literal{Pos(NewAtom("Seed", V("X")))}},
-		Rule{Head: []Literal{Pos(NewAtom("B", V("M")))},
+		Rule{Head: []Literal{PosLit(NewAtom("A", V("N")))},
+			Body: []Literal{PosLit(NewAtom("Seed", V("X")))}},
+		Rule{Head: []Literal{PosLit(NewAtom("B", V("M")))},
 			Body: []Literal{
-				Forall([]string{"Z"}, Pos(NewAtom("A", V("M"))), Neg(NewAtom("Seed", V("Z")))),
+				Forall([]string{"Z"}, PosLit(NewAtom("A", V("M"))), Neg(NewAtom("Seed", V("Z")))),
 			}},
 	)
 	may := p.MayInvent()

@@ -1,7 +1,6 @@
 package ast
 
 import (
-	"errors"
 	"fmt"
 )
 
@@ -23,6 +22,11 @@ const (
 	DialectNDatalogNew                   // N-Datalog¬new: invention (Theorem 5.7)
 )
 
+// DialectUnknown is the sentinel reported by analysis when no dialect
+// of the family admits a program (e.g. head negation combined with
+// value invention).
+const DialectUnknown Dialect = 0xFF
+
 func (d Dialect) String() string {
 	switch d {
 	case DialectDatalog:
@@ -43,9 +47,33 @@ func (d Dialect) String() string {
 		return "N-Datalog¬∀"
 	case DialectNDatalogNew:
 		return "N-Datalog¬new"
+	case DialectUnknown:
+		return "unknown"
 	default:
 		return fmt.Sprintf("Dialect(%d)", uint8(d))
 	}
+}
+
+// MarshalText renders the dialect by name for JSON consumers
+// (-lint -json, /v1/analyze).
+func (d Dialect) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
+
+// UnmarshalText parses a dialect by its canonical name, so the JSON
+// reports round-trip.
+func (d *Dialect) UnmarshalText(b []byte) error {
+	name := string(b)
+	for _, c := range [...]Dialect{
+		DialectDatalog, DialectDatalogNeg, DialectDatalogNegNeg,
+		DialectDatalogNew, DialectNDatalogNeg, DialectNDatalogNegNeg,
+		DialectNDatalogBot, DialectNDatalogAll, DialectNDatalogNew,
+		DialectUnknown,
+	} {
+		if c.String() == name {
+			*d = c
+			return nil
+		}
+	}
+	return fmt.Errorf("ast: unknown dialect %q", name)
 }
 
 // features returns the capability switches for a dialect.
@@ -102,8 +130,29 @@ func (d Dialect) Includes(o Dialect) bool {
 		(!fd.rangeBound || fo.rangeBound)
 }
 
+// Diagnostic codes shared by Program.Validate and internal/analyze
+// (see docs/ANALYSIS.md for the full table).
+const (
+	// CodeDialect marks a syntactic feature the dialect forbids.
+	CodeDialect = "E001"
+	// CodeUnsafeVar marks a head variable that is not range
+	// restricted under the dialect's binding rule.
+	CodeUnsafeVar = "E002"
+	// CodeArity marks a relation used with two different arities.
+	CodeArity = "E003"
+)
+
 // Validate checks that p is a syntactically legal program of dialect
-// d, returning a list of errors joined together (nil when legal).
+// d, returning every violation joined into one error (nil when
+// legal) in deterministic source order. It is ValidateDiags with the
+// classic error shape.
+func (p *Program) Validate(d Dialect) error {
+	return p.ValidateDiags(d).Err()
+}
+
+// ValidateDiags checks that p is a syntactically legal program of
+// dialect d, reporting every violation as a positioned diagnostic
+// (positions are the zero Pos for hand-built rules).
 //
 // The checks implement the side conditions of Definitions 3.1 and 5.1
 // and the safety conventions of Sections 4.1–4.3:
@@ -114,34 +163,40 @@ func (d Dialect) Includes(o Dialect) bool {
 //   - unless the dialect allows invention, every head variable occurs
 //     in the body (Definition 3.1); for N-Datalog dialects the
 //     occurrence must be in a positive body atom (Definition 5.1);
-//   - relation arities are consistent program-wide.
-func (p *Program) Validate(d Dialect) error {
+//   - relation arities are consistent program-wide (every conflicting
+//     use is reported, each pointing back at the first use).
+func (p *Program) ValidateDiags(d Dialect) Diagnostics {
 	f := d.features()
-	var errs []error
-	bad := func(ri int, format string, args ...any) {
-		errs = append(errs, fmt.Errorf("rule %d: %s", ri+1, fmt.Sprintf(format, args...)))
+	var ds Diagnostics
+	bad := func(ri int, pos Pos, code string, format string, args ...any) {
+		ds = append(ds, Diagnostic{
+			Pos:      pos,
+			Severity: SevError,
+			Code:     code,
+			Message:  fmt.Sprintf("rule %d: %s", ri+1, fmt.Sprintf(format, args...)),
+		})
 	}
 
 	for ri, r := range p.Rules {
 		if len(r.Head) == 0 {
-			bad(ri, "empty head")
+			bad(ri, r.SrcPos, CodeDialect, "empty head")
 			continue
 		}
 		if len(r.Head) > 1 && !f.multiHead {
-			bad(ri, "%s forbids multiple head literals", d)
+			bad(ri, r.Head[1].SrcPos, CodeDialect, "%s forbids multiple head literals", d)
 		}
 		for _, h := range r.Head {
 			switch h.Kind {
 			case LitAtom:
 				if h.Neg && !f.headNeg {
-					bad(ri, "%s forbids negation in heads", d)
+					bad(ri, h.SrcPos, CodeDialect, "%s forbids negation in heads", d)
 				}
 			case LitBottom:
 				if !f.bottom {
-					bad(ri, "%s forbids ⊥ in heads", d)
+					bad(ri, h.SrcPos, CodeDialect, "%s forbids ⊥ in heads", d)
 				}
 			default:
-				bad(ri, "head literal must be an atom or ⊥")
+				bad(ri, h.SrcPos, CodeDialect, "head literal must be an atom or ⊥")
 			}
 		}
 		var checkBody func(l Literal, inForall bool)
@@ -149,34 +204,35 @@ func (p *Program) Validate(d Dialect) error {
 			switch l.Kind {
 			case LitAtom:
 				if l.Neg && !f.bodyNeg {
-					bad(ri, "%s forbids negation in bodies", d)
+					bad(ri, l.SrcPos, CodeDialect, "%s forbids negation in bodies", d)
 				}
 			case LitEq:
 				if !f.equality {
-					bad(ri, "%s forbids equality literals", d)
+					bad(ri, l.SrcPos, CodeDialect, "%s forbids equality literals", d)
 				}
 			case LitForall:
 				if !f.forall {
-					bad(ri, "%s forbids universal quantification", d)
+					bad(ri, l.SrcPos, CodeDialect, "%s forbids universal quantification", d)
 				}
 				if inForall {
-					bad(ri, "nested universal quantification is not supported")
+					bad(ri, l.SrcPos, CodeDialect, "nested universal quantification is not supported")
 				}
 				if len(l.ForallVars) == 0 {
-					bad(ri, "forall with no quantified variables")
+					bad(ri, l.SrcPos, CodeDialect, "forall with no quantified variables")
 				}
 				for _, b := range l.ForallBody {
 					checkBody(b, true)
 				}
 			case LitBottom:
-				bad(ri, "⊥ cannot occur in a body")
+				bad(ri, l.SrcPos, CodeDialect, "⊥ cannot occur in a body")
 			}
 		}
 		for _, b := range r.Body {
 			checkBody(b, false)
 		}
 
-		// Range restriction / safety.
+		// Range restriction / safety, with a witness position per
+		// unsafe variable (its first occurrence in the head).
 		bound := map[string]bool{}
 		if f.rangeBound {
 			for _, v := range r.PositiveBodyVars() {
@@ -194,16 +250,79 @@ func (p *Program) Validate(d Dialect) error {
 			if f.invention {
 				continue // head-only variables invent new values
 			}
+			pos := r.headVarPos(v)
 			if f.rangeBound {
-				bad(ri, "head variable %s does not occur positively bound in the body", v)
+				bad(ri, pos, CodeUnsafeVar, "head variable %s does not occur positively bound in the body", v)
 			} else {
-				bad(ri, "head variable %s does not occur in the body", v)
+				bad(ri, pos, CodeUnsafeVar, "head variable %s does not occur in the body", v)
 			}
 		}
 	}
 
-	if _, err := p.Schema(); err != nil {
-		errs = append(errs, err)
+	ds = append(ds, p.arityDiags()...)
+	ds.Sort()
+	return ds
+}
+
+// headVarPos returns the position of v's first occurrence in the
+// rule's head (the unsafe-variable witness).
+func (r Rule) headVarPos(v string) Pos {
+	for _, h := range r.Head {
+		for _, t := range h.Atom.Args {
+			if t.Var == v {
+				if t.SrcPos.IsValid() {
+					return t.SrcPos
+				}
+				return h.SrcPos
+			}
+		}
 	}
-	return errors.Join(errs...)
+	return r.SrcPos
+}
+
+// arityDiags reports every arity conflict (unlike Schema, which stops
+// at the first), each use pointing back at the occurrence that fixed
+// the relation's arity.
+func (p *Program) arityDiags() Diagnostics {
+	type first struct {
+		arity int
+		pos   Pos
+	}
+	seen := map[string]first{}
+	var ds Diagnostics
+	add := func(a Atom) {
+		if f, ok := seen[a.Pred]; ok {
+			if f.arity != a.Arity() {
+				ds = append(ds, Diagnostic{
+					Pos:      a.SrcPos,
+					Severity: SevError,
+					Code:     CodeArity,
+					Message:  fmt.Sprintf("relation %s used with arity %d here but %d earlier", a.Pred, a.Arity(), f.arity),
+					Related:  []Related{{Pos: f.pos, Message: fmt.Sprintf("%s first used with arity %d", a.Pred, f.arity)}},
+				})
+			}
+			return
+		}
+		seen[a.Pred] = first{arity: a.Arity(), pos: a.SrcPos}
+	}
+	var walk func(l Literal)
+	walk = func(l Literal) {
+		switch l.Kind {
+		case LitAtom:
+			add(l.Atom)
+		case LitForall:
+			for _, b := range l.ForallBody {
+				walk(b)
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			walk(h)
+		}
+		for _, b := range r.Body {
+			walk(b)
+		}
+	}
+	return ds
 }

@@ -123,18 +123,18 @@ func TestWFSIsThreeValuedModelOnRandomPrograms(t *testing.T) {
 		for i := 0; i < 2+rng.Intn(3); i++ {
 			// Body: one positive E atom (safety anchor) plus 0-2
 			// literals of either polarity over P/Q.
-			body := []ast.Literal{ast.Pos(ast.Atom{Pred: "E", Args: []ast.Term{ast.V("X"), ast.V("Y")}})}
+			body := []ast.Literal{ast.PosLit(ast.Atom{Pred: "E", Args: []ast.Term{ast.V("X"), ast.V("Y")}})}
 			for j := 0; j < rng.Intn(3); j++ {
 				a := atom()
 				if rng.Intn(2) == 0 {
 					body = append(body, ast.Neg(a))
 				} else {
-					body = append(body, ast.Pos(a))
+					body = append(body, ast.PosLit(a))
 				}
 			}
 			headPred := []string{"P", "Q"}[rng.Intn(2)]
 			prog.Rules = append(prog.Rules, ast.Rule{
-				Head: []ast.Literal{ast.Pos(ast.Atom{Pred: headPred, Args: []ast.Term{ast.V(vars[rng.Intn(2)])}})},
+				Head: []ast.Literal{ast.PosLit(ast.Atom{Pred: headPred, Args: []ast.Term{ast.V(vars[rng.Intn(2)])}})},
 				Body: body,
 			})
 		}

@@ -182,18 +182,18 @@ func randomRule(rng *rand.Rand, u *value.Universe, consts []value.Value) ast.Rul
 				if rng.Intn(2) == 0 {
 					inner = append(inner, ast.Neg(a))
 				} else {
-					inner = append(inner, ast.Pos(a))
+					inner = append(inner, ast.PosLit(a))
 				}
 			}
 			body = append(body, ast.Forall([]string{qv}, inner...))
 		default:
-			body = append(body, ast.Pos(atom()))
+			body = append(body, ast.PosLit(atom()))
 		}
 	}
 	// Head: H over the body's variables (or adom-ranged ones — the
 	// oracle covers both).
 	return ast.Rule{
-		Head: []ast.Literal{ast.Pos(ast.Atom{Pred: "H", Args: []ast.Term{ast.V(vars[rng.Intn(len(vars))])}})},
+		Head: []ast.Literal{ast.PosLit(ast.Atom{Pred: "H", Args: []ast.Term{ast.V(vars[rng.Intn(len(vars))])}})},
 		Body: body,
 	}
 }
@@ -346,9 +346,9 @@ func TestMatcherScanModeAgainstOracle(t *testing.T) {
 	in.Insert("Q", tuple.Tuple{b, b})
 	in.Insert("P", tuple.Tuple{a})
 	r := ast.Rule{
-		Head: []ast.Literal{ast.Pos(ast.NewAtom("H", ast.V("X")))},
+		Head: []ast.Literal{ast.PosLit(ast.NewAtom("H", ast.V("X")))},
 		Body: []ast.Literal{
-			ast.Pos(ast.NewAtom("Q", ast.V("X"), ast.V("Y"))),
+			ast.PosLit(ast.NewAtom("Q", ast.V("X"), ast.V("Y"))),
 			ast.Neg(ast.NewAtom("P", ast.V("Y"))),
 			ast.Neq(ast.V("X"), ast.V("Y")),
 		},

@@ -356,7 +356,7 @@ func (v *View) derivable(f eval.Fact) bool {
 			continue
 		}
 		probe := ast.Rule{
-			Head: []ast.Literal{ast.Pos(ast.NewAtom("__probe"))},
+			Head: []ast.Literal{ast.PosLit(ast.NewAtom("__probe"))},
 			Body: substituteBody(src.Body, subst),
 		}
 		pc, err := eval.Compile(probe)
@@ -392,7 +392,7 @@ func substituteBody(body []ast.Literal, subst map[string]value.Value) []ast.Lite
 			}
 			args[j] = tm
 		}
-		out[i] = ast.Pos(ast.Atom{Pred: a.Pred, Args: args})
+		out[i] = ast.PosLit(ast.Atom{Pred: a.Pred, Args: args})
 	}
 	return out
 }

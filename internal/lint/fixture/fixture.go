@@ -1,0 +1,28 @@
+//go:build lintfixture
+
+// Package fixture deliberately violates both custom analyzers; the
+// integration test runs `go vet -vettool -tags lintfixture
+// -stageloop.all` over it and expects failure. The build tag keeps it
+// out of ordinary builds, tests, and the real vet run.
+package fixture
+
+import "unchained/internal/tuple"
+
+type col struct{}
+
+func (col) BeginStage() {}
+func (col) EndStage()   {}
+
+// badStageLoop never polls Interrupted: context cancellation could
+// not stop it if it were a real engine.
+func badStageLoop(c col) {
+	for i := 0; i < 1000; i++ {
+		c.BeginStage()
+		c.EndStage()
+	}
+}
+
+// badTupleWrite mutates a shared tuple payload in place.
+func badTupleWrite(t tuple.Tuple) {
+	t[0] = 0
+}

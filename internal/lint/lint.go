@@ -1,0 +1,280 @@
+// Package lint holds the repo's custom static analyzers, run against
+// every build via `go vet -vettool` (cmd/vet-unchained) and `make
+// vet-custom`. They enforce two engine-layer invariants the type
+// system cannot express:
+//
+//   - stageloop: every engine stage loop must consult context
+//     cancellation. A stats BeginStage call inside a for-loop marks a
+//     stage loop; its nearest enclosing loop must lexically contain an
+//     engine Interrupted call, or a request deadline could never
+//     interrupt that engine (the property internal/serve relies on).
+//   - tuplemut: tuple.Tuple values share their backing array across
+//     copy-on-write instance snapshots, so writing through an index
+//     (t[i] = v) outside internal/tuple mutates every holder of the
+//     payload. Only freshly-allocated tuples (make/append/composite
+//     literal in the same function) may be written in place.
+//
+// The analyzers are dependency-free (go/ast + go/types only) so the
+// vet tool builds without golang.org/x/tools.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diag is one analyzer finding.
+type Diag struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass is the per-package unit of work: parsed files plus (optionally)
+// type information. Stageloop is purely syntactic and runs without
+// types; TupleMut requires Info and reports nothing when it is nil.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Pkg and Info are the type-checked package (nil for syntax-only
+	// callers).
+	Pkg  *types.Package
+	Info *types.Info
+	// Path is the package import path (used for the engine-package
+	// filter; falls back to Pkg.Path() when empty).
+	Path string
+	// AllPackages disables stageloop's engine-package filter, for
+	// fixtures and tests living outside the engine tree.
+	AllPackages bool
+}
+
+func (p *Pass) path() string {
+	if p.Path != "" {
+		return p.Path
+	}
+	if p.Pkg != nil {
+		return p.Pkg.Path()
+	}
+	return ""
+}
+
+// enginePackages are the import-path suffixes of the packages whose
+// stage loops must poll for interruption.
+var enginePackages = []string{
+	"internal/core",
+	"internal/declarative",
+	"internal/while",
+	"internal/nondet",
+	"internal/incr",
+	"internal/magic",
+	"internal/active",
+}
+
+func isEnginePackage(path string) bool {
+	for _, s := range enginePackages {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the node's file is a _test.go file.
+func isTestFile(fset *token.FileSet, n ast.Node) bool {
+	return strings.HasSuffix(fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// calleeName returns the bare method/function name of a call: the
+// selector for x.F(...) or the identifier for F(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return ""
+}
+
+// containsCall reports whether the subtree lexically contains a call
+// to a function or method with the given bare name.
+func containsCall(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Stageloop flags BeginStage calls whose nearest enclosing for-loop
+// never calls Interrupted: a stage loop no context deadline can stop.
+func Stageloop(p *Pass) []Diag {
+	if !p.AllPackages && !isEnginePackage(p.path()) {
+		return nil
+	}
+	var diags []Diag
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeName(call) != "BeginStage" {
+				return true
+			}
+			// Nearest lexically-enclosing loop; a BeginStage outside
+			// any loop (single-stage engines) needs no poll.
+			var loop ast.Node
+			for i := len(stack) - 2; i >= 0; i-- {
+				switch stack[i].(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loop = stack[i]
+				}
+				if loop != nil {
+					break
+				}
+			}
+			if loop == nil || containsCall(loop, "Interrupted") {
+				return true
+			}
+			diags = append(diags, Diag{
+				Pos:     call.Pos(),
+				Message: "stage loop never calls (engine.Options).Interrupted: context cancellation cannot stop this engine",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// isTupleType reports whether t is (an alias of) the named type Tuple
+// from a package whose path ends in internal/tuple.
+func isTupleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tuple" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/tuple")
+}
+
+// freshTupleVars collects the objects of identifiers bound, anywhere
+// in the function, to a freshly-allocated tuple: make(...), append
+// (which reallocates or extends a local), or a composite literal.
+// Writes through those are private by construction.
+func freshTupleVars(info *types.Info, fn ast.Node) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || !isTupleType(obj.Type()) {
+			return
+		}
+		switch r := rhs.(type) {
+		case *ast.CallExpr:
+			if n := calleeName(r); n == "make" || n == "append" {
+				fresh[obj] = true
+			}
+		case *ast.CompositeLit:
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					record(st.Names[i], st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// TupleMut flags index-assignments through tuple.Tuple values outside
+// internal/tuple, unless the base is a local identifier bound to a
+// fresh allocation in the same function.
+func TupleMut(p *Pass) []Diag {
+	if p.Info == nil || strings.HasSuffix(p.path(), "internal/tuple") {
+		return nil
+	}
+	var diags []Diag
+	flag := func(idx *ast.IndexExpr, fresh map[types.Object]bool) {
+		tv, ok := p.Info.Types[idx.X]
+		if !ok || !isTupleType(tv.Type) {
+			return
+		}
+		if id, ok := idx.X.(*ast.Ident); ok {
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				obj = p.Info.Defs[id]
+			}
+			if obj != nil && fresh[obj] {
+				return
+			}
+		}
+		diags = append(diags, Diag{
+			Pos: idx.Pos(),
+			Message: fmt.Sprintf("write through shared tuple payload %s: tuples alias across copy-on-write snapshots; build a fresh tuple instead (see internal/tuple)",
+				types.ExprString(idx)),
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fresh := freshTupleVars(p.Info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if idx, ok := lhs.(*ast.IndexExpr); ok {
+							flag(idx, fresh)
+						}
+					}
+				case *ast.IncDecStmt:
+					if idx, ok := st.X.(*ast.IndexExpr); ok {
+						flag(idx, fresh)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheck parses and type-checks one file as package path, with
+// deps (path -> source) available for import.
+func typecheck(t *testing.T, path, src string, deps map[string]string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs := map[string]*types.Package{}
+	var check func(path, src string) *types.Package
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if pkg, ok := pkgs[p]; ok {
+			return pkg, nil
+		}
+		if src, ok := deps[p]; ok {
+			return check(p, src), nil
+		}
+		return importer.Default().Import(p)
+	})
+	var lastInfo *types.Info
+	var lastFiles []*ast.File
+	check = func(path, src string) *types.Package {
+		f, err := parser.ParseFile(fset, strings.ReplaceAll(path, "/", "_")+".go", src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		pkg, err := (&types.Config{Importer: imp}).Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		pkgs[path] = pkg
+		lastInfo, lastFiles = info, []*ast.File{f}
+		return pkg
+	}
+	pkg := check(path, src)
+	return &Pass{Fset: fset, Files: lastFiles, Pkg: pkg, Info: lastInfo}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+const tupleDep = `package tuple
+type Tuple []int
+`
+
+func messages(ds []Diag) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func TestTupleMutFlagsSharedWrites(t *testing.T) {
+	p := typecheck(t, "x/internal/eval", `package eval
+import "x/internal/tuple"
+
+func bad(t tuple.Tuple) { t[0] = 1 }
+
+func badIncDec(t tuple.Tuple) { t[0]++ }
+
+func badNested(ts []tuple.Tuple) { ts[0][1] = 2 }
+
+func okFresh() tuple.Tuple {
+	t := make(tuple.Tuple, 2)
+	t[0] = 1
+	return t
+}
+
+func okLiteral() tuple.Tuple {
+	t := tuple.Tuple{0, 0}
+	t[1] = 2
+	return t
+}
+
+func okAppend(in tuple.Tuple) tuple.Tuple {
+	t := append(tuple.Tuple(nil), in...)
+	t[0] = 9
+	return t
+}
+
+func okRead(t tuple.Tuple) int { return t[0] }
+
+func okOtherSlice(s []int) { s[0] = 1 }
+`, map[string]string{"x/internal/tuple": tupleDep})
+	ds := TupleMut(p)
+	if len(ds) != 3 {
+		t.Fatalf("got %d diags, want 3: %v", len(ds), messages(ds))
+	}
+	for _, d := range ds {
+		if !strings.Contains(d.Message, "shared tuple payload") {
+			t.Errorf("message: %q", d.Message)
+		}
+		if pos := p.Fset.Position(d.Pos); !pos.IsValid() {
+			t.Errorf("invalid position for %q", d.Message)
+		}
+	}
+}
+
+func TestTupleMutSkipsTuplePackageItself(t *testing.T) {
+	p := typecheck(t, "x/internal/tuple2/internal/tuple", `package tuple
+type Tuple []int
+func (t Tuple) set(i, v int) { t[i] = v }
+`, nil)
+	if ds := TupleMut(p); len(ds) != 0 {
+		t.Fatalf("flagged internal/tuple itself: %v", messages(ds))
+	}
+}
+
+// parseOnly builds a syntax-only Pass (what stageloop needs).
+func parseOnly(t *testing.T, path, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pass{Fset: fset, Files: []*ast.File{f}, Path: path}
+}
+
+const stageLoopBad = `package core
+func eval(col Col, opt Opt) {
+	for i := 0; i < 10; i++ {
+		col.BeginStage()
+		col.EndStage()
+	}
+}
+type Col interface{ BeginStage(); EndStage() }
+type Opt interface{ Interrupted(int) error }
+`
+
+const stageLoopGood = `package core
+func eval(col Col, opt Opt) {
+	for i := 0; i < 10; i++ {
+		if err := opt.Interrupted(i); err != nil {
+			return
+		}
+		col.BeginStage()
+		col.EndStage()
+	}
+}
+type Col interface{ BeginStage(); EndStage() }
+type Opt interface{ Interrupted(int) error }
+`
+
+func TestStageloopFlagsUnpolledLoop(t *testing.T) {
+	ds := Stageloop(parseOnly(t, "x/internal/core", stageLoopBad))
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "Interrupted") {
+		t.Fatalf("diags: %v", messages(ds))
+	}
+}
+
+func TestStageloopAcceptsPolledLoop(t *testing.T) {
+	if ds := Stageloop(parseOnly(t, "x/internal/core", stageLoopGood)); len(ds) != 0 {
+		t.Fatalf("false positive: %v", messages(ds))
+	}
+}
+
+func TestStageloopSingleStageNeedsNoPoll(t *testing.T) {
+	p := parseOnly(t, "x/internal/declarative", `package declarative
+func one(col Col) { col.BeginStage(); col.EndStage() }
+type Col interface{ BeginStage(); EndStage() }
+`)
+	if ds := Stageloop(p); len(ds) != 0 {
+		t.Fatalf("flagged single-stage call: %v", messages(ds))
+	}
+}
+
+func TestStageloopNearestLoopRule(t *testing.T) {
+	// The inner loop polls; an outer loop that doesn't is fine because
+	// the nearest enclosing loop of BeginStage is the inner one.
+	p := parseOnly(t, "x/internal/nondet", `package nondet
+func eval(col Col, opt Opt) {
+	for {
+		for i := 0; ; i++ {
+			if opt.Interrupted(i) != nil {
+				return
+			}
+			col.BeginStage()
+		}
+	}
+}
+type Col interface{ BeginStage() }
+type Opt interface{ Interrupted(int) error }
+`)
+	if ds := Stageloop(p); len(ds) != 0 {
+		t.Fatalf("nearest-loop rule broken: %v", messages(ds))
+	}
+}
+
+func TestStageloopSkipsNonEnginePackages(t *testing.T) {
+	if ds := Stageloop(parseOnly(t, "x/internal/stats", stageLoopBad)); len(ds) != 0 {
+		t.Fatalf("flagged non-engine package: %v", messages(ds))
+	}
+	p := parseOnly(t, "x/internal/stats", stageLoopBad)
+	p.AllPackages = true
+	if ds := Stageloop(p); len(ds) != 1 {
+		t.Fatalf("AllPackages filter override broken: %v", messages(ds))
+	}
+}
+
+func TestStageloopSkipsTestFiles(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "core_test.go", stageLoopBad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pass{Fset: fset, Files: []*ast.File{f}, Path: "x/internal/core"}
+	if ds := Stageloop(p); len(ds) != 0 {
+		t.Fatalf("flagged _test.go: %v", messages(ds))
+	}
+}
+
+// TestEngineSuffixes pins the engine list to the packages that exist.
+func TestEngineSuffixes(t *testing.T) {
+	for _, s := range enginePackages {
+		if !isEnginePackage("unchained/" + s) {
+			t.Errorf("suffix %q does not match itself", s)
+		}
+	}
+	if isEnginePackage("unchained/internal/ast") {
+		t.Error("ast must not be an engine package")
+	}
+}

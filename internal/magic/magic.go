@@ -93,7 +93,7 @@ func Rewrite(p *ast.Program, query ast.Atom) (*ast.Program, string, error) {
 
 	// Seed: the magic fact for the query's bound constants.
 	seedHead := ast.Atom{Pred: magicName(query.Pred, queryAd), Args: boundArgs(query, queryAd)}
-	out.Rules = append(out.Rules, ast.Rule{Head: []ast.Literal{ast.Pos(seedHead)}})
+	out.Rules = append(out.Rules, ast.Rule{Head: []ast.Literal{ast.PosLit(seedHead)}})
 
 	type job struct {
 		pred string
@@ -117,9 +117,9 @@ func Rewrite(p *ast.Program, query ast.Atom) (*ast.Program, string, error) {
 			}
 			// The rewritten rule body starts with the magic guard.
 			guard := ast.Atom{Pred: magicName(j.pred, j.ad), Args: boundArgs(head, j.ad)}
-			newBody := []ast.Literal{ast.Pos(guard)}
+			newBody := []ast.Literal{ast.PosLit(guard)}
 			// Accumulated body prefix for magic rules (guard included).
-			prefix := []ast.Literal{ast.Pos(guard)}
+			prefix := []ast.Literal{ast.PosLit(guard)}
 
 			for _, l := range r.Body {
 				a := l.Atom // positive Datalog: all literals are positive atoms
@@ -138,15 +138,15 @@ func Rewrite(p *ast.Program, query ast.Atom) (*ast.Program, string, error) {
 					// never fire.
 					mh := ast.Atom{Pred: magicName(a.Pred, ad), Args: boundArgs(a, ad)}
 					out.Rules = append(out.Rules, ast.Rule{
-						Head: []ast.Literal{ast.Pos(mh)},
+						Head: []ast.Literal{ast.PosLit(mh)},
 						Body: append([]ast.Literal(nil), prefix...),
 					})
 					adA := ast.Atom{Pred: adornedName(a.Pred, ad), Args: a.Args}
-					newBody = append(newBody, ast.Pos(adA))
-					prefix = append(prefix, ast.Pos(adA))
+					newBody = append(newBody, ast.PosLit(adA))
+					prefix = append(prefix, ast.PosLit(adA))
 				} else {
-					newBody = append(newBody, ast.Pos(a))
-					prefix = append(prefix, ast.Pos(a))
+					newBody = append(newBody, ast.PosLit(a))
+					prefix = append(prefix, ast.PosLit(a))
 				}
 				for _, t := range a.Args {
 					if t.IsVar() {
@@ -155,7 +155,7 @@ func Rewrite(p *ast.Program, query ast.Atom) (*ast.Program, string, error) {
 				}
 			}
 			out.Rules = append(out.Rules, ast.Rule{
-				Head: []ast.Literal{ast.Pos(ast.Atom{Pred: adornedName(j.pred, j.ad), Args: head.Args})},
+				Head: []ast.Literal{ast.PosLit(ast.Atom{Pred: adornedName(j.pred, j.ad), Args: head.Args})},
 				Body: newBody,
 			})
 		}

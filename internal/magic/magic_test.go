@@ -193,14 +193,14 @@ func TestMagicMatchesFullOnRandomPrograms(t *testing.T) {
 			bodyVars := map[string]bool{}
 			for j := 0; j < nBody; j++ {
 				a := atom(all[rng.Intn(len(all))])
-				body = append(body, ast.Pos(a))
+				body = append(body, ast.PosLit(a))
 				for _, tt := range a.Args {
 					bodyVars[tt.Var] = true
 				}
 			}
 			// Always include one EDB atom so rules can fire from input.
 			ea := atom("E1")
-			body = append(body, ast.Pos(ea))
+			body = append(body, ast.PosLit(ea))
 			for _, tt := range ea.Args {
 				bodyVars[tt.Var] = true
 			}
@@ -214,7 +214,7 @@ func TestMagicMatchesFullOnRandomPrograms(t *testing.T) {
 				hargs[k] = ast.V(pool[rng.Intn(len(pool))])
 			}
 			p.Rules = append(p.Rules, ast.Rule{
-				Head: []ast.Literal{ast.Pos(ast.Atom{Pred: hp, Args: hargs})},
+				Head: []ast.Literal{ast.PosLit(ast.Atom{Pred: hp, Args: hargs})},
 				Body: body,
 			})
 		}

@@ -155,6 +155,9 @@ func (p *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("%d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
 }
 
+// posOf converts a token's location to an AST source position.
+func posOf(t token) ast.Pos { return ast.Pos{Line: t.line, Col: t.col} }
+
 func (p *parser) expect(k tokKind) error {
 	if p.tok.kind != k {
 		return p.errf("expected %s, found %s", k, p.tok.kind)
@@ -165,6 +168,7 @@ func (p *parser) expect(k tokKind) error {
 // rule := literal {"," literal} [ ":-" literal {"," literal} ] "."
 func (p *parser) rule() (ast.Rule, error) {
 	var r ast.Rule
+	r.SrcPos = posOf(p.tok)
 	for {
 		l, err := p.literal(true)
 		if err != nil {
@@ -203,8 +207,19 @@ func (p *parser) rule() (ast.Rule, error) {
 	return r, nil
 }
 
-// literal parses one head or body literal.
+// literal parses one head or body literal, stamping it with the
+// position of its first token ('!' for negated literals).
 func (p *parser) literal(inHead bool) (ast.Literal, error) {
+	start := p.tok
+	l, err := p.literalInner(inHead)
+	if err != nil {
+		return l, err
+	}
+	l.SrcPos = posOf(start)
+	return l, nil
+}
+
+func (p *parser) literalInner(inHead bool) (ast.Literal, error) {
 	switch {
 	case p.tok.kind == tokBang,
 		p.tok.kind == tokIdent && p.tok.text == "not":
@@ -261,10 +276,10 @@ func (p *parser) literal(inHead bool) (ast.Literal, error) {
 		if err != nil {
 			return ast.Literal{}, err
 		}
-		return ast.Pos(ast.Atom{Pred: name.text, Args: args}), nil
+		return ast.PosLit(ast.Atom{Pred: name.text, Args: args, SrcPos: posOf(name)}), nil
 	default:
 		// 0-ary predicate.
-		return ast.Pos(ast.Atom{Pred: name.text}), nil
+		return ast.PosLit(ast.Atom{Pred: name.text, SrcPos: posOf(name)}), nil
 	}
 }
 
@@ -345,18 +360,18 @@ func (p *parser) atom() (ast.Atom, error) {
 	if p.tok.kind != tokIdent && p.tok.kind != tokVar {
 		return ast.Atom{}, p.errf("expected predicate name, found %s", p.tok.kind)
 	}
-	name := p.tok.text
+	name := p.tok
 	if err := p.advance(); err != nil {
 		return ast.Atom{}, err
 	}
 	if p.tok.kind != tokLParen {
-		return ast.Atom{Pred: name}, nil
+		return ast.Atom{Pred: name.text, SrcPos: posOf(name)}, nil
 	}
 	args, err := p.argList()
 	if err != nil {
 		return ast.Atom{}, err
 	}
-	return ast.Atom{Pred: name, Args: args}, nil
+	return ast.Atom{Pred: name.text, Args: args, SrcPos: posOf(name)}, nil
 }
 
 // argList parses "(" term {"," term} ")" with the '(' current.
@@ -405,8 +420,18 @@ func (p *parser) term() (ast.Term, error) {
 	}
 }
 
-// nameToTerm converts an already-consumed name token to a term.
+// nameToTerm converts an already-consumed name token to a term,
+// stamped with the token's position.
 func (p *parser) nameToTerm(t token) (ast.Term, error) {
+	tm, err := p.nameToTermInner(t)
+	if err != nil {
+		return tm, err
+	}
+	tm.SrcPos = posOf(t)
+	return tm, nil
+}
+
+func (p *parser) nameToTermInner(t token) (ast.Term, error) {
 	switch t.kind {
 	case tokVar:
 		if t.text == "_" {

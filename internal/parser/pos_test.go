@@ -1,0 +1,96 @@
+package parser
+
+import (
+	"testing"
+
+	"unchained/internal/ast"
+	"unchained/internal/value"
+)
+
+// TestLexerColumnsCountRunes pins the rune-based column convention:
+// a multi-byte rune advances the column by one, not by its byte
+// width, so line:col diagnostics are correct on UTF-8 sources.
+func TestLexerColumnsCountRunes(t *testing.T) {
+	// "é" is two bytes but one rune/column; byte counting would put
+	// X at column 9 instead of 8.
+	lx := newLexer(`P("é", X)`)
+	want := []struct {
+		kind tokKind
+		col  int
+	}{
+		{tokVar, 1},    // P (upper-case names lex as variables)
+		{tokLParen, 2}, // (
+		{tokString, 3}, // "é"
+		{tokComma, 6},  // ,
+		{tokVar, 8},    // X
+		{tokRParen, 9}, // )
+	}
+	for i, w := range want {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("token %d: %v", i, err)
+		}
+		if tok.kind != w.kind || tok.col != w.col {
+			t.Errorf("token %d: got %s at col %d, want %s at col %d",
+				i, tok.kind, tok.col, w.kind, w.col)
+		}
+	}
+}
+
+// TestLexerColumnsAfterMultibyteComment checks that multi-byte runes
+// inside comments do not skew positions on following lines.
+func TestLexerColumnsAfterMultibyteComment(t *testing.T) {
+	lx := newLexer("% ∀∃⊥ symbols\nWin(X)")
+	tok, err := lx.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.kind != tokVar || tok.text != "Win" || tok.line != 2 || tok.col != 1 {
+		t.Fatalf("got %s %q at %d:%d, want Win at 2:1", tok.kind, tok.text, tok.line, tok.col)
+	}
+}
+
+// TestParsePositions checks that positions survive the trip from the
+// lexer through the parser into the AST.
+func TestParsePositions(t *testing.T) {
+	u := value.New()
+	src := "% header comment\nWin(X) :-\n  Moves(X, Y), !Win(Y).\n"
+	prog, err := Parse(src, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Fatalf("parsed %d rules", len(prog.Rules))
+	}
+	r := prog.Rules[0]
+	at := func(name string, got, want ast.Pos) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s at %s, want %s", name, got, want)
+		}
+	}
+	at("rule", r.SrcPos, ast.Pos{Line: 2, Col: 1})
+	at("head literal", r.Head[0].SrcPos, ast.Pos{Line: 2, Col: 1})
+	at("head atom", r.Head[0].Atom.SrcPos, ast.Pos{Line: 2, Col: 1})
+	at("head var X", r.Head[0].Atom.Args[0].SrcPos, ast.Pos{Line: 2, Col: 5})
+	at("body[0] literal", r.Body[0].SrcPos, ast.Pos{Line: 3, Col: 3})
+	at("body[0] var Y", r.Body[0].Atom.Args[1].SrcPos, ast.Pos{Line: 3, Col: 12})
+	// A negated literal is positioned at its '!', the atom at its name.
+	at("body[1] literal", r.Body[1].SrcPos, ast.Pos{Line: 3, Col: 16})
+	at("body[1] atom", r.Body[1].Atom.SrcPos, ast.Pos{Line: 3, Col: 17})
+	if !r.Body[1].Neg {
+		t.Fatalf("body[1] not negated: %+v", r.Body[1])
+	}
+}
+
+// TestHandBuiltASTHasZeroPositions pins backward compatibility: AST
+// nodes built in code carry the zero (unknown) position.
+func TestHandBuiltASTHasZeroPositions(t *testing.T) {
+	l := ast.PosLit(ast.Atom{Pred: "P", Args: []ast.Term{ast.V("X")}})
+	if l.SrcPos.IsValid() || l.Atom.SrcPos.IsValid() || l.Atom.Args[0].SrcPos.IsValid() {
+		t.Fatalf("hand-built literal has a valid position: %+v", l)
+	}
+	if got := l.SrcPos.String(); got != "-" {
+		t.Fatalf("zero position renders %q, want -", got)
+	}
+}

@@ -71,7 +71,7 @@ func (g *progGen) rule(negEDB bool) ast.Rule {
 			pred = g.idb[g.rng.Intn(len(g.idb))].Pred
 		}
 		a := g.atom(pred, varPool[:2+g.rng.Intn(2)])
-		body = append(body, ast.Pos(a))
+		body = append(body, ast.PosLit(a))
 		for _, t := range a.Args {
 			if t.IsVar() && !seen[t.Var] {
 				seen[t.Var] = true
@@ -94,7 +94,7 @@ func (g *progGen) rule(negEDB bool) ast.Rule {
 		headArgs[i] = ast.V(bodyVars[g.rng.Intn(len(bodyVars))])
 	}
 	return ast.Rule{
-		Head: []ast.Literal{ast.Pos(ast.Atom{Pred: headPred, Args: headArgs})},
+		Head: []ast.Literal{ast.PosLit(ast.Atom{Pred: headPred, Args: headArgs})},
 		Body: body,
 	}
 }

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"unchained/internal/analyze"
+)
+
+const winProgram = `Win(X) :- Moves(X,Y), !Win(Y).`
+
+// TestAnalyzeEndpoint checks the happy path: classification, the
+// stratification witness, and positioned diagnostics over the wire.
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: winProgram})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out AnalyzeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.Report == nil {
+		t.Fatalf("unexpected response: %s", body)
+	}
+	rep := out.Report
+	if rep.Semantics != "well-founded" || rep.Stratifiable {
+		t.Fatalf("report: %+v", rep)
+	}
+	found := false
+	for _, d := range rep.Diags {
+		if d.Code == analyze.CodeNotStratifiable && d.Pos.Line == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("W001 with position missing: %s", body)
+	}
+}
+
+// TestAnalyzeEndpointErrors: an inadmissible program returns 422 with
+// the report still attached, and the analyze counters move.
+func TestAnalyzeEndpointErrors(t *testing.T) {
+	srv, ts := newInstrumentedServer(t)
+	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: "!P(X) :- Q(Y)."})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out AnalyzeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.OK || out.Report == nil || out.Error == nil || out.Error.Kind != "analyze" {
+		t.Fatalf("unexpected response: %s", body)
+	}
+	if !strings.Contains(out.Error.Message, "no dialect of the family admits") {
+		t.Fatalf("error message: %q", out.Error.Message)
+	}
+	z := srv.snapshot()
+	if z.Analyzes != 1 || z.AnalyzeErrors != 1 {
+		t.Fatalf("counters: %+v", z)
+	}
+
+	// Parse failures are bad requests, not analyze errors.
+	resp, _ = post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: "P(X :-"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d for parse failure", resp.StatusCode)
+	}
+	if z := srv.snapshot(); z.Analyzes != 1 {
+		t.Fatalf("parse failure counted as analysis: %+v", z)
+	}
+}
+
+// TestAnalyzeReportCached: the second request for the same source hits
+// the parse cache and reuses the memoized report.
+func TestAnalyzeReportCached(t *testing.T) {
+	srv, ts := newInstrumentedServer(t)
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: winProgram})
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: winProgram})
+	hits, misses, _, _ := srv.cache.stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	entry, err := srv.cache.get(winProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.report() != entry.report() {
+		t.Fatal("report not memoized")
+	}
+	if z := srv.snapshot(); z.Analyzes != 2 || z.AnalyzeErrors != 0 {
+		t.Fatalf("counters: %+v", z)
+	}
+}
+
+// TestAnalyzeMetricsExposition: the analyze counters appear on
+// /metrics under the unchained_analyze_* names.
+func TestAnalyzeMetricsExposition(t *testing.T) {
+	_, ts := newInstrumentedServer(t)
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: winProgram})
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: "!P(X) :- Q(Y)."})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"unchained_analyze_total 2", "unchained_analyze_errors_total 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

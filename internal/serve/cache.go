@@ -12,11 +12,23 @@ import (
 // cacheEntry is a parsed program bound to the session that interned
 // its constants. The entry is immutable after insertion: requests
 // never evaluate against the entry's session directly, they Fork it,
-// so one entry safely serves any number of concurrent requests.
+// so one entry safely serves any number of concurrent requests. The
+// analysis report is computed once on first demand and shared (the
+// report is read-only after construction), so repeated /v1/analyze
+// calls on a cached program are free.
 type cacheEntry struct {
 	key  string
 	prog *unchained.Program
 	base *unchained.Session
+
+	repOnce sync.Once
+	rep     *unchained.AnalysisReport
+}
+
+// report lazily runs the static analyzer over the entry's program.
+func (e *cacheEntry) report() *unchained.AnalysisReport {
+	e.repOnce.Do(func() { e.rep = e.base.Analyze(e.prog) })
+	return e.rep
 }
 
 // progCache is an LRU cache of parsed programs keyed by the sha256 of

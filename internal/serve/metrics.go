@@ -76,6 +76,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(w, "unchained_canceled_total", "Evaluations interrupted by client cancellation.", z.Canceled)
 	writeCounter(w, "unchained_bad_requests_total", "Requests rejected before evaluation.", z.BadRequests)
 	writeCounter(w, "unchained_stages_run_total", "Evaluation stages executed across all requests.", z.StagesRun)
+	writeCounter(w, "unchained_analyze_total", "Static-analysis requests served (cached reports included).", z.Analyzes)
+	writeCounter(w, "unchained_analyze_errors_total", "Analyzed programs carrying error-severity diagnostics.", z.AnalyzeErrors)
 	writeCounter(w, "unchained_parse_cache_hits_total", "Parse cache hits.", z.CacheHits)
 	writeCounter(w, "unchained_parse_cache_misses_total", "Parse cache misses.", z.CacheMisses)
 	writeCounter(w, "unchained_parse_cache_evictions_total", "Parse cache LRU evictions.", z.CacheEvictions)

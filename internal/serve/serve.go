@@ -16,8 +16,9 @@
 //     functional options, so per-request knobs (workers, max_stages,
 //     stats) need no engine-specific plumbing.
 //
-// Endpoints: POST /v1/eval, POST /v1/query (magic-sets), GET
-// /healthz, GET /statsz.
+// Endpoints: POST /v1/eval, POST /v1/query (magic-sets), POST
+// /v1/analyze (the static program analyzer), GET /healthz, GET
+// /statsz.
 package serve
 
 import (
@@ -91,6 +92,8 @@ type Server struct {
 	stagesRun      atomic.Uint64
 	workersClamped atomic.Uint64
 	timeoutClamped atomic.Uint64
+	analyzes       atomic.Uint64
+	analyzeErrs    atomic.Uint64
 	// Storage-layer copy-on-write traffic, summed from the per-request
 	// stats summaries (only requests that carry a collector report it).
 	cowSnapshots  atomic.Uint64
@@ -125,6 +128,7 @@ func New(cfg Config) *Server {
 	s.semCounts["query"] = &atomic.Uint64{}
 	s.mux.HandleFunc("/v1/eval", s.handleEval)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -481,6 +485,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// AnalyzeRequest is the body of POST /v1/analyze: static analysis of
+// a program, no facts and no evaluation.
+type AnalyzeRequest struct {
+	Program string `json:"program"`
+}
+
+// AnalyzeResponse is the body of POST /v1/analyze responses. OK is
+// false when the report carries error-severity diagnostics (the
+// program is inadmissible); the report is still returned so clients
+// see every finding.
+type AnalyzeResponse struct {
+	OK     bool                      `json:"ok"`
+	Report *unchained.AnalysisReport `json:"report,omitempty"`
+	Error  *ErrorInfo                `json:"error,omitempty"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, AnalyzeResponse{Error: &ErrorInfo{Kind: "bad_request", Message: "POST required"}})
+		return
+	}
+	var req AnalyzeRequest
+	if err := decode(r, &req); err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, AnalyzeResponse{Error: &ErrorInfo{Kind: "bad_request", Message: err.Error()}})
+		return
+	}
+	entry, err := s.cache.get(req.Program)
+	if err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, AnalyzeResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		return
+	}
+	s.analyzes.Add(1)
+	rep := entry.report()
+	if rep.Diags.HasErrors() {
+		// Inadmissible programs are analysis successes but evaluation
+		// non-starters; report them distinctly so dashboards can tell
+		// "clients lint broken programs" from daemon trouble.
+		s.analyzeErrs.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, AnalyzeResponse{
+			Report: rep,
+			Error:  &ErrorInfo{Kind: "analyze", Message: rep.Diags.Err().Error()},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, AnalyzeResponse{OK: true, Report: rep})
+}
+
 // Healthz is the body of GET /healthz.
 type Healthz struct {
 	Status   string `json:"status"`
@@ -509,6 +562,8 @@ type Statsz struct {
 	BadRequests     uint64 `json:"bad_requests"`
 	InFlight        int64  `json:"in_flight"`
 	StagesRun       uint64 `json:"stages_run"`
+	Analyzes        uint64 `json:"analyzes"`
+	AnalyzeErrors   uint64 `json:"analyze_errors"`
 	WorkersClamped  uint64 `json:"workers_clamped"`
 	TimeoutsClamped uint64 `json:"timeouts_clamped"`
 	CowSnapshots    uint64 `json:"cow_snapshots"`
@@ -534,6 +589,8 @@ func (s *Server) snapshot() Statsz {
 		BadRequests:     s.badReqs.Load(),
 		InFlight:        s.inFlight.Load(),
 		StagesRun:       s.stagesRun.Load(),
+		Analyzes:        s.analyzes.Load(),
+		AnalyzeErrors:   s.analyzeErrs.Load(),
 		WorkersClamped:  s.workersClamped.Load(),
 		TimeoutsClamped: s.timeoutClamped.Load(),
 		CowSnapshots:    s.cowSnapshots.Load(),

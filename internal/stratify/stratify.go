@@ -12,10 +12,21 @@ import (
 )
 
 // Edge is a dependency: the head predicate depends on a body
-// predicate, positively or negatively.
+// predicate, positively or negatively. Rule and Pos identify the
+// first occurrence that introduced the dependency (the witness shown
+// in diagnostics); Pos is the zero value for hand-built programs.
 type Edge struct {
 	From, To string // From = head pred, To = body pred
 	Negative bool
+	Rule     int     // index into Program.Rules of the first witness
+	Pos      ast.Pos // position of the witness body literal
+}
+
+// edgeKey dedups edges on the dependency itself, so the first
+// witness occurrence wins.
+type edgeKey struct {
+	from, to string
+	negative bool
 }
 
 // Graph is the predicate dependency graph of a program.
@@ -32,7 +43,7 @@ type Graph struct {
 func BuildGraph(p *ast.Program) *Graph {
 	g := &Graph{adj: map[string][]int{}}
 	predSet := map[string]bool{}
-	seenEdge := map[Edge]bool{}
+	seenEdge := map[edgeKey]bool{}
 	addPred := func(n string) {
 		if !predSet[n] {
 			predSet[n] = true
@@ -40,33 +51,34 @@ func BuildGraph(p *ast.Program) *Graph {
 		}
 	}
 	addEdge := func(e Edge) {
-		if seenEdge[e] {
+		k := edgeKey{from: e.From, to: e.To, negative: e.Negative}
+		if seenEdge[k] {
 			return
 		}
-		seenEdge[e] = true
+		seenEdge[k] = true
 		g.adj[e.From] = append(g.adj[e.From], len(g.Edges))
 		g.Edges = append(g.Edges, e)
 	}
-	var walkBody func(head string, l ast.Literal, negCtx bool)
-	walkBody = func(head string, l ast.Literal, negCtx bool) {
+	var walkBody func(head string, ri int, l ast.Literal, negCtx bool)
+	walkBody = func(head string, ri int, l ast.Literal, negCtx bool) {
 		switch l.Kind {
 		case ast.LitAtom:
 			addPred(l.Atom.Pred)
-			addEdge(Edge{From: head, To: l.Atom.Pred, Negative: l.Neg || negCtx})
+			addEdge(Edge{From: head, To: l.Atom.Pred, Negative: l.Neg || negCtx, Rule: ri, Pos: l.SrcPos})
 		case ast.LitForall:
 			for _, b := range l.ForallBody {
-				walkBody(head, b, negCtx)
+				walkBody(head, ri, b, negCtx)
 			}
 		}
 	}
-	for _, r := range p.Rules {
+	for ri, r := range p.Rules {
 		for _, h := range r.Head {
 			if h.Kind != ast.LitAtom {
 				continue
 			}
 			addPred(h.Atom.Pred)
 			for _, b := range r.Body {
-				walkBody(h.Atom.Pred, b, false)
+				walkBody(h.Atom.Pred, ri, b, false)
 			}
 		}
 	}
@@ -125,6 +137,60 @@ func (g *Graph) SCCs() [][]string {
 		}
 	}
 	return out
+}
+
+// NegativeCycle returns a witness for non-stratifiability: a cycle of
+// dependency edges containing at least one negative edge, as the
+// edges in order (each edge's To is the next edge's From, and the
+// last edge's To closes the cycle at the first edge's From). It
+// returns nil when every cycle is negation-free, i.e. the program is
+// stratifiable. The witness is deterministic: the first negative
+// intra-component edge in graph order, closed by a shortest path
+// back.
+func (g *Graph) NegativeCycle() []Edge {
+	comp := map[string]int{}
+	for i, c := range g.SCCs() {
+		for _, v := range c {
+			comp[v] = i
+		}
+	}
+	for _, e := range g.Edges {
+		if !e.Negative || comp[e.From] != comp[e.To] {
+			continue
+		}
+		if e.To == e.From { // self-negation, e.g. Win :- !Win
+			return []Edge{e}
+		}
+		// BFS from e.To back to e.From inside the component.
+		prev := map[string]int{} // node -> edge index that reached it
+		queue := []string{e.To}
+		seen := map[string]bool{e.To: true}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.adj[v] {
+				w := g.Edges[ei].To
+				if seen[w] || comp[w] != comp[e.From] {
+					continue
+				}
+				seen[w] = true
+				prev[w] = ei
+				if w == e.From {
+					var path []Edge
+					for n := w; n != e.To; n = g.Edges[prev[n]].From {
+						path = append(path, g.Edges[prev[n]])
+					}
+					// path is collected backwards; reverse it.
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return append([]Edge{e}, path...)
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
 }
 
 // Stratification assigns each predicate a stratum number. Strata are

@@ -138,3 +138,40 @@ func TestGraphEdgesPolarity(t *testing.T) {
 		t.Fatalf("edges: %d pos, %d neg", posE, negE)
 	}
 }
+
+func TestNegativeCycleWitness(t *testing.T) {
+	u := value.New()
+	// Example 3.2: Win(X) :- Moves(X,Y), !Win(Y) — a negative self-cycle.
+	p := parser.MustParse("Win(X) :- Moves(X,Y), !Win(Y).", u)
+	g := BuildGraph(p)
+	cyc := g.NegativeCycle()
+	if len(cyc) != 1 {
+		t.Fatalf("witness has %d edges, want 1: %+v", len(cyc), cyc)
+	}
+	e := cyc[0]
+	if e.From != "Win" || e.To != "Win" || !e.Negative {
+		t.Fatalf("wrong witness edge: %+v", e)
+	}
+	if e.Rule != 0 || !e.Pos.IsValid() {
+		t.Fatalf("witness edge lacks rule/pos: %+v", e)
+	}
+
+	// A longer cycle: P -!-> Q -> P.
+	p2 := parser.MustParse("P(X) :- !Q(X).\nQ(X) :- P(X).", u)
+	cyc2 := BuildGraph(p2).NegativeCycle()
+	if len(cyc2) != 2 {
+		t.Fatalf("witness has %d edges, want 2: %+v", len(cyc2), cyc2)
+	}
+	if cyc2[0].From != "P" || cyc2[0].To != "Q" || !cyc2[0].Negative {
+		t.Fatalf("wrong first edge: %+v", cyc2[0])
+	}
+	if cyc2[1].From != "Q" || cyc2[1].To != "P" || cyc2[1].Negative {
+		t.Fatalf("wrong closing edge: %+v", cyc2[1])
+	}
+
+	// Stratifiable: no witness.
+	p3 := parser.MustParse("T(X,Y) :- G(X,Y).\nCT(X,Y) :- !T(X,Y).", u)
+	if cyc := BuildGraph(p3).NegativeCycle(); cyc != nil {
+		t.Fatalf("stratifiable program has witness: %+v", cyc)
+	}
+}

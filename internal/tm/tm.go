@@ -144,55 +144,55 @@ func Compile(m *Machine, u *value.Universe) (*ast.Program, error) {
 	for _, t := range m.Trans {
 		// The configuration pattern δ fires on.
 		fire := []ast.Literal{
-			ast.Pos(ast.NewAtom(RelState, v("T"), c(t.State))),
-			ast.Pos(ast.NewAtom(RelHead, v("T"), v("C"))),
-			ast.Pos(ast.NewAtom(RelSym, v("T"), v("C"), c(t.Read))),
+			ast.PosLit(ast.NewAtom(RelState, v("T"), c(t.State))),
+			ast.PosLit(ast.NewAtom(RelHead, v("T"), v("C"))),
+			ast.PosLit(ast.NewAtom(RelSym, v("T"), v("C"), c(t.Read))),
 		}
 		// Tick invents the next time point (T2 is head-only).
-		add(ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))), fire...)
+		add(ast.PosLit(ast.NewAtom(RelTick, v("T"), v("T2"))), fire...)
 
-		tick := append([]ast.Literal{ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2")))}, fire...)
+		tick := append([]ast.Literal{ast.PosLit(ast.NewAtom(RelTick, v("T"), v("T2")))}, fire...)
 		// New state and written symbol.
-		add(ast.Pos(ast.NewAtom(RelState, v("T2"), c(t.Next))), tick...)
-		add(ast.Pos(ast.NewAtom(RelSym, v("T2"), v("C"), c(t.Write))), tick...)
+		add(ast.PosLit(ast.NewAtom(RelState, v("T2"), c(t.Next))), tick...)
+		add(ast.PosLit(ast.NewAtom(RelSym, v("T2"), v("C"), c(t.Write))), tick...)
 		// Head movement.
 		switch t.Move {
 		case Right:
-			add(ast.Pos(ast.NewAtom(RelHead, v("T2"), v("D"))),
+			add(ast.PosLit(ast.NewAtom(RelHead, v("T2"), v("D"))),
 				append(append([]ast.Literal{}, tick...),
-					ast.Pos(ast.NewAtom(RelNextCell, v("C"), v("D"))))...)
+					ast.PosLit(ast.NewAtom(RelNextCell, v("C"), v("D"))))...)
 		case Left:
-			add(ast.Pos(ast.NewAtom(RelHead, v("T2"), v("D"))),
+			add(ast.PosLit(ast.NewAtom(RelHead, v("T2"), v("D"))),
 				append(append([]ast.Literal{}, tick...),
-					ast.Pos(ast.NewAtom(RelNextCell, v("D"), v("C"))))...)
+					ast.PosLit(ast.NewAtom(RelNextCell, v("D"), v("C"))))...)
 		case Stay:
-			add(ast.Pos(ast.NewAtom(RelHead, v("T2"), v("C"))), tick...)
+			add(ast.PosLit(ast.NewAtom(RelHead, v("T2"), v("C"))), tick...)
 		}
 	}
 
 	// Tape copy for non-head cells.
-	add(ast.Pos(ast.NewAtom(RelSym, v("T2"), v("D"), v("S"))),
-		ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))),
-		ast.Pos(ast.NewAtom(RelSym, v("T"), v("D"), v("S"))),
+	add(ast.PosLit(ast.NewAtom(RelSym, v("T2"), v("D"), v("S"))),
+		ast.PosLit(ast.NewAtom(RelTick, v("T"), v("T2"))),
+		ast.PosLit(ast.NewAtom(RelSym, v("T"), v("D"), v("S"))),
 		ast.Neg(ast.NewAtom(RelHead, v("T"), v("D"))))
 
 	// Tape growth: every tick appends one invented blank cell.
-	add(ast.Pos(ast.NewAtom(RelGrow, v("T2"), v("D"))), // D invented
-		ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))),
-		ast.Pos(ast.NewAtom(RelLast, v("T"), v("C"))))
-	add(ast.Pos(ast.NewAtom(RelNextCell, v("C"), v("D"))),
-		ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))),
-		ast.Pos(ast.NewAtom(RelLast, v("T"), v("C"))),
-		ast.Pos(ast.NewAtom(RelGrow, v("T2"), v("D"))))
-	add(ast.Pos(ast.NewAtom(RelLast, v("T2"), v("D"))),
-		ast.Pos(ast.NewAtom(RelTick, v("T"), v("T2"))),
-		ast.Pos(ast.NewAtom(RelGrow, v("T2"), v("D"))))
-	add(ast.Pos(ast.NewAtom(RelSym, v("T2"), v("D"), c(m.Blank))),
-		ast.Pos(ast.NewAtom(RelGrow, v("T2"), v("D"))))
+	add(ast.PosLit(ast.NewAtom(RelGrow, v("T2"), v("D"))), // D invented
+		ast.PosLit(ast.NewAtom(RelTick, v("T"), v("T2"))),
+		ast.PosLit(ast.NewAtom(RelLast, v("T"), v("C"))))
+	add(ast.PosLit(ast.NewAtom(RelNextCell, v("C"), v("D"))),
+		ast.PosLit(ast.NewAtom(RelTick, v("T"), v("T2"))),
+		ast.PosLit(ast.NewAtom(RelLast, v("T"), v("C"))),
+		ast.PosLit(ast.NewAtom(RelGrow, v("T2"), v("D"))))
+	add(ast.PosLit(ast.NewAtom(RelLast, v("T2"), v("D"))),
+		ast.PosLit(ast.NewAtom(RelTick, v("T"), v("T2"))),
+		ast.PosLit(ast.NewAtom(RelGrow, v("T2"), v("D"))))
+	add(ast.PosLit(ast.NewAtom(RelSym, v("T2"), v("D"), c(m.Blank))),
+		ast.PosLit(ast.NewAtom(RelGrow, v("T2"), v("D"))))
 
 	// Halting detection.
-	add(ast.Pos(ast.NewAtom(RelAccept)), ast.Pos(ast.NewAtom(RelState, v("T"), c(m.Accept))))
-	add(ast.Pos(ast.NewAtom(RelReject)), ast.Pos(ast.NewAtom(RelState, v("T"), c(m.Reject))))
+	add(ast.PosLit(ast.NewAtom(RelAccept)), ast.PosLit(ast.NewAtom(RelState, v("T"), c(m.Accept))))
+	add(ast.PosLit(ast.NewAtom(RelReject)), ast.PosLit(ast.NewAtom(RelState, v("T"), c(m.Reject))))
 
 	if err := p.Validate(ast.DialectDatalogNew); err != nil {
 		return nil, fmt.Errorf("tm: compiled program invalid: %w", err)

@@ -171,7 +171,7 @@ func TestEveryEngineEmitsSpanStream(t *testing.T) {
 			u := value.New()
 			sys, err := active.NewSystem(u, []active.Rule{{
 				Name: "copy", On: active.Inserted, Pred: "P", Vars: []string{"X"},
-				Actions: []ast.Literal{ast.Pos(ast.NewAtom("Q", ast.V("X")))},
+				Actions: []ast.Literal{ast.PosLit(ast.NewAtom("Q", ast.V("X")))},
 			}})
 			if err != nil {
 				t.Fatal(err)

@@ -57,6 +57,10 @@ const (
 	SpanStratum = "stratum"
 	SpanStage   = "stage"
 	SpanRule    = "rule"
+	// SpanAnalyze wraps a static-analysis run; its EvSpan children
+	// carry the per-pass timings (Name: validate, depgraph, dialect,
+	// termination).
+	SpanAnalyze = "analyze"
 )
 
 // Point kinds (the Kind field).

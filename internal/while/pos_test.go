@@ -1,0 +1,42 @@
+package while
+
+import "testing"
+
+// TestWLexerColumnsCountRunes pins the rune-based column convention
+// shared with internal/parser: multi-byte runes advance the column by
+// one, keeping line:col diagnostics correct on UTF-8 sources.
+func TestWLexerColumnsCountRunes(t *testing.T) {
+	// "é" is two bytes but one rune/column; byte counting would put
+	// foo at column 6 instead of 5.
+	lx := newWLexer(`"é" foo`)
+	s, err := lx.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.kind != wString || s.col != 1 {
+		t.Fatalf("string token at col %d, want 1", s.col)
+	}
+	id, err := lx.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.kind != wIdent || id.text != "foo" || id.col != 5 {
+		t.Fatalf("got %q at col %d, want foo at col 5", id.text, id.col)
+	}
+}
+
+// TestWLexerLinesAfterMultibyteString checks multi-byte runes do not
+// skew positions on following lines.
+func TestWLexerLinesAfterMultibyteString(t *testing.T) {
+	lx := newWLexer("\"⊥∀\"\nwhile")
+	if _, err := lx.next(); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := lx.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.text != "while" || tok.line != 2 || tok.col != 1 {
+		t.Fatalf("got %q at %d:%d, want while at 2:1", tok.text, tok.line, tok.col)
+	}
+}

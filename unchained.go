@@ -215,6 +215,9 @@ func coreResultOf(res *core.Result, err error) (*EvalResult, error) {
 }
 
 func (s Semantics) String() string {
+	if s == SemanticsAuto {
+		return "auto"
+	}
 	for _, e := range semanticsTable {
 		if e.sem == s {
 			return e.name
@@ -234,17 +237,19 @@ var SemanticsByName = func() map[string]Semantics {
 			m[a] = e.sem
 		}
 	}
+	m["auto"] = SemanticsAuto
 	return m
 }()
 
 // SemanticsNames returns the canonical semantics names in definition
-// order (for CLI usage strings and API discovery).
+// order (for CLI usage strings and API discovery), ending with the
+// dispatching "auto" pseudo-semantics.
 func SemanticsNames() []string {
-	names := make([]string, len(semanticsTable))
+	names := make([]string, len(semanticsTable), len(semanticsTable)+1)
 	for i, e := range semanticsTable {
 		names[i] = e.name
 	}
-	return names
+	return append(names, "auto")
 }
 
 // evalConfig is the target functional options apply to: the unified
@@ -378,6 +383,9 @@ func (s *Session) Sym(name string) Value { return s.U.Sym(name) }
 // EvalWellFounded3Context for the 3-valued model.
 func (s *Session) EvalContext(ctx context.Context, p *Program, in *Instance, sem Semantics, opts ...Opt) (*EvalResult, error) {
 	cfg := buildConfig(ctx, opts)
+	if sem == SemanticsAuto {
+		return s.evalAuto(p, in, &cfg.opt)
+	}
 	for _, e := range semanticsTable {
 		if e.sem == sem {
 			return e.eval(s, p, in, &cfg.opt)
