@@ -45,12 +45,12 @@ bench:
 
 # Regenerate the machine-readable experiment report (quick sizes).
 bench-json:
-	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR4.json
+	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR6.json
 
 # Compare a fresh quick run against the checked-in report; exits
 # non-zero when an experiment or benchmark slowed down by >25%.
 bench-baseline:
-	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR4.json -tolerance 0.25
+	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR6.json -tolerance 0.25
 
 # Run each native fuzz target briefly ("go test -fuzz" accepts one
 # target per invocation). Override FUZZTIME for longer local hunts.

@@ -89,6 +89,7 @@ func run(args []string, w, ew io.Writer) error {
 	why := fs.String("why", "", "with -semantics inflationary: explain a derived fact, e.g. -why 'T(a,c)'")
 	query := fs.String("query", "", "positive Datalog only: goal-directed (magic-sets) query, e.g. -query 'T(a,Y)'")
 	lintOn := fs.Bool("lint", false, "analyze the program instead of evaluating it; exits 1 on error diagnostics")
+	literalOrder := fs.Bool("literal-order", false, "disable the cardinality planner: join rule bodies in textual literal order")
 	jsonOut := fs.Bool("json", false, "with -lint: emit the full analysis report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -201,7 +202,7 @@ func run(args []string, w, ew io.Writer) error {
 	}
 
 	if *query != "" {
-		return goalQuery(ctx, s, prog, in, *query, col, tracer, emitStats, w)
+		return goalQuery(ctx, s, prog, in, *query, col, tracer, *literalOrder, emitStats, w)
 	}
 	var answerPreds []string
 	if *answer != "" {
@@ -211,13 +212,13 @@ func run(args []string, w, ew io.Writer) error {
 		ans := core.Answer(prog, out, answerPreds...)
 		fmt.Fprint(w, s.Format(ans))
 	}
-	opt := &core.Options{Ctx: ctx, Workers: *workers, Stats: col, Tracer: tracer}
+	opt := &core.Options{Ctx: ctx, Workers: *workers, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder}
 	if *stages {
 		opt.Trace = func(stage int, state *tuple.Instance) {
 			fmt.Fprintf(w, "%% stage %d: %d facts\n", stage, state.Facts())
 		}
 	}
-	dopt := &declarative.Options{Ctx: ctx, Stats: col, Tracer: tracer}
+	dopt := &declarative.Options{Ctx: ctx, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder}
 
 	switch *semantics {
 	case "wellfounded", "well-founded":
@@ -253,7 +254,7 @@ func run(args []string, w, ew io.Writer) error {
 		case "ndatalog-new":
 			d = ast.DialectNDatalogNew
 		}
-		res, err := nondet.Run(prog, d, in, s.U, *seed, &nondet.Options{Ctx: ctx, Stats: col, Tracer: tracer})
+		res, err := nondet.Run(prog, d, in, s.U, *seed, &nondet.Options{Ctx: ctx, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder})
 		if res != nil {
 			emitStats(res.Stats)
 		}
@@ -268,7 +269,7 @@ func run(args []string, w, ew io.Writer) error {
 		printAnswer(res.Out)
 		return nil
 	case "effects":
-		eff, err := nondet.Effects(prog, ast.DialectNDatalogNegNeg, in, s.U, &nondet.Options{Ctx: ctx, Stats: col, Tracer: tracer})
+		eff, err := nondet.Effects(prog, ast.DialectNDatalogNegNeg, in, s.U, &nondet.Options{Ctx: ctx, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder})
 		if eff != nil {
 			emitStats(eff.Stats)
 		}
@@ -368,7 +369,7 @@ func run(args []string, w, ew io.Writer) error {
 }
 
 // goalQuery answers a single query atom via the magic-sets rewriting.
-func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, col *stats.Collector, tracer trace.Tracer, emitStats func(*stats.Summary), w io.Writer) error {
+func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, col *stats.Collector, tracer trace.Tracer, literalOrder bool, emitStats func(*stats.Summary), w io.Writer) error {
 	// Parse "T(a,Y)" by reusing the rule parser on a synthetic rule.
 	r, err := parser.ParseRule(querySrc+" :- .", s.U)
 	if err != nil {
@@ -378,7 +379,7 @@ func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Progra
 		return fmt.Errorf("-query expects a single positive atom")
 	}
 	q := r.Head[0].Atom
-	ans, sum, err := magic.AnswerStats(prog, q, in, s.U, &declarative.Options{Ctx: ctx, Stats: col, Tracer: tracer})
+	ans, sum, err := magic.AnswerStats(prog, q, in, s.U, &declarative.Options{Ctx: ctx, Stats: col, Tracer: tracer, LiteralOrder: literalOrder})
 	emitStats(sum)
 	if err != nil {
 		return err

@@ -55,6 +55,7 @@ var experiments = []experiment{
 	{"P6", "Ablation: rule-level parallelism in the inflationary engine", expP6},
 	{"P7", "Ablation: incremental maintenance (DRed) vs recompute", expP7},
 	{"P8", "COW fork: Instance.Snapshot vs deep clone (>=100k tuples)", expP8},
+	{"P9", "Ablation: cardinality planner vs literal-order joins", expP9},
 	{"A1", "Sections 6–7: active-database rule cascades", expA1},
 }
 

@@ -99,6 +99,13 @@ type Options struct {
 	// MaxFirings bounds the total number of rule firings per Run
 	// (default 1<<16): ECA cascades can loop forever.
 	MaxFirings int
+	// LiteralOrder disables the cardinality-driven query planner for
+	// condition matching (seed literal-order schedules), mirroring
+	// engine.Options.LiteralOrder.
+	LiteralOrder bool
+	// Plans, if non-nil, shares planner-chosen condition schedules
+	// across Run calls on the same system.
+	Plans *eval.PlanCache
 	// Specificity inserts OPS5-style specificity between priority and
 	// recency in conflict resolution: among equal-priority
 	// instantiations, the rule with more condition literals wins.
@@ -109,6 +116,15 @@ type Options struct {
 	// firing counts as one stage, with per-rule attribution by rule
 	// name. A nil collector adds no work.
 	Stats *stats.Collector
+}
+
+func (o *Options) planDisabled() bool { return o != nil && o.LiteralOrder }
+
+func (o *Options) planCache() *eval.PlanCache {
+	if o == nil {
+		return nil
+	}
+	return o.Plans
 }
 
 func (o *Options) maxFirings() int {
@@ -215,6 +231,7 @@ func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result
 	// Refraction (OPS5): an instantiation (rule, event, bound
 	// actions) fires at most once.
 	fired := map[string]bool{}
+	adomc := eval.NewAdomCache(s.u, nil, false)
 	for {
 		if err := engine.Interrupted(ctx, firings); err != nil {
 			wm = wm.Restrict(withoutEvent(wm.Names()), nil)
@@ -252,16 +269,24 @@ func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result
 		}
 		for evIndex := len(agenda) - 1; evIndex >= 0; evIndex-- {
 			ev := agenda[evIndex]
+			// Bind the event by planting its tuple in the reserved
+			// __event relation once per event (not once per rule, as
+			// the engine used to), so the active-domain re-sort and
+			// the ctx are shared by every rule the event can trigger.
+			planted := false
+			var ctx *eval.Ctx
 			for ri, r := range s.rules {
 				if r.src.Pred != ev.Pred || r.src.On != ev.Kind || len(r.src.Vars) != len(ev.Tuple) {
 					continue
 				}
-				// Bind the event by planting its tuple in the
-				// reserved __event relation for the match.
-				evRel := wm.Ensure(eventRel(len(ev.Tuple)), len(ev.Tuple))
-				evRel.Insert(ev.Tuple)
-				adom := eval.ActiveDomain(s.u, nil, wm)
-				ctx := &eval.Ctx{In: wm, Adom: adom, DeltaLit: -1, Stats: col}
+				if !planted {
+					wm.Ensure(eventRel(len(ev.Tuple)), len(ev.Tuple)).Insert(ev.Tuple)
+					planted = true
+					ctx = &eval.Ctx{
+						In: wm, Adom: adomc.Domain(wm), DeltaLit: -1, Stats: col,
+						NoPlan: opt.planDisabled(), Plans: opt.planCache(), PlanTrace: true,
+					}
+				}
 				r.cr.Enumerate(ctx, func(b eval.Binding) bool {
 					facts := r.cr.HeadFacts(b, nil)
 					key := fmt.Sprintf("%d|%d|", ri, ev.seq)
@@ -280,7 +305,9 @@ func (s *System) Run(in *tuple.Instance, updates []Event, opt *Options) (*Result
 					}
 					return true
 				})
-				evRel.Delete(ev.Tuple)
+			}
+			if planted {
+				wm.Relation(eventRel(len(ev.Tuple))).Delete(ev.Tuple)
 			}
 		}
 		if best == nil {

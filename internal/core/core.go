@@ -130,7 +130,10 @@ func EvalInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, opt
 		if err := opt.Interrupted(stages); err != nil {
 			return &Result{Out: out, Stages: stages, Stats: col.Summary()}, err
 		}
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col}
+		ctx := &eval.Ctx{
+			In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col,
+			NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: workers <= 1,
+		}
 		col.BeginStage()
 		var pend []eval.Fact
 		if workers > 1 {
@@ -214,7 +217,7 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 			return &Result{Out: cur, Stages: stages, Stats: col.Summary()}, err
 		}
 		col.BeginStage()
-		next, applied, conflict := stageNonInflationary(rules, cur, adom, policy, opt.ScanEnabled(), col)
+		next, applied, conflict := stageNonInflationary(rules, cur, adom, policy, opt, col)
 		if conflict != nil {
 			return nil, conflict
 		}
@@ -245,8 +248,11 @@ func EvalNonInflationary(p *ast.Program, in *tuple.Instance, u *value.Universe, 
 // changes (retractions + insertions) actually applied to it. It
 // returns ErrInconsistent (wrapped) when the policy is Inconsistent
 // and a conflict arises.
-func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.Value, policy ConflictPolicy, scan bool, col *stats.Collector) (*tuple.Instance, int, error) {
-	ctx := &eval.Ctx{In: cur, Adom: adom, DeltaLit: -1, Scan: scan, Stats: col}
+func stageNonInflationary(rules []*eval.Rule, cur *tuple.Instance, adom []value.Value, policy ConflictPolicy, opt *Options, col *stats.Collector) (*tuple.Instance, int, error) {
+	ctx := &eval.Ctx{
+		In: cur, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col,
+		NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+	}
 	pos := tuple.NewInstance()
 	neg := tuple.NewInstance()
 	for ri, cr := range rules {
@@ -385,14 +391,18 @@ func EvalInvent(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Opti
 		return vs
 	}
 
+	// The active domain grows as values are invented; the cache
+	// recomputes adom(P, K) only on stages that actually changed the
+	// instance (this engine only ever inserts).
+	adomc := eval.NewAdomCache(u, progConsts, true)
 	for {
 		if err := opt.Interrupted(stages); err != nil {
 			return &Result{Out: out, Stages: stages, Stats: col.Summary()}, err
 		}
-		// The active domain grows as values are invented; recompute
-		// per stage (adom(P, K) in the paper).
-		adom := eval.ActiveDomain(u, progConsts, out)
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col}
+		ctx := &eval.Ctx{
+			In: out, Adom: adomc.Domain(out), DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col,
+			NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+		}
 		col.BeginStage()
 		var pend []eval.Fact
 		for ri, cr := range rules {

@@ -123,7 +123,10 @@ func EvalInflationaryProv(p *ast.Program, in *tuple.Instance, u *value.Universe,
 		if err := opt.Interrupted(stages); err != nil {
 			return &Result{Out: out, Stages: stages, Stats: opt.Collector().Summary()}, prov, err
 		}
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled()}
+		ctx := &eval.Ctx{
+			In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(),
+			NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(),
+		}
 		var pend []pending
 		for ri, cr := range rules {
 			cr.Enumerate(ctx, func(b eval.Binding) bool {

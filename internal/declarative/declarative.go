@@ -88,7 +88,10 @@ func EvalNaive(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *Optio
 		}
 		rounds++
 		inserted := 0
-		ctx := &eval.Ctx{In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col}
+		ctx := &eval.Ctx{
+			In: out, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(), Stats: col,
+			NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+		}
 		col.BeginStage()
 		var pend []eval.Fact
 		for _, cr := range rules {
@@ -155,7 +158,10 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 
 	// Round 0: naive pass over every rule.
 	delta := tuple.NewInstance()
-	ctx := &eval.Ctx{In: out, NegIn: negIn, Adom: adom, DeltaLit: -1, Scan: scan, Stats: col}
+	ctx := &eval.Ctx{
+		In: out, NegIn: negIn, Adom: adom, DeltaLit: -1, Scan: scan, Stats: col,
+		NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+	}
 	col.BeginStage()
 	var pend []eval.Fact
 	for _, cr := range rules {
@@ -206,7 +212,10 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 		next := tuple.NewInstance()
 		pend = pend[:0]
 		for _, v := range variants {
-			ctx := &eval.Ctx{In: out, NegIn: negIn, Adom: adom, Delta: delta, DeltaLit: v.lit, Scan: scan, Stats: col}
+			ctx := &eval.Ctx{
+				In: out, NegIn: negIn, Adom: adom, Delta: delta, DeltaLit: v.lit, Scan: scan, Stats: col,
+				NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+			}
 			v.rule.Enumerate(ctx, func(b eval.Binding) bool {
 				facts := v.rule.HeadFacts(b, nil)
 				emit(facts)

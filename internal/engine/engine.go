@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 
+	"unchained/internal/eval"
 	"unchained/internal/stats"
 	"unchained/internal/trace"
 	"unchained/internal/tuple"
@@ -114,6 +115,18 @@ type Options struct {
 	// Scan disables hash-index probes (full-scan matching); used by
 	// the index-ablation benchmark.
 	Scan bool
+
+	// LiteralOrder disables the cardinality-driven query planner:
+	// rule bodies are joined in the seed's literal-order greedy
+	// schedule. Kept for oracle comparisons and ablation; the planner
+	// is on by default.
+	LiteralOrder bool
+
+	// Plans, if non-nil, shares planner-chosen join schedules across
+	// evaluations (the daemon hangs one cache off each cached
+	// program, so repeated requests skip re-planning). Safe for
+	// concurrent use; nil gives each compiled rule a private memo.
+	Plans *eval.PlanCache
 
 	// Workers evaluates the rules of each stage across that many
 	// goroutines (inflationary engine only). Stage semantics fire all
@@ -246,6 +259,18 @@ func IsInterrupt(err error) bool {
 
 // ScanEnabled reports the index-ablation switch.
 func (o *Options) ScanEnabled() bool { return o != nil && o.Scan }
+
+// PlanDisabled reports whether the cardinality planner is switched
+// off (LiteralOrder).
+func (o *Options) PlanDisabled() bool { return o != nil && o.LiteralOrder }
+
+// PlanCache returns the shared plan cache, or nil.
+func (o *Options) PlanCache() *eval.PlanCache {
+	if o == nil {
+		return nil
+	}
+	return o.Plans
+}
 
 // Collector returns the stats collector engines should record into:
 // the configured Stats, wired to the Tracer when one is set, or a

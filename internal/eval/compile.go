@@ -86,7 +86,10 @@ type HeadAtom struct {
 	Slots  []slot
 }
 
-// Rule is a compiled rule ready for enumeration.
+// Rule is a compiled rule ready for enumeration. The baseline steps
+// follow the seed's literal-order greedy schedule; the planner
+// (plan.go) may substitute a cardinality-ordered alternative per
+// evaluation context, sharing the same variable ids.
 type Rule struct {
 	Src      ast.Rule
 	Vars     []string // variable names; index is the variable id
@@ -96,6 +99,10 @@ type Rule struct {
 	headOnly []int // ids of head-only (invented-value) variables
 	nBody    int   // number of body literals (for delta variants)
 	posBody  []int // body indexes of positive atom literals
+
+	deltaLit int    // pinned-first delta literal, or -1
+	planKey  string // structural body identity for shared plan caching
+	plan     planState
 }
 
 // NumVars reports how many distinct variables the rule has.
@@ -123,8 +130,17 @@ func Compile(r ast.Rule) (*Rule, error) { return compile(r, -1) }
 // scanning another relation — the classic "delta rule" plan.
 func CompileDelta(r ast.Rule, deltaLit int) (*Rule, error) { return compile(r, deltaLit) }
 
-func compile(r ast.Rule, firstLit int) (*Rule, error) {
-	cr := &Rule{Src: r, varIDs: map[string]int{}, nBody: len(r.Body)}
+func compile(r ast.Rule, firstLit int) (*Rule, error) { return compileCost(r, firstLit, nil) }
+
+// sizeFn reports the cardinality of the relation a positive body
+// literal matches against (In ∪ Aux, or Delta for the pinned delta
+// literal). A nil sizeFn selects the seed's literal-order greedy
+// schedule; a non-nil one turns the scheduler into the cost-based
+// planner (see plan.go).
+type sizeFn func(litIndex int, pred string) int
+
+func compileCost(r ast.Rule, firstLit int, size sizeFn) (*Rule, error) {
+	cr := &Rule{Src: r, varIDs: map[string]int{}, nBody: len(r.Body), deltaLit: firstLit}
 	id := func(name string) int {
 		if i, ok := cr.varIDs[name]; ok {
 			return i
@@ -142,6 +158,10 @@ func compile(r ast.Rule, firstLit int) (*Rule, error) {
 	}
 
 	// Pre-intern body variables so ids follow first occurrence order.
+	// Quantified ∀-variables are interned here too (not at schedule
+	// time): ids then depend only on the rule text, never on the
+	// schedule, so a replanned step sequence shares the baseline's
+	// Binding layout.
 	type pending struct {
 		lit   ast.Literal
 		index int
@@ -151,6 +171,11 @@ func compile(r ast.Rule, firstLit int) (*Rule, error) {
 		todo = append(todo, pending{l, i})
 		for _, v := range bodyLitVars(l) {
 			id(v)
+		}
+		if l.Kind == ast.LitForall {
+			for _, v := range l.ForallVars {
+				id(v)
+			}
 		}
 	}
 
@@ -244,58 +269,9 @@ func compile(r ast.Rule, firstLit int) (*Rule, error) {
 		return st, nil
 	}
 
-	// Greedy scheduling loop.
-	for len(todo) > 0 {
-		progressed := false
-
-		// 0. A designated delta literal is scheduled first so the
-		// enumeration starts from the (small) delta relation.
-		if firstLit >= 0 {
-			for i, p := range todo {
-				if p.index == firstLit && p.lit.Kind == ast.LitAtom && !p.lit.Neg {
-					st := compileAtomStep(stepMatch, p.lit.Atom, p.index)
-					cr.steps = append(cr.steps, st)
-					cr.posBody = append(cr.posBody, p.index)
-					todo = append(todo[:i], todo[i+1:]...)
-					break
-				}
-			}
-			firstLit = -1
-			continue
-		}
-
-		// 1. Positive atoms are always schedulable; pick the one with
-		// the most bound argument positions (ties: first).
-		bestIdx, bestScore := -1, -1
-		for i, p := range todo {
-			if p.lit.Kind != ast.LitAtom || p.lit.Neg {
-				continue
-			}
-			score := 0
-			for _, t := range p.lit.Atom.Args {
-				if !t.IsVar() {
-					score++
-				} else if j, ok := cr.varIDs[t.Var]; ok {
-					ensure(j)
-					if bound[j] {
-						score++
-					}
-				}
-			}
-			if score > bestScore {
-				bestScore, bestIdx = score, i
-			}
-		}
-		if bestIdx >= 0 {
-			p := todo[bestIdx]
-			st := compileAtomStep(stepMatch, p.lit.Atom, p.index)
-			cr.steps = append(cr.steps, st)
-			cr.posBody = append(cr.posBody, p.index)
-			todo = append(todo[:bestIdx], todo[bestIdx+1:]...)
-			continue
-		}
-
-		// 2. Equalities with at least one side bound.
+	// tryEq schedules one equality with at least one side bound,
+	// reporting whether it progressed.
+	tryEq := func() bool {
 		for i, p := range todo {
 			if p.lit.Kind != ast.LitEq {
 				continue
@@ -317,14 +293,13 @@ func compile(r ast.Rule, firstLit int) (*Rule, error) {
 				continue
 			}
 			todo = append(todo[:i], todo[i+1:]...)
-			progressed = true
-			break
+			return true
 		}
-		if progressed {
-			continue
-		}
+		return false
+	}
 
-		// 3. Negative atoms with all variables bound.
+	// tryNeg schedules one negative atom with all variables bound.
+	tryNeg := func() bool {
 		for i, p := range todo {
 			if p.lit.Kind != ast.LitAtom || !p.lit.Neg {
 				continue
@@ -342,10 +317,96 @@ func compile(r ast.Rule, firstLit int) (*Rule, error) {
 			st := compileAtomStep(stepNegCheck, p.lit.Atom, p.index)
 			cr.steps = append(cr.steps, st)
 			todo = append(todo[:i], todo[i+1:]...)
-			progressed = true
-			break
+			return true
 		}
-		if progressed {
+		return false
+	}
+
+	// boundCount counts the argument positions of an atom that are
+	// bound (constants or already-bound variables) right now.
+	boundCount := func(a ast.Atom) int {
+		n := 0
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				n++
+			} else if j, ok := cr.varIDs[t.Var]; ok {
+				ensure(j)
+				if bound[j] {
+					n++
+				}
+			}
+		}
+		return n
+	}
+
+	// Greedy scheduling loop.
+	for len(todo) > 0 {
+		progressed := false
+
+		// 0. A designated delta literal is scheduled first so the
+		// enumeration starts from the (small) delta relation.
+		if firstLit >= 0 {
+			for i, p := range todo {
+				if p.index == firstLit && p.lit.Kind == ast.LitAtom && !p.lit.Neg {
+					st := compileAtomStep(stepMatch, p.lit.Atom, p.index)
+					cr.steps = append(cr.steps, st)
+					cr.posBody = append(cr.posBody, p.index)
+					todo = append(todo[:i], todo[i+1:]...)
+					break
+				}
+			}
+			firstLit = -1
+			continue
+		}
+
+		// 0b. Predicate pushdown (planner only): drain every equality
+		// and negative check the current bindings already satisfy
+		// before paying for the next join, so failing valuations are
+		// pruned at the cheapest possible point. The seed schedule
+		// runs these only after all joins (kept as the baseline the
+		// oracle tests compare against).
+		if size != nil && (tryEq() || tryNeg()) {
+			continue
+		}
+
+		// 1. Positive atoms are always schedulable. The seed picks the
+		// one with the most bound argument positions (ties: first); the
+		// planner picks the smallest estimated probe output
+		// |R| / 10^bound (ties: more bound positions, then first).
+		bestIdx, bestScore := -1, -1
+		var bestEst, bestBound = 0, -1
+		for i, p := range todo {
+			if p.lit.Kind != ast.LitAtom || p.lit.Neg {
+				continue
+			}
+			bc := boundCount(p.lit.Atom)
+			if size == nil {
+				if bc > bestScore {
+					bestScore, bestIdx = bc, i
+				}
+				continue
+			}
+			est := estCard(size(p.index, p.lit.Atom.Pred), bc)
+			if bestIdx < 0 || est < bestEst || (est == bestEst && bc > bestBound) {
+				bestIdx, bestEst, bestBound = i, est, bc
+			}
+		}
+		if bestIdx >= 0 {
+			p := todo[bestIdx]
+			st := compileAtomStep(stepMatch, p.lit.Atom, p.index)
+			cr.steps = append(cr.steps, st)
+			cr.posBody = append(cr.posBody, p.index)
+			todo = append(todo[:bestIdx], todo[bestIdx+1:]...)
+			continue
+		}
+
+		// 2. Equalities with at least one side bound.
+		if tryEq() {
+			continue
+		}
+
+		// 3. Negative atoms with all variables bound.
+		if tryNeg() {
 			continue
 		}
 
@@ -428,6 +489,7 @@ func compile(r ast.Rule, firstLit int) (*Rule, error) {
 			cr.headOnly = append(cr.headOnly, i)
 		}
 	}
+	cr.planKey = bodyKey(r, cr.deltaLit)
 	return cr, nil
 }
 

@@ -27,7 +27,9 @@ type Ctx struct {
 	// literals match In ∪ Aux. The incremental-maintenance engine
 	// uses it to evaluate against the pre-deletion state (current
 	// state ∪ deleted facts) without cloning. Tuples present in both
-	// are visited twice; callers must tolerate duplicates.
+	// are visited exactly once (the overlay skips candidates already
+	// in In), so firing counts and provenance match a materialized
+	// union.
 	Aux *tuple.Instance
 	// Delta, if non-nil, replaces In for the positive body literal
 	// with index DeltaLit (semi-naive evaluation).
@@ -39,6 +41,19 @@ type Ctx struct {
 	// Stats, if non-nil, receives an index-probe/full-scan count for
 	// every relation match. A nil collector costs one branch.
 	Stats *stats.Collector
+
+	// NoPlan disables the cardinality planner: rules enumerate with
+	// their baseline literal-order schedule (the seed behavior, kept
+	// for oracle comparisons and ablation).
+	NoPlan bool
+	// Plans, if non-nil, shares planner schedules across rule
+	// compilations (see PlanCache); nil uses a per-rule memo.
+	Plans *PlanCache
+	// PlanTrace allows Enumerate to emit the chosen plan as a trace
+	// span through Stats. Engines set it only on single-goroutine
+	// evaluation paths (the collector's tracing state is not safe for
+	// concurrent emission from stage workers).
+	PlanTrace bool
 }
 
 // Binding is a valuation of a compiled rule's variables, indexed by
@@ -51,15 +66,62 @@ type Binding []value.Value
 // false stops the enumeration early. Head-only (invented) variables
 // are left as value.None in the binding.
 func (r *Rule) Enumerate(ctx *Ctx, emit func(Binding) bool) {
+	steps, planned := r.planFor(ctx)
+	var tr *planTrace
+	if planned && ctx.PlanTrace && ctx.Stats.Tracing() {
+		tr = &planTrace{counts: make([]int64, len(steps))}
+	}
 	b := make(Binding, len(r.Vars))
-	r.run(ctx, 0, b, emit)
+	r.run(ctx, steps, 0, b, emit, tr)
+	if tr != nil {
+		key, desc := r.planDesc(ctx, steps, tr.counts)
+		r.plan.mu.Lock()
+		seen := r.plan.emitted == key
+		r.plan.emitted = key
+		r.plan.mu.Unlock()
+		if !seen {
+			ctx.Stats.PlanSpan(r.label(), desc)
+		}
+	}
 }
 
-func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
-	if si == len(r.steps) {
+// drainMatch pulls the iterator dry, binding and recursing per candidate.
+// skip, if non-nil, suppresses candidates it contains — the Aux
+// overlay pass uses the In relation here so tuples present in both
+// sources are visited exactly once. Returns false on early exit.
+func (r *Rule) drainMatch(ctx *Ctx, steps []step, st *step, it *tuple.Iterator, si int, b Binding, emit func(Binding) bool, skip *tuple.Relation, tr *planTrace) bool {
+	for {
+		t, more := it.Next()
+		if !more {
+			return true
+		}
+		if skip != nil && skip.Contains(t) {
+			continue
+		}
+		if tr != nil {
+			tr.counts[si]++
+		}
+		ok := true
+		for _, ab := range st.binds {
+			b[ab.varID] = t[ab.pos]
+		}
+		for _, ac := range st.checks {
+			if t[ac.pos] != b[ac.varID] {
+				ok = false
+				break
+			}
+		}
+		if ok && !r.run(ctx, steps, si+1, b, emit, tr) {
+			return false
+		}
+	}
+}
+
+func (r *Rule) run(ctx *Ctx, steps []step, si int, b Binding, emit func(Binding) bool, tr *planTrace) bool {
+	if si == len(steps) {
 		return emit(b)
 	}
-	st := &r.steps[si]
+	st := &steps[si]
 	switch st.kind {
 	case stepMatch:
 		src := ctx.In
@@ -67,7 +129,16 @@ func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
 			src = ctx.Delta
 		}
 		rel := relOf(src, st.pred)
-		if rel == nil || rel.Arity() != st.arity {
+		if rel != nil && rel.Arity() != st.arity {
+			rel = nil
+		}
+		var aux *tuple.Relation
+		if ctx.Aux != nil && src != ctx.Delta {
+			if a := relOf(ctx.Aux, st.pred); a != nil && a.Arity() == st.arity {
+				aux = a
+			}
+		}
+		if rel == nil && aux == nil {
 			return true // empty relation: no matches, keep going elsewhere
 		}
 		// Build the probe pattern for the bound positions.
@@ -85,46 +156,30 @@ func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
 				}
 			}
 		}
-		var cands []tuple.Tuple
-		if ctx.Scan {
-			ctx.Stats.Probe(true)
-			cands = rel.ProbeScan(st.mask, pattern)
-		} else {
-			ctx.Stats.Probe(false)
-			cands = rel.Probe(st.mask, pattern)
+		var it tuple.Iterator
+		done := true
+		if rel != nil {
+			ctx.Stats.Probe(ctx.Scan)
+			if ctx.Scan {
+				rel.ScanIter(st.mask, pattern, &it)
+			} else {
+				rel.ProbeIter(st.mask, pattern, &it)
+			}
+			done = r.drainMatch(ctx, steps, st, &it, si, b, emit, nil, tr)
 		}
-		if ctx.Aux != nil && src != ctx.Delta {
-			if aux := relOf(ctx.Aux, st.pred); aux != nil && aux.Arity() == st.arity {
-				ctx.Stats.Probe(ctx.Scan)
-				if ctx.Scan {
-					cands = append(append([]tuple.Tuple(nil), cands...), aux.ProbeScan(st.mask, pattern)...)
-				} else {
-					cands = append(append([]tuple.Tuple(nil), cands...), aux.Probe(st.mask, pattern)...)
-				}
+		if done && aux != nil {
+			ctx.Stats.Probe(ctx.Scan)
+			if ctx.Scan {
+				aux.ScanIter(st.mask, pattern, &it)
+			} else {
+				aux.ProbeIter(st.mask, pattern, &it)
 			}
-		}
-		for _, t := range cands {
-			ok := true
-			for _, ab := range st.binds {
-				b[ab.varID] = t[ab.pos]
-			}
-			for _, ac := range st.checks {
-				if t[ac.pos] != b[ac.varID] {
-					ok = false
-					break
-				}
-			}
-			if ok && !r.run(ctx, si+1, b, emit) {
-				for _, ab := range st.binds {
-					b[ab.varID] = value.None
-				}
-				return false
-			}
+			done = r.drainMatch(ctx, steps, st, &it, si, b, emit, rel, tr)
 		}
 		for _, ab := range st.binds {
 			b[ab.varID] = value.None
 		}
-		return true
+		return done
 
 	case stepNegCheck:
 		t := make(tuple.Tuple, st.arity)
@@ -143,7 +198,7 @@ func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
 		if rel != nil && rel.Contains(t) {
 			return true // literal false under this valuation
 		}
-		return r.run(ctx, si+1, b, emit)
+		return r.run(ctx, steps, si+1, b, emit, tr)
 
 	case stepEqAssign:
 		// left is the unbound variable side by construction.
@@ -154,7 +209,7 @@ func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
 			v = st.right.val
 		}
 		b[st.left.varID] = v
-		ok := r.run(ctx, si+1, b, emit)
+		ok := r.run(ctx, steps, si+1, b, emit, tr)
 		b[st.left.varID] = value.None
 		return ok
 
@@ -163,12 +218,12 @@ func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
 		if (l == rr) == st.negEq {
 			return true
 		}
-		return r.run(ctx, si+1, b, emit)
+		return r.run(ctx, steps, si+1, b, emit, tr)
 
 	case stepEnum:
 		for _, v := range ctx.Adom {
 			b[st.enumVar] = v
-			if !r.run(ctx, si+1, b, emit) {
+			if !r.run(ctx, steps, si+1, b, emit, tr) {
 				b[st.enumVar] = value.None
 				return false
 			}
@@ -178,7 +233,7 @@ func (r *Rule) run(ctx *Ctx, si int, b Binding, emit func(Binding) bool) bool {
 
 	case stepForall:
 		if r.forallHolds(ctx, st, 0, b) {
-			return r.run(ctx, si+1, b, emit)
+			return r.run(ctx, steps, si+1, b, emit, tr)
 		}
 		return true
 	}
@@ -274,34 +329,51 @@ func (r *Rule) HeadFacts(b Binding, invent func(varID int) value.Value) []Fact {
 }
 
 // WarmIndexes pre-builds every hash index the rules' match steps will
-// probe against the context's instances. Indexes are otherwise built
-// lazily on first probe, which mutates the shared relation — unsafe
-// when several goroutines evaluate rules of the same stage
-// concurrently. Warming makes subsequent Enumerate calls read-only
-// on the instance. No-op in Scan mode.
+// probe against the context's instances — In, Delta, the Aux overlay,
+// and the NegIn reduct alike, including the mask-0 full-relation
+// index. Indexes are otherwise built lazily on first probe, which
+// mutates the shared relation — unsafe when several goroutines
+// evaluate rules of the same stage concurrently. Warming makes
+// subsequent Enumerate calls read-only on the instance. It also
+// resolves each rule's plan for the context on the calling (engine)
+// goroutine, so stage workers reuse the memoized schedule. No-op in
+// Scan mode (ScanIter builds no indexes).
 func WarmIndexes(rules []*Rule, ctx *Ctx) {
 	if ctx.Scan {
 		return
 	}
 	warm := func(in *tuple.Instance, pred string, mask uint32, arity int) {
-		if in == nil || mask == 0 {
+		if in == nil {
 			return
 		}
 		rel := in.Relation(pred)
 		if rel == nil || rel.Arity() != arity {
 			return
 		}
-		rel.Probe(mask, make(tuple.Tuple, arity))
+		rel.BuildIndex(mask)
 	}
 	for _, r := range rules {
-		for i := range r.steps {
-			st := &r.steps[i]
-			if st.kind != stepMatch {
-				continue
-			}
-			warm(ctx.In, st.pred, st.mask, st.arity)
-			if ctx.Delta != nil && st.litIndex == ctx.DeltaLit {
-				warm(ctx.Delta, st.pred, st.mask, st.arity)
+		steps, _ := r.planFor(ctx)
+		for i := range steps {
+			st := &steps[i]
+			switch st.kind {
+			case stepMatch:
+				if ctx.Delta != nil && st.litIndex == ctx.DeltaLit {
+					warm(ctx.Delta, st.pred, st.mask, st.arity)
+					continue
+				}
+				warm(ctx.In, st.pred, st.mask, st.arity)
+				warm(ctx.Aux, st.pred, st.mask, st.arity)
+			case stepNegCheck:
+				// Negative literals are fully bound (Contains, no
+				// index today), but warm their source anyway so a
+				// future partial-mask check cannot reintroduce a
+				// lazy build under workers.
+				src := ctx.In
+				if ctx.NegIn != nil {
+					src = ctx.NegIn
+				}
+				warm(src, st.pred, st.mask, st.arity)
 			}
 		}
 	}

@@ -36,6 +36,11 @@ type View struct {
 	state    *tuple.Instance // EDB ∪ derived IDB
 	adom     []value.Value
 	scan     bool
+	// noPlan/plans mirror the Materialize options so every propagation
+	// round joins with the same planner configuration as the initial
+	// materialization.
+	noPlan bool
+	plans  *eval.PlanCache
 	// ctx, inherited from the Materialize options, bounds every
 	// subsequent propagation; maintenance calls return the typed
 	// engine error when it is done. nil means no bound.
@@ -62,13 +67,15 @@ func Materialize(p *ast.Program, in *tuple.Instance, u *value.Universe, opt *dec
 		return nil, err
 	}
 	v := &View{
-		prog:  p,
-		rules: rules,
-		u:     u,
-		idb:   map[string]bool{},
-		edb:   map[string]bool{},
-		state: res.Out,
-		scan:  opt != nil && opt.Scan,
+		prog:   p,
+		rules:  rules,
+		u:      u,
+		idb:    map[string]bool{},
+		edb:    map[string]bool{},
+		state:  res.Out,
+		scan:   opt != nil && opt.Scan,
+		noPlan: opt.PlanDisabled(),
+		plans:  opt.PlanCache(),
 	}
 	if opt != nil {
 		// Collector() rather than the bare Stats field: when only a
@@ -204,7 +211,10 @@ func (v *View) propagate(delta *tuple.Instance) error {
 				if delta.Relation(dv.pred) == nil || delta.Relation(dv.pred).Len() == 0 {
 					continue
 				}
-				ctx := &eval.Ctx{In: v.state, Adom: v.adom, Delta: delta, DeltaLit: dv.lit, Scan: v.scan, Stats: v.Stats}
+				ctx := &eval.Ctx{
+					In: v.state, Adom: v.adom, Delta: delta, DeltaLit: dv.lit, Scan: v.scan, Stats: v.Stats,
+					NoPlan: v.noPlan, Plans: v.plans, PlanTrace: true,
+				}
 				dv.rule.Enumerate(ctx, func(b eval.Binding) bool {
 					derived, reder := 0, 0
 					for _, f := range dv.rule.HeadFacts(b, nil) {
@@ -268,7 +278,10 @@ func (v *View) Delete(pred string, t tuple.Tuple) (bool, error) {
 				if round.Relation(dv.pred) == nil || round.Relation(dv.pred).Len() == 0 {
 					continue
 				}
-				ctx := &eval.Ctx{In: v.state, Aux: deleted, Adom: v.adom, Delta: round, DeltaLit: dv.lit, Scan: v.scan, Stats: v.Stats}
+				ctx := &eval.Ctx{
+					In: v.state, Aux: deleted, Adom: v.adom, Delta: round, DeltaLit: dv.lit, Scan: v.scan, Stats: v.Stats,
+					NoPlan: v.noPlan, Plans: v.plans, PlanTrace: true,
+				}
 				dv.rule.Enumerate(ctx, func(b eval.Binding) bool {
 					removed := 0
 					for _, f := range dv.rule.HeadFacts(b, nil) {
@@ -363,7 +376,9 @@ func (v *View) derivable(f eval.Fact) bool {
 		if err != nil {
 			continue // cannot happen for valid positive rules
 		}
-		ctx := &eval.Ctx{In: v.state, Adom: v.adom, DeltaLit: -1, Scan: v.scan, Stats: v.Stats}
+		// One-shot substituted probe rules: planning them would cost
+		// more than the single enumeration saves.
+		ctx := &eval.Ctx{In: v.state, Adom: v.adom, DeltaLit: -1, Scan: v.scan, Stats: v.Stats, NoPlan: true}
 		found := false
 		pc.Enumerate(ctx, func(eval.Binding) bool {
 			found = true

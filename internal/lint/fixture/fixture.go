@@ -26,3 +26,16 @@ func badStageLoop(c col) {
 func badTupleWrite(t tuple.Tuple) {
 	t[0] = 0
 }
+
+type cursor struct{}
+
+func (cursor) Next() (int, bool) { return 0, false }
+
+// badDrainLoop pulls an iterator forever: no break, no return.
+func badDrainLoop(it cursor) {
+	n := 0
+	for {
+		v, _ := it.Next()
+		n += v
+	}
+}

@@ -70,6 +70,8 @@ var enginePackages = []string{
 	"internal/incr",
 	"internal/magic",
 	"internal/active",
+	// eval hosts the iterator drain loops stageloop also checks.
+	"internal/eval",
 }
 
 func isEnginePackage(path string) bool {
@@ -115,8 +117,69 @@ func containsCall(n ast.Node, name string) bool {
 	return found
 }
 
+// drainLoopExits reports whether a condition-less for-loop body can
+// leave the loop: a break binding to this loop (not swallowed by a
+// nested loop, switch, or select — labeled breaks are trusted), or a
+// return/goto anywhere in the body.
+func drainLoopExits(body *ast.BlockStmt) bool {
+	exits := false
+	var walk func(root ast.Node, nested bool)
+	walk = func(root ast.Node, nested bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if exits || n == nil {
+				return false
+			}
+			switch st := n.(type) {
+			case *ast.BranchStmt:
+				switch st.Tok {
+				case token.BREAK:
+					if !nested || st.Label != nil {
+						exits = true
+					}
+				case token.GOTO:
+					exits = true
+				}
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if n != root { // breaks inside bind to the inner statement
+					walk(n, true)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return exits
+}
+
+// checkDrainLoops flags condition-less for-loops that pull an
+// iterator (a .Next() call) but provide no way out: the streaming
+// executor's drain loops end by checking Next's ok result, so a drain
+// loop with no break/return spins forever once written.
+func checkDrainLoops(f *ast.File) []Diag {
+	var diags []Diag
+	ast.Inspect(f, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		if !containsCall(loop.Body, "Next") || drainLoopExits(loop.Body) {
+			return true
+		}
+		diags = append(diags, Diag{
+			Pos:     loop.Pos(),
+			Message: "iterator drain loop has no break or return: Next() is pulled forever once the cursor is exhausted",
+		})
+		return true
+	})
+	return diags
+}
+
 // Stageloop flags BeginStage calls whose nearest enclosing for-loop
-// never calls Interrupted: a stage loop no context deadline can stop.
+// never calls Interrupted (a stage loop no context deadline can
+// stop), and iterator drain loops with no exit path.
 func Stageloop(p *Pass) []Diag {
 	if !p.AllPackages && !isEnginePackage(p.path()) {
 		return nil
@@ -126,6 +189,7 @@ func Stageloop(p *Pass) []Diag {
 		if isTestFile(p.Fset, f) {
 			continue
 		}
+		diags = append(diags, checkDrainLoops(f)...)
 		var stack []ast.Node
 		ast.Inspect(f, func(n ast.Node) bool {
 			if n == nil {

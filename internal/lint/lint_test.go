@@ -237,3 +237,101 @@ func TestEngineSuffixes(t *testing.T) {
 		t.Error("ast must not be an engine package")
 	}
 }
+
+const drainLoopBad = `package eval
+func drain(it Cursor) int {
+	n := 0
+	for {
+		v, _ := it.Next()
+		n += v
+	}
+}
+type Cursor interface{ Next() (int, bool) }
+`
+
+const drainLoopGood = `package eval
+func drain(it Cursor) int {
+	n := 0
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		n += v
+	}
+	return n
+}
+type Cursor interface{ Next() (int, bool) }
+`
+
+func TestStageloopFlagsExitlessDrainLoop(t *testing.T) {
+	ds := Stageloop(parseOnly(t, "x/internal/eval", drainLoopBad))
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "drain loop") {
+		t.Fatalf("diags: %v", messages(ds))
+	}
+}
+
+func TestStageloopAcceptsDrainLoopWithBreak(t *testing.T) {
+	if ds := Stageloop(parseOnly(t, "x/internal/eval", drainLoopGood)); len(ds) != 0 {
+		t.Fatalf("false positive: %v", messages(ds))
+	}
+}
+
+func TestStageloopDrainLoopReturnEscapes(t *testing.T) {
+	p := parseOnly(t, "x/internal/eval", `package eval
+func drain(it Cursor) int {
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return v
+		}
+	}
+}
+type Cursor interface{ Next() (int, bool) }
+`)
+	if ds := Stageloop(p); len(ds) != 0 {
+		t.Fatalf("return should count as an exit: %v", messages(ds))
+	}
+}
+
+func TestStageloopDrainLoopNestedBreakDoesNotCount(t *testing.T) {
+	// The only break binds to the inner switch, so the outer for {}
+	// still never terminates.
+	p := parseOnly(t, "x/internal/eval", `package eval
+func drain(it Cursor) int {
+	n := 0
+	for {
+		v, _ := it.Next()
+		switch v {
+		case 0:
+			break
+		default:
+			n += v
+		}
+	}
+}
+type Cursor interface{ Next() (int, bool) }
+`)
+	if ds := Stageloop(p); len(ds) != 1 {
+		t.Fatalf("switch-bound break must not satisfy the drain check: %v", messages(ds))
+	}
+}
+
+func TestStageloopConditionedLoopNotADrainLoop(t *testing.T) {
+	// for-loops with a condition terminate on their own terms; only
+	// bare for {} loops are held to the break/return rule.
+	p := parseOnly(t, "x/internal/eval", `package eval
+func drain(it Cursor) int {
+	n := 0
+	for i := 0; i < 10; i++ {
+		v, _ := it.Next()
+		n += v
+	}
+	return n
+}
+type Cursor interface{ Next() (int, bool) }
+`)
+	if ds := Stageloop(p); len(ds) != 0 {
+		t.Fatalf("conditioned loop flagged: %v", messages(ds))
+	}
+}

@@ -160,13 +160,16 @@ func changes(cur *tuple.Instance, facts []eval.Fact) (changing, consistent bool)
 }
 
 // bottomApplicable reports whether any ⊥-rule instantiation is
-// applicable in cur.
-func (p *program) bottomApplicable(cur *tuple.Instance, u *value.Universe, scan bool) bool {
+// applicable in cur. The caller supplies the active domain (shared
+// with the successors call on the same state via an eval.AdomCache).
+func (p *program) bottomApplicable(cur *tuple.Instance, adom []value.Value, opt *Options) bool {
 	if len(p.bottoms) == 0 {
 		return false
 	}
-	adom := eval.ActiveDomain(u, p.consts, cur)
-	ctx := &eval.Ctx{In: cur, Adom: adom, DeltaLit: -1, Scan: scan}
+	ctx := &eval.Ctx{
+		In: cur, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(),
+		NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+	}
 	for _, cr := range p.bottoms {
 		hit := false
 		cr.Enumerate(ctx, func(eval.Binding) bool {
@@ -183,9 +186,11 @@ func (p *program) bottomApplicable(cur *tuple.Instance, u *value.Universe, scan 
 // successors enumerates the state-changing candidates at cur in a
 // canonical (sorted) order, so that a seeded random choice over them
 // is reproducible even though relation iteration order is not.
-func (p *program) successors(cur *tuple.Instance, u *value.Universe, scan bool) []candidate {
-	adom := eval.ActiveDomain(u, p.consts, cur)
-	ctx := &eval.Ctx{In: cur, Adom: adom, DeltaLit: -1, Scan: scan}
+func (p *program) successors(cur *tuple.Instance, adom []value.Value, u *value.Universe, opt *Options) []candidate {
+	ctx := &eval.Ctx{
+		In: cur, Adom: adom, DeltaLit: -1, Scan: opt.ScanEnabled(),
+		NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+	}
 	var all []candidate
 	for ri, cr := range p.rules {
 		inventing := len(cr.HeadOnlyVarIDs()) > 0
@@ -266,14 +271,21 @@ func Run(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Universe, s
 	cur := in.SnapshotWith(col.Cow())
 	limit := opt.StepLimit(1 << 20)
 	steps := 0
+	// One domain computation per state instead of one per Enumerate
+	// batch: bottomApplicable and successors see the same instance, so
+	// the second Domain call is a cache hit, and a step that only
+	// rearranges known values (delete + reinsert) skips the re-sort
+	// entirely.
+	adomc := eval.NewAdomCache(u, prog.consts, false)
 	for {
 		if err := opt.Interrupted(steps); err != nil {
 			return &Result{Out: cur, Steps: steps, Stats: col.Summary()}, err
 		}
-		if prog.bottomApplicable(cur, u, opt.ScanEnabled()) {
+		adom := adomc.Domain(cur)
+		if prog.bottomApplicable(cur, adom, opt) {
 			return &Result{Steps: steps, Aborted: true, Stats: col.Summary()}, nil
 		}
-		cands := prog.successors(cur, u, opt.ScanEnabled())
+		cands := prog.successors(cur, adom, u, opt)
 		if len(cands) == 0 {
 			return &Result{Out: cur, Steps: steps, Stats: col.Summary()}, nil
 		}
@@ -360,6 +372,7 @@ func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Univers
 	}
 
 	start := in.SnapshotWith(col.Cow())
+	adomc := eval.NewAdomCache(u, prog.consts, false)
 	queue := []*tuple.Instance{start}
 	remember(start)
 	explored := 0
@@ -378,10 +391,11 @@ func Effects(p *ast.Program, d ast.Dialect, in *tuple.Instance, u *value.Univers
 		if explored > limit {
 			return nil, fmt.Errorf("%w (%d states)", ErrStateLimit, explored)
 		}
-		if prog.bottomApplicable(cur, u, opt.ScanEnabled()) {
+		adom := adomc.Domain(cur)
+		if prog.bottomApplicable(cur, adom, opt) {
 			continue // abandoned computation: contributes nothing
 		}
-		cands := prog.successors(cur, u, opt.ScanEnabled())
+		cands := prog.successors(cur, adom, u, opt)
 		if len(cands) == 0 {
 			fp := cur.Fingerprint()
 			dup := false

@@ -20,6 +20,12 @@ type cacheEntry struct {
 	key  string
 	prog *unchained.Program
 	base *unchained.Session
+	// plans shares planner-chosen join schedules across every request
+	// that evaluates this program: the plan keys carry the EDB-size
+	// decade fingerprint, so a request whose fact set differs by an
+	// order of magnitude plans afresh while same-shape requests reuse
+	// the cached schedule.
+	plans *unchained.PlanCache
 
 	repOnce sync.Once
 	rep     *unchained.AnalysisReport
@@ -41,6 +47,10 @@ type progCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	// evictedPlanHits/Misses accumulate the plan-cache counters of
+	// evicted entries, so /metrics totals survive LRU churn.
+	evictedPlanHits   uint64
+	evictedPlanMisses uint64
 }
 
 func newProgCache(capacity int) *progCache {
@@ -79,7 +89,7 @@ func (c *progCache) get(src string) (*cacheEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	entry := &cacheEntry{key: key, prog: prog, base: base}
+	entry := &cacheEntry{key: key, prog: prog, base: base, plans: unchained.NewPlanCache()}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -91,7 +101,11 @@ func (c *progCache) get(src string) (*cacheEntry, error) {
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		old := oldest.Value.(*cacheEntry)
+		delete(c.byKey, old.key)
+		ps := old.plans.Stats()
+		c.evictedPlanHits += ps.Hits
+		c.evictedPlanMisses += ps.Misses
 		c.evictions++
 	}
 	return entry, nil
@@ -102,4 +116,20 @@ func (c *progCache) stats() (hits, misses, evictions uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions, c.order.Len()
+}
+
+// planStats sums the plan-cache counters across resident entries plus
+// the accumulated counters of evicted ones, so the totals are
+// monotonic the way Prometheus counters must be.
+func (c *progCache) planStats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hits, misses = c.evictedPlanHits, c.evictedPlanMisses
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		ps := el.Value.(*cacheEntry).plans.Stats()
+		hits += ps.Hits
+		misses += ps.Misses
+		entries += ps.Entries
+	}
+	return hits, misses, entries
 }

@@ -81,6 +81,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(w, "unchained_parse_cache_hits_total", "Parse cache hits.", z.CacheHits)
 	writeCounter(w, "unchained_parse_cache_misses_total", "Parse cache misses.", z.CacheMisses)
 	writeCounter(w, "unchained_parse_cache_evictions_total", "Parse cache LRU evictions.", z.CacheEvictions)
+	writeCounter(w, "unchained_plan_cache_hits_total", "Join-plan cache hits across cached programs (evicted programs included).", z.PlanCacheHits)
+	writeCounter(w, "unchained_plan_cache_misses_total", "Join-plan cache misses (plans computed).", z.PlanCacheMisses)
 	writeCounter(w, "unchained_workers_clamped_total", "Requests whose workers field was clamped to the server maximum.", z.WorkersClamped)
 	writeCounter(w, "unchained_timeouts_clamped_total", "Requests whose timeout_ms was clamped to the server maximum.", z.TimeoutsClamped)
 	writeCounter(w, "unchained_cow_snapshots_total", "Copy-on-write instance snapshots taken by instrumented evaluations.", z.CowSnapshots)
@@ -89,6 +91,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	writeGauge(w, "unchained_in_flight", "Evaluations currently running.", z.InFlight)
 	writeGauge(w, "unchained_parse_cache_size", "Programs currently cached.", int64(z.CacheSize))
+	writeGauge(w, "unchained_plan_cache_size", "Join plans resident across cached programs.", int64(z.PlanCacheSize))
 
 	fmt.Fprintf(w, "# HELP unchained_evals_by_semantics_total Evaluation attempts by semantics (\"query\" = magic-sets).\n")
 	fmt.Fprintf(w, "# TYPE unchained_evals_by_semantics_total counter\n")

@@ -363,6 +363,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	opts := []unchained.Opt{
 		unchained.WithMaxStages(req.MaxStages),
 		unchained.WithWorkers(s.workerCount(req.Workers)),
+		unchained.WithPlanCache(entry.plans),
 	}
 	if req.Stats {
 		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
@@ -448,7 +449,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	var opts []unchained.Opt
+	opts := []unchained.Opt{unchained.WithPlanCache(entry.plans)}
 	if req.Stats {
 		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
 	}
@@ -573,12 +574,16 @@ type Statsz struct {
 	CacheMisses     uint64 `json:"cache_misses"`
 	CacheEvictions  uint64 `json:"cache_evictions"`
 	CacheSize       int    `json:"cache_size"`
+	PlanCacheHits   uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+	PlanCacheSize   int    `json:"plan_cache_size"`
 }
 
 // snapshot reads every service counter once; both /statsz and
 // /metrics serialize this one struct.
 func (s *Server) snapshot() Statsz {
 	hits, misses, evictions, size := s.cache.stats()
+	planHits, planMisses, planSize := s.cache.planStats()
 	return Statsz{
 		UptimeMS:        time.Since(s.start).Milliseconds(),
 		Requests:        s.requests.Load(),
@@ -600,6 +605,9 @@ func (s *Server) snapshot() Statsz {
 		CacheMisses:     misses,
 		CacheEvictions:  evictions,
 		CacheSize:       size,
+		PlanCacheHits:   planHits,
+		PlanCacheMisses: planMisses,
+		PlanCacheSize:   planSize,
 	}
 }
 

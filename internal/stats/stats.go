@@ -424,6 +424,24 @@ func (c *Collector) EndRule(rule int) {
 	})
 }
 
+// PlanSpan emits the query planner's chosen join order for one rule
+// as a pre-closed span (rule: the head predicate label, desc: the
+// join chain with estimated vs. actual cardinalities). Like the rest
+// of the tracing surface it must be called from the engine's
+// goroutine; eval gates emission on Ctx.PlanTrace, which engines set
+// only on serial paths.
+func (c *Collector) PlanSpan(rule, desc string) {
+	if c == nil || c.tracer == nil {
+		return
+	}
+	c.tracer.Emit(trace.Event{
+		Ev: trace.EvSpan, Span: trace.SpanPlan,
+		Stage: c.currentStage(),
+		Rule:  rule,
+		Name:  desc,
+	})
+}
+
 // BeginPhase opens a stratum-level span grouping the stages of one
 // stratum ("stratum") or one Γ application of the well-founded
 // alternating fixpoint ("gamma"). n is 1-based.

@@ -59,6 +59,8 @@ func Narrate(events []Event, w io.Writer) error {
 				p("%s  - %s", indent, d)
 			}
 			pending = pending[:0]
+		case ev.Ev == EvSpan && ev.Span == SpanPlan:
+			pending = append(pending, fmt.Sprintf("plan %s: %s", ev.Rule, ev.Name))
 		case ev.Ev == EvSpan && ev.Span == SpanRule:
 			d := fmt.Sprintf("rule fired %dx (%d derived", ev.Firings, ev.Derived)
 			if ev.Rederived > 0 {

@@ -61,6 +61,11 @@ const (
 	// carry the per-pass timings (Name: validate, depgraph, dialect,
 	// termination).
 	SpanAnalyze = "analyze"
+	// SpanPlan is a pre-closed span carrying the query planner's
+	// chosen join order for one rule (Rule: the head predicate, Name:
+	// the join chain with estimated vs. actual cardinalities). Emitted
+	// once per distinct plan, not per stage.
+	SpanPlan = "plan"
 )
 
 // Point kinds (the Kind field).

@@ -220,6 +220,15 @@ func maphash64(s string) uint64 {
 	return acc
 }
 
+// EachRel calls fn for every (name, relation) pair in unspecified
+// order, without the sort Names() pays; fn must not mutate the
+// instance.
+func (in *Instance) EachRel(fn func(name string, r *Relation)) {
+	for k, r := range in.rels {
+		fn(k, r)
+	}
+}
+
 // ActiveDomain appends every value occurring in the instance to dst
 // (with duplicates) and returns the extended slice. Callers dedupe.
 func (in *Instance) ActiveDomain(dst []value.Value) []value.Value {

@@ -1,0 +1,123 @@
+// Streaming probe iterators. Iterator is the pull-based counterpart
+// of Relation.Probe/ProbeScan: a probe positions a caller-owned cursor
+// over the matching tuples instead of materializing a fresh result
+// slice, so a per-step candidate allocation disappears from the rule
+// matcher's hot loop and an early exit (a satisfied existential, a
+// canceled enumeration) stops pulling immediately.
+//
+// An Iterator captures its source once, at reset time: the single
+// stored tuple for a fully-bound probe, an index bucket slice header
+// otherwise. Later inserts append to buckets (never disturbing the
+// captured header's fixed length) and deletes rebuild buckets into
+// fresh slices, so the cursor stays memory-safe — stale at worst —
+// under the same "engines may mutate between probes" contract the
+// slice-returning Probe always had.
+package tuple
+
+// Iterator is a cursor over the results of one relation probe. The
+// zero value is an exhausted iterator; ProbeIter/ScanIter reset it.
+// An Iterator is single-goroutine and may be reused across probes;
+// reuse recycles its internal key scratch buffer.
+type Iterator struct {
+	one     Tuple   // pending single result (fully-bound probe hit)
+	tuples  []Tuple // remaining candidates (bucket or snapshot)
+	i       int
+	filter  bool // scan mode: candidates still need the mask test
+	mask    uint32
+	pattern Tuple
+	key     []byte  // scratch for allocation-free index lookups
+	scratch []Tuple // scratch for allocation-free scan-mode matches
+}
+
+// Next returns the next matching tuple, or ok=false when the probe is
+// exhausted. The returned tuple is shared storage; callers must not
+// mutate it.
+func (it *Iterator) Next() (t Tuple, ok bool) {
+	if it.one != nil {
+		t, it.one = it.one, nil
+		return t, true
+	}
+	for it.i < len(it.tuples) {
+		t := it.tuples[it.i]
+		it.i++
+		if it.filter && !maskEq(t, it.mask, it.pattern) {
+			continue
+		}
+		return t, true
+	}
+	return nil, false
+}
+
+// maskEq reports whether t agrees with pattern on every masked column.
+func maskEq(t Tuple, mask uint32, pattern Tuple) bool {
+	for pos := range t {
+		if mask&(1<<uint(pos)) != 0 && t[pos] != pattern[pos] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendMaskKey appends the packed values of t at the masked columns
+// to dst (the []byte twin of maskKey, for map lookups that the
+// compiler can keep allocation-free via idx[string(dst)]).
+func appendMaskKey(dst []byte, t Tuple, mask uint32) []byte {
+	for i, v := range t {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
+// ProbeIter resets it to cursor over the tuples whose values at the
+// masked columns equal the corresponding entries of pattern (the
+// iterator form of Probe). A zero mask yields every tuple via the
+// cached mask-0 index — unlike Tuples(), repeated full probes of an
+// unchanged relation allocate nothing; a fully-bound mask is a direct
+// hash hit; anything else is an index-bucket cursor.
+func (r *Relation) ProbeIter(mask uint32, pattern Tuple, it *Iterator) {
+	it.one, it.tuples, it.i, it.filter = nil, nil, 0, false
+	if mask == 0 {
+		it.tuples = r.index(0)[""]
+		return
+	}
+	it.key = appendMaskKey(it.key[:0], pattern, mask)
+	if r.arity <= 32 && mask == uint32(1)<<uint(r.arity)-1 {
+		if stored, ok := r.data.tuples[string(it.key)]; ok {
+			it.one = stored
+		}
+		return
+	}
+	it.tuples = r.index(mask)[string(it.key)]
+}
+
+// ScanIter is the index-free variant of ProbeIter used by the
+// ablation benchmarks: it filters the tuple map into the iterator's
+// recycled scratch buffer (no per-probe allocation once warm, like
+// the slice-returning ProbeScan), building no indexes — so
+// warmed-instance parallel stages stay read-only in scan mode too.
+// A reset invalidates the previous probe's cursor, so reusing the
+// scratch across probes is safe under the single-goroutine contract.
+func (r *Relation) ScanIter(mask uint32, pattern Tuple, it *Iterator) {
+	it.one, it.i, it.filter = nil, 0, false
+	it.scratch = it.scratch[:0]
+	for _, t := range r.data.tuples {
+		if mask == 0 || maskEq(t, mask, pattern) {
+			it.scratch = append(it.scratch, t)
+		}
+	}
+	it.tuples = it.scratch
+}
+
+// BuildIndex materializes the hash index for the given column mask so
+// that later probes of it are read-only on the relation (see
+// eval.WarmIndexes). A fully-bound mask needs no index (probes hit
+// the tuple map directly) and is a no-op.
+func (r *Relation) BuildIndex(mask uint32) {
+	if mask != 0 && r.arity <= 32 && mask == uint32(1)<<uint(r.arity)-1 {
+		return
+	}
+	r.index(mask)
+}

@@ -142,9 +142,16 @@ func (r *Relation) indexInsert(stored Tuple) {
 
 // indexDelete removes the tuple from every live index. Buckets are
 // rebuilt into fresh slices so probe slices already handed out keep
-// their (stale but memory-safe) contents.
+// their (stale but memory-safe) contents. The mask-0 index is a
+// single bucket holding every tuple, so "rebuild the bucket" would
+// make each delete O(n); it is dropped instead and rebuilt lazily by
+// the next full-relation probe.
 func (r *Relation) indexDelete(t Tuple) {
 	for mask, idx := range r.data.indexes {
+		if mask == 0 {
+			delete(r.data.indexes, 0)
+			continue
+		}
 		k := maskKey(t, mask)
 		old := idx[k]
 		if len(old) == 0 {
@@ -314,10 +321,18 @@ func (r *Relation) index(mask uint32) map[string][]Tuple {
 	if idx, ok := r.own[mask]; ok {
 		return idx
 	}
-	idx := make(map[string][]Tuple)
-	for _, t := range r.data.tuples {
-		k := maskKey(t, mask)
-		idx[k] = append(idx[k], t)
+	// Pre-size for the worst case (every tuple its own bucket); the
+	// mask-0 index is a single bucket holding the whole relation, the
+	// allocation-free replacement for Tuples() on full scans.
+	var idx map[string][]Tuple
+	if mask == 0 {
+		idx = map[string][]Tuple{"": r.Tuples()}
+	} else {
+		idx = make(map[string][]Tuple, len(r.data.tuples))
+		for _, t := range r.data.tuples {
+			k := maskKey(t, mask)
+			idx[k] = append(idx[k], t)
+		}
 	}
 	if r.shared.Load() {
 		if r.own == nil {

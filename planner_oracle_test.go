@@ -1,0 +1,261 @@
+package unchained_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"unchained"
+)
+
+// plannerCases pairs every Datalog program in the suite with its
+// facts file (mirroring the auto-dispatch table) so the planner
+// oracle below can sweep the whole corpus.
+var plannerCases = []struct {
+	prog      string
+	facts     string
+	order     bool // attach the ordered-database relations
+	maxStages int  // 0 = unbounded; bounds non-terminating programs
+}{
+	{"tc.dl", "chain.facts", false, 0},
+	{"same_generation.dl", "family.facts", false, 0},
+	{"ct.dl", "chain.facts", false, 0},
+	{"closer.dl", "chain.facts", false, 0},
+	{"delayed_ct.dl", "chain.facts", false, 0},
+	{"even_ordered.dl", "rset.facts", true, 0},
+	{"win.dl", "game_e32.facts", false, 0},
+	{"good_nodes.dl", "cycle_tail.facts", false, 0},
+	{"orientation.dl", "twocycles.facts", false, 0},
+	{"counter4.dl", "", false, 0},
+	{"counter.dl", "", false, 64},
+	{"flip_flop.dl", "", false, 16},
+}
+
+// plannerSemantics are the deterministic engines the oracle runs each
+// program under. Engines whose dialect rejects a program are still
+// compared: both runs must fail with the same error.
+var plannerSemantics = []string{
+	"minimal-model", "stratified", "well-founded", "semi-positive",
+	"inflationary", "noninflationary", "invent",
+}
+
+// evalBothWays evaluates the case twice — planner on (the default)
+// and planner off (WithLiteralOrder) — and returns the two outcomes
+// rendered to comparable strings.
+func evalBothWays(t *testing.T, c struct {
+	prog      string
+	facts     string
+	order     bool
+	maxStages int
+}, sem unchained.Semantics) (planned, literal string) {
+	t.Helper()
+	render := func(extra ...unchained.Opt) string {
+		s, p, in := loadCase(t, c.prog, c.facts)
+		if c.order {
+			in = s.WithOrder(in)
+		}
+		opts := append([]unchained.Opt{unchained.WithMaxStages(c.maxStages)}, extra...)
+		res, err := s.EvalContext(context.Background(), p, in, sem, opts...)
+		out := ""
+		if res != nil && res.Out != nil {
+			out = fmt.Sprintf("stages=%d\n%s", res.Stages, s.Format(res.Out))
+		}
+		if err != nil {
+			out += "\nerror: " + err.Error()
+		}
+		return out
+	}
+	return render(), render(unchained.WithLiteralOrder())
+}
+
+// TestPlannerMatchesLiteralOrderOracle is the PR's semantic
+// acceptance check: for every program in the corpus under every
+// deterministic engine, the cardinality planner must produce
+// byte-identical output (same facts, same stage counts, same errors)
+// as the seed's literal-order schedule. Join order is an
+// implementation freedom; the model computed is not.
+func TestPlannerMatchesLiteralOrderOracle(t *testing.T) {
+	for _, c := range plannerCases {
+		for _, name := range plannerSemantics {
+			sem, ok := unchained.SemanticsByName[name]
+			if !ok {
+				t.Fatalf("unknown semantics %q", name)
+			}
+			t.Run(c.prog+"/"+name, func(t *testing.T) {
+				planned, literal := evalBothWays(t, c, sem)
+				if planned != literal {
+					t.Errorf("planner output diverges from literal-order oracle:\n--- planner ---\n%s\n--- literal-order ---\n%s", planned, literal)
+				}
+			})
+		}
+	}
+}
+
+// TestPlannerMatchesLiteralOrderNondet extends the oracle to the
+// nondeterministic engines: candidates are canonically sorted before
+// the seeded choice, so a fixed seed must select the same computation
+// whichever join order enumerated the candidates.
+func TestPlannerMatchesLiteralOrderNondet(t *testing.T) {
+	cases := []struct {
+		prog    string
+		facts   string
+		dialect unchained.Dialect
+	}{
+		{"choice.dl", "pset.facts", unchained.DialectNDatalogNeg},
+		{"diff_bottom.dl", "pq.facts", unchained.DialectNDatalogBot},
+		{"diff_forall.dl", "pq.facts", unchained.DialectNDatalogAll},
+		{"hamiltonian.dl", "ham_c4.facts", unchained.DialectNDatalogAll},
+		{"tag.dl", "pset.facts", unchained.DialectNDatalogNew},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.prog, func(t *testing.T) {
+			run := func(extra ...unchained.Opt) string {
+				s, p, in := loadCase(t, c.prog, c.facts)
+				opts := append([]unchained.Opt{unchained.WithSeed(7)}, extra...)
+				res, err := s.RunNondetContext(context.Background(), p, c.dialect, in, opts...)
+				if err != nil {
+					return "error: " + err.Error()
+				}
+				if res.Aborted {
+					return fmt.Sprintf("aborted after %d steps", res.Steps)
+				}
+				return fmt.Sprintf("steps=%d\n%s", res.Steps, s.Format(res.Out))
+			}
+			if planned, literal := run(), run(unchained.WithLiteralOrder()); planned != literal {
+				t.Errorf("sampled run diverges:\n--- planner ---\n%s\n--- literal-order ---\n%s", planned, literal)
+			}
+		})
+	}
+
+	// Exhaustive effects: the BFS visit order follows the canonical
+	// candidate order, so the state sets (and their discovery order)
+	// must agree too.
+	t.Run("choice.dl/effects", func(t *testing.T) {
+		run := func(extra ...unchained.Opt) string {
+			s, p, in := loadCase(t, "choice.dl", "pset.facts")
+			eff, err := s.EffectsContext(context.Background(), p, unchained.DialectNDatalogNeg, in, extra...)
+			if err != nil {
+				return "error: " + err.Error()
+			}
+			out := fmt.Sprintf("explored=%d states=%d\n", eff.Explored, len(eff.States))
+			for _, st := range eff.States {
+				out += s.Format(st) + "---\n"
+			}
+			return out
+		}
+		if planned, literal := run(), run(unchained.WithLiteralOrder()); planned != literal {
+			t.Errorf("effect sets diverge:\n--- planner ---\n%s\n--- literal-order ---\n%s", planned, literal)
+		}
+	})
+}
+
+// TestPlannerMatchesLiteralOrderQuery covers the magic-sets engine:
+// goal-directed answers must not depend on the join schedule of the
+// rewritten program.
+func TestPlannerMatchesLiteralOrderQuery(t *testing.T) {
+	cases := []struct {
+		prog, facts, query string
+	}{
+		{"tc.dl", "chain.facts", "T(a,Y)"},
+		{"same_generation.dl", "family.facts", "Sg(ann,Y)"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.prog, func(t *testing.T) {
+			run := func(extra ...unchained.Opt) string {
+				s, p, in := loadCase(t, c.prog, c.facts)
+				q, err := s.ParseAtom(c.query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rel, _, err := s.QueryContext(context.Background(), p, q, in, extra...)
+				if err != nil {
+					return "error: " + err.Error()
+				}
+				out := ""
+				for _, tp := range rel.SortedTuples(s.U) {
+					out += tp.String(s.U) + "\n"
+				}
+				return out
+			}
+			if planned, literal := run(), run(unchained.WithLiteralOrder()); planned != literal {
+				t.Errorf("answers diverge:\n--- planner ---\n%s\n--- literal-order ---\n%s", planned, literal)
+			}
+		})
+	}
+}
+
+// TestPlannerMatchesLiteralOrderIncr covers the incremental engine:
+// a materialize → insert → delete session maintained with the planner
+// must track the one maintained with literal-order schedules.
+func TestPlannerMatchesLiteralOrderIncr(t *testing.T) {
+	run := func(extra ...unchained.Opt) string {
+		s, p, in := loadCase(t, "tc.dl", "chain.facts")
+		v, err := s.MaterializeContext(context.Background(), p, in, extra...)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		step := func(op string, fact string) {
+			f := s.MustFacts(fact + ".")
+			for _, name := range f.Names() {
+				rel := f.Relation(name)
+				rel.Each(func(tp unchained.Tuple) bool {
+					var err error
+					if op == "+" {
+						_, err = v.Insert(name, tp)
+					} else {
+						_, err = v.Delete(name, tp)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					return true
+				})
+			}
+		}
+		step("+", "G(d,e)")
+		step("+", "G(e,a)")
+		step("-", "G(b,c)")
+		step("-", "G(a,b)")
+		return s.Format(v.Instance())
+	}
+	if planned, literal := run(), run(unchained.WithLiteralOrder()); planned != literal {
+		t.Errorf("maintained views diverge:\n--- planner ---\n%s\n--- literal-order ---\n%s", planned, literal)
+	}
+}
+
+// TestPlannerSharedCacheMatches re-runs the corpus sweep with a
+// shared PlanCache (the daemon configuration) for one representative
+// engine, and checks the cache actually absorbed the planning work.
+func TestPlannerSharedCacheMatches(t *testing.T) {
+	cache := unchained.NewPlanCache()
+	for _, c := range plannerCases {
+		c := c
+		t.Run(c.prog, func(t *testing.T) {
+			render := func(extra ...unchained.Opt) string {
+				s, p, in := loadCase(t, c.prog, c.facts)
+				if c.order {
+					in = s.WithOrder(in)
+				}
+				opts := append([]unchained.Opt{unchained.WithMaxStages(c.maxStages)}, extra...)
+				res, err := s.EvalContext(context.Background(), p, in, unchained.SemanticsByName["inflationary"], opts...)
+				out := ""
+				if res != nil && res.Out != nil {
+					out = fmt.Sprintf("stages=%d\n%s", res.Stages, s.Format(res.Out))
+				}
+				if err != nil {
+					out += "\nerror: " + err.Error()
+				}
+				return out
+			}
+			if shared, private := render(unchained.WithPlanCache(cache)), render(); shared != private {
+				t.Errorf("shared-cache output diverges:\n--- shared ---\n%s\n--- private ---\n%s", shared, private)
+			}
+		})
+	}
+	st := cache.Stats()
+	if st.Misses == 0 {
+		t.Errorf("shared plan cache recorded no misses; planning never reached it: %+v", st)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"unchained/internal/core"
 	"unchained/internal/declarative"
 	"unchained/internal/engine"
+	"unchained/internal/eval"
 	"unchained/internal/incr"
 	"unchained/internal/magic"
 	"unchained/internal/nondet"
@@ -92,7 +93,19 @@ type (
 	// TraceRecorder is the bounded in-memory Tracer with JSONL export
 	// and latency histograms.
 	TraceRecorder = trace.Recorder
+	// PlanCache shares planner-chosen join schedules across
+	// evaluations (pass one via WithPlanCache); safe for concurrent
+	// use.
+	PlanCache = eval.PlanCache
+	// PlanCacheStats is a point-in-time snapshot of a PlanCache
+	// (hits, misses, resident entries).
+	PlanCacheStats = eval.PlanCacheStats
 )
+
+// NewPlanCache returns an empty shared plan cache. Hang one off each
+// long-lived program to let repeated evaluations reuse join plans;
+// read hit/miss counters with its Stats method.
+func NewPlanCache() *PlanCache { return eval.NewPlanCache() }
 
 // NewTraceRecorder returns a TraceRecorder keeping the most recent
 // capacity events (<= 0 selects the package default).
@@ -283,6 +296,17 @@ func WithConflictPolicy(p ConflictPolicy) Opt { return func(cfg *evalConfig) { c
 
 // WithScan disables hash-index probes (the index-ablation switch).
 func WithScan() Opt { return func(cfg *evalConfig) { cfg.opt.Scan = true } }
+
+// WithLiteralOrder disables the cardinality-driven query planner:
+// rule bodies are joined in the textual literal-order greedy schedule
+// the engines used before the planner existed. Kept for oracle
+// comparisons and planner ablation.
+func WithLiteralOrder() Opt { return func(cfg *evalConfig) { cfg.opt.LiteralOrder = true } }
+
+// WithPlanCache shares planner-chosen join schedules across
+// evaluations through c (see NewPlanCache). Without it each compiled
+// rule keeps a private single-entry memo.
+func WithPlanCache(c *PlanCache) Opt { return func(cfg *evalConfig) { cfg.opt.Plans = c } }
 
 // WithTrace observes every stage with the stage number and the
 // current (or newly-inferred) facts.
