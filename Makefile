@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet vet-custom lint-programs test race bench bench-json bench-baseline fmt-check fuzz-smoke verify serve-smoke explain-golden
+.PHONY: all build vet vet-custom lint-programs test race bench bench-json bench-baseline fmt-check fuzz-smoke verify serve-smoke serve-load explain-golden
 
 all: verify
 
@@ -45,12 +45,12 @@ bench:
 
 # Regenerate the machine-readable experiment report (quick sizes).
 bench-json:
-	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR6.json
+	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR7.json
 
 # Compare a fresh quick run against the checked-in report; exits
 # non-zero when an experiment or benchmark slowed down by >25%.
 bench-baseline:
-	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR6.json -tolerance 0.25
+	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR7.json -tolerance 0.25
 
 # Run each native fuzz target briefly ("go test -fuzz" accepts one
 # target per invocation). Override FUZZTIME for longer local hunts.
@@ -72,6 +72,13 @@ explain-golden:
 # interrupted with partial stats), /statsz counters.
 serve-smoke:
 	$(GO) run ./cmd/unchained-serve -selftest
+
+# Drive the daemon past saturation with the in-process load generator:
+# admission must shed (429 + Retry-After), queue waits must bound p99,
+# no unexpected 5xx, and the daemon's counters must match the client's
+# observations. See docs/PARALLEL.md.
+serve-load:
+	$(GO) run ./cmd/unchained-bench -serve -serve-duration 5s
 
 # Tier-1 verification (see ROADMAP.md) plus the custom analyzers and
 # the program-library lint sweep.

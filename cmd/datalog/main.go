@@ -83,6 +83,7 @@ func run(args []string, w, ew io.Writer) error {
 	stages := fs.Bool("stages", false, "trace stages (deterministic forward-chaining semantics)")
 	statsOn := fs.Bool("stats", false, "print a JSON evaluation-statistics summary to stderr")
 	workers := fs.Int("workers", 0, "with -semantics inflationary: parallel stage workers (0 = sequential)")
+	shards := fs.Int("shards", 0, "data-parallel shards per semi-naive delta round (0 = serial; see docs/PARALLEL.md)")
 	timeout := fs.Duration("timeout", 0, "bound evaluation wall time (e.g. 500ms); expiry exits with code 2")
 	tracePath := fs.String("trace", "", "stream a JSONL span-stream trace of the evaluation to this file ('-' for stderr)")
 	explainOn := fs.Bool("explain", false, "render the evaluation as a stage-by-stage narrative (suppresses normal output)")
@@ -212,13 +213,13 @@ func run(args []string, w, ew io.Writer) error {
 		ans := core.Answer(prog, out, answerPreds...)
 		fmt.Fprint(w, s.Format(ans))
 	}
-	opt := &core.Options{Ctx: ctx, Workers: *workers, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder}
+	opt := &core.Options{Ctx: ctx, Workers: *workers, Shards: *shards, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder}
 	if *stages {
 		opt.Trace = func(stage int, state *tuple.Instance) {
 			fmt.Fprintf(w, "%% stage %d: %d facts\n", stage, state.Facts())
 		}
 	}
-	dopt := &declarative.Options{Ctx: ctx, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder}
+	dopt := &declarative.Options{Ctx: ctx, Shards: *shards, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder}
 
 	switch *semantics {
 	case "wellfounded", "well-founded":

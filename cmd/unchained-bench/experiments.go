@@ -1017,15 +1017,24 @@ func expP9(quick bool) error {
 		p := parser.MustParse(prog, u)
 		var pOut, lOut *tuple.Instance
 		var err error
+		// Best of three: a single GC pause in one of two single-shot
+		// runs can swing the ratio across the acceptance bar.
 		run := func(literal bool, out **tuple.Instance) time.Duration {
-			return timed(func() {
-				res, e := declarative.Eval(p, in, u, &declarative.Options{LiteralOrder: literal})
-				if e != nil {
-					err = e
-					return
+			best := time.Duration(0)
+			for rep := 0; rep < 3; rep++ {
+				d := timed(func() {
+					res, e := declarative.Eval(p, in, u, &declarative.Options{LiteralOrder: literal})
+					if e != nil {
+						err = e
+						return
+					}
+					*out = res.Out
+				})
+				if best == 0 || d < best {
+					best = d
 				}
-				*out = res.Out
-			})
+			}
+			return best
 		}
 		dlit := run(true, &lOut)
 		if err != nil {

@@ -56,6 +56,7 @@ var experiments = []experiment{
 	{"P7", "Ablation: incremental maintenance (DRed) vs recompute", expP7},
 	{"P8", "COW fork: Instance.Snapshot vs deep clone (>=100k tuples)", expP8},
 	{"P9", "Ablation: cardinality planner vs literal-order joins", expP9},
+	{"P10", "Sharded semi-naive evaluation vs serial (large-EDB TC)", expP10},
 	{"A1", "Sections 6–7: active-database rule cascades", expA1},
 }
 
@@ -67,7 +68,29 @@ func main() {
 	baseline := flag.String("baseline", "", "compare against a previous -json report; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed slowdown vs -baseline (0.25 = 25%)")
 	minWall := flag.Duration("min-wall", 25*time.Millisecond, "skip -baseline wall-time checks for experiments faster than this")
+	serveMode := flag.Bool("serve", false, "loadgen mode: boot the daemon in-process and fire a concurrent burst (see -serve-* flags)")
+	serveDur := flag.Duration("serve-duration", 15*time.Second, "loadgen burst duration")
+	serveClients := flag.Int("serve-clients", 24, "loadgen concurrent clients")
+	serveInFlight := flag.Int("serve-inflight", 2, "loadgen daemon max in-flight evaluations")
+	serveQueue := flag.Int("serve-queue", 4, "loadgen daemon admission queue depth")
+	serveWait := flag.Duration("serve-queue-wait", 500*time.Millisecond, "loadgen daemon queue wait budget")
+	serveTenants := flag.Int("serve-tenants", 4, "loadgen distinct tenant programs")
 	flag.Parse()
+
+	if *serveMode {
+		if err := runLoadgen(os.Stdout, loadgenConfig{
+			duration:   *serveDur,
+			clients:    *serveClients,
+			inFlight:   *serveInFlight,
+			queueDepth: *serveQueue,
+			queueWait:  *serveWait,
+			tenants:    *serveTenants,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments {

@@ -6,9 +6,15 @@
 //
 // Usage:
 //
-//	unchained-serve [-addr :8344] [-workers 8] [-cache 128]
+//	unchained-serve [-addr :8344] [-workers 8] [-shards 8] [-cache 128]
 //	                [-timeout 30s] [-max-timeout 5m]
+//	                [-max-inflight 64] [-queue-depth 128] [-queue-wait 1s]
 //	                [-ops-addr 127.0.0.1:8345] [-log text]
+//
+// -max-inflight bounds concurrently evaluating requests; excess
+// requests queue (fairly across programs, -queue-depth total, each
+// waiting at most -queue-wait) and are shed with 429/503 +
+// Retry-After beyond that (see docs/PARALLEL.md).
 //
 // The daemon drains in-flight evaluations on SIGINT/SIGTERM. With
 // -ops-addr it runs a second listener carrying GET /metrics
@@ -17,9 +23,10 @@
 // evaluation clients. -log selects structured request logging (text,
 // json, or off; see docs/OBSERVABILITY.md). The -selftest flag boots
 // the server on a loopback port, fires a health check, one
-// terminating evaluation, one deadline-bounded non-terminating
-// evaluation, a traced evaluation, and a /metrics scrape, then exits
-// — the smoke test used by "make serve-smoke".
+// terminating evaluation, one sharded evaluation, one
+// deadline-bounded non-terminating evaluation, a traced evaluation,
+// a /v1/status probe, and a /metrics scrape, then exits — the smoke
+// test used by "make serve-smoke".
 package main
 
 import (
@@ -52,9 +59,13 @@ func run(args []string, w, ew io.Writer) int {
 	fs.SetOutput(ew)
 	addr := fs.String("addr", ":8344", "listen address")
 	workers := fs.Int("workers", 8, "maximum per-request stage-parallel workers")
+	shards := fs.Int("shards", 8, "maximum per-request data-parallel shards")
 	cache := fs.Int("cache", 128, "parsed-program LRU cache capacity")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request evaluation timeout")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper clamp for per-request timeout_ms")
+	maxInFlight := fs.Int("max-inflight", 64, "concurrently evaluating requests before queuing (negative disables admission control)")
+	queueDepth := fs.Int("queue-depth", 128, "admission queue capacity; arrivals beyond it are shed with 429")
+	queueWait := fs.Duration("queue-wait", time.Second, "per-request admission queue wait budget (503 on expiry)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	opsAddr := fs.String("ops-addr", "", "optional ops listener for /metrics and /debug/pprof/ (e.g. 127.0.0.1:8345)")
 	logMode := fs.String("log", "text", "request logging: text, json, or off")
@@ -77,9 +88,13 @@ func run(args []string, w, ew io.Writer) int {
 
 	cfg := serve.Config{
 		MaxWorkers:     *workers,
+		MaxShards:      *shards,
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		MaxInFlight:    *maxInFlight,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
 		Logger:         logger,
 	}
 
@@ -98,7 +113,17 @@ func run(args []string, w, ew io.Writer) int {
 		return 1
 	}
 	service := serve.New(cfg)
-	srv := &http.Server{Handler: service}
+	// Connection-level backpressure: slow or stalled clients cannot
+	// pin a connection's goroutine forever — headers must arrive
+	// promptly, idle keep-alives are reaped, and oversized headers are
+	// rejected before the handler runs. Evaluation time is governed by
+	// the per-request deadline, not these.
+	srv := &http.Server{
+		Handler:           service,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(w, "unchained-serve: listening on %s\n", ln.Addr())
@@ -200,10 +225,12 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 
 	// 2. A terminating evaluation.
 	status, body, err := postJSON("/v1/eval", serve.EvalRequest{
-		Program:   "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
-		Facts:     "G(a,b). G(b,c).",
+		Envelope: serve.Envelope{
+			Program: "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
+			Facts:   "G(a,b). G(b,c).",
+			Stats:   true,
+		},
 		Semantics: "minimal-model",
-		Stats:     true,
 	})
 	if err != nil {
 		return fmt.Errorf("eval: %w", err)
@@ -213,13 +240,39 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "selftest: eval ok\n")
 
+	// 2b. The same evaluation shard-parallel: the output must be
+	// byte-identical and the stats summary must report shard rounds.
+	status, body, err = postJSON("/v1/eval", serve.EvalRequest{
+		Envelope: serve.Envelope{
+			Program: "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
+			Facts:   "G(a,b). G(b,c).",
+			Stats:   true,
+			Shards:  4,
+		},
+		Semantics: "minimal-model",
+	})
+	if err != nil {
+		return fmt.Errorf("sharded eval: %w", err)
+	}
+	var sharded serve.EvalResponse
+	if uerr := json.Unmarshal(body, &sharded); uerr != nil {
+		return fmt.Errorf("sharded eval: %w (body %s)", uerr, body)
+	}
+	if status != http.StatusOK || !strings.Contains(sharded.Output, "T(a,c)") ||
+		sharded.Stats == nil || sharded.Stats.ShardRounds == 0 {
+		return fmt.Errorf("sharded eval: status %d body %s", status, body)
+	}
+	fmt.Fprintf(w, "selftest: sharded eval ok (%d shard rounds)\n", sharded.Stats.ShardRounds)
+
 	// 3. A non-terminating evaluation under a 100ms deadline.
 	start := time.Now()
 	status, body, err = postJSON("/v1/eval", serve.EvalRequest{
-		Program:   queries.Counter(30),
+		Envelope: serve.Envelope{
+			Program:   queries.Counter(30),
+			TimeoutMS: 100,
+			Stats:     true,
+		},
 		Semantics: "noninflationary",
-		TimeoutMS: 100,
-		Stats:     true,
 	})
 	if err != nil {
 		return fmt.Errorf("timeout eval: %w", err)
@@ -240,8 +293,10 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 	// 4. A traced evaluation: the span stream must come back in the
 	// response, opening with a begin-eval event.
 	status, body, err = postJSON("/v1/eval", serve.EvalRequest{
-		Program:   "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
-		Facts:     "G(a,b). G(b,c).",
+		Envelope: serve.Envelope{
+			Program: "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
+			Facts:   "G(a,b). G(b,c).",
+		},
 		Semantics: "minimal-model",
 		Trace:     true,
 	})
@@ -257,6 +312,24 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 		return fmt.Errorf("trace eval: status %d, %d events", status, len(traced.Trace))
 	}
 	fmt.Fprintf(w, "selftest: trace eval ok (%d events)\n", len(traced.Trace))
+
+	// 4b. Service status: build identity, semantics, and limits.
+	resp, err = http.Get(base + "/v1/status")
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stat serve.StatusResponse
+	if err := json.Unmarshal(body, &stat); err != nil {
+		return fmt.Errorf("status: %w (body %s)", err, body)
+	}
+	if stat.Service != "unchained-serve" || len(stat.Semantics) == 0 ||
+		stat.Limits.MaxShards < 1 || stat.Limits.MaxInFlight == 0 {
+		return fmt.Errorf("status payload off: %s", body)
+	}
+	fmt.Fprintf(w, "selftest: status ok (max_shards=%d max_in_flight=%d)\n",
+		stat.Limits.MaxShards, stat.Limits.MaxInFlight)
 
 	// 5. Service counters.
 	resp, err = http.Get(base + "/statsz")

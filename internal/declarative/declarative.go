@@ -183,11 +183,7 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 	// Precompute, per rule, the delta variants: one per positive body
 	// literal over a recursive predicate, compiled with that literal
 	// scheduled first so the join starts from the delta.
-	type variant struct {
-		rule *eval.Rule
-		lit  int
-	}
-	var variants []variant
+	var variants []eval.DeltaVariant
 	for _, cr := range rules {
 		for _, li := range cr.PositiveBodyLits() {
 			pred := cr.Src.Body[li].Atom.Pred
@@ -198,11 +194,12 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 					// for rules that compiled once already.
 					dv = cr
 				}
-				variants = append(variants, variant{dv, li})
+				variants = append(variants, eval.DeltaVariant{Rule: dv, Lit: li})
 			}
 		}
 	}
 
+	shards := opt.ShardCount()
 	for delta.Facts() > 0 {
 		if err := opt.Interrupted(rounds); err != nil {
 			return rounds, err
@@ -210,22 +207,47 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 		rounds++
 		col.BeginStage()
 		next := tuple.NewInstance()
-		pend = pend[:0]
-		for _, v := range variants {
-			ctx := &eval.Ctx{
-				In: out, NegIn: negIn, Adom: adom, Delta: delta, DeltaLit: v.lit, Scan: scan, Stats: col,
-				NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+		if shards > 1 {
+			// Shard-parallel round: workers join their hash-slice of
+			// the delta against COW forks of out/negIn and stream fact
+			// batches to this goroutine, which merges them into out and
+			// the next delta. Sets make the merge order-independent, so
+			// the fixpoint is byte-identical to the serial path. A done
+			// context aborts the workers mid-round; the Interrupted
+			// poll at the top of the next iteration surfaces the error.
+			base := &eval.Ctx{
+				In: out, NegIn: negIn, Adom: adom, Scan: scan, Stats: col,
+				NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(),
 			}
-			v.rule.Enumerate(ctx, func(b eval.Binding) bool {
-				facts := v.rule.HeadFacts(b, nil)
-				emit(facts)
-				pend = append(pend, facts...)
-				return true
-			})
-		}
-		for _, f := range pend {
-			if out.Insert(f.Pred, f.Tuple) {
-				next.Insert(f.Pred, f.Tuple)
+			merged := 0
+			eval.RunSharded(variants, base, delta, shards, opt.MergeBufferCap(),
+				opt.Context().Done(), func(batch []eval.Fact) {
+					merged += len(batch)
+					for _, f := range batch {
+						if out.Insert(f.Pred, f.Tuple) {
+							next.Insert(f.Pred, f.Tuple)
+						}
+					}
+				})
+			col.ShardRound(merged)
+		} else {
+			pend = pend[:0]
+			for _, v := range variants {
+				ctx := &eval.Ctx{
+					In: out, NegIn: negIn, Adom: adom, Delta: delta, DeltaLit: v.Lit, Scan: scan, Stats: col,
+					NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(), PlanTrace: true,
+				}
+				v.Rule.Enumerate(ctx, func(b eval.Binding) bool {
+					facts := v.Rule.HeadFacts(b, nil)
+					emit(facts)
+					pend = append(pend, facts...)
+					return true
+				})
+			}
+			for _, f := range pend {
+				if out.Insert(f.Pred, f.Tuple) {
+					next.Insert(f.Pred, f.Tuple)
+				}
 			}
 		}
 		delta = next

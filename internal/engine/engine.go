@@ -135,6 +135,24 @@ type Options struct {
 	// sequential one. 0 or 1 means sequential.
 	Workers int
 
+	// Shards hash-partitions the delta of each semi-naive round across
+	// that many data-parallel workers (declarative engines: minimal
+	// model, semi-positive, stratified strata, well-founded Γ
+	// applications, and everything built on them — incr, magic). Each
+	// shard evaluates every delta-variant rule against a copy-on-write
+	// snapshot of the current instance and its slice of the delta; a
+	// merge barrier dedupes the shards' facts into the next delta.
+	// Relations are sets and rendering sorts, so the result is
+	// byte-identical to serial evaluation. 0 or 1 means serial.
+	Shards int
+
+	// MergeBuffer is the capacity (in fact batches) of the channel
+	// shard workers stream their results through to the merge barrier;
+	// buffering lets the barrier insert one shard's facts while other
+	// shards still enumerate. 0 means a default sized to the shard
+	// count.
+	MergeBuffer int
+
 	// Policy is the Datalog¬¬ conflict policy (default
 	// PreferPositive).
 	Policy ConflictPolicy
@@ -203,6 +221,8 @@ func (o *Options) Validate() error {
 		{"MaxSteps", o.MaxSteps},
 		{"MaxStates", o.MaxStates},
 		{"Workers", o.Workers},
+		{"Shards", o.Shards},
+		{"MergeBuffer", o.MergeBuffer},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("%w: %s must be >= 0, got %d", ErrInvalidOptions, f.name, f.v)
@@ -311,6 +331,48 @@ func (o *Options) WorkerCount() int {
 		return 1
 	}
 	return o.Workers
+}
+
+// ShardCount returns the data-parallel shard count (>= 1).
+func (o *Options) ShardCount() int {
+	if o == nil || o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
+}
+
+// MergeBufferCap resolves the merge-barrier channel capacity: the
+// configured MergeBuffer, or twice the shard count when unset (one
+// batch in flight per shard plus headroom, so the barrier rarely
+// blocks a worker).
+func (o *Options) MergeBufferCap() int {
+	if o != nil && o.MergeBuffer > 0 {
+		return o.MergeBuffer
+	}
+	return 2 * o.ShardCount()
+}
+
+// Parallel is the redesigned parallelism configuration, applied
+// atomically by SetParallel (and the facade's WithParallel): the two
+// orthogonal axes — rule-level Workers and data-parallel Shards —
+// plus the merge-barrier buffer. The zero value means fully serial.
+type Parallel struct {
+	// Workers is the rule-level stage parallelism (Options.Workers).
+	Workers int
+	// Shards is the data-parallel shard count for semi-naive delta
+	// rounds (Options.Shards).
+	Shards int
+	// MergeBuffer is the merge-barrier channel capacity in batches;
+	// 0 picks a default from the shard count (Options.MergeBuffer).
+	MergeBuffer int
+}
+
+// SetParallel installs a Parallel configuration, replacing all three
+// parallelism fields at once.
+func (o *Options) SetParallel(p Parallel) {
+	o.Workers = p.Workers
+	o.Shards = p.Shards
+	o.MergeBuffer = p.MergeBuffer
 }
 
 // StageLimit resolves the stage bound against the engine default.

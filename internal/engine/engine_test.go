@@ -28,6 +28,9 @@ func TestNilOptionsDefaults(t *testing.T) {
 	if o.WorkerCount() != 1 {
 		t.Fatalf("WorkerCount = %d", o.WorkerCount())
 	}
+	if o.ShardCount() != 1 {
+		t.Fatalf("ShardCount = %d", o.ShardCount())
+	}
 	if o.StageLimit(7) != 7 || o.IterLimit(8) != 8 || o.StepLimit(9) != 9 || o.StateLimit(10) != 10 {
 		t.Fatal("nil options must yield engine defaults")
 	}
@@ -47,6 +50,30 @@ func TestValidate(t *testing.T) {
 		{"MaxSteps -1", &Options{MaxSteps: -1}, false},
 		{"MaxStates -1", &Options{MaxStates: -1}, false},
 		{"Workers -1", &Options{Workers: -1}, false},
+		{"Shards 8", &Options{Shards: 8}, true},
+		{"Shards -1", &Options{Shards: -1}, false},
+		{"MergeBuffer 4", &Options{MergeBuffer: 4}, true},
+		{"MergeBuffer -1", &Options{MergeBuffer: -1}, false},
+		{"Parallel all positive", func() *Options {
+			o := &Options{}
+			o.SetParallel(Parallel{Workers: 2, Shards: 4, MergeBuffer: 8})
+			return o
+		}(), true},
+		{"Parallel negative shards", func() *Options {
+			o := &Options{}
+			o.SetParallel(Parallel{Shards: -2})
+			return o
+		}(), false},
+		{"Parallel negative workers", func() *Options {
+			o := &Options{}
+			o.SetParallel(Parallel{Workers: -1})
+			return o
+		}(), false},
+		{"Parallel negative merge buffer", func() *Options {
+			o := &Options{}
+			o.SetParallel(Parallel{MergeBuffer: -3})
+			return o
+		}(), false},
 	} {
 		err := c.opt.Validate()
 		if c.ok && err != nil {
@@ -54,6 +81,28 @@ func TestValidate(t *testing.T) {
 		}
 		if !c.ok && !errors.Is(err, ErrInvalidOptions) {
 			t.Errorf("%s: want ErrInvalidOptions, got %v", c.name, err)
+		}
+	}
+}
+
+func TestParallelAccessors(t *testing.T) {
+	o := &Options{}
+	o.SetParallel(Parallel{Workers: 3, Shards: 4, MergeBuffer: 16})
+	if o.Workers != 3 || o.Shards != 4 || o.MergeBuffer != 16 {
+		t.Fatalf("SetParallel did not copy fields: %+v", o)
+	}
+	if o.ShardCount() != 4 || o.WorkerCount() != 3 || o.MergeBufferCap() != 16 {
+		t.Fatalf("accessors: shards=%d workers=%d buf=%d", o.ShardCount(), o.WorkerCount(), o.MergeBufferCap())
+	}
+	// MergeBuffer unset: default is twice the shard count.
+	o2 := &Options{Shards: 4}
+	if o2.MergeBufferCap() != 8 {
+		t.Fatalf("default MergeBufferCap = %d, want 8", o2.MergeBufferCap())
+	}
+	// Zero/one shards mean serial.
+	for _, o3 := range []*Options{nil, {}, {Shards: 1}} {
+		if o3.ShardCount() != 1 {
+			t.Fatalf("ShardCount(%+v) = %d, want 1", o3, o3.ShardCount())
 		}
 	}
 }

@@ -1,0 +1,135 @@
+// Shard-parallel semi-naive delta rounds. The delta instance is
+// hash-partitioned across N workers (tuple.Instance.Partition); each
+// worker evaluates every delta-variant rule against a copy-on-write
+// snapshot of the current instance and its private slice of the
+// delta, so lazy index builds land in the snapshot's private overlay
+// instead of racing on shared storage. Workers stream fact batches
+// through a bounded channel to the caller's goroutine, where the
+// merge barrier dedupes them into the instance and the next delta —
+// insertion overlaps enumeration, and because relations are sets the
+// merged result is independent of arrival order: byte-identical to
+// the serial round.
+package eval
+
+import (
+	"sync"
+
+	"unchained/internal/tuple"
+)
+
+// DeltaVariant pairs a delta-compiled rule (CompileDelta) with the
+// positive body literal it pins to the delta relation.
+type DeltaVariant struct {
+	Rule *Rule
+	Lit  int
+}
+
+// shardBatch is the number of facts a worker accumulates before
+// shipping a batch to the merge barrier.
+const shardBatch = 4096
+
+// cancelPollMask throttles the workers' cancellation poll to one
+// non-blocking channel check per 256 firings.
+const cancelPollMask = 255
+
+// RunSharded evaluates every delta variant over a tuple-hash
+// partition of delta across `shards` workers and calls sink — on the
+// calling goroutine — with batches of emitted head facts. base
+// supplies the shared read-only environment (In, NegIn, Adom, Scan,
+// Stats, NoPlan, Plans); every worker receives private snapshots of
+// In and NegIn. mergeBuf is the batch-channel capacity (minimum 1).
+// done, when non-nil, aborts the round early: workers notice within
+// cancelPollMask firings, ship what they have, and exit — RunSharded
+// always drains every batch and joins every worker before returning,
+// so no goroutine outlives the call. Workers classify emitted facts
+// as derived vs re-derived against their pre-round snapshots, so the
+// stats collector (base.Stats, concurrency-safe counters) sees the
+// same totals as a serial round.
+//
+// The caller must not mutate delta during the call; mutating the
+// instance behind base.In is safe (workers read their own forks).
+func RunSharded(variants []DeltaVariant, base *Ctx, delta *tuple.Instance, shards, mergeBuf int, done <-chan struct{}, sink func([]Fact)) {
+	if shards < 1 {
+		shards = 1
+	}
+	if mergeBuf < 1 {
+		mergeBuf = 1
+	}
+	parts := delta.Partition(shards)
+
+	// Snapshot the shared instances once per shard on this goroutine:
+	// Snapshot folds private index overlays into the shared payload,
+	// which must not race with worker probes.
+	ins := make([]*tuple.Instance, shards)
+	negs := make([]*tuple.Instance, shards)
+	for s := 0; s < shards; s++ {
+		ins[s] = base.In.Snapshot()
+		if base.NegIn != nil {
+			negs[s] = base.NegIn.Snapshot()
+		}
+	}
+
+	ch := make(chan []Fact, mergeBuf)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ctx := &Ctx{
+				In: ins[s], NegIn: negs[s], Adom: base.Adom,
+				Delta: parts[s], Scan: base.Scan, Stats: base.Stats,
+				NoPlan: base.NoPlan, Plans: base.Plans,
+			}
+			col := base.Stats
+			buf := make([]Fact, 0, shardBatch)
+			fired := 0
+			aborted := false
+			for _, v := range variants {
+				if aborted {
+					break
+				}
+				ctx.DeltaLit = v.Lit
+				rule := v.Rule
+				rule.Enumerate(ctx, func(b Binding) bool {
+					facts := rule.HeadFacts(b, nil)
+					if col.Enabled() {
+						derived, reder := 0, 0
+						for _, f := range facts {
+							if ctx.In.Has(f.Pred, f.Tuple) {
+								reder++
+							} else {
+								derived++
+							}
+						}
+						col.Fired(-1, derived, reder)
+					}
+					buf = append(buf, facts...)
+					if len(buf) >= shardBatch {
+						ch <- buf
+						buf = make([]Fact, 0, shardBatch)
+					}
+					fired++
+					if done != nil && fired&cancelPollMask == 0 {
+						select {
+						case <-done:
+							aborted = true
+							return false
+						default:
+						}
+					}
+					return true
+				})
+			}
+			if len(buf) > 0 {
+				ch <- buf
+			}
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	for batch := range ch {
+		sink(batch)
+	}
+}

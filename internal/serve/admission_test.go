@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"unchained/internal/queries"
+)
+
+// --- gate unit tests -------------------------------------------------
+
+func TestGateFastPath(t *testing.T) {
+	g := newGate(3, 8, time.Second)
+	for i := 0; i < 3; i++ {
+		if err := g.acquire(context.Background(), "t"); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := g.inFlight(); got != 3 {
+		t.Fatalf("inFlight = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		g.release()
+	}
+	if got := g.inFlight(); got != 0 {
+		t.Fatalf("inFlight after release = %d, want 0", got)
+	}
+	if got := g.admitted.Load(); got != 3 {
+		t.Fatalf("admitted = %d, want 3", got)
+	}
+}
+
+func TestGateNilAndDisabledAdmitEverything(t *testing.T) {
+	var g *gate
+	if err := g.acquire(context.Background(), "t"); err != nil {
+		t.Fatalf("nil gate: %v", err)
+	}
+	g.release() // must not panic
+	g = newGate(0, 0, time.Second)
+	if err := g.acquire(context.Background(), "t"); err != nil {
+		t.Fatalf("capacity 0 gate must admit: %v", err)
+	}
+	g.release()
+}
+
+func TestGateShedAtFullQueue(t *testing.T) {
+	g := newGate(1, 1, time.Minute)
+	if err := g.acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot from another goroutine.
+	admitted := make(chan error, 1)
+	go func() { admitted <- g.acquire(context.Background(), "b") }()
+	waitFor(t, func() bool { return g.depth() == 1 })
+	// Queue full: the next arrival is shed immediately.
+	if err := g.acquire(context.Background(), "c"); !errors.Is(err, errShed) {
+		t.Fatalf("want errShed, got %v", err)
+	}
+	if got := g.shed.Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	// Release the slot: the queued waiter is handed the slot directly.
+	g.release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.release()
+}
+
+func TestGateQueueWaitTimeout(t *testing.T) {
+	g := newGate(1, 4, 20*time.Millisecond)
+	if err := g.acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := g.acquire(context.Background(), "b")
+	if !errors.Is(err, errQueueWait) {
+		t.Fatalf("want errQueueWait, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("wait budget not enforced")
+	}
+	if got := g.waitDrop.Load(); got != 1 {
+		t.Fatalf("waitDrop counter = %d, want 1", got)
+	}
+	g.release()
+	// The abandoned waiter must not absorb the freed slot.
+	if err := g.acquire(context.Background(), "c"); err != nil {
+		t.Fatalf("slot lost to an abandoned waiter: %v", err)
+	}
+	g.release()
+}
+
+func TestGateCtxCancelWhileQueued(t *testing.T) {
+	g := newGate(1, 4, time.Minute)
+	if err := g.acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- g.acquire(ctx, "b") }()
+	waitFor(t, func() bool { return g.depth() == 1 })
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	g.release()
+	// The canceled waiter must not hold the slot or linger in the queue.
+	if err := g.acquire(context.Background(), "c"); err != nil {
+		t.Fatalf("slot unavailable after cancel: %v", err)
+	}
+	if got := g.depth(); got != 0 {
+		t.Fatalf("queue depth = %d after cancel, want 0", got)
+	}
+	g.release()
+}
+
+// TestGateFairRoundRobin pins per-tenant fairness: with tenant A
+// holding three queued requests and tenant B one, grants alternate
+// across tenants (A, B, A, A) instead of draining A's FIFO first.
+func TestGateFairRoundRobin(t *testing.T) {
+	g := newGate(1, 8, time.Minute)
+	if err := g.acquire(context.Background(), "hold"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(label, tenant string) {
+		depth := g.depth()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.acquire(context.Background(), tenant); err != nil {
+				t.Errorf("%s: %v", label, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, label)
+			mu.Unlock()
+			g.release() // hand the slot to the next waiter
+		}()
+		waitFor(t, func() bool { return g.depth() == depth+1 })
+	}
+	enqueue("a1", "A")
+	enqueue("a2", "A")
+	enqueue("a3", "A")
+	enqueue("b1", "B")
+	g.release() // surrender the held slot; grants cascade
+	wg.Wait()
+	want := []string{"a1", "b1", "a2", "a3"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("admission order %v, want %v", order, want)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// --- HTTP-level admission and envelope tests -------------------------
+
+// TestAdmissionShedAndQueueTimeoutHTTP drives the daemon into
+// overload: one slow evaluation holds the single slot, a second
+// request queues past the wait budget (503 queue_timeout), and a
+// third finds the queue full (429 overloaded). Both rejections must
+// carry Retry-After and the stable error code; /statsz must count
+// them.
+func TestAdmissionShedAndQueueTimeoutHTTP(t *testing.T) {
+	svc := New(Config{MaxInFlight: 1, QueueDepth: 1, QueueWait: 150 * time.Millisecond})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	slow := EvalRequest{
+		Envelope:  Envelope{Program: queries.Counter(30), TimeoutMS: 2000},
+		Semantics: "noninflationary",
+	}
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/eval", slow)
+		slowDone <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return svc.gate.inFlight() == 1 })
+
+	// Second request queues (distinct program = distinct tenant).
+	queuedDone := make(chan *http.Response, 1)
+	queuedBody := make(chan []byte, 1)
+	go func() {
+		resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+			Envelope: Envelope{Program: "P(X) :- Q(X).", Facts: "Q(a)."},
+		})
+		queuedDone <- resp
+		queuedBody <- body
+	}()
+	waitFor(t, func() bool { return svc.gate.depth() == 1 })
+
+	// Third request: queue full, shed with 429.
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Envelope: Envelope{Program: "R(X) :- S(X).", Facts: "S(a)."},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == nil || out.Error.Code != CodeOverloaded {
+		t.Fatalf("shed envelope = %+v, want code %q", out.Error, CodeOverloaded)
+	}
+	if out.Error.Kind != "overloaded" {
+		t.Fatalf("legacy kind = %q, want overloaded", out.Error.Kind)
+	}
+
+	// The queued request exhausts its 150ms wait budget against a 2s
+	// occupant and comes back 503 queue_timeout.
+	qresp, qbody := <-queuedDone, <-queuedBody
+	if qresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued status = %d: %s", qresp.StatusCode, qbody)
+	}
+	if qresp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 must carry Retry-After")
+	}
+	var qout EvalResponse
+	if err := json.Unmarshal(qbody, &qout); err != nil {
+		t.Fatal(err)
+	}
+	if qout.Error == nil || qout.Error.Code != CodeQueueTimeout {
+		t.Fatalf("queue-timeout envelope = %+v, want code %q", qout.Error, CodeQueueTimeout)
+	}
+
+	if code := <-slowDone; code != http.StatusRequestTimeout {
+		t.Fatalf("slow occupant finished %d, want 408 deadline", code)
+	}
+
+	// The counters must agree with what we observed.
+	sresp, sbody := get(t, ts.URL+"/statsz")
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: %d", sresp.StatusCode)
+	}
+	var stz Statsz
+	if err := json.Unmarshal(sbody, &stz); err != nil {
+		t.Fatal(err)
+	}
+	if stz.Shed != 1 || stz.QueueTimeouts != 1 || stz.Queued != 1 || stz.Admitted < 1 {
+		t.Fatalf("statsz admission counters: %+v", stz)
+	}
+	if stz.QueueDepth != 0 {
+		t.Fatalf("queue depth = %d after drain, want 0", stz.QueueDepth)
+	}
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestInvalidParallelOptionsHTTP pins the converged validation rule:
+// negative workers or shards are a client error (400
+// invalid_options, matching engine.Options.Validate), never silently
+// clamped.
+func TestInvalidParallelOptionsHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	for _, env := range []Envelope{
+		{Program: "P(a).", Workers: -1},
+		{Program: "P(a).", Shards: -2},
+	} {
+		resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: env})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("workers=%d shards=%d: status %d: %s", env.Workers, env.Shards, resp.StatusCode, body)
+		}
+		var out EvalResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Error == nil || out.Error.Code != CodeInvalidOptions {
+			t.Fatalf("envelope = %+v, want code %q", out.Error, CodeInvalidOptions)
+		}
+		if out.Error.Details == nil {
+			t.Fatalf("invalid_options must carry details: %+v", out.Error)
+		}
+	}
+	// The same rule guards /v1/query.
+	resp, body := post(t, ts.URL+"/v1/query", QueryRequest{
+		Envelope: Envelope{Program: tcProgram, Facts: "G(a,b).", Shards: -1},
+		Query:    "T(a,X)?",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+	}
+	var qout QueryResponse
+	if err := json.Unmarshal(body, &qout); err != nil {
+		t.Fatal(err)
+	}
+	if qout.Error == nil || qout.Error.Code != CodeInvalidOptions {
+		t.Fatalf("query envelope = %+v, want code %q", qout.Error, CodeInvalidOptions)
+	}
+}
+
+// TestErrorEnvelopeCodes walks the common failure paths and checks
+// each carries its stable code alongside the legacy kind.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	ts := newTestServer(t)
+	for _, c := range []struct {
+		name   string
+		req    EvalRequest
+		status int
+		code   string
+		kind   string
+	}{
+		{"parse", EvalRequest{Envelope: Envelope{Program: "P(X :-"}}, http.StatusBadRequest, CodeParse, "parse"},
+		{"unknown semantics", EvalRequest{Envelope: Envelope{Program: "P(a)."}, Semantics: "nope"}, http.StatusBadRequest, CodeUnknownSem, "bad_request"},
+	} {
+		resp, body := post(t, ts.URL+"/v1/eval", c.req)
+		if resp.StatusCode != c.status {
+			t.Fatalf("%s: status %d, want %d: %s", c.name, resp.StatusCode, c.status, body)
+		}
+		var out EvalResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Error == nil || out.Error.Code != c.code || out.Error.Kind != c.kind {
+			t.Fatalf("%s: envelope = %+v, want code %q kind %q", c.name, out.Error, c.code, c.kind)
+		}
+	}
+}
+
+// TestStatusEndpoint checks GET /v1/status reports build identity,
+// the semantics list, and the effective limits.
+func TestStatusEndpoint(t *testing.T) {
+	svc := New(Config{MaxShards: 4, DefaultShards: 2, MaxInFlight: 7})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	resp, body := get(t, ts.URL+"/v1/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out StatusResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Service != "unchained-serve" || out.GoVersion == "" {
+		t.Fatalf("identity: %+v", out)
+	}
+	if len(out.Semantics) == 0 {
+		t.Fatal("semantics list empty")
+	}
+	if out.Limits.MaxShards != 4 || out.Limits.DefaultShards != 2 || out.Limits.MaxInFlight != 7 {
+		t.Fatalf("limits: %+v", out.Limits)
+	}
+	if out.Limits.MaxBodyBytes != maxBodyBytes {
+		t.Fatalf("max_body_bytes = %d", out.Limits.MaxBodyBytes)
+	}
+	found := false
+	for _, e := range out.Endpoints {
+		if e == "/v1/status" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("endpoint list missing /v1/status: %v", out.Endpoints)
+	}
+}
+
+// TestShardedEvalHTTP round-trips the shards envelope field: a
+// sharded evaluation returns the same facts as serial and reports
+// shard rounds in its stats, and /statsz accumulates the totals.
+func TestShardedEvalHTTP(t *testing.T) {
+	svc := New(Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	req := EvalRequest{
+		Envelope: Envelope{Program: tcProgram, Facts: "G(a,b). G(b,c). G(c,d).", Stats: true},
+	}
+	resp, body := post(t, ts.URL+"/v1/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serial: %d: %s", resp.StatusCode, body)
+	}
+	var serial EvalResponse
+	if err := json.Unmarshal(body, &serial); err != nil {
+		t.Fatal(err)
+	}
+	req.Shards = 4
+	resp, body = post(t, ts.URL+"/v1/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded: %d: %s", resp.StatusCode, body)
+	}
+	var sharded EvalResponse
+	if err := json.Unmarshal(body, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Output != serial.Output {
+		t.Fatalf("sharded output diverges:\n%s\nvs\n%s", sharded.Output, serial.Output)
+	}
+	if sharded.Stats == nil || sharded.Stats.ShardRounds == 0 {
+		t.Fatalf("sharded stats missing shard rounds: %+v", sharded.Stats)
+	}
+	sresp, sbody := get(t, ts.URL+"/statsz")
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: %d", sresp.StatusCode)
+	}
+	var stz Statsz
+	if err := json.Unmarshal(sbody, &stz); err != nil {
+		t.Fatal(err)
+	}
+	if stz.ShardRounds == 0 || stz.ShardFactsMerged == 0 {
+		t.Fatalf("statsz shard counters empty: %+v", stz)
+	}
+}

@@ -16,7 +16,7 @@ const winProgram = `Win(X) :- Moves(X,Y), !Win(Y).`
 // stratification witness, and positioned diagnostics over the wire.
 func TestAnalyzeEndpoint(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: winProgram})
+	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Envelope: Envelope{Program: winProgram}})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -46,7 +46,7 @@ func TestAnalyzeEndpoint(t *testing.T) {
 // the report still attached, and the analyze counters move.
 func TestAnalyzeEndpointErrors(t *testing.T) {
 	srv, ts := newInstrumentedServer(t)
-	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: "!P(X) :- Q(Y)."})
+	resp, body := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Envelope: Envelope{Program: "!P(X) :- Q(Y)."}})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -66,7 +66,7 @@ func TestAnalyzeEndpointErrors(t *testing.T) {
 	}
 
 	// Parse failures are bad requests, not analyze errors.
-	resp, _ = post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: "P(X :-"})
+	resp, _ = post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Envelope: Envelope{Program: "P(X :-"}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d for parse failure", resp.StatusCode)
 	}
@@ -79,8 +79,8 @@ func TestAnalyzeEndpointErrors(t *testing.T) {
 // the parse cache and reuses the memoized report.
 func TestAnalyzeReportCached(t *testing.T) {
 	srv, ts := newInstrumentedServer(t)
-	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: winProgram})
-	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: winProgram})
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Envelope: Envelope{Program: winProgram}})
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Envelope: Envelope{Program: winProgram}})
 	hits, misses, _, _ := srv.cache.stats()
 	if hits != 1 || misses != 1 {
 		t.Fatalf("cache hits=%d misses=%d, want 1/1", hits, misses)
@@ -101,8 +101,8 @@ func TestAnalyzeReportCached(t *testing.T) {
 // /metrics under the unchained_analyze_* names.
 func TestAnalyzeMetricsExposition(t *testing.T) {
 	_, ts := newInstrumentedServer(t)
-	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: winProgram})
-	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Program: "!P(X) :- Q(Y)."})
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Envelope: Envelope{Program: winProgram}})
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Envelope: Envelope{Program: "!P(X) :- Q(Y)."}})
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)

@@ -85,11 +85,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(w, "unchained_plan_cache_misses_total", "Join-plan cache misses (plans computed).", z.PlanCacheMisses)
 	writeCounter(w, "unchained_workers_clamped_total", "Requests whose workers field was clamped to the server maximum.", z.WorkersClamped)
 	writeCounter(w, "unchained_timeouts_clamped_total", "Requests whose timeout_ms was clamped to the server maximum.", z.TimeoutsClamped)
+	writeCounter(w, "unchained_shards_clamped_total", "Requests whose shards field was clamped to the server maximum.", z.ShardsClamped)
+	writeCounter(w, "unchained_admission_admitted_total", "Requests admitted past the admission gate (immediately or after queuing).", z.Admitted)
+	writeCounter(w, "unchained_admission_queued_total", "Requests that waited in the admission queue.", z.Queued)
+	writeCounter(w, "unchained_admission_shed_total", "Requests shed at a full admission queue (HTTP 429).", z.Shed)
+	writeCounter(w, "unchained_admission_queue_timeouts_total", "Requests that timed out waiting in the admission queue (HTTP 503).", z.QueueTimeouts)
+	writeCounter(w, "unchained_shard_rounds_total", "Semi-naive delta rounds evaluated shard-parallel by instrumented evaluations.", z.ShardRounds)
+	writeCounter(w, "unchained_shard_facts_total", "Facts merged through shard barriers by instrumented evaluations.", z.ShardFactsMerged)
 	writeCounter(w, "unchained_cow_snapshots_total", "Copy-on-write instance snapshots taken by instrumented evaluations.", z.CowSnapshots)
 	writeCounter(w, "unchained_cow_promotions_total", "Relations promoted to private copies by a post-snapshot write.", z.CowPromotions)
 	writeCounter(w, "unchained_cow_tuples_copied_total", "Tuples physically copied by copy-on-write promotions.", z.CowTuplesCopied)
 
 	writeGauge(w, "unchained_in_flight", "Evaluations currently running.", z.InFlight)
+	writeGauge(w, "unchained_admission_queue_depth", "Requests currently waiting in the admission queue.", int64(z.QueueDepth))
 	writeGauge(w, "unchained_parse_cache_size", "Programs currently cached.", int64(z.CacheSize))
 	writeGauge(w, "unchained_plan_cache_size", "Join plans resident across cached programs.", int64(z.PlanCacheSize))
 
@@ -106,4 +114,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	writeHist(w, "unchained_request_duration_seconds", "HTTP request latency.", s.reqLat)
 	writeHist(w, "unchained_eval_duration_seconds", "Engine evaluation latency (eval and query).", s.evalLat)
+	if s.gate != nil {
+		writeHist(w, "unchained_admission_queue_wait_seconds", "Time queued requests waited for an admission slot.", s.gate.waitLat)
+	}
 }

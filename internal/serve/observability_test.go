@@ -33,11 +33,7 @@ func newInstrumentedServer(t *testing.T) (*Server, *httptest.Server) {
 // double-counting guard.
 func TestTimeoutIncrementsFailureCounterOnce(t *testing.T) {
 	srv, ts := newInstrumentedServer(t)
-	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
-		Program:   queries.Counter(30),
-		Semantics: "noninflationary",
-		TimeoutMS: 100,
-	})
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: queries.Counter(30), TimeoutMS: 100}, Semantics: "noninflationary"})
 	if resp.StatusCode != http.StatusRequestTimeout {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -85,9 +81,9 @@ func TestStatszAndMetricsAgree(t *testing.T) {
 	_, ts := newInstrumentedServer(t)
 	// Generate traffic on every counter class: one success, one parse
 	// failure, one timeout.
-	post(t, ts.URL+"/v1/eval", EvalRequest{Program: tcProgram, Facts: `G(a,b).`, Semantics: "minimal-model"})
-	post(t, ts.URL+"/v1/eval", EvalRequest{Program: `not a program (`})
-	post(t, ts.URL+"/v1/eval", EvalRequest{Program: queries.Counter(30), Semantics: "noninflationary", TimeoutMS: 50})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram, Facts: `G(a,b).`}, Semantics: "minimal-model"})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: `not a program (`}})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: queries.Counter(30), TimeoutMS: 50}, Semantics: "noninflationary"})
 
 	resp, err := http.Get(ts.URL + "/statsz")
 	if err != nil {
@@ -157,7 +153,7 @@ func TestStatszAndMetricsAgree(t *testing.T) {
 // one histogram.
 func TestMetricsExposition(t *testing.T) {
 	_, ts := newInstrumentedServer(t)
-	post(t, ts.URL+"/v1/eval", EvalRequest{Program: tcProgram, Facts: `G(a,b).`, Semantics: "stratified"})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram, Facts: `G(a,b).`}, Semantics: "stratified"})
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -208,12 +204,7 @@ func TestMetricsExposition(t *testing.T) {
 // must NOT leak a stats block the request didn't ask for.
 func TestEvalTraceCapture(t *testing.T) {
 	_, ts := newInstrumentedServer(t)
-	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
-		Program:   tcProgram,
-		Facts:     `G(a,b). G(b,c).`,
-		Semantics: "minimal-model",
-		Trace:     true,
-	})
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram, Facts: `G(a,b). G(b,c).`}, Semantics: "minimal-model", Trace: true})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}

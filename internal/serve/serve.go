@@ -13,12 +13,20 @@
 //     an immutable (program, session) pair and each request evaluates
 //     against a Fork;
 //   - evaluation options are one struct threaded through the facade's
-//     functional options, so per-request knobs (workers, max_stages,
-//     stats) need no engine-specific plumbing.
+//     functional options, so per-request knobs (workers, shards,
+//     max_stages, stats) need no engine-specific plumbing.
+//
+// The daemon is multi-tenant: a bounded admission gate (see
+// admission.go) caps concurrent evaluations, queues excess requests
+// fairly across programs, and sheds load with 429/503 + Retry-After
+// once the queue is full or the wait budget is spent.
 //
 // Endpoints: POST /v1/eval, POST /v1/query (magic-sets), POST
-// /v1/analyze (the static program analyzer), GET /healthz, GET
-// /statsz.
+// /v1/analyze (the static program analyzer), GET /v1/status
+// (build identity + effective limits), GET /healthz, GET /statsz,
+// GET /metrics. Every POST endpoint shares the Envelope request
+// fields and the ErrorInfo error envelope (stable "code" values);
+// see docs/API.md.
 package serve
 
 import (
@@ -29,6 +37,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +59,20 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps the per-request timeout_ms (default 5m).
 	MaxTimeout time.Duration
+	// MaxShards clamps the per-request "shards" field (default 8).
+	MaxShards int
+	// DefaultShards is used when a request does not set "shards"
+	// (default 1, i.e. serial delta rounds).
+	DefaultShards int
+	// MaxInFlight bounds concurrently evaluating requests (default 64;
+	// negative disables admission control). Requests beyond it queue.
+	MaxInFlight int
+	// QueueDepth bounds the total admission queue across tenants
+	// (default 128). Arrivals beyond it are shed with 429.
+	QueueDepth int
+	// QueueWait bounds how long one request may sit in the admission
+	// queue (default 1s). Expiry is reported as 503.
+	QueueWait time.Duration
 	// Logger, if non-nil, receives one structured record per request
 	// (id, method, path, status, duration).
 	Logger *slog.Logger
@@ -70,6 +94,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
 	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 8
+	}
+	if c.DefaultShards <= 0 {
+		c.DefaultShards = 1
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
 	return c
 }
 
@@ -80,6 +119,10 @@ type Server struct {
 	cache *progCache
 	mux   *http.ServeMux
 	start time.Time
+	// gate is the admission controller: a bounded in-flight semaphore
+	// with per-tenant (program-digest) fair queuing. nil-safe; disabled
+	// when cfg.MaxInFlight is negative.
+	gate *gate
 
 	// Monotonic service counters, reported by /statsz and /metrics.
 	requests       atomic.Uint64
@@ -92,8 +135,13 @@ type Server struct {
 	stagesRun      atomic.Uint64
 	workersClamped atomic.Uint64
 	timeoutClamped atomic.Uint64
+	shardsClamped  atomic.Uint64
 	analyzes       atomic.Uint64
 	analyzeErrs    atomic.Uint64
+	// Shard-parallel evaluation traffic, summed from per-request stats
+	// summaries like the COW counters below.
+	shardRounds atomic.Uint64
+	shardFacts  atomic.Uint64
 	// Storage-layer copy-on-write traffic, summed from the per-request
 	// stats summaries (only requests that carry a collector report it).
 	cowSnapshots  atomic.Uint64
@@ -122,6 +170,9 @@ func New(cfg Config) *Server {
 		semCounts: map[string]*atomic.Uint64{},
 		log:       cfg.Logger,
 	}
+	if s.cfg.MaxInFlight > 0 {
+		s.gate = newGate(s.cfg.MaxInFlight, s.cfg.QueueDepth, s.cfg.QueueWait)
+	}
 	for _, name := range unchained.SemanticsNames() {
 		s.semCounts[name] = &atomic.Uint64{}
 	}
@@ -129,6 +180,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/eval", s.handleEval)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -176,33 +228,97 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ErrorInfo is the JSON error payload.
+// Stable wire error codes: the "code" field of the error envelope.
+// Clients should branch on these, never on the message text. New codes
+// may be added; existing codes never change meaning.
+const (
+	CodeBadRequest     = "bad_request" // malformed body or method
+	CodeParse          = "parse_error" // program/facts/query did not parse
+	CodeUnknownSem     = "unknown_semantics"
+	CodeInvalidOptions = "invalid_options" // negative workers/shards etc.
+	CodeEval           = "eval_error"      // evaluation failed
+	CodeDeadline       = "deadline"        // timeout_ms or server deadline hit
+	CodeCanceled       = "canceled"        // client went away
+	CodeOverloaded     = "overloaded"      // admission queue full (429)
+	CodeQueueTimeout   = "queue_timeout"   // queued past the wait budget (503)
+	CodeAnalyze        = "analyze_error"   // program is inadmissible
+)
+
+// kindFor maps a stable code to the legacy "kind" value, kept so
+// pre-envelope clients that branch on kind keep working.
+func kindFor(code string) string {
+	switch code {
+	case CodeParse:
+		return "parse"
+	case CodeEval:
+		return "eval"
+	case CodeDeadline:
+		return "deadline"
+	case CodeCanceled:
+		return "canceled"
+	case CodeAnalyze:
+		return "analyze"
+	case CodeOverloaded, CodeQueueTimeout:
+		return "overloaded"
+	default:
+		return "bad_request"
+	}
+}
+
+// ErrorInfo is the error envelope shared by every endpoint: a stable
+// machine-readable Code, a human-readable Message, and optional
+// Details (e.g. the list of known semantics, or retry hints).
+//
+// Kind predates Code and is retained for compatibility; new clients
+// should branch on Code.
 type ErrorInfo struct {
 	// Kind is one of "bad_request", "parse", "eval", "deadline",
-	// "canceled".
-	Kind    string `json:"kind"`
-	Message string `json:"message"`
+	// "canceled", "analyze", "overloaded".
+	//
+	// Deprecated: branch on Code.
+	Kind string `json:"kind"`
+	// Code is a stable error code (the Code* constants).
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// errInfo builds the envelope for a code, deriving the legacy kind.
+func errInfo(code, msg string) *ErrorInfo {
+	return &ErrorInfo{Kind: kindFor(code), Code: code, Message: msg}
+}
+
+// Envelope is the request envelope shared by every /v1 POST body.
+// Endpoint-specific requests embed it, so the wire shape stays flat
+// and identical to the pre-envelope schema.
+type Envelope struct {
+	// Program is the program source (any dialect of the family).
+	Program string `json:"program"`
+	// Facts is the EDB as ground facts (ignored by /v1/analyze).
+	Facts string `json:"facts,omitempty"`
+	// TimeoutMS bounds the evaluation; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers is the rule-parallel worker count per stage, clamped to
+	// the server maximum; 0 uses the server default; negative is
+	// rejected with code "invalid_options".
+	Workers int `json:"workers,omitempty"`
+	// Shards is the data-parallel shard count per semi-naive round,
+	// clamped to the server maximum; 0 uses the server default;
+	// negative is rejected with code "invalid_options".
+	Shards int `json:"shards,omitempty"`
+	// Stats requests the evaluation statistics summary.
+	Stats bool `json:"stats,omitempty"`
 }
 
 // EvalRequest is the body of POST /v1/eval.
 type EvalRequest struct {
-	// Program is the program source (any dialect of the family).
-	Program string `json:"program"`
-	// Facts is the EDB as ground facts.
-	Facts string `json:"facts"`
+	Envelope
 	// Semantics is a name accepted by SemanticsByName (default
 	// "minimal-model").
 	Semantics string `json:"semantics"`
-	// TimeoutMS bounds the evaluation; 0 uses the server default.
-	TimeoutMS int64 `json:"timeout_ms"`
 	// MaxStages bounds stages/iterations/steps; 0 is the engine
 	// default.
 	MaxStages int `json:"max_stages"`
-	// Workers is the stage-parallel worker count, clamped to the
-	// server maximum; 0 uses the server default.
-	Workers int `json:"workers"`
-	// Stats requests the evaluation statistics summary.
-	Stats bool `json:"stats"`
 	// Trace requests a per-request capture of the structured span
 	// stream (bounded to the most recent events), returned in the
 	// response's "trace" field.
@@ -228,13 +344,10 @@ type EvalResponse struct {
 // QueryRequest is the body of POST /v1/query: a goal-directed
 // (magic-sets) query against a positive Datalog program.
 type QueryRequest struct {
-	Program string `json:"program"`
-	Facts   string `json:"facts"`
+	Envelope
 	// Query is the goal atom, e.g. "T(a,X)"; constant arguments are
 	// the bound positions.
-	Query     string `json:"query"`
-	TimeoutMS int64  `json:"timeout_ms"`
-	Stats     bool   `json:"stats"`
+	Query string `json:"query"`
 }
 
 // QueryResponse is the body of POST /v1/query responses.
@@ -254,26 +367,31 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body)
 }
 
-// decode reads a bounded JSON body. Programs are text, not bulk data;
-// 8 MiB is far beyond any reasonable request and bounds memory per
-// connection.
+// maxBodyBytes bounds request bodies. Programs are text, not bulk
+// data; 8 MiB is far beyond any reasonable request and bounds memory
+// per connection.
+const maxBodyBytes = 8 << 20
+
+// decode reads a bounded JSON body.
 func decode(r *http.Request, into any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
 		return err
 	}
 	return json.Unmarshal(body, into)
 }
 
-// classify maps an evaluation error to (kind, HTTP status).
+// classify maps an evaluation error to (stable code, HTTP status).
 func classify(err error) (string, int) {
 	switch {
 	case errors.Is(err, unchained.ErrDeadline):
-		return "deadline", http.StatusRequestTimeout
+		return CodeDeadline, http.StatusRequestTimeout
 	case errors.Is(err, unchained.ErrCanceled):
-		return "canceled", http.StatusRequestTimeout
+		return CodeCanceled, http.StatusRequestTimeout
+	case errors.Is(err, unchained.ErrInvalidOptions):
+		return CodeInvalidOptions, http.StatusBadRequest
 	default:
-		return "eval", http.StatusUnprocessableEntity
+		return CodeEval, http.StatusUnprocessableEntity
 	}
 }
 
@@ -297,16 +415,65 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 	return context.WithTimeout(r.Context(), d)
 }
 
-func (s *Server) workerCount(requested int) int {
-	w := requested
-	if w <= 0 {
+// parallelFor resolves the envelope's workers/shards fields into the
+// engine's Parallel options, converging on one validation rule with
+// engine.Options.Validate: negative is an error (the engine rejects it
+// with ErrInvalidOptions, so the daemon must not silently default it),
+// zero selects the server default, and above-maximum clamps (counted,
+// never an error — ceilings are the operator's business, not the
+// client's).
+func (s *Server) parallelFor(env Envelope) (unchained.Parallel, *ErrorInfo) {
+	if env.Workers < 0 || env.Shards < 0 {
+		info := errInfo(CodeInvalidOptions,
+			fmt.Sprintf("workers (%d) and shards (%d) must be >= 0", env.Workers, env.Shards))
+		info.Details = map[string]any{"workers": env.Workers, "shards": env.Shards}
+		return unchained.Parallel{}, info
+	}
+	w := env.Workers
+	if w == 0 {
 		w = s.cfg.DefaultWorkers
 	}
 	if w > s.cfg.MaxWorkers {
 		s.workersClamped.Add(1)
 		w = s.cfg.MaxWorkers
 	}
-	return w
+	sh := env.Shards
+	if sh == 0 {
+		sh = s.cfg.DefaultShards
+	}
+	if sh > s.cfg.MaxShards {
+		s.shardsClamped.Add(1)
+		sh = s.cfg.MaxShards
+	}
+	return unchained.Parallel{Workers: w, Shards: sh}, nil
+}
+
+// admit runs the request through the admission gate, keyed by the
+// parse-cache digest of its program (the tenant). It reports whether
+// the request may proceed; on false it has already written the 429 or
+// 503 envelope (with a Retry-After hint) into resp via setErr.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, tenant string, writeResp func(status int, info *ErrorInfo)) bool {
+	err := s.gate.acquire(r.Context(), tenant)
+	if err == nil {
+		return true
+	}
+	switch {
+	case errors.Is(err, errShed):
+		w.Header().Set("Retry-After", "1")
+		info := errInfo(CodeOverloaded, "admission queue full; retry later")
+		info.Details = map[string]any{"retry_after_s": 1}
+		writeResp(http.StatusTooManyRequests, info)
+	case errors.Is(err, errQueueWait):
+		w.Header().Set("Retry-After", "1")
+		info := errInfo(CodeQueueTimeout, "queued past the admission wait budget; retry later")
+		info.Details = map[string]any{"retry_after_s": 1}
+		writeResp(http.StatusServiceUnavailable, info)
+	default:
+		// Client went away while queued.
+		s.cancels.Add(1)
+		writeResp(http.StatusRequestTimeout, errInfo(CodeCanceled, err.Error()))
+	}
+	return false
 }
 
 // countSemantics attributes one evaluation attempt to its semantics
@@ -319,13 +486,13 @@ func (s *Server) countSemantics(name string) {
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, EvalResponse{Error: &ErrorInfo{Kind: "bad_request", Message: "POST required"}})
+		writeJSON(w, http.StatusMethodNotAllowed, EvalResponse{Error: errInfo(CodeBadRequest, "POST required")})
 		return
 	}
 	var req EvalRequest
 	if err := decode(r, &req); err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: &ErrorInfo{Kind: "bad_request", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: errInfo(CodeBadRequest, err.Error())})
 		return
 	}
 	semName := req.Semantics
@@ -335,17 +502,31 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	sem, ok := unchained.SemanticsByName[semName]
 	if !ok {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: &ErrorInfo{Kind: "bad_request",
-			Message: fmt.Sprintf("unknown semantics %q (one of %v)", semName, unchained.SemanticsNames())}})
+		info := errInfo(CodeUnknownSem,
+			fmt.Sprintf("unknown semantics %q (one of %v)", semName, unchained.SemanticsNames()))
+		info.Details = map[string]any{"semantics": unchained.SemanticsNames()}
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: info})
+		return
+	}
+	par, info := s.parallelFor(req.Envelope)
+	if info != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: info})
 		return
 	}
 
 	entry, err := s.cache.get(req.Program)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: errInfo(CodeParse, err.Error())})
 		return
 	}
+	if !s.admit(w, r, entry.key, func(status int, info *ErrorInfo) {
+		writeJSON(w, status, EvalResponse{Error: info})
+	}) {
+		return
+	}
+	defer s.gate.release()
 	// The fork gives this request a private universe: the cached parse
 	// stays valid (dense handles survive cloning) and concurrent
 	// requests never contend.
@@ -353,7 +534,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	in, err := sess.Facts(req.Facts)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: errInfo(CodeParse, err.Error())})
 		return
 	}
 
@@ -362,7 +543,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 
 	opts := []unchained.Opt{
 		unchained.WithMaxStages(req.MaxStages),
-		unchained.WithWorkers(s.workerCount(req.Workers)),
+		unchained.WithParallel(par),
 		unchained.WithPlanCache(entry.plans),
 	}
 	if req.Stats {
@@ -397,16 +578,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		resp.TraceDropped = rec.Dropped()
 	}
 	if err != nil {
-		kind, status := classify(err)
-		switch kind {
-		case "deadline":
+		code, status := classify(err)
+		switch code {
+		case CodeDeadline:
 			s.timeouts.Add(1)
-		case "canceled":
+		case CodeCanceled:
 			s.cancels.Add(1)
 		default:
 			s.evalErrs.Add(1)
 		}
-		resp.Error = &ErrorInfo{Kind: kind, Message: err.Error()}
+		resp.Error = errInfo(code, err.Error())
 		writeJSON(w, status, resp)
 		return
 	}
@@ -418,38 +599,53 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, QueryResponse{Error: &ErrorInfo{Kind: "bad_request", Message: "POST required"}})
+		writeJSON(w, http.StatusMethodNotAllowed, QueryResponse{Error: errInfo(CodeBadRequest, "POST required")})
 		return
 	}
 	var req QueryRequest
 	if err := decode(r, &req); err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: &ErrorInfo{Kind: "bad_request", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errInfo(CodeBadRequest, err.Error())})
+		return
+	}
+	par, info := s.parallelFor(req.Envelope)
+	if info != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: info})
 		return
 	}
 	entry, err := s.cache.get(req.Program)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errInfo(CodeParse, err.Error())})
 		return
 	}
+	if !s.admit(w, r, entry.key, func(status int, info *ErrorInfo) {
+		writeJSON(w, status, QueryResponse{Error: info})
+	}) {
+		return
+	}
+	defer s.gate.release()
 	sess := entry.base.Fork()
 	in, err := sess.Facts(req.Facts)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errInfo(CodeParse, err.Error())})
 		return
 	}
 	goal, err := sess.ParseAtom(req.Query)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errInfo(CodeParse, err.Error())})
 		return
 	}
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	opts := []unchained.Opt{unchained.WithPlanCache(entry.plans)}
+	opts := []unchained.Opt{
+		unchained.WithParallel(par),
+		unchained.WithPlanCache(entry.plans),
+	}
 	if req.Stats {
 		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
 	}
@@ -464,16 +660,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	resp := QueryResponse{Stats: summary}
 	if err != nil {
-		kind, status := classify(err)
-		switch kind {
-		case "deadline":
+		code, status := classify(err)
+		switch code {
+		case CodeDeadline:
 			s.timeouts.Add(1)
-		case "canceled":
+		case CodeCanceled:
 			s.cancels.Add(1)
 		default:
 			s.evalErrs.Add(1)
 		}
-		resp.Error = &ErrorInfo{Kind: kind, Message: err.Error()}
+		resp.Error = errInfo(code, err.Error())
 		writeJSON(w, status, resp)
 		return
 	}
@@ -487,9 +683,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // AnalyzeRequest is the body of POST /v1/analyze: static analysis of
-// a program, no facts and no evaluation.
+// a program, no facts and no evaluation. Only the envelope's Program
+// field is consulted; the evaluation knobs are ignored.
 type AnalyzeRequest struct {
-	Program string `json:"program"`
+	Envelope
 }
 
 // AnalyzeResponse is the body of POST /v1/analyze responses. OK is
@@ -504,19 +701,19 @@ type AnalyzeResponse struct {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, AnalyzeResponse{Error: &ErrorInfo{Kind: "bad_request", Message: "POST required"}})
+		writeJSON(w, http.StatusMethodNotAllowed, AnalyzeResponse{Error: errInfo(CodeBadRequest, "POST required")})
 		return
 	}
 	var req AnalyzeRequest
 	if err := decode(r, &req); err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, AnalyzeResponse{Error: &ErrorInfo{Kind: "bad_request", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, AnalyzeResponse{Error: errInfo(CodeBadRequest, err.Error())})
 		return
 	}
 	entry, err := s.cache.get(req.Program)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, AnalyzeResponse{Error: &ErrorInfo{Kind: "parse", Message: err.Error()}})
+		writeJSON(w, http.StatusBadRequest, AnalyzeResponse{Error: errInfo(CodeParse, err.Error())})
 		return
 	}
 	s.analyzes.Add(1)
@@ -528,11 +725,74 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.analyzeErrs.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, AnalyzeResponse{
 			Report: rep,
-			Error:  &ErrorInfo{Kind: "analyze", Message: rep.Diags.Err().Error()},
+			Error:  errInfo(CodeAnalyze, rep.Diags.Err().Error()),
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, AnalyzeResponse{OK: true, Report: rep})
+}
+
+// Limits is the /v1/status view of the server's effective knobs:
+// everything a client needs to know to shape requests (ceilings,
+// defaults, admission capacity).
+type Limits struct {
+	MaxWorkers       int   `json:"max_workers"`
+	DefaultWorkers   int   `json:"default_workers"`
+	MaxShards        int   `json:"max_shards"`
+	DefaultShards    int   `json:"default_shards"`
+	MaxInFlight      int   `json:"max_in_flight"`
+	QueueDepth       int   `json:"queue_depth"`
+	QueueWaitMS      int64 `json:"queue_wait_ms"`
+	DefaultTimeoutMS int64 `json:"default_timeout_ms"`
+	MaxTimeoutMS     int64 `json:"max_timeout_ms"`
+	MaxBodyBytes     int64 `json:"max_body_bytes"`
+	CacheSize        int   `json:"cache_size"`
+}
+
+// StatusResponse is the body of GET /v1/status: build identity, the
+// supported semantics, and the effective limits. Unlike /statsz it
+// carries configuration, not counters — poll /statsz or /metrics for
+// traffic.
+type StatusResponse struct {
+	Service   string   `json:"service"`
+	GoVersion string   `json:"go_version"`
+	Revision  string   `json:"revision,omitempty"`
+	UptimeMS  int64    `json:"uptime_ms"`
+	Semantics []string `json:"semantics"`
+	Endpoints []string `json:"endpoints"`
+	Limits    Limits   `json:"limits"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rev := ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				rev = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Service:   "unchained-serve",
+		GoVersion: runtime.Version(),
+		Revision:  rev,
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Semantics: unchained.SemanticsNames(),
+		Endpoints: []string{"/v1/eval", "/v1/query", "/v1/analyze", "/v1/status", "/healthz", "/statsz", "/metrics"},
+		Limits: Limits{
+			MaxWorkers:       s.cfg.MaxWorkers,
+			DefaultWorkers:   s.cfg.DefaultWorkers,
+			MaxShards:        s.cfg.MaxShards,
+			DefaultShards:    s.cfg.DefaultShards,
+			MaxInFlight:      s.cfg.MaxInFlight,
+			QueueDepth:       s.cfg.QueueDepth,
+			QueueWaitMS:      s.cfg.QueueWait.Milliseconds(),
+			DefaultTimeoutMS: s.cfg.DefaultTimeout.Milliseconds(),
+			MaxTimeoutMS:     s.cfg.MaxTimeout.Milliseconds(),
+			MaxBodyBytes:     maxBodyBytes,
+			CacheSize:        s.cfg.CacheSize,
+		},
+	})
 }
 
 // Healthz is the body of GET /healthz.
@@ -554,29 +814,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // /metrics renders from, so the two surfaces can never disagree on a
 // counter value taken at the same instant.
 type Statsz struct {
-	UptimeMS        int64  `json:"uptime_ms"`
-	Requests        uint64 `json:"requests"`
-	EvalsOK         uint64 `json:"evals_ok"`
-	EvalErrors      uint64 `json:"eval_errors"`
-	Timeouts        uint64 `json:"timeouts"`
-	Canceled        uint64 `json:"canceled"`
-	BadRequests     uint64 `json:"bad_requests"`
-	InFlight        int64  `json:"in_flight"`
-	StagesRun       uint64 `json:"stages_run"`
-	Analyzes        uint64 `json:"analyzes"`
-	AnalyzeErrors   uint64 `json:"analyze_errors"`
+	UptimeMS      int64  `json:"uptime_ms"`
+	Requests      uint64 `json:"requests"`
+	EvalsOK       uint64 `json:"evals_ok"`
+	EvalErrors    uint64 `json:"eval_errors"`
+	Timeouts      uint64 `json:"timeouts"`
+	Canceled      uint64 `json:"canceled"`
+	BadRequests   uint64 `json:"bad_requests"`
+	InFlight      int64  `json:"in_flight"`
+	StagesRun     uint64 `json:"stages_run"`
+	Analyzes      uint64 `json:"analyzes"`
+	AnalyzeErrors uint64 `json:"analyze_errors"`
+	// WorkersClamped and TimeoutsClamped predate /v1/status; the
+	// ceilings they count against now live there under "limits".
+	//
+	// Deprecated: read the limits from /v1/status and the clamp
+	// counters from /metrics; these fields remain for dashboards.
 	WorkersClamped  uint64 `json:"workers_clamped"`
 	TimeoutsClamped uint64 `json:"timeouts_clamped"`
-	CowSnapshots    uint64 `json:"cow_snapshots"`
-	CowPromotions   uint64 `json:"cow_promotions"`
-	CowTuplesCopied uint64 `json:"cow_tuples_copied"`
-	CacheHits       uint64 `json:"cache_hits"`
-	CacheMisses     uint64 `json:"cache_misses"`
-	CacheEvictions  uint64 `json:"cache_evictions"`
-	CacheSize       int    `json:"cache_size"`
-	PlanCacheHits   uint64 `json:"plan_cache_hits"`
-	PlanCacheMisses uint64 `json:"plan_cache_misses"`
-	PlanCacheSize   int    `json:"plan_cache_size"`
+	ShardsClamped   uint64 `json:"shards_clamped"`
+	// Admission-control traffic: requests admitted (immediately or
+	// after queuing), requests that queued, requests shed at a full
+	// queue (429), requests that timed out queued (503), and the
+	// current queue depth.
+	Admitted      uint64 `json:"admitted"`
+	Queued        uint64 `json:"queued"`
+	Shed          uint64 `json:"shed"`
+	QueueTimeouts uint64 `json:"queue_timeouts"`
+	QueueDepth    int    `json:"queue_depth"`
+	// Shard-parallel evaluation traffic, summed from per-request stats
+	// summaries (requests that carry a collector).
+	ShardRounds      uint64 `json:"shard_rounds"`
+	ShardFactsMerged uint64 `json:"shard_facts_merged"`
+	CowSnapshots     uint64 `json:"cow_snapshots"`
+	CowPromotions    uint64 `json:"cow_promotions"`
+	CowTuplesCopied  uint64 `json:"cow_tuples_copied"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	CacheEvictions   uint64 `json:"cache_evictions"`
+	CacheSize        int    `json:"cache_size"`
+	PlanCacheHits    uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses  uint64 `json:"plan_cache_misses"`
+	PlanCacheSize    int    `json:"plan_cache_size"`
 }
 
 // snapshot reads every service counter once; both /statsz and
@@ -584,37 +863,54 @@ type Statsz struct {
 func (s *Server) snapshot() Statsz {
 	hits, misses, evictions, size := s.cache.stats()
 	planHits, planMisses, planSize := s.cache.planStats()
+	var admitted, queuedTot, shed, waitDrop uint64
+	var depth int
+	if s.gate != nil {
+		admitted = s.gate.admitted.Load()
+		queuedTot = s.gate.queuedTot.Load()
+		shed = s.gate.shed.Load()
+		waitDrop = s.gate.waitDrop.Load()
+		depth = s.gate.depth()
+	}
 	return Statsz{
-		UptimeMS:        time.Since(s.start).Milliseconds(),
-		Requests:        s.requests.Load(),
-		EvalsOK:         s.evalsOK.Load(),
-		EvalErrors:      s.evalErrs.Load(),
-		Timeouts:        s.timeouts.Load(),
-		Canceled:        s.cancels.Load(),
-		BadRequests:     s.badReqs.Load(),
-		InFlight:        s.inFlight.Load(),
-		StagesRun:       s.stagesRun.Load(),
-		Analyzes:        s.analyzes.Load(),
-		AnalyzeErrors:   s.analyzeErrs.Load(),
-		WorkersClamped:  s.workersClamped.Load(),
-		TimeoutsClamped: s.timeoutClamped.Load(),
-		CowSnapshots:    s.cowSnapshots.Load(),
-		CowPromotions:   s.cowPromotions.Load(),
-		CowTuplesCopied: s.cowTuples.Load(),
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheEvictions:  evictions,
-		CacheSize:       size,
-		PlanCacheHits:   planHits,
-		PlanCacheMisses: planMisses,
-		PlanCacheSize:   planSize,
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		Requests:         s.requests.Load(),
+		EvalsOK:          s.evalsOK.Load(),
+		EvalErrors:       s.evalErrs.Load(),
+		Timeouts:         s.timeouts.Load(),
+		Canceled:         s.cancels.Load(),
+		BadRequests:      s.badReqs.Load(),
+		InFlight:         s.inFlight.Load(),
+		StagesRun:        s.stagesRun.Load(),
+		Analyzes:         s.analyzes.Load(),
+		AnalyzeErrors:    s.analyzeErrs.Load(),
+		WorkersClamped:   s.workersClamped.Load(),
+		TimeoutsClamped:  s.timeoutClamped.Load(),
+		ShardsClamped:    s.shardsClamped.Load(),
+		Admitted:         admitted,
+		Queued:           queuedTot,
+		Shed:             shed,
+		QueueTimeouts:    waitDrop,
+		QueueDepth:       depth,
+		ShardRounds:      s.shardRounds.Load(),
+		ShardFactsMerged: s.shardFacts.Load(),
+		CowSnapshots:     s.cowSnapshots.Load(),
+		CowPromotions:    s.cowPromotions.Load(),
+		CowTuplesCopied:  s.cowTuples.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheEvictions:   evictions,
+		CacheSize:        size,
+		PlanCacheHits:    planHits,
+		PlanCacheMisses:  planMisses,
+		PlanCacheSize:    planSize,
 	}
 }
 
-// countCow folds one evaluation's copy-on-write counters into the
-// service totals. Summaries are only present when the request carried
-// a stats collector (stats or trace flags), so the totals are a lower
-// bound on actual COW traffic.
+// countCow folds one evaluation's copy-on-write and shard counters
+// into the service totals. Summaries are only present when the request
+// carried a stats collector (stats or trace flags), so the totals are
+// a lower bound on actual traffic.
 func (s *Server) countCow(sum *unchained.StatsSummary) {
 	if sum == nil {
 		return
@@ -622,6 +918,8 @@ func (s *Server) countCow(sum *unchained.StatsSummary) {
 	s.cowSnapshots.Add(sum.CowSnapshots)
 	s.cowPromotions.Add(sum.CowPromotions)
 	s.cowTuples.Add(sum.CowTuplesCopied)
+	s.shardRounds.Add(sum.ShardRounds)
+	s.shardFacts.Add(sum.ShardFactsMerged)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

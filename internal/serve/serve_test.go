@@ -46,12 +46,7 @@ func post(t *testing.T, url string, body any) (*http.Response, []byte) {
 
 func TestEvalEndpoint(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
-		Program:   tcProgram,
-		Facts:     `G(a,b). G(b,c).`,
-		Semantics: "minimal-model",
-		Stats:     true,
-	})
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram, Facts: `G(a,b). G(b,c).`, Stats: true}, Semantics: "minimal-model"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -74,12 +69,7 @@ func TestEvalEndpoint(t *testing.T) {
 func TestEvalTimeoutReturnsTypedErrorAndPartialStats(t *testing.T) {
 	ts := newTestServer(t)
 	start := time.Now()
-	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
-		Program:   queries.Counter(30),
-		Semantics: "noninflationary",
-		TimeoutMS: 100,
-		Stats:     true,
-	})
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: queries.Counter(30), TimeoutMS: 100, Stats: true}, Semantics: "noninflationary"})
 	elapsed := time.Since(start)
 	if resp.StatusCode != http.StatusRequestTimeout {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
@@ -114,13 +104,7 @@ func TestConcurrentEvals(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
-				Program:   tcProgram,
-				Facts:     fmt.Sprintf(`G(a,b). G(b,c). G(c,d%d).`, i),
-				Semantics: "minimal-model",
-				Workers:   2,
-				Stats:     true,
-			})
+			resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram, Facts: fmt.Sprintf(`G(a,b). G(b,c). G(c,d%d).`, i), Workers: 2, Stats: true}, Semantics: "minimal-model"})
 			if resp.StatusCode != http.StatusOK {
 				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
 				return
@@ -146,12 +130,7 @@ func TestConcurrentEvals(t *testing.T) {
 
 func TestQueryEndpoint(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts.URL+"/v1/query", QueryRequest{
-		Program: tcProgram,
-		Facts:   `G(a,b). G(b,c). G(x,y).`,
-		Query:   `T(a,X)`,
-		Stats:   true,
-	})
+	resp, body := post(t, ts.URL+"/v1/query", QueryRequest{Envelope: Envelope{Program: tcProgram, Facts: `G(a,b). G(b,c). G(x,y).`, Stats: true}, Query: `T(a,X)`})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -190,8 +169,8 @@ func TestHealthzAndStatsz(t *testing.T) {
 	}
 
 	// One OK eval and one parse failure, then check the counters.
-	post(t, ts.URL+"/v1/eval", EvalRequest{Program: tcProgram, Facts: `G(a,b).`})
-	post(t, ts.URL+"/v1/eval", EvalRequest{Program: `syntax error here`})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram, Facts: `G(a,b).`}})
+	post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: `syntax error here`}})
 
 	resp, err = http.Get(ts.URL + "/statsz")
 	if err != nil {
@@ -247,10 +226,7 @@ func TestParseCache(t *testing.T) {
 
 func TestBadSemantics(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
-		Program:   tcProgram,
-		Semantics: "no-such-semantics",
-	})
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram}, Semantics: "no-such-semantics"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}

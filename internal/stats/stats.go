@@ -103,6 +103,12 @@ type Summary struct {
 	FullScans   uint64 `json:"full_scans"`
 	// WallNS is the total monotonic wall-clock time in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
+	// ShardRounds counts semi-naive delta rounds evaluated
+	// shard-parallel (Options.Shards > 1); ShardFactsMerged counts the
+	// facts those rounds pushed through the merge barrier (before
+	// deduplication). Zero for serial evaluation.
+	ShardRounds      uint64 `json:"shard_rounds,omitempty"`
+	ShardFactsMerged uint64 `json:"shard_facts_merged,omitempty"`
 	// CowSnapshots, CowPromotions, CowTuplesCopied and
 	// CowIndexesCarried expose the storage layer's copy-on-write
 	// traffic for the run: instance snapshots taken, relations
@@ -157,6 +163,8 @@ type Collector struct {
 	invented    atomic.Uint64
 	probes      atomic.Uint64
 	scans       atomic.Uint64
+	shardRounds atomic.Uint64
+	shardFacts  atomic.Uint64
 
 	start      time.Time
 	stageStart time.Time
@@ -288,6 +296,8 @@ func (c *Collector) Reset(engine string, ruleNames []string) {
 	c.invented.Store(0)
 	c.probes.Store(0)
 	c.scans.Store(0)
+	c.shardRounds.Store(0)
+	c.shardFacts.Store(0)
 	c.stages = nil
 	c.stageCount = 0
 	c.truncated = false
@@ -520,6 +530,17 @@ func (c *Collector) Invented(n int) {
 	}
 }
 
+// ShardRound records one shard-parallel delta round that pushed
+// merged facts (pre-dedup) through the merge barrier. Called from the
+// engine's goroutine after the barrier closes.
+func (c *Collector) ShardRound(merged int) {
+	if c == nil {
+		return
+	}
+	c.shardRounds.Add(1)
+	c.shardFacts.Add(uint64(merged))
+}
+
 // Probe records one relation match: a full scan when scan is true, a
 // hash-index probe otherwise. Called from the evaluator's hot match
 // loop; a nil receiver costs one branch.
@@ -548,19 +569,21 @@ func (c *Collector) Summary() *Summary {
 	c.closeEval(true)
 	cur := c.snapshot()
 	s := &Summary{
-		Engine:          c.engine,
-		Stages:          c.stageCount,
-		Firings:         cur.firings,
-		Derived:         cur.derived,
-		Rederived:       cur.rederived,
-		Retractions:     cur.retractions,
-		Conflicts:       cur.conflicts,
-		Invented:        cur.invented,
-		IndexProbes:     c.probes.Load(),
-		FullScans:       c.scans.Load(),
-		WallNS:          time.Since(c.start).Nanoseconds(),
-		PerStage:        append([]StageStats(nil), c.stages...),
-		StagesTruncated: c.truncated,
+		Engine:           c.engine,
+		Stages:           c.stageCount,
+		Firings:          cur.firings,
+		Derived:          cur.derived,
+		Rederived:        cur.rederived,
+		Retractions:      cur.retractions,
+		Conflicts:        cur.conflicts,
+		Invented:         cur.invented,
+		IndexProbes:      c.probes.Load(),
+		FullScans:        c.scans.Load(),
+		ShardRounds:      c.shardRounds.Load(),
+		ShardFactsMerged: c.shardFacts.Load(),
+		WallNS:           time.Since(c.start).Nanoseconds(),
+		PerStage:         append([]StageStats(nil), c.stages...),
+		StagesTruncated:  c.truncated,
 	}
 	cw := c.cow.Load()
 	s.CowSnapshots = cw.Snapshots

@@ -1,0 +1,111 @@
+package tuple
+
+import (
+	"fmt"
+	"testing"
+
+	"unchained/internal/value"
+)
+
+func TestTupleHashDeterministicAndKeyConsistent(t *testing.T) {
+	u := value.New()
+	a, b := u.Sym("a"), u.Sym("b")
+	t1 := Tuple{a, b}
+	t2 := Tuple{a, b}
+	if t1.Hash() != t2.Hash() {
+		t.Fatal("equal tuples must hash equally")
+	}
+	if (Tuple{b, a}).Hash() == t1.Hash() {
+		t.Fatal("hash should depend on position (swapped tuple collided; FNV over packed layout broken)")
+	}
+	if (Tuple{}).Hash() != (Tuple{}).Hash() {
+		t.Fatal("empty tuple hash not stable")
+	}
+}
+
+func TestTupleShardBounds(t *testing.T) {
+	u := value.New()
+	for i := 0; i < 100; i++ {
+		tp := Tuple{u.Sym(fmt.Sprintf("v%d", i))}
+		for _, n := range []int{0, 1, 2, 7, 8} {
+			s := tp.Shard(n)
+			if n <= 1 {
+				if s != 0 {
+					t.Fatalf("Shard(%d) = %d, want 0", n, s)
+				}
+				continue
+			}
+			if s < 0 || s >= n {
+				t.Fatalf("Shard(%d) = %d out of range", n, s)
+			}
+		}
+	}
+}
+
+func TestPartitionDisjointCover(t *testing.T) {
+	u := value.New()
+	in := NewInstance()
+	for i := 0; i < 500; i++ {
+		in.Insert("R", Tuple{u.Sym(fmt.Sprintf("a%d", i)), u.Sym(fmt.Sprintf("b%d", i%7))})
+	}
+	for i := 0; i < 50; i++ {
+		in.Insert("S", Tuple{u.Sym(fmt.Sprintf("c%d", i))})
+	}
+	in.Ensure("Empty", 3)
+
+	for _, n := range []int{1, 2, 8} {
+		parts := in.Partition(n)
+		if len(parts) != max(n, 1) {
+			t.Fatalf("Partition(%d) returned %d parts", n, len(parts))
+		}
+		// Uniform schema: every part materializes every relation.
+		for i, p := range parts {
+			for _, name := range []string{"R", "S", "Empty"} {
+				r := p.Relation(name)
+				if r == nil {
+					t.Fatalf("n=%d part %d missing relation %s", n, i, name)
+				}
+				if want := in.Relation(name).Arity(); r.Arity() != want {
+					t.Fatalf("n=%d part %d relation %s arity %d want %d", n, i, name, r.Arity(), want)
+				}
+			}
+		}
+		// Disjoint cover: counts add up and every tuple lands on the
+		// shard its hash selects.
+		for _, name := range []string{"R", "S", "Empty"} {
+			total := 0
+			for i, p := range parts {
+				r := p.Relation(name)
+				total += r.Len()
+				i := i
+				r.Each(func(tp Tuple) bool {
+					if got := tp.Shard(n); got != i {
+						t.Fatalf("tuple on shard %d, hash routes to %d", i, got)
+					}
+					return true
+				})
+			}
+			if total != in.Relation(name).Len() {
+				t.Fatalf("n=%d relation %s: parts hold %d tuples, source %d", n, name, total, in.Relation(name).Len())
+			}
+		}
+	}
+}
+
+func TestPartitionSpreadsTuples(t *testing.T) {
+	u := value.New()
+	in := NewInstance()
+	const total = 2000
+	for i := 0; i < total; i++ {
+		in.Insert("R", Tuple{u.Sym(fmt.Sprintf("x%d", i)), u.Sym(fmt.Sprintf("y%d", i))})
+	}
+	parts := in.Partition(8)
+	for i, p := range parts {
+		n := p.Relation("R").Len()
+		// FNV-1a over distinct payloads should land within a loose
+		// band of the uniform share (total/8 = 250).
+		if n < total/16 || n > total/4 {
+			t.Errorf("shard %d holds %d of %d tuples; hash badly skewed", i, n, total)
+		}
+	}
+}

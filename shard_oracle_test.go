@@ -1,0 +1,176 @@
+package unchained_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"unchained"
+)
+
+// renderSharded evaluates one corpus case at the given shard count and
+// renders the outcome (stage count, sorted facts, error) to a
+// comparable string — the same shape the planner oracle uses.
+func renderSharded(t *testing.T, c struct {
+	prog      string
+	facts     string
+	order     bool
+	maxStages int
+}, sem unchained.Semantics, shards int) string {
+	t.Helper()
+	s, p, in := loadCase(t, c.prog, c.facts)
+	if c.order {
+		in = s.WithOrder(in)
+	}
+	res, err := s.EvalContext(context.Background(), p, in, sem,
+		unchained.WithMaxStages(c.maxStages),
+		unchained.WithParallel(unchained.Parallel{Shards: shards}))
+	out := ""
+	if res != nil && res.Out != nil {
+		out = fmt.Sprintf("stages=%d\n%s", res.Stages, s.Format(res.Out))
+	}
+	if err != nil {
+		out += "\nerror: " + err.Error()
+	}
+	return out
+}
+
+// TestShardedMatchesSerialOracle is the tentpole's semantic acceptance
+// check: for every program in the corpus under every deterministic
+// engine, shard-parallel semi-naive evaluation (2 and 8 shards) must
+// produce byte-identical output — same facts, same stage counts, same
+// errors — as the serial run. Partitioning the delta is an
+// implementation freedom; the model computed is not.
+func TestShardedMatchesSerialOracle(t *testing.T) {
+	for _, c := range plannerCases {
+		for _, name := range plannerSemantics {
+			sem, ok := unchained.SemanticsByName[name]
+			if !ok {
+				t.Fatalf("unknown semantics %q", name)
+			}
+			c, sem := c, sem
+			t.Run(c.prog+"/"+name, func(t *testing.T) {
+				serial := renderSharded(t, c, sem, 1)
+				for _, shards := range []int{2, 8} {
+					if got := renderSharded(t, c, sem, shards); got != serial {
+						t.Errorf("shards=%d diverges from serial:\n--- sharded ---\n%s\n--- serial ---\n%s", shards, got, serial)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedStatsMatchSerial pins the observability contract: a
+// sharded run must report the same derivation totals (firings,
+// derived, re-derived, stages) as the serial run, because workers
+// classify facts against their pre-round snapshots exactly as the
+// serial merge does. Only the shard_* counters may differ.
+func TestShardedStatsMatchSerial(t *testing.T) {
+	run := func(shards int) *unchained.StatsSummary {
+		s, p, in := loadCase(t, "tc.dl", "chain.facts")
+		col := unchained.NewStatsCollector()
+		if _, err := s.EvalContext(context.Background(), p, in,
+			unchained.SemanticsByName["minimal-model"],
+			unchained.WithStats(col),
+			unchained.WithParallel(unchained.Parallel{Shards: shards})); err != nil {
+			t.Fatal(err)
+		}
+		return col.Summary()
+	}
+	serial := run(1)
+	sharded := run(8)
+	if sharded.Firings != serial.Firings || sharded.Derived != serial.Derived ||
+		sharded.Rederived != serial.Rederived || sharded.Stages != serial.Stages {
+		t.Errorf("sharded stats diverge:\nserial:  %+v\nsharded: %+v", serial, sharded)
+	}
+	if serial.ShardRounds != 0 {
+		t.Errorf("serial run reported %d shard rounds", serial.ShardRounds)
+	}
+	if sharded.ShardRounds == 0 {
+		t.Errorf("sharded run reported no shard rounds: %+v", sharded)
+	}
+}
+
+// TestShardedCancellationNoGoroutineLeak cancels sharded evaluations
+// mid-flight — including mid-merge-barrier — and checks that no shard
+// worker or merge goroutine outlives its round. The engine must
+// surface the typed cancellation error with partial progress.
+func TestShardedCancellationNoGoroutineLeak(t *testing.T) {
+	s := unchained.NewSession()
+	// A heavy recursive join: enough per-round work that the deadline
+	// lands inside a shard round, not between rounds.
+	var facts strings.Builder
+	for i := 0; i < 220; i++ {
+		fmt.Fprintf(&facts, "G(n%d,n%d). ", i, (i+1)%220)
+		fmt.Fprintf(&facts, "G(n%d,m%d). ", i, (i*7)%220)
+	}
+	p := s.MustParse("T(X,Y) :- G(X,Y).\nT(X,Z) :- G(X,Y), T(Y,Z).")
+	in := s.MustFacts(facts.String())
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i)*time.Millisecond)
+		_, err := s.EvalContext(ctx, p, in, unchained.MinimalModel,
+			unchained.WithParallel(unchained.Parallel{Shards: 8}))
+		cancel()
+		if err == nil {
+			t.Skip("workload finished before the deadline; nothing to interrupt")
+		}
+		if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "canceled") {
+			t.Fatalf("want typed interruption, got %v", err)
+		}
+	}
+	// Workers poll cancellation every few hundred firings; give them a
+	// moment to drain through the barrier before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardedWithSharedPlanCache runs the daemon configuration —
+// shard workers reading plans from one shared PlanCache — across the
+// corpus for one engine and checks outputs still match serial.
+func TestShardedWithSharedPlanCache(t *testing.T) {
+	cache := unchained.NewPlanCache()
+	for _, c := range plannerCases {
+		c := c
+		t.Run(c.prog, func(t *testing.T) {
+			render := func(extra ...unchained.Opt) string {
+				s, p, in := loadCase(t, c.prog, c.facts)
+				if c.order {
+					in = s.WithOrder(in)
+				}
+				opts := append([]unchained.Opt{unchained.WithMaxStages(c.maxStages)}, extra...)
+				res, err := s.EvalContext(context.Background(), p, in,
+					unchained.SemanticsByName["minimal-model"], opts...)
+				out := ""
+				if res != nil && res.Out != nil {
+					out = fmt.Sprintf("stages=%d\n%s", res.Stages, s.Format(res.Out))
+				}
+				if err != nil {
+					out += "\nerror: " + err.Error()
+				}
+				return out
+			}
+			sharded := render(unchained.WithPlanCache(cache),
+				unchained.WithParallel(unchained.Parallel{Shards: 4}))
+			if serial := render(); sharded != serial {
+				t.Errorf("shared-cache sharded output diverges:\n--- sharded ---\n%s\n--- serial ---\n%s", sharded, serial)
+			}
+		})
+	}
+}

@@ -85,6 +85,10 @@ type (
 	// ConflictPolicy resolves simultaneous A / ¬A inference in
 	// Datalog¬¬ (pass one via WithConflictPolicy).
 	ConflictPolicy = engine.ConflictPolicy
+	// Parallel is the parallelism configuration (pass one via
+	// WithParallel): rule-level Workers, data-parallel Shards, and the
+	// merge-barrier buffer.
+	Parallel = engine.Parallel
 	// Tracer is a structured span-stream sink (pass one via
 	// WithTracer); see docs/OBSERVABILITY.md for the event model.
 	Tracer = trace.Tracer
@@ -121,6 +125,9 @@ func NarrateTrace(events []TraceEvent, w io.Writer) error { return trace.Narrate
 var (
 	ErrCanceled = engine.ErrCanceled
 	ErrDeadline = engine.ErrDeadline
+	// ErrInvalidOptions reports an evaluation option outside its
+	// domain (negative workers, shards, or merge buffer).
+	ErrInvalidOptions = engine.ErrInvalidOptions
 )
 
 // The Datalog¬¬ conflict policies (Section 4.2).
@@ -284,8 +291,23 @@ func WithStats(c *StatsCollector) Opt { return func(cfg *evalConfig) { cfg.opt.S
 // the engines whose unit differs); 0 means the engine default.
 func WithMaxStages(n int) Opt { return func(cfg *evalConfig) { cfg.opt.MaxStages = n } }
 
+// WithParallel installs the parallelism configuration: Workers
+// evaluates each stage's rules across that many goroutines
+// (inflationary engine), Shards hash-partitions each semi-naive delta
+// round across that many data-parallel workers over copy-on-write
+// forks (declarative engines and everything built on them), and
+// MergeBuffer sizes the merge-barrier channel (0 = default). The two
+// axes are orthogonal and both preserve byte-identical output; see
+// docs/PARALLEL.md. WithParallel replaces all three fields at once —
+// the zero value of an omitted field means serial/default.
+func WithParallel(p Parallel) Opt { return func(cfg *evalConfig) { cfg.opt.SetParallel(p) } }
+
 // WithWorkers evaluates each stage's rules across n goroutines
 // (inflationary engine); 0 or 1 means sequential.
+//
+// Deprecated: WithWorkers is the legacy single-axis knob, kept as a
+// wrapper for existing callers. Use WithParallel, which also exposes
+// the data-parallel shard axis.
 func WithWorkers(n int) Opt { return func(cfg *evalConfig) { cfg.opt.Workers = n } }
 
 // WithSeed fixes the RNG seed of sampled nondeterministic runs.
