@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet vet-custom lint-programs test race bench bench-json bench-baseline fmt-check fuzz-smoke verify serve-smoke serve-load explain-golden
+.PHONY: all build vet vet-custom lint-programs test race bench bench-json bench-baseline fmt-check fuzz-smoke verify serve-smoke serve-load explain-golden metrics-lint flight-soak
 
 all: verify
 
@@ -45,12 +45,12 @@ bench:
 
 # Regenerate the machine-readable experiment report (quick sizes).
 bench-json:
-	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR7.json
+	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR8.json
 
 # Compare a fresh quick run against the checked-in report; exits
 # non-zero when an experiment or benchmark slowed down by >25%.
 bench-baseline:
-	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR7.json -tolerance 0.25
+	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR8.json -tolerance 0.25
 
 # Run each native fuzz target briefly ("go test -fuzz" accepts one
 # target per invocation). Override FUZZTIME for longer local hunts.
@@ -79,6 +79,20 @@ serve-smoke:
 # observations. See docs/PARALLEL.md.
 serve-load:
 	$(GO) run ./cmd/unchained-bench -serve -serve-duration 5s
+
+# Boot a loopback daemon, drive traffic over every metric family, and
+# lint the live /metrics exposition with the hand-rolled checker
+# (internal/promlint): stable HELP/TYPE, no duplicate series, counter
+# naming, histogram completeness, bounded label cardinality.
+metrics-lint:
+	$(GO) run ./cmd/unchained-serve -metrics-lint
+
+# Saturate the daemon under the race detector: the flight recorder's
+# ring, top-K heap, and tenant table all take concurrent writes while
+# /debug/flight readers page through them.
+flight-soak:
+	$(GO) test -race -run 'TestFlight|TestLiveExposition' ./internal/serve/ ./internal/promlint/
+	$(GO) run -race ./cmd/unchained-bench -serve -serve-duration 5s
 
 # Tier-1 verification (see ROADMAP.md) plus the custom analyzers and
 # the program-library lint sweep.

@@ -30,17 +30,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"unchained"
 	"unchained/internal/ast"
 	"unchained/internal/core"
 	"unchained/internal/declarative"
 	"unchained/internal/engine"
+	"unchained/internal/flight"
 	"unchained/internal/magic"
 	"unchained/internal/nondet"
 	"unchained/internal/parser"
@@ -70,7 +74,7 @@ func exitCode(err error) int {
 
 // run evaluates per the flags, writing results to w and the -stats
 // JSON summary to ew (stderr in production, captured in tests).
-func run(args []string, w, ew io.Writer) error {
+func run(args []string, w, ew io.Writer) (err error) {
 	fs := flag.NewFlagSet("datalog", flag.ContinueOnError)
 	programPath := fs.String("program", "", "program file ('-' for stdin)")
 	factsPath := fs.String("facts", "", "ground facts file (optional)")
@@ -92,6 +96,7 @@ func run(args []string, w, ew io.Writer) error {
 	lintOn := fs.Bool("lint", false, "analyze the program instead of evaluating it; exits 1 on error diagnostics")
 	literalOrder := fs.Bool("literal-order", false, "disable the cardinality planner: join rule bodies in textual literal order")
 	jsonOut := fs.Bool("json", false, "with -lint: emit the full analysis report as JSON")
+	profileOn := fs.Bool("profile", false, "print a one-shot flight-record JSON profile to stderr after evaluation (same schema as the daemon's slow-query log)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,13 +112,19 @@ func run(args []string, w, ew io.Writer) error {
 	}
 
 	var col *stats.Collector
-	if *statsOn {
+	if *statsOn || *profileOn {
 		col = stats.New()
 	}
 	// Tracing without -stats still attaches an auto-created collector
 	// (the span stream rides on it), so results carry a non-nil
 	// summary; the -stats flag alone decides whether it is printed.
+	// -profile additionally retains the last summary for the flight
+	// record emitted when run returns.
+	var profSum *stats.Summary
 	emitStats := func(sum *stats.Summary) {
+		if sum != nil {
+			profSum = sum
+		}
 		if *statsOn && sum != nil {
 			fmt.Fprintln(ew, sum.JSON())
 		}
@@ -153,6 +164,40 @@ func run(args []string, w, ew io.Writer) error {
 			}
 			if nerr := trace.Narrate(rec.Events(), narrW); nerr != nil {
 				fmt.Fprintf(ew, "datalog: -explain: %v\n", nerr)
+			}
+		}()
+	}
+
+	if *profileOn {
+		// One-shot flight record on stderr: the CLI twin of the
+		// daemon's slow-query log line, same schema (endpoint "cli",
+		// no HTTP status), so post-mortem tooling reads both.
+		plans := &flight.PlanSink{}
+		tracer = trace.Multi(tracer, plans)
+		start := time.Now()
+		defer func() {
+			rec := &flight.Record{
+				ID:          flight.NewTraceID(),
+				Endpoint:    "cli",
+				Semantics:   *semantics,
+				StartUnixNS: start.UnixNano(),
+				Outcome:     "ok",
+				Workers:     *workers,
+				Shards:      *shards,
+				WallNS:      time.Since(start).Nanoseconds(),
+				Plans:       plans.Plans(),
+			}
+			rec.FromSummary(profSum)
+			rec.EvalNS = rec.StageWallNS
+			if err != nil {
+				rec.Outcome = "error"
+				if errors.Is(err, context.DeadlineExceeded) || engine.IsInterrupt(err) {
+					rec.Outcome = "deadline"
+				}
+				rec.Error = err.Error()
+			}
+			if b, jerr := json.Marshal(rec); jerr == nil {
+				fmt.Fprintln(ew, string(b))
 			}
 		}()
 	}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 
+	"unchained/internal/flight"
+	"unchained/internal/queries"
 	"unchained/internal/stats"
 )
 
@@ -372,5 +374,56 @@ func TestCLIWhyExplanation(t *testing.T) {
 	}
 	if _, err := runCLI(t, "-program", prog, "-facts", facts, "-semantics", "inflationary", "-why", "T(a,X)"); err == nil {
 		t.Fatalf("non-ground -why accepted")
+	}
+}
+
+// TestCLIProfile: -profile emits one flight-record JSON line on
+// stderr — the CLI twin of the daemon's slow-query log schema — with
+// the stage breakdown, shard attribution, and join plans filled in.
+func TestCLIProfile(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", `
+		T(X,Y) :- G(X,Y).
+		T(X,Y) :- G(X,Z), T(Z,Y).
+	`)
+	facts := write(t, dir, "g.facts", `G(a,b). G(b,c). G(c,d).`)
+	out, errOut, err := runCLIStats(t, "-program", prog, "-facts", facts, "-semantics", "datalog", "-shards", "2", "-profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "T(a,d).") {
+		t.Fatalf("missing answer:\n%s", out)
+	}
+	var rec flight.Record
+	if uerr := json.Unmarshal([]byte(strings.TrimSpace(errOut)), &rec); uerr != nil {
+		t.Fatalf("-profile stderr is not one flight record: %v: %q", uerr, errOut)
+	}
+	if rec.Endpoint != "cli" || rec.Outcome != "ok" || len(rec.ID) != 32 {
+		t.Fatalf("record identity off: %+v", rec)
+	}
+	if rec.Engine == "" || rec.Stages == 0 || rec.WallNS <= 0 || rec.StageWallNS <= 0 {
+		t.Fatalf("record totals missing: %+v", rec)
+	}
+	if len(rec.PerStage) == 0 || len(rec.PerShard) == 0 || len(rec.Plans) == 0 {
+		t.Fatalf("record breakdowns missing: %+v", rec)
+	}
+}
+
+// TestCLIProfileDeadline: an interrupted run still profiles, with
+// outcome "deadline" and the partial stage breakdown.
+func TestCLIProfileDeadline(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "counter.dl", queries.Counter(30))
+	_, errOut, err := runCLIStats(t, "-program", prog, "-semantics", "noninflationary", "-timeout", "50ms", "-profile")
+	if err == nil {
+		t.Fatal("2^30-stage counter finished under a 50ms deadline?")
+	}
+	lines := strings.Split(strings.TrimSpace(errOut), "\n")
+	var rec flight.Record
+	if uerr := json.Unmarshal([]byte(lines[len(lines)-1]), &rec); uerr != nil {
+		t.Fatalf("-profile stderr is not a flight record: %v: %q", uerr, errOut)
+	}
+	if rec.Outcome != "deadline" || rec.Error == "" {
+		t.Fatalf("interrupted record: %+v", rec)
 	}
 }

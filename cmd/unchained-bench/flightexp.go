@@ -1,0 +1,157 @@
+// P11: flight-recorder capture overhead. The daemon attaches a stats
+// collector and a plan-span sink to every evaluation (internal/serve
+// newCapture) so each request yields a flight record without opt-in.
+// This experiment prices that always-on capture on the two
+// regression-gated workloads — the P9 join-heavy planner shape and
+// the P10 sharded transitive closure — by evaluating each bare and
+// with the capture attached. The committed BENCH_PR8.json carries the
+// measured ratios; the in-code bar is deliberately loose (CI boxes
+// are noisy) while the acceptance target for the recorder design is
+// low single-digit percent.
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unchained/internal/declarative"
+	"unchained/internal/flight"
+	"unchained/internal/gen"
+	"unchained/internal/parser"
+	"unchained/internal/stats"
+	"unchained/internal/trace"
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// flightOverheadBar is the in-code acceptance bound on recorder
+// overhead (1.30 = 30% slower with capture attached). The committed
+// report is what the <=5% acceptance reads; the in-code bar only
+// catches a capture path that became pathological.
+const flightOverheadBar = 1.30
+
+// captureOpts mirrors serve.newCapture: a fresh collector plus a plan
+// sink, both attached for every request.
+func captureOpts(base declarative.Options) (declarative.Options, *stats.Collector, *flight.PlanSink) {
+	col := stats.New()
+	sink := &flight.PlanSink{}
+	base.Stats = col
+	base.Tracer = trace.Multi(sink)
+	return base, col, sink
+}
+
+func expP11(quick bool) error {
+	type workload struct {
+		name string
+		prog string
+		in   func(u *value.Universe) *tuple.Instance
+		opts declarative.Options
+	}
+	n9 := 1024
+	n10 := 192
+	if quick {
+		n9 = 512
+	}
+	workloads := []workload{
+		{
+			name: "planner/join-heavy",
+			prog: `
+				Q(X,Z) :- A(X,Y), B(Y,Z), Sel(Z).
+				R(X) :- A(X,Y), B(Y,Z), Sel(Z), Sel(X).
+			`,
+			in:   func(u *value.Universe) *tuple.Instance { return joinHeavyInstance(u, n9, 4, int64(n9)) },
+			opts: declarative.Options{},
+		},
+		{
+			name: "shard/tc-8shards",
+			prog: `
+				T(X,Y) :- E(X,Y).
+				T(X,Z) :- E(X,Y), T(Y,Z).
+			`,
+			in:   func(u *value.Universe) *tuple.Instance { return gen.Random(u, "E", n10, 6*n10, int64(n10)) },
+			opts: declarative.Options{Shards: 8},
+		},
+	}
+
+	fmt.Printf("%22s %12s %12s %9s\n", "workload", "bare", "recorder", "overhead")
+	worst := 0.0
+	for _, w := range workloads {
+		u := value.New()
+		in := w.in(u)
+		p := parser.MustParse(w.prog, u)
+
+		// Best-of-N on each side: the ratio of two minima is far more
+		// stable under CI noise than the ratio of two single shots.
+		best := func(opts declarative.Options) (time.Duration, error) {
+			var min time.Duration
+			for rep := 0; rep < 5; rep++ {
+				o := opts
+				var err error
+				d := timed(func() { _, err = declarative.Eval(p, in, u, &o) })
+				if err != nil {
+					return 0, err
+				}
+				if min == 0 || d < min {
+					min = d
+				}
+			}
+			return min, nil
+		}
+		bare, err := best(w.opts)
+		if err != nil {
+			return err
+		}
+		on, col, sink := captureOpts(w.opts)
+		rec, err := best(on)
+		if err != nil {
+			return err
+		}
+		// The capture must actually have recorded something, or the
+		// "overhead" is the price of a no-op.
+		sum := col.Summary()
+		if err := check(sum.Stages > 0 && sum.Derived > 0,
+			"%s: capture summary empty (stages=%d derived=%d)", w.name, sum.Stages, sum.Derived); err != nil {
+			return err
+		}
+		if err := check(len(sink.Plans()) > 0, "%s: capture recorded no join plans", w.name); err != nil {
+			return err
+		}
+		fmt.Printf("%22s %12v %12v %8.1f%%\n", w.name,
+			bare.Round(time.Microsecond), rec.Round(time.Microsecond),
+			(float64(rec)/float64(bare)-1)*100)
+
+		// Record both sides for the bench-regression gate; the ratio of
+		// the two ns_per_op entries in BENCH_PR8.json is the committed
+		// overhead measurement. The in-code bar reads this ratio too —
+		// testing.Benchmark amortizes over many iterations, so it is
+		// far less exposed to a noisy-neighbor CPU spike than the
+		// single-shot minima printed above.
+		bareNs := benchNote("flight/"+w.name+"-bare", testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := w.opts
+				if _, err := declarative.Eval(p, in, u, &o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		recNs := benchNote("flight/"+w.name+"-recorder", testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o, _, _ := captureOpts(w.opts)
+				if _, err := declarative.Eval(p, in, u, &o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		if ratio := float64(recNs) / float64(bareNs); ratio > worst {
+			worst = ratio
+		}
+	}
+	if err := check(worst <= flightOverheadBar,
+		"recorder overhead %.0f%% above the %.0f%% in-code bar", (worst-1)*100, (flightOverheadBar-1)*100); err != nil {
+		return err
+	}
+	fmt.Println("   shape: the capture is counter bumps plus one plan span per (rule, stage); both are")
+	fmt.Println("   amortized across the join work a stage does, so the recorder can stay on by default.")
+	return nil
+}

@@ -57,6 +57,7 @@ var experiments = []experiment{
 	{"P8", "COW fork: Instance.Snapshot vs deep clone (>=100k tuples)", expP8},
 	{"P9", "Ablation: cardinality planner vs literal-order joins", expP9},
 	{"P10", "Sharded semi-naive evaluation vs serial (large-EDB TC)", expP10},
+	{"P11", "Flight-recorder capture overhead (stats collector + plan sink)", expP11},
 	{"A1", "Sections 6–7: active-database rule cascades", expA1},
 }
 
@@ -78,16 +79,24 @@ func main() {
 	flag.Parse()
 
 	if *serveMode {
-		if err := runLoadgen(os.Stdout, loadgenConfig{
+		lg, err := runLoadgen(os.Stdout, loadgenConfig{
 			duration:   *serveDur,
 			clients:    *serveClients,
 			inFlight:   *serveInFlight,
 			queueDepth: *serveQueue,
 			queueWait:  *serveWait,
 			tenants:    *serveTenants,
-		}); err != nil {
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
+		}
+		if *jsonOut != "" {
+			if err := writeReport(*jsonOut, benchReport{Loadgen: lg}); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (loadgen report)\n", *jsonOut)
 		}
 		return
 	}

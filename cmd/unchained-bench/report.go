@@ -36,12 +36,36 @@ type benchmarkResult struct {
 	NsPerOp int64  `json:"ns_per_op"`
 }
 
+// loadgenReport is the -serve mode's machine-readable summary:
+// client-side latency quantiles plus the admission outcome mix, so a
+// checked-in report documents what saturation looked like.
+type loadgenReport struct {
+	DurationNS int64   `json:"duration_ns"`
+	Clients    int     `json:"clients"`
+	Tenants    int     `json:"tenants"`
+	Requests   int     `json:"requests"`
+	QPS        float64 `json:"qps"`
+	P50NS      int64   `json:"p50_ns"`
+	P95NS      int64   `json:"p95_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	MaxNS      int64   `json:"max_ns"`
+	// StatusCounts maps HTTP status ("-1" for transport errors) to
+	// how many responses carried it.
+	StatusCounts map[string]int `json:"status_counts"`
+	// Shed and QueueTimeouts echo the daemon's own counters (429s and
+	// 503s respectively), cross-checked against the client's counts.
+	Shed          uint64 `json:"shed"`
+	QueueTimeouts uint64 `json:"queue_timeouts"`
+}
+
 // benchReport is the top-level -json document ("make bench-json"
-// checks one in as BENCH_PR4.json, which CI replays as a baseline).
+// checks one in as BENCH_PR8.json, which CI replays as a baseline).
 type benchReport struct {
 	Quick       bool              `json:"quick"`
 	Experiments []expReport       `json:"experiments"`
 	Benchmarks  []benchmarkResult `json:"benchmarks,omitempty"`
+	// Loadgen is set when the report came from a -serve run.
+	Loadgen *loadgenReport `json:"loadgen,omitempty"`
 }
 
 // digests accumulates the current experiment's statsNote digests; the

@@ -10,11 +10,22 @@
 //	                [-timeout 30s] [-max-timeout 5m]
 //	                [-max-inflight 64] [-queue-depth 128] [-queue-wait 1s]
 //	                [-ops-addr 127.0.0.1:8345] [-log text]
+//	                [-slow-query-ms 1000] [-slow-query-log slow.jsonl]
+//	                [-otlp-file spans.jsonl]
+//	                [-flight-ring 256] [-flight-topk 32] [-max-tenants 32]
 //
 // -max-inflight bounds concurrently evaluating requests; excess
 // requests queue (fairly across programs, -queue-depth total, each
 // waiting at most -queue-wait) and are shed with 429/503 +
 // Retry-After beyond that (see docs/PARALLEL.md).
+//
+// The flight recorder is always on: every request leaves a bounded
+// structured profile, browsable at GET /debug/flight and
+// /debug/flight/slowest. Requests at/over -slow-query-ms wall time
+// are additionally appended as JSONL to -slow-query-log and warned
+// about through the request logger at a rate-limited cadence.
+// -otlp-file appends one OTLP/JSON span-export document per
+// evaluation for offline trace viewers (see docs/OBSERVABILITY.md).
 //
 // The daemon drains in-flight evaluations on SIGINT/SIGTERM. With
 // -ops-addr it runs a second listener carrying GET /metrics
@@ -25,8 +36,11 @@
 // the server on a loopback port, fires a health check, one
 // terminating evaluation, one sharded evaluation, one
 // deadline-bounded non-terminating evaluation, a traced evaluation,
-// a /v1/status probe, and a /metrics scrape, then exits — the smoke
-// test used by "make serve-smoke".
+// a /v1/status probe, a /metrics scrape, and a /debug/flight probe,
+// then exits — the smoke test used by "make serve-smoke". The
+// -metrics-lint flag boots the same loopback server, drives traffic
+// onto every metric family, and lints the /metrics exposition with
+// internal/promlint — the CI gate behind "make metrics-lint".
 package main
 
 import (
@@ -46,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"unchained/internal/promlint"
 	"unchained/internal/queries"
 	"unchained/internal/serve"
 )
@@ -69,7 +84,14 @@ func run(args []string, w, ew io.Writer) int {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	opsAddr := fs.String("ops-addr", "", "optional ops listener for /metrics and /debug/pprof/ (e.g. 127.0.0.1:8345)")
 	logMode := fs.String("log", "text", "request logging: text, json, or off")
+	slowQueryMS := fs.Int("slow-query-ms", 1000, "wall-time threshold marking a request a slow query (0 disables slow-query handling)")
+	slowQueryLog := fs.String("slow-query-log", "", "append slow-query flight records as JSONL to this file")
+	otlpFile := fs.String("otlp-file", "", "append one OTLP/JSON span-export document per evaluation to this file")
+	flightRing := fs.Int("flight-ring", 0, "flight-recorder recent-records ring size (0 = default 256)")
+	flightTopK := fs.Int("flight-topk", 0, "flight-recorder slowest-records heap size (0 = default 32)")
+	maxTenants := fs.Int("max-tenants", 0, "distinct program digests tracked in per-tenant metrics before folding into \"other\" (0 = default 32)")
 	selftest := fs.Bool("selftest", false, "boot on a loopback port, run a smoke sequence, exit")
+	metricsLint := fs.Bool("metrics-lint", false, "boot on a loopback port, lint the /metrics exposition, exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,6 +118,28 @@ func run(args []string, w, ew io.Writer) int {
 		QueueDepth:     *queueDepth,
 		QueueWait:      *queueWait,
 		Logger:         logger,
+		SlowQuery:      time.Duration(*slowQueryMS) * time.Millisecond,
+		FlightRing:     *flightRing,
+		FlightTopK:     *flightTopK,
+		MaxTenants:     *maxTenants,
+	}
+	if *slowQueryLog != "" {
+		f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(ew, "unchained-serve: -slow-query-log: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.SlowQueryLog = f
+	}
+	if *otlpFile != "" {
+		f, err := os.OpenFile(*otlpFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(ew, "unchained-serve: -otlp-file: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.OTLPSpans = f
 	}
 
 	if *selftest {
@@ -104,6 +148,14 @@ func run(args []string, w, ew io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(w, "selftest: ok")
+		return 0
+	}
+	if *metricsLint {
+		if err := runMetricsLint(cfg, w); err != nil {
+			fmt.Fprintf(ew, "metrics-lint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(w, "metrics-lint: ok")
 		return 0
 	}
 
@@ -336,8 +388,8 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("statsz: %w", err)
 	}
-	if rid := resp.Header.Get("X-Request-Id"); !strings.HasPrefix(rid, "req-") {
-		return fmt.Errorf("statsz: X-Request-Id = %q", rid)
+	if rid := resp.Header.Get("X-Request-Id"); len(rid) != 32 || strings.Trim(rid, "0123456789abcdef") != "" {
+		return fmt.Errorf("statsz: X-Request-Id = %q, want 32-hex trace id", rid)
 	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
@@ -367,5 +419,88 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "selftest: metrics ok\n")
+
+	// 7. Flight recorder: the evaluations above must have left records,
+	// and the deadline-bounded one must be among the slowest with its
+	// stage breakdown intact.
+	resp, err = http.Get(base + "/debug/flight/slowest")
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var flightPage struct {
+		Total   uint64            `json:"total"`
+		Records []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(body, &flightPage); err != nil {
+		return fmt.Errorf("flight: %w (body %s)", err, body)
+	}
+	if flightPage.Total < 4 || len(flightPage.Records) == 0 {
+		return fmt.Errorf("flight recorder empty: %s", body)
+	}
+	if !bytes.Contains(body, []byte(`"outcome":"deadline"`)) {
+		return fmt.Errorf("deadline eval missing from slowest: %s", body)
+	}
+	if !bytes.Contains(body, []byte(`"per_stage"`)) {
+		return fmt.Errorf("flight records carry no stage breakdown: %s", body)
+	}
+	fmt.Fprintf(w, "selftest: flight recorder ok (%d records)\n", flightPage.Total)
+	return nil
+}
+
+// runMetricsLint boots the daemon on a loopback port, drives traffic
+// so every metric family carries samples (including the per-tenant
+// and per-semantics labeled ones), then lints the /metrics exposition
+// with internal/promlint.
+func runMetricsLint(cfg serve.Config, w io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.New(cfg)}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	for _, req := range []serve.EvalRequest{
+		{Envelope: serve.Envelope{
+			Program: "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
+			Facts:   "G(a,b). G(b,c).",
+			Shards:  2,
+		}},
+		{Envelope: serve.Envelope{Program: queries.Counter(30), TimeoutMS: 50}, Semantics: "noninflationary"},
+	} {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/v1/eval", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	probs, err := promlint.Lint(resp.Body, promlint.Options{})
+	if err != nil {
+		return err
+	}
+	for _, p := range probs {
+		fmt.Fprintf(w, "metrics-lint: %s\n", p)
+	}
+	if len(probs) > 0 {
+		return fmt.Errorf("%d problems in /metrics exposition", len(probs))
+	}
 	return nil
 }

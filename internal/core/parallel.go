@@ -40,8 +40,12 @@ func stageParallel(rules []*eval.Rule, ctx *eval.Ctx, workers int, col *stats.Co
 			var local []eval.Fact
 			for ri := w; ri < len(rules); ri += workers {
 				cr := rules[ri]
+				// Per-rule local tallies, one FiredBatch flush: the
+				// shared collector's atomics contend across workers
+				// when bumped per binding.
+				var firings, derived, reder uint64
 				cr.Enumerate(ctx, func(b eval.Binding) bool {
-					derived, reder := 0, 0
+					firings++
 					for _, f := range cr.HeadFacts(b, nil) {
 						// Filter re-derivations here: Contains is a
 						// read-only probe, so the (serial) insert
@@ -54,9 +58,9 @@ func stageParallel(rules []*eval.Rule, ctx *eval.Ctx, workers int, col *stats.Co
 							derived++
 						}
 					}
-					col.Fired(ri, derived, reder)
 					return true
 				})
+				col.FiredBatch(ri, firings, derived, reder)
 			}
 			results[w] = local
 		}(w)

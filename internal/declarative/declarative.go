@@ -220,15 +220,22 @@ func semiNaive(rules []*eval.Rule, out *tuple.Instance, negIn *tuple.Instance, r
 				NoPlan: opt.PlanDisabled(), Plans: opt.PlanCache(),
 			}
 			merged := 0
+			derived := uint64(0)
 			eval.RunSharded(variants, base, delta, shards, opt.MergeBufferCap(),
 				opt.Context().Done(), func(batch []eval.Fact) {
 					merged += len(batch)
 					for _, f := range batch {
 						if out.Insert(f.Pred, f.Tuple) {
 							next.Insert(f.Pred, f.Tuple)
+							derived++
 						}
 					}
 				})
+			// Shard workers only tally firings (classifying each fact
+			// against the snapshot would cost a probe per emission in
+			// the parallel hot path); the merge's Insert answered
+			// new-vs-seen anyway, so charge derived/rederived here.
+			col.FiredBatch(-1, 0, derived, uint64(merged)-derived)
 			col.ShardRound(merged)
 		} else {
 			pend = pend[:0]

@@ -275,10 +275,28 @@ func (c *PlanCache) Stats() PlanCacheStats {
 	return PlanCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
 }
 
-// planTrace accumulates the actual number of tuples each step pulled
-// during one Enumerate, for the est-vs-act line of -explain.
+// planTrace is the per-Enumerate local accumulator: probe/scan
+// counts always (flushed to the collector in one batch, so the hot
+// match loop never touches a shared atomic), and — only when plan
+// tracing is on — the actual number of tuples each step pulled, for
+// the est-vs-act line of -explain. counts stays nil when plan tracing
+// is off.
 type planTrace struct {
-	counts []int64
+	probes, scans uint64
+	counts        []int64
+}
+
+// probe tallies one relation match locally; a nil receiver (stats
+// disabled) costs one branch, matching Collector.Probe's contract.
+func (tr *planTrace) probe(scan bool) {
+	if tr == nil {
+		return
+	}
+	if scan {
+		tr.scans++
+	} else {
+		tr.probes++
+	}
 }
 
 // label names the rule for trace events: its first non-⊥ head.

@@ -68,12 +68,19 @@ type Binding []value.Value
 func (r *Rule) Enumerate(ctx *Ctx, emit func(Binding) bool) {
 	steps, planned := r.planFor(ctx)
 	var tr *planTrace
-	if planned && ctx.PlanTrace && ctx.Stats.Tracing() {
-		tr = &planTrace{counts: make([]int64, len(steps))}
+	if ctx.Stats.Enabled() {
+		tr = &planTrace{}
+		if planned && ctx.PlanTrace && ctx.Stats.Tracing() {
+			tr.counts = make([]int64, len(steps))
+		}
 	}
 	b := make(Binding, len(r.Vars))
 	r.run(ctx, steps, 0, b, emit, tr)
-	if tr != nil {
+	if tr == nil {
+		return
+	}
+	ctx.Stats.ProbeBatch(tr.probes, tr.scans)
+	if tr.counts != nil {
 		key, desc := r.planDesc(ctx, steps, tr.counts)
 		r.plan.mu.Lock()
 		seen := r.plan.emitted == key
@@ -98,7 +105,7 @@ func (r *Rule) drainMatch(ctx *Ctx, steps []step, st *step, it *tuple.Iterator, 
 		if skip != nil && skip.Contains(t) {
 			continue
 		}
-		if tr != nil {
+		if tr != nil && tr.counts != nil {
 			tr.counts[si]++
 		}
 		ok := true
@@ -159,7 +166,7 @@ func (r *Rule) run(ctx *Ctx, steps []step, si int, b Binding, emit func(Binding)
 		var it tuple.Iterator
 		done := true
 		if rel != nil {
-			ctx.Stats.Probe(ctx.Scan)
+			tr.probe(ctx.Scan)
 			if ctx.Scan {
 				rel.ScanIter(st.mask, pattern, &it)
 			} else {
@@ -168,7 +175,7 @@ func (r *Rule) run(ctx *Ctx, steps []step, si int, b Binding, emit func(Binding)
 			done = r.drainMatch(ctx, steps, st, &it, si, b, emit, nil, tr)
 		}
 		if done && aux != nil {
-			ctx.Stats.Probe(ctx.Scan)
+			tr.probe(ctx.Scan)
 			if ctx.Scan {
 				aux.ScanIter(st.mask, pattern, &it)
 			} else {

@@ -13,6 +13,7 @@ package eval
 
 import (
 	"sync"
+	"time"
 
 	"unchained/internal/tuple"
 )
@@ -44,7 +45,10 @@ const cancelPollMask = 255
 // so no goroutine outlives the call. Workers classify emitted facts
 // as derived vs re-derived against their pre-round snapshots, so the
 // stats collector (base.Stats, concurrency-safe counters) sees the
-// same totals as a serial round.
+// same totals as a serial round; each worker also attributes its
+// round wall time and emitted-fact count to its shard index via
+// Collector.ShardWork, feeding the per-shard skew breakdown of stats
+// summaries and flight records.
 //
 // The caller must not mutate delta during the call; mutating the
 // instance behind base.In is safe (workers read their own forks).
@@ -84,26 +88,30 @@ func RunSharded(variants []DeltaVariant, base *Ctx, delta *tuple.Instance, shard
 			buf := make([]Fact, 0, shardBatch)
 			fired := 0
 			aborted := false
+			emitted := uint64(0)
+			var begin time.Time
+			if col.Enabled() {
+				begin = time.Now()
+			}
 			for _, v := range variants {
 				if aborted {
 					break
 				}
 				ctx.DeltaLit = v.Lit
 				rule := v.Rule
+				// Firings tally locally, flushed in one FiredBatch
+				// below: per-binding atomic adds on the shared
+				// collector contend badly across shard workers. The
+				// derived/rederived split is not classified here at
+				// all — the merge barrier's Insert already probes
+				// every fact, so the caller's sink charges those
+				// counters for free (see EvalSeminaive).
+				var firings uint64
 				rule.Enumerate(ctx, func(b Binding) bool {
 					facts := rule.HeadFacts(b, nil)
-					if col.Enabled() {
-						derived, reder := 0, 0
-						for _, f := range facts {
-							if ctx.In.Has(f.Pred, f.Tuple) {
-								reder++
-							} else {
-								derived++
-							}
-						}
-						col.Fired(-1, derived, reder)
-					}
+					firings++
 					buf = append(buf, facts...)
+					emitted += uint64(len(facts))
 					if len(buf) >= shardBatch {
 						ch <- buf
 						buf = make([]Fact, 0, shardBatch)
@@ -119,9 +127,13 @@ func RunSharded(variants []DeltaVariant, base *Ctx, delta *tuple.Instance, shard
 					}
 					return true
 				})
+				col.FiredBatch(-1, firings, 0, 0)
 			}
 			if len(buf) > 0 {
 				ch <- buf
+			}
+			if col.Enabled() {
+				col.ShardWork(s, time.Since(begin).Nanoseconds(), emitted)
 			}
 		}(s)
 	}

@@ -1,0 +1,325 @@
+package flight
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unchained/internal/trace"
+)
+
+// W3C trace-context helpers. The daemon speaks the traceparent header
+// (version 00): it adopts an inbound trace id so the evaluation shows
+// up inside the caller's distributed trace, or mints a fresh one. The
+// trace id doubles as the request id everywhere (X-Request-Id, slog,
+// flight records, error envelopes).
+
+// idFallback seeds deterministic ids if crypto/rand ever fails
+// (practically unreachable; ids must still be unique within the
+// process for the recorder to be usable).
+var idFallback atomic.Uint64
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		binary.BigEndian.PutUint64(b[:8], idFallback.Add(1))
+	}
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		b[n-1] = 1 // all-zero ids are invalid per W3C trace-context
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID returns a fresh 32-hex W3C trace id.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID returns a fresh 16-hex W3C span id.
+func NewSpanID() string { return randHex(8) }
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZeroHex(s string) bool { return strings.Trim(s, "0") == "" }
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>") and
+// returns the trace id and parent span id. ok is false for malformed
+// headers, unknown versions handled per spec (version ff invalid),
+// and all-zero ids.
+func ParseTraceparent(h string) (traceID, parentSpanID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return "", "", false
+	}
+	ver, tid, pid, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isLowerHex(ver) || ver == "ff" {
+		return "", "", false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return "", "", false
+	}
+	if len(tid) != 32 || !isLowerHex(tid) || allZeroHex(tid) {
+		return "", "", false
+	}
+	if len(pid) != 16 || !isLowerHex(pid) || allZeroHex(pid) {
+		return "", "", false
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return "", "", false
+	}
+	return tid, pid, true
+}
+
+// FormatTraceparent renders a version-00 traceparent with the sampled
+// flag set (the daemon records every request by design).
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// maxOTLPSpans bounds the child spans one eval export retains.
+const maxOTLPSpans = 512
+
+// otlpSpan is one OTel-shaped span; the JSON field names follow the
+// OTLP/JSON (OTLP/HTTP with JSON encoding) span schema so files can
+// be fed to OTel-compatible importers without transformation.
+type otlpSpan struct {
+	TraceID      string     `json:"traceId"`
+	SpanID       string     `json:"spanId"`
+	ParentSpanID string     `json:"parentSpanId,omitempty"`
+	Name         string     `json:"name"`
+	Kind         int        `json:"kind"` // 2 = SPAN_KIND_SERVER, 1 = INTERNAL
+	StartNS      string     `json:"startTimeUnixNano"`
+	EndNS        string     `json:"endTimeUnixNano"`
+	Attributes   []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string  `json:"key"`
+	Value otlpVal `json:"value"`
+}
+
+type otlpVal struct {
+	Str *string `json:"stringValue,omitempty"`
+	Int *string `json:"intValue,omitempty"` // OTLP/JSON renders int64 as string
+}
+
+func attrStr(k, v string) otlpAttr { return otlpAttr{Key: k, Value: otlpVal{Str: &v}} }
+func attrInt(k string, v int64) otlpAttr {
+	s := strconv.FormatInt(v, 10)
+	return otlpAttr{Key: k, Value: otlpVal{Int: &s}}
+}
+
+// OTLPEval is a trace.Tracer that reconstructs one evaluation's span
+// tree as OTel-shaped spans: the engine's begin/end event pairs
+// become parent/child spans under a caller-provided root (the HTTP
+// request span), pre-closed rule/plan/analyze spans attach to the
+// innermost open span. One OTLPEval serves one evaluation; Export
+// writes the finished tree through a shared OTLPWriter.
+type OTLPEval struct {
+	mu      sync.Mutex
+	traceID string
+	rootID  string
+	stack   []*otlpSpan
+	done    []*otlpSpan
+	dropped int
+}
+
+// NewOTLPEval starts a span collection under the given trace id and
+// root span id (the request span the caller will emit itself).
+func NewOTLPEval(traceID, rootSpanID string) *OTLPEval {
+	return &OTLPEval{traceID: traceID, rootID: rootSpanID}
+}
+
+func (e *OTLPEval) parent() string {
+	if len(e.stack) > 0 {
+		return e.stack[len(e.stack)-1].SpanID
+	}
+	return e.rootID
+}
+
+func (e *OTLPEval) keep(s *otlpSpan) {
+	if len(e.done) >= maxOTLPSpans {
+		e.dropped++
+		return
+	}
+	e.done = append(e.done, s)
+}
+
+func spanName(ev trace.Event) string {
+	switch ev.Span {
+	case trace.SpanEval:
+		if ev.Engine != "" {
+			return "eval " + ev.Engine
+		}
+		return "eval"
+	case trace.SpanStratum:
+		return ev.Name + " " + strconv.Itoa(ev.Stratum)
+	case trace.SpanStage:
+		return "stage " + strconv.Itoa(ev.Stage)
+	case trace.SpanRule:
+		return "rule " + ev.Rule
+	case trace.SpanPlan:
+		return "plan " + ev.Rule
+	case trace.SpanAnalyze:
+		return "analyze"
+	default:
+		return ev.Span
+	}
+}
+
+// Emit implements trace.Tracer.
+func (e *OTLPEval) Emit(ev trace.Event) {
+	now := time.Now().UnixNano()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch ev.Ev {
+	case trace.EvBegin:
+		e.stack = append(e.stack, &otlpSpan{
+			TraceID:      e.traceID,
+			SpanID:       NewSpanID(),
+			ParentSpanID: e.parent(),
+			Name:         spanName(ev),
+			Kind:         1, // SPAN_KIND_INTERNAL
+			StartNS:      strconv.FormatInt(now, 10),
+		})
+	case trace.EvEnd:
+		if len(e.stack) == 0 {
+			return
+		}
+		s := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		s.Name = spanName(ev) // end events carry the fuller labels
+		s.EndNS = strconv.FormatInt(now, 10)
+		if ev.Firings > 0 {
+			s.Attributes = append(s.Attributes, attrInt("unchained.firings", int64(ev.Firings)))
+		}
+		if ev.Derived > 0 {
+			s.Attributes = append(s.Attributes, attrInt("unchained.derived", int64(ev.Derived)))
+		}
+		if ev.Rederived > 0 {
+			s.Attributes = append(s.Attributes, attrInt("unchained.rederived", int64(ev.Rederived)))
+		}
+		if ev.Span == trace.SpanEval && ev.Stages > 0 {
+			s.Attributes = append(s.Attributes, attrInt("unchained.stages", int64(ev.Stages)))
+		}
+		e.keep(s)
+	case trace.EvSpan:
+		s := &otlpSpan{
+			TraceID:      e.traceID,
+			SpanID:       NewSpanID(),
+			ParentSpanID: e.parent(),
+			Name:         spanName(ev),
+			Kind:         1,
+			StartNS:      strconv.FormatInt(now-ev.DurNS, 10),
+			EndNS:        strconv.FormatInt(now, 10),
+		}
+		if ev.Span == trace.SpanPlan {
+			s.Attributes = append(s.Attributes, attrStr("unchained.join", ev.Name))
+		}
+		if ev.Firings > 0 {
+			s.Attributes = append(s.Attributes, attrInt("unchained.firings", int64(ev.Firings)))
+		}
+		e.keep(s)
+	}
+}
+
+// OTLPWriter serializes OTLP/JSON export documents onto one writer:
+// one self-contained resourceSpans document per line per evaluation
+// (JSONL of OTLP payloads). Safe for concurrent use; the first write
+// error is sticky and silences later exports.
+type OTLPWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	service string
+	err     error
+}
+
+// NewOTLPWriter returns an exporter writing to w, stamping the given
+// service.name resource attribute.
+func NewOTLPWriter(w io.Writer, service string) *OTLPWriter {
+	return &OTLPWriter{w: w, service: service}
+}
+
+// Err reports the first write error, if any.
+func (o *OTLPWriter) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// Export writes one evaluation's span tree: a root SERVER span built
+// from the flight record (name, request wall window, outcome
+// attributes) plus the engine spans collected by ev. ev may be nil
+// (root span only). Nil receiver is a no-op so callers export
+// unconditionally.
+func (o *OTLPWriter) Export(rec *Record, ev *OTLPEval) {
+	if o == nil || rec == nil {
+		return
+	}
+	end := rec.StartUnixNS + rec.WallNS
+	root := &otlpSpan{
+		TraceID:      rec.ID,
+		SpanID:       rec.SpanID,
+		ParentSpanID: rec.ParentSpanID,
+		Name:         rec.Endpoint,
+		Kind:         2, // SPAN_KIND_SERVER
+		StartNS:      strconv.FormatInt(rec.StartUnixNS, 10),
+		EndNS:        strconv.FormatInt(end, 10),
+		Attributes: []otlpAttr{
+			attrStr("unchained.outcome", rec.Outcome),
+			attrStr("unchained.tenant", rec.Tenant),
+			attrInt("unchained.queue_ns", rec.QueueNS),
+		},
+	}
+	spans := []*otlpSpan{root}
+	if ev != nil {
+		ev.mu.Lock()
+		spans = append(spans, ev.done...)
+		ev.mu.Unlock()
+	}
+	doc := map[string]any{
+		"resourceSpans": []any{map[string]any{
+			"resource": map[string]any{
+				"attributes": []otlpAttr{attrStr("service.name", o.service)},
+			},
+			"scopeSpans": []any{map[string]any{
+				"scope": map[string]any{"name": "unchained/internal/flight"},
+				"spans": spans,
+			}},
+		}},
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return // unreachable: fixed shapes only
+	}
+	b = append(b, '\n')
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.err != nil {
+		return
+	}
+	if _, err := o.w.Write(b); err != nil {
+		o.err = err
+	}
+}

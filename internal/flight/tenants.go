@@ -1,0 +1,128 @@
+package flight
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultMaxTenants bounds the number of tenants tracked with their
+// own label; later tenants aggregate into the OtherTenant bucket.
+const DefaultMaxTenants = 32
+
+// OtherTenant is the overflow bucket's label value.
+const OtherTenant = "other"
+
+// TenantStats is one tenant's monotonic resource totals.
+type TenantStats struct {
+	// Tenant is the program sha256 digest (hex), or OtherTenant.
+	Tenant string `json:"tenant"`
+	// Requests counts requests attributed to the tenant (admitted or
+	// shed).
+	Requests uint64 `json:"requests"`
+	// EvalNS is cumulative engine evaluation time.
+	EvalNS int64 `json:"eval_ns"`
+	// Derived is cumulative facts derived.
+	Derived uint64 `json:"derived_facts"`
+	// Shed counts requests rejected by admission control (429/503).
+	Shed uint64 `json:"shed"`
+}
+
+// Tenants is the bounded-cardinality per-tenant accountant backing
+// the unchained_tenant_* Prometheus series and the /v1/status tenant
+// table. The first MaxTenants distinct tenants get their own bucket;
+// every later tenant lands in the shared OtherTenant bucket, so the
+// label cardinality the daemon can emit is bounded for the lifetime
+// of the process no matter how many programs clients send. Counters
+// are monotonic (never reset, never removed), as Prometheus counters
+// must be. Safe for concurrent use.
+type Tenants struct {
+	mu    sync.Mutex
+	max   int
+	byID  map[string]*TenantStats
+	other TenantStats
+}
+
+// NewTenants returns an accountant tracking up to max distinct
+// tenants (DefaultMaxTenants when max <= 0).
+func NewTenants(max int) *Tenants {
+	if max <= 0 {
+		max = DefaultMaxTenants
+	}
+	return &Tenants{
+		max:   max,
+		byID:  make(map[string]*TenantStats),
+		other: TenantStats{Tenant: OtherTenant},
+	}
+}
+
+// bucket returns the tenant's stats bucket, minting one if the
+// cardinality bound allows. Callers hold t.mu.
+func (t *Tenants) bucket(tenant string) *TenantStats {
+	if tenant == "" {
+		return &t.other
+	}
+	if s := t.byID[tenant]; s != nil {
+		return s
+	}
+	if len(t.byID) >= t.max {
+		return &t.other
+	}
+	s := &TenantStats{Tenant: tenant}
+	t.byID[tenant] = s
+	return s
+}
+
+// Observe attributes one finished request to its tenant.
+func (t *Tenants) Observe(tenant string, evalNS int64, derived uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.bucket(tenant)
+	s.Requests++
+	s.EvalNS += evalNS
+	s.Derived += derived
+}
+
+// ObserveShed attributes one admission-control rejection to its
+// tenant (also counted as a request).
+func (t *Tenants) ObserveShed(tenant string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.bucket(tenant)
+	s.Requests++
+	s.Shed++
+}
+
+// Snapshot returns every non-empty bucket sorted by Requests
+// descending (ties by tenant id), with the overflow bucket last when
+// populated.
+func (t *Tenants) Snapshot() []TenantStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TenantStats, 0, len(t.byID)+1)
+	for _, s := range t.byID {
+		out = append(out, *s)
+	}
+	other := t.other
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	if other.Requests > 0 {
+		out = append(out, other)
+	}
+	return out
+}
+
+// Bound reports the configured tenant-cardinality bound.
+func (t *Tenants) Bound() int { return t.max }

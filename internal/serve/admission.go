@@ -102,10 +102,12 @@ func (g *gate) inFlight() int {
 // acquire admits the request, queues it, or sheds it. A nil gate (or
 // capacity <= 0) admits everything. On success the caller must call
 // release exactly once. ctx cancellation while queued surfaces as
-// ctx.Err().
-func (g *gate) acquire(ctx context.Context, tenant string) error {
+// ctx.Err(). The returned duration is the time spent queued (zero on
+// the fast path and on immediate shedding), reported regardless of
+// outcome so flight records can attribute queue wait.
+func (g *gate) acquire(ctx context.Context, tenant string) (time.Duration, error) {
 	if g == nil || g.capacity <= 0 {
-		return nil
+		return 0, nil
 	}
 	g.mu.Lock()
 	// Fast path: free slot and an empty queue (no one has priority).
@@ -113,12 +115,12 @@ func (g *gate) acquire(ctx context.Context, tenant string) error {
 		g.running++
 		g.mu.Unlock()
 		g.admitted.Add(1)
-		return nil
+		return 0, nil
 	}
 	if g.queued >= g.maxQueue {
 		g.mu.Unlock()
 		g.shed.Add(1)
-		return errShed
+		return 0, errShed
 	}
 	w := &waiter{ready: make(chan struct{})}
 	q := g.byKey[tenant]
@@ -142,24 +144,26 @@ func (g *gate) acquire(ctx context.Context, tenant string) error {
 	begin := time.Now()
 	select {
 	case <-w.ready:
-		g.waitLat.observe(time.Since(begin))
+		wait := time.Since(begin)
+		g.waitLat.observe(wait)
 		g.admitted.Add(1)
-		return nil
+		return wait, nil
 	case <-timer.C:
 		if g.abandon(w) {
 			g.waitDrop.Add(1)
-			return errQueueWait
+			return time.Since(begin), errQueueWait
 		}
 		// Lost the race: the slot was already handed to us.
-		g.waitLat.observe(time.Since(begin))
+		wait := time.Since(begin)
+		g.waitLat.observe(wait)
 		g.admitted.Add(1)
-		return nil
+		return wait, nil
 	case <-ctx.Done():
 		if g.abandon(w) {
-			return ctx.Err()
+			return time.Since(begin), ctx.Err()
 		}
 		g.release()
-		return ctx.Err()
+		return time.Since(begin), ctx.Err()
 	}
 }
 

@@ -20,7 +20,7 @@ import (
 func TestGateFastPath(t *testing.T) {
 	g := newGate(3, 8, time.Second)
 	for i := 0; i < 3; i++ {
-		if err := g.acquire(context.Background(), "t"); err != nil {
+		if _, err := g.acquire(context.Background(), "t"); err != nil {
 			t.Fatalf("acquire %d: %v", i, err)
 		}
 	}
@@ -40,12 +40,12 @@ func TestGateFastPath(t *testing.T) {
 
 func TestGateNilAndDisabledAdmitEverything(t *testing.T) {
 	var g *gate
-	if err := g.acquire(context.Background(), "t"); err != nil {
+	if _, err := g.acquire(context.Background(), "t"); err != nil {
 		t.Fatalf("nil gate: %v", err)
 	}
 	g.release() // must not panic
 	g = newGate(0, 0, time.Second)
-	if err := g.acquire(context.Background(), "t"); err != nil {
+	if _, err := g.acquire(context.Background(), "t"); err != nil {
 		t.Fatalf("capacity 0 gate must admit: %v", err)
 	}
 	g.release()
@@ -53,15 +53,18 @@ func TestGateNilAndDisabledAdmitEverything(t *testing.T) {
 
 func TestGateShedAtFullQueue(t *testing.T) {
 	g := newGate(1, 1, time.Minute)
-	if err := g.acquire(context.Background(), "a"); err != nil {
+	if _, err := g.acquire(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	// Fill the single queue slot from another goroutine.
 	admitted := make(chan error, 1)
-	go func() { admitted <- g.acquire(context.Background(), "b") }()
+	go func() {
+		_, err := g.acquire(context.Background(), "b")
+		admitted <- err
+	}()
 	waitFor(t, func() bool { return g.depth() == 1 })
 	// Queue full: the next arrival is shed immediately.
-	if err := g.acquire(context.Background(), "c"); !errors.Is(err, errShed) {
+	if _, err := g.acquire(context.Background(), "c"); !errors.Is(err, errShed) {
 		t.Fatalf("want errShed, got %v", err)
 	}
 	if got := g.shed.Load(); got != 1 {
@@ -77,13 +80,16 @@ func TestGateShedAtFullQueue(t *testing.T) {
 
 func TestGateQueueWaitTimeout(t *testing.T) {
 	g := newGate(1, 4, 20*time.Millisecond)
-	if err := g.acquire(context.Background(), "a"); err != nil {
+	if _, err := g.acquire(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err := g.acquire(context.Background(), "b")
+	wait, err := g.acquire(context.Background(), "b")
 	if !errors.Is(err, errQueueWait) {
 		t.Fatalf("want errQueueWait, got %v", err)
+	}
+	if wait < 20*time.Millisecond {
+		t.Fatalf("reported queue wait %v, want >= budget", wait)
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("wait budget not enforced")
@@ -93,7 +99,7 @@ func TestGateQueueWaitTimeout(t *testing.T) {
 	}
 	g.release()
 	// The abandoned waiter must not absorb the freed slot.
-	if err := g.acquire(context.Background(), "c"); err != nil {
+	if _, err := g.acquire(context.Background(), "c"); err != nil {
 		t.Fatalf("slot lost to an abandoned waiter: %v", err)
 	}
 	g.release()
@@ -101,12 +107,15 @@ func TestGateQueueWaitTimeout(t *testing.T) {
 
 func TestGateCtxCancelWhileQueued(t *testing.T) {
 	g := newGate(1, 4, time.Minute)
-	if err := g.acquire(context.Background(), "a"); err != nil {
+	if _, err := g.acquire(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	got := make(chan error, 1)
-	go func() { got <- g.acquire(ctx, "b") }()
+	go func() {
+		_, err := g.acquire(ctx, "b")
+		got <- err
+	}()
 	waitFor(t, func() bool { return g.depth() == 1 })
 	cancel()
 	if err := <-got; !errors.Is(err, context.Canceled) {
@@ -114,7 +123,7 @@ func TestGateCtxCancelWhileQueued(t *testing.T) {
 	}
 	g.release()
 	// The canceled waiter must not hold the slot or linger in the queue.
-	if err := g.acquire(context.Background(), "c"); err != nil {
+	if _, err := g.acquire(context.Background(), "c"); err != nil {
 		t.Fatalf("slot unavailable after cancel: %v", err)
 	}
 	if got := g.depth(); got != 0 {
@@ -128,7 +137,7 @@ func TestGateCtxCancelWhileQueued(t *testing.T) {
 // across tenants (A, B, A, A) instead of draining A's FIFO first.
 func TestGateFairRoundRobin(t *testing.T) {
 	g := newGate(1, 8, time.Minute)
-	if err := g.acquire(context.Background(), "hold"); err != nil {
+	if _, err := g.acquire(context.Background(), "hold"); err != nil {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
@@ -139,7 +148,7 @@ func TestGateFairRoundRobin(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := g.acquire(context.Background(), tenant); err != nil {
+			if _, err := g.acquire(context.Background(), tenant); err != nil {
 				t.Errorf("%s: %v", label, err)
 				return
 			}

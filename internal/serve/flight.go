@@ -1,0 +1,153 @@
+// Flight-recorder integration: per-request profile capture shared by
+// the eval and query handlers, the /debug/flight endpoints, and the
+// request-id tagging of error envelopes. The capture rides the same
+// stats collector and trace span stream the engines already feed, so
+// flight records agree with -stats, /statsz and /metrics by
+// construction.
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"unchained"
+	"unchained/internal/flight"
+)
+
+// tagError stamps the request id into the error envelope's details,
+// so the id the client saw in X-Request-Id is also in the body (the
+// one place that survives copy-paste into a bug report). Returns info
+// for chaining.
+func (s *Server) tagError(ri *reqInfo, info *ErrorInfo) *ErrorInfo {
+	if info == nil {
+		return nil
+	}
+	if info.Details == nil {
+		info.Details = map[string]any{}
+	}
+	info.Details["request_id"] = ri.ID
+	return info
+}
+
+// capture is the per-request flight capture: the always-attached
+// stats collector, the plan-span sink, and (when OTLP export is
+// configured) the OTel span builder. Handlers create one before
+// evaluating and finish it exactly once afterwards.
+type capture struct {
+	ri        *reqInfo
+	tenant    string
+	endpoint  string
+	semantics string
+	workers   int
+	shards    int
+	queueWait time.Duration
+	col       *unchained.StatsCollector
+	plans     *flight.PlanSink
+	spans     *flight.OTLPEval
+}
+
+// newCapture builds the per-request capture and returns the eval
+// options that attach it: a stats collector (always; this is what
+// makes the recorder's numbers exist) plus a tracer fanning out to
+// the plan sink and, if configured, the OTLP span builder.
+func (s *Server) newCapture(ri *reqInfo, tenant, endpoint, semantics string, par unchained.Parallel, queueWait time.Duration) (*capture, []unchained.Opt) {
+	c := &capture{
+		ri: ri, tenant: tenant, endpoint: endpoint, semantics: semantics,
+		workers: par.Workers, shards: par.Shards, queueWait: queueWait,
+		col:   unchained.NewStatsCollector(),
+		plans: &flight.PlanSink{},
+	}
+	opts := []unchained.Opt{
+		unchained.WithStats(c.col),
+		unchained.WithTracer(c.plans),
+	}
+	if s.otlp != nil {
+		c.spans = flight.NewOTLPEval(ri.ID, ri.SpanID)
+		opts = append(opts, unchained.WithTracer(c.spans))
+	}
+	return c, opts
+}
+
+// finish files the request's flight record: outcome and HTTP status,
+// the queue/eval/wall breakdown, the stats summary's per-stage and
+// per-shard slices, and the captured join plans. It also charges the
+// tenant's accounting bucket and exports the OTLP span tree.
+func (s *Server) finish(c *capture, sum *unchained.StatsSummary, evalDur time.Duration, outcome string, status int, errMsg string) {
+	rec := &flight.Record{
+		ID:           c.ri.ID,
+		SpanID:       c.ri.SpanID,
+		ParentSpanID: c.ri.ParentSpanID,
+		Tenant:       c.tenant,
+		Endpoint:     c.endpoint,
+		Semantics:    c.semantics,
+		StartUnixNS:  c.ri.Start.UnixNano(),
+		Outcome:      outcome,
+		Status:       status,
+		Workers:      c.workers,
+		Shards:       c.shards,
+		QueueNS:      c.queueWait.Nanoseconds(),
+		EvalNS:       evalDur.Nanoseconds(),
+		WallNS:       time.Since(c.ri.Start).Nanoseconds(),
+		Plans:        c.plans.Plans(),
+		Error:        errMsg,
+	}
+	rec.FromSummary(sum)
+	s.flight.Observe(rec)
+	s.tenants.Observe(c.tenant, rec.EvalNS, rec.Derived)
+	s.otlp.Export(rec, c.spans)
+}
+
+// outcomeFor maps an eval handler's error code to the flight-record
+// outcome ("ok" for success).
+func outcomeFor(code string) string {
+	if code == "" {
+		return "ok"
+	}
+	return code
+}
+
+// flightPage is the JSON body of the /debug/flight endpoints.
+type flightPage struct {
+	// Count is len(Records).
+	Count int `json:"count"`
+	// Total and Slow are the recorder's monotonic counters (records
+	// observed, records at/over the slow-query threshold).
+	Total uint64 `json:"total"`
+	Slow  uint64 `json:"slow"`
+	// Records is the page: recent (newest first) or slowest (slowest
+	// first).
+	Records []*flight.Record `json:"records"`
+}
+
+// parseLimit reads an optional ?limit= query parameter.
+func parseLimit(r *http.Request, def int) int {
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// handleFlightRecent serves GET /debug/flight: the in-memory ring of
+// the most recent flight records, newest first (?limit=N trims).
+func (s *Server) handleFlightRecent(w http.ResponseWriter, r *http.Request) {
+	recs := s.flight.Recent()
+	if lim := parseLimit(r, len(recs)); lim < len(recs) {
+		recs = recs[:lim]
+	}
+	total, slow := s.flight.Totals()
+	writeJSON(w, http.StatusOK, flightPage{Count: len(recs), Total: total, Slow: slow, Records: recs})
+}
+
+// handleFlightSlowest serves GET /debug/flight/slowest: the top-K
+// slowest requests since the daemon started, slowest first.
+func (s *Server) handleFlightSlowest(w http.ResponseWriter, r *http.Request) {
+	recs := s.flight.Slowest()
+	if lim := parseLimit(r, len(recs)); lim < len(recs) {
+		recs = recs[:lim]
+	}
+	total, slow := s.flight.Totals()
+	writeJSON(w, http.StatusOK, flightPage{Count: len(recs), Total: total, Slow: slow, Records: recs})
+}

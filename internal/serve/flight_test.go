@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unchained/internal/flight"
+)
+
+// lockedBuffer serializes writes so the test can hand it to the
+// recorder's slow-query log and read it back safely.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// chainFacts renders G(n0,n1). G(n1,n2). ... — a path graph whose
+// transitive closure is big enough to outlive a small deadline.
+func chainFacts(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "G(n%d,n%d). ", i, i+1)
+	}
+	return b.String()
+}
+
+// TestFlightDeadlineExceededSharded is the PR's acceptance scenario: a
+// sharded evaluation that exceeds its deadline must produce a flight
+// record that (a) carries the same id as X-Request-Id and the error
+// envelope's details.request_id, (b) appears in /debug/flight/slowest
+// and the slow-query log, and (c) breaks the request wall time down
+// into queue wait, per-stage, and per-shard components that are
+// mutually consistent.
+func TestFlightDeadlineExceededSharded(t *testing.T) {
+	slowLog := &lockedBuffer{}
+	srv := New(Config{SlowQuery: time.Millisecond, SlowQueryLog: slowLog})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req := EvalRequest{Envelope: Envelope{
+		Program:   tcProgram,
+		Facts:     chainFacts(1500),
+		TimeoutMS: 50,
+		Shards:    4,
+	}}
+	resp, body := post(t, ts.URL+"/v1/eval", req)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status = %d, want 408 deadline: %s", resp.StatusCode, body)
+	}
+	rid := resp.Header.Get("X-Request-Id")
+	if len(rid) != 32 {
+		t.Fatalf("X-Request-Id = %q, want 32-hex trace id", rid)
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == nil || out.Error.Code != CodeDeadline {
+		t.Fatalf("envelope = %+v, want code %q", out.Error, CodeDeadline)
+	}
+	if got := out.Error.Details["request_id"]; got != rid {
+		t.Fatalf("details.request_id = %v, want header id %q", got, rid)
+	}
+
+	// The record must be in the top-K slowest with the same id.
+	sresp, sbody := get(t, ts.URL+"/debug/flight/slowest")
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("slowest: %d", sresp.StatusCode)
+	}
+	var page flightPage
+	if err := json.Unmarshal(sbody, &page); err != nil {
+		t.Fatal(err)
+	}
+	var rec *flight.Record
+	for _, r := range page.Records {
+		if r.ID == rid {
+			rec = r
+		}
+	}
+	if rec == nil {
+		t.Fatalf("no record with id %q in /debug/flight/slowest: %s", rid, sbody)
+	}
+
+	if rec.Outcome != CodeDeadline || rec.Status != http.StatusRequestTimeout {
+		t.Fatalf("outcome %q status %d, want deadline/408", rec.Outcome, rec.Status)
+	}
+	if rec.Shards != 4 || rec.Error == "" || rec.Tenant == "" || rec.Engine == "" {
+		t.Fatalf("record incomplete: %+v", rec)
+	}
+	// Wall-time breakdown consistency: queue wait and engine time are
+	// disjoint slices of the request wall, stage wall is measured
+	// inside the engine run, and together queue+eval dominate the wall
+	// (the remainder is parse/fork/serialization).
+	if rec.EvalNS <= 0 || rec.WallNS < rec.EvalNS {
+		t.Fatalf("eval %dns not within wall %dns", rec.EvalNS, rec.WallNS)
+	}
+	if rec.QueueNS+rec.EvalNS > rec.WallNS {
+		t.Fatalf("queue %d + eval %d exceeds wall %d", rec.QueueNS, rec.EvalNS, rec.WallNS)
+	}
+	if rec.QueueNS+rec.EvalNS < rec.WallNS/2 {
+		t.Fatalf("queue %d + eval %d unaccountably small vs wall %d", rec.QueueNS, rec.EvalNS, rec.WallNS)
+	}
+	if rec.StageWallNS <= 0 || rec.StageWallNS > rec.WallNS {
+		t.Fatalf("stage wall %dns not within wall %dns", rec.StageWallNS, rec.WallNS)
+	}
+	if len(rec.PerStage) == 0 {
+		t.Fatal("record has no per-stage breakdown")
+	}
+	// Per-shard skew view: the interrupted sharded rounds must have
+	// attributed work to at least one shard worker, each within the
+	// engine window.
+	if len(rec.PerShard) == 0 || len(rec.PerShard) > 4 {
+		t.Fatalf("per-shard breakdown has %d workers, want 1..4: %+v", len(rec.PerShard), rec.PerShard)
+	}
+	for _, sh := range rec.PerShard {
+		if sh.Rounds == 0 || sh.WallNS < 0 || sh.WallNS > rec.EvalNS {
+			t.Fatalf("shard breakdown inconsistent: %+v (eval %dns)", sh, rec.EvalNS)
+		}
+	}
+	if rec.ShardRounds == 0 {
+		t.Fatalf("no shard rounds recorded: %+v", rec)
+	}
+	// The planner's chosen join orders ride along, est-vs-act included.
+	if len(rec.Plans) == 0 {
+		t.Fatal("record carries no join plans")
+	}
+	sawCard := false
+	for _, p := range rec.Plans {
+		if p.Rule == "" || p.Join == "" {
+			t.Fatalf("empty plan entry: %+v", rec.Plans)
+		}
+		if strings.Contains(p.Join, "est=") && strings.Contains(p.Join, "act=") {
+			sawCard = true
+		}
+	}
+	if !sawCard {
+		t.Fatalf("no plan carries est-vs-act cardinalities: %+v", rec.Plans)
+	}
+
+	// Same record, same id, in the recent ring and the slow-query log.
+	rresp, rbody := get(t, ts.URL+"/debug/flight?limit=5")
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("recent: %d", rresp.StatusCode)
+	}
+	var recent flightPage
+	if err := json.Unmarshal(rbody, &recent); err != nil {
+		t.Fatal(err)
+	}
+	if len(recent.Records) == 0 || recent.Records[0].ID != rid {
+		t.Fatalf("newest ring record is not %q: %s", rid, rbody)
+	}
+	var logged flight.Record
+	line := strings.TrimSpace(slowLog.String())
+	if err := json.Unmarshal([]byte(line), &logged); err != nil {
+		t.Fatalf("slow-query log line is not a Record: %v: %q", err, line)
+	}
+	if logged.ID != rid || logged.Outcome != CodeDeadline {
+		t.Fatalf("slow log carries %q/%q, want %q/deadline", logged.ID, logged.Outcome, rid)
+	}
+	if _, slow := srv.flight.Totals(); slow != 1 {
+		t.Fatalf("slow-query total = %d, want 1", slow)
+	}
+}
+
+// TestFlightStatusAndTenants: /v1/status advertises the recorder's
+// bounds and the per-tenant table; /statsz carries the flight totals;
+// a shed request is charged to its tenant.
+func TestFlightStatusAndTenants(t *testing.T) {
+	srv := New(Config{SlowQuery: 10 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Envelope: Envelope{Program: tcProgram, Facts: "G(a,b). G(b,c)."},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval: %d: %s", resp.StatusCode, body)
+	}
+
+	stresp, stbody := get(t, ts.URL+"/v1/status")
+	if stresp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", stresp.StatusCode)
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(stbody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Flight.RingSize != flight.DefaultRingSize || st.Flight.TopK != flight.DefaultTopK {
+		t.Fatalf("flight bounds: %+v", st.Flight)
+	}
+	if st.Flight.SlowQueryMS != 10_000 || st.Flight.MaxTenants != flight.DefaultMaxTenants {
+		t.Fatalf("flight limits: %+v", st.Flight)
+	}
+	if st.Flight.Records != 1 {
+		t.Fatalf("flight records = %d, want 1", st.Flight.Records)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Requests != 1 || st.Tenants[0].Derived == 0 {
+		t.Fatalf("tenant table: %+v", st.Tenants)
+	}
+	found := 0
+	for _, e := range st.Endpoints {
+		if strings.HasPrefix(e, "/debug/flight") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("endpoint list missing /debug/flight routes: %v", st.Endpoints)
+	}
+
+	zresp, zbody := get(t, ts.URL+"/statsz")
+	if zresp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: %d", zresp.StatusCode)
+	}
+	var z Statsz
+	if err := json.Unmarshal(zbody, &z); err != nil {
+		t.Fatal(err)
+	}
+	if z.FlightRecords != 1 || z.SlowQueries != 0 {
+		t.Fatalf("statsz flight counters: %+v", z)
+	}
+}
+
+// TestFlightShedChargedToTenant: an admission rejection still files a
+// flight record (with the queue wait it burned) and charges the
+// tenant's shed counter.
+func TestFlightShedChargedToTenant(t *testing.T) {
+	svc := New(Config{MaxInFlight: 1, QueueWait: 50 * time.Millisecond})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	svc.gate.mu.Lock()
+	svc.gate.running = 1 // occupy the single slot directly
+	svc.gate.mu.Unlock()
+	defer svc.gate.release()
+
+	resp, _ := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Envelope: Envelope{Program: "P(X) :- Q(X).", Facts: "Q(a)."},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 queue timeout", resp.StatusCode)
+	}
+	rid := resp.Header.Get("X-Request-Id")
+
+	recs := svc.flight.Recent()
+	if len(recs) != 1 || recs[0].ID != rid || recs[0].Outcome != CodeQueueTimeout {
+		t.Fatalf("rejection flight record: %+v", recs)
+	}
+	if recs[0].QueueNS < (40 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("rejection record queue wait = %dns, want >= budget", recs[0].QueueNS)
+	}
+	snap := svc.tenants.Snapshot()
+	if len(snap) != 1 || snap[0].Shed != 1 || snap[0].Requests != 1 {
+		t.Fatalf("tenant shed accounting: %+v", snap)
+	}
+}
+
+// TestMetricsNameInventory is the golden test for the Prometheus
+// exposition: the exact set of unchained_* family names, their types,
+// and the label keys in use. Adding, renaming, or dropping a series is
+// a deliberate act — update the inventory here and the dashboard docs
+// together.
+func TestMetricsNameInventory(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Drive one sharded eval so optional label keys (semantics, tenant)
+	// appear in samples.
+	if resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+		Envelope: Envelope{Program: tcProgram, Facts: "G(a,b). G(b,c).", Shards: 2},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval: %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+
+	want := map[string]string{
+		"unchained_requests_total":                 "counter",
+		"unchained_evals_ok_total":                 "counter",
+		"unchained_eval_errors_total":              "counter",
+		"unchained_timeouts_total":                 "counter",
+		"unchained_canceled_total":                 "counter",
+		"unchained_bad_requests_total":             "counter",
+		"unchained_stages_run_total":               "counter",
+		"unchained_analyze_total":                  "counter",
+		"unchained_analyze_errors_total":           "counter",
+		"unchained_parse_cache_hits_total":         "counter",
+		"unchained_parse_cache_misses_total":       "counter",
+		"unchained_parse_cache_evictions_total":    "counter",
+		"unchained_plan_cache_hits_total":          "counter",
+		"unchained_plan_cache_misses_total":        "counter",
+		"unchained_workers_clamped_total":          "counter",
+		"unchained_timeouts_clamped_total":         "counter",
+		"unchained_shards_clamped_total":           "counter",
+		"unchained_admission_admitted_total":       "counter",
+		"unchained_admission_queued_total":         "counter",
+		"unchained_admission_shed_total":           "counter",
+		"unchained_admission_queue_timeouts_total": "counter",
+		"unchained_shard_rounds_total":             "counter",
+		"unchained_shard_facts_total":              "counter",
+		"unchained_cow_snapshots_total":            "counter",
+		"unchained_cow_promotions_total":           "counter",
+		"unchained_cow_tuples_copied_total":        "counter",
+		"unchained_flight_records_total":           "counter",
+		"unchained_flight_slow_queries_total":      "counter",
+		"unchained_evals_by_semantics_total":       "counter",
+		"unchained_tenant_requests_total":          "counter",
+		"unchained_tenant_eval_ns_total":           "counter",
+		"unchained_tenant_derived_facts_total":     "counter",
+		"unchained_tenant_shed_total":              "counter",
+		"unchained_in_flight":                      "gauge",
+		"unchained_admission_queue_depth":          "gauge",
+		"unchained_parse_cache_size":               "gauge",
+		"unchained_plan_cache_size":                "gauge",
+		"unchained_request_duration_seconds":       "histogram",
+		"unchained_eval_duration_seconds":          "histogram",
+		"unchained_admission_queue_wait_seconds":   "histogram",
+	}
+
+	got := map[string]string{}
+	labelKeys := map[string]map[string]bool{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			got[parts[2]] = parts[3]
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				t.Fatalf("malformed sample: %q", line)
+			}
+			for _, kv := range strings.Split(line[i+1:j], ",") {
+				eq := strings.IndexByte(kv, '=')
+				if eq < 0 {
+					t.Fatalf("malformed label in %q", line)
+				}
+				if labelKeys[name] == nil {
+					labelKeys[name] = map[string]bool{}
+				}
+				labelKeys[name][kv[:eq]] = true
+			}
+		}
+	}
+
+	var missing, extra, wrong []string
+	for name, typ := range want {
+		switch gt, ok := got[name]; {
+		case !ok:
+			missing = append(missing, name)
+		case gt != typ:
+			wrong = append(wrong, fmt.Sprintf("%s: %s != %s", name, gt, typ))
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing)+len(extra)+len(wrong) > 0 {
+		t.Fatalf("metric inventory drifted:\n missing: %v\n extra: %v\n wrong type: %v", missing, extra, wrong)
+	}
+
+	// Label keys are part of the contract too.
+	wantLabels := map[string][]string{
+		"unchained_evals_by_semantics_total":   {"semantics"},
+		"unchained_tenant_requests_total":      {"tenant"},
+		"unchained_tenant_eval_ns_total":       {"tenant"},
+		"unchained_tenant_derived_facts_total": {"tenant"},
+		"unchained_tenant_shed_total":          {"tenant"},
+	}
+	for name, keys := range wantLabels {
+		for _, k := range keys {
+			if !labelKeys[name][k] {
+				t.Errorf("%s: missing label key %q (have %v)", name, k, labelKeys[name])
+			}
+		}
+	}
+	for name, keys := range labelKeys {
+		if strings.HasSuffix(name, "_bucket") {
+			if len(keys) != 1 || !keys["le"] {
+				t.Errorf("%s: histogram bucket labels %v, want only le", name, keys)
+			}
+			continue
+		}
+		if _, ok := wantLabels[name]; !ok {
+			t.Errorf("unexpected labeled family %s: %v", name, keys)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"unchained/internal/flight"
 )
 
 // secBounds are the cumulative histogram bucket upper bounds, in
@@ -95,6 +97,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(w, "unchained_cow_snapshots_total", "Copy-on-write instance snapshots taken by instrumented evaluations.", z.CowSnapshots)
 	writeCounter(w, "unchained_cow_promotions_total", "Relations promoted to private copies by a post-snapshot write.", z.CowPromotions)
 	writeCounter(w, "unchained_cow_tuples_copied_total", "Tuples physically copied by copy-on-write promotions.", z.CowTuplesCopied)
+	writeCounter(w, "unchained_flight_records_total", "Flight records filed (one per evaluation or admission rejection).", z.FlightRecords)
+	writeCounter(w, "unchained_flight_slow_queries_total", "Flight records at or over the slow-query threshold.", z.SlowQueries)
 
 	writeGauge(w, "unchained_in_flight", "Evaluations currently running.", z.InFlight)
 	writeGauge(w, "unchained_admission_queue_depth", "Requests currently waiting in the admission queue.", int64(z.QueueDepth))
@@ -112,9 +116,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "unchained_evals_by_semantics_total{semantics=%q} %d\n", name, s.semCounts[name].Load())
 	}
 
+	// Per-tenant resource accounting. Cardinality is bounded by
+	// construction (Config.MaxTenants named digests + "other"), so
+	// these labeled families cannot grow without bound no matter how
+	// many distinct programs clients send. The label is the 12-hex
+	// digest prefix; /v1/status carries the full digests.
+	tenants := s.tenants.Snapshot()
+	writeTenantCounter(w, "unchained_tenant_requests_total", "Requests attributed to the tenant (admitted or shed).", tenants,
+		func(t flightTenant) uint64 { return t.Requests })
+	writeTenantCounter(w, "unchained_tenant_eval_ns_total", "Cumulative engine evaluation nanoseconds attributed to the tenant.", tenants,
+		func(t flightTenant) uint64 { return uint64(t.EvalNS) })
+	writeTenantCounter(w, "unchained_tenant_derived_facts_total", "Facts derived by the tenant's evaluations.", tenants,
+		func(t flightTenant) uint64 { return t.Derived })
+	writeTenantCounter(w, "unchained_tenant_shed_total", "Tenant requests shed by admission control (429/503).", tenants,
+		func(t flightTenant) uint64 { return t.Shed })
+
 	writeHist(w, "unchained_request_duration_seconds", "HTTP request latency.", s.reqLat)
 	writeHist(w, "unchained_eval_duration_seconds", "Engine evaluation latency (eval and query).", s.evalLat)
 	if s.gate != nil {
 		writeHist(w, "unchained_admission_queue_wait_seconds", "Time queued requests waited for an admission slot.", s.gate.waitLat)
+	}
+}
+
+// flightTenant aliases the accountant's bucket type locally so the
+// writeTenantCounter selector signatures stay short.
+type flightTenant = flight.TenantStats
+
+// tenantLabel compresses a program digest to its 12-hex prefix: short
+// enough for dashboards, long enough that collisions are implausible
+// within the bounded tenant set. The "other" bucket passes through.
+func tenantLabel(tenant string) string {
+	if len(tenant) > 12 && tenant != flight.OtherTenant {
+		return tenant[:12]
+	}
+	return tenant
+}
+
+// writeTenantCounter renders one per-tenant counter family. The HELP
+// and TYPE header is written even when no tenant has traffic yet, so
+// the metric inventory is stable from the first scrape.
+func writeTenantCounter(w http.ResponseWriter, name, help string, tenants []flightTenant, val func(flightTenant) uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	for _, t := range tenants {
+		fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, tenantLabel(t.Tenant), val(t))
 	}
 }

@@ -231,8 +231,9 @@ func TestEvalTraceCapture(t *testing.T) {
 	}
 }
 
-// TestRequestIDHeader: every response carries a request ID, and the
-// logger (when configured) records it.
+// TestRequestIDHeader: every response carries a request ID (a W3C
+// trace id), echoes a Traceparent header, and the logger (when
+// configured) records the id.
 func TestRequestIDHeader(t *testing.T) {
 	var logBuf strings.Builder
 	srv := New(Config{Logger: newTestLogger(&logBuf)})
@@ -245,11 +246,46 @@ func TestRequestIDHeader(t *testing.T) {
 	}
 	resp.Body.Close()
 	rid := resp.Header.Get("X-Request-Id")
-	if !strings.HasPrefix(rid, "req-") {
-		t.Fatalf("X-Request-Id = %q, want req- prefix", rid)
+	if len(rid) != 32 || strings.Trim(rid, "0123456789abcdef") != "" {
+		t.Fatalf("X-Request-Id = %q, want 32-hex trace id", rid)
+	}
+	if tp := resp.Header.Get("Traceparent"); !strings.Contains(tp, rid) {
+		t.Fatalf("Traceparent %q does not carry trace id %q", tp, rid)
 	}
 	logged := logBuf.String()
 	if !strings.Contains(logged, rid) || !strings.Contains(logged, "/healthz") {
 		t.Errorf("log record missing id/path: %q", logged)
+	}
+}
+
+// TestTraceparentAdoption: an inbound W3C traceparent header is
+// adopted — its trace id becomes the request id and the response
+// Traceparent continues the same trace with a fresh span id.
+func TestTraceparentAdoption(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const inTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const inSpan = "00f067aa0ba902b7"
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", "00-"+inTrace+"-"+inSpan+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-Id"); rid != inTrace {
+		t.Fatalf("X-Request-Id = %q, want adopted trace id %q", rid, inTrace)
+	}
+	tp := resp.Header.Get("Traceparent")
+	if !strings.HasPrefix(tp, "00-"+inTrace+"-") {
+		t.Fatalf("Traceparent %q does not continue trace %q", tp, inTrace)
+	}
+	if strings.Contains(tp, inSpan) {
+		t.Fatalf("Traceparent %q reuses the caller's span id", tp)
 	}
 }

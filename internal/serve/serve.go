@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"unchained"
+	"unchained/internal/flight"
 )
 
 // Config tunes the server; the zero value is a usable default.
@@ -76,6 +77,25 @@ type Config struct {
 	// Logger, if non-nil, receives one structured record per request
 	// (id, method, path, status, duration).
 	Logger *slog.Logger
+
+	// SlowQuery marks requests at/over this wall time as slow queries:
+	// they are written to SlowQueryLog (when set) and warned about at a
+	// rate-limited cadence through Logger. Zero disables slow-query
+	// handling; the flight recorder itself is always on.
+	SlowQuery time.Duration
+	// SlowQueryLog receives slow requests as JSONL flight records.
+	SlowQueryLog io.Writer
+	// OTLPSpans, if non-nil, receives one OTLP/JSON span-export
+	// document per evaluation (see docs/OBSERVABILITY.md).
+	OTLPSpans io.Writer
+	// FlightRing and FlightTopK bound the flight recorder's memory
+	// (defaults flight.DefaultRingSize / flight.DefaultTopK).
+	FlightRing int
+	FlightTopK int
+	// MaxTenants bounds per-tenant metric cardinality: the first
+	// MaxTenants distinct program digests get their own label, the
+	// rest share the "other" bucket (default flight.DefaultMaxTenants).
+	MaxTenants int
 }
 
 func (c Config) withDefaults() Config {
@@ -155,7 +175,12 @@ type Server struct {
 	evalLat   *latHist
 	semCounts map[string]*atomic.Uint64
 	log       *slog.Logger
-	reqSeq    atomic.Uint64
+
+	// Flight-recorder surface: the always-on per-request profile store,
+	// bounded per-tenant accounting, and the optional OTLP exporter.
+	flight  *flight.Recorder
+	tenants *flight.Tenants
+	otlp    *flight.OTLPWriter
 }
 
 // New returns a ready-to-serve Server.
@@ -173,6 +198,17 @@ func New(cfg Config) *Server {
 	if s.cfg.MaxInFlight > 0 {
 		s.gate = newGate(s.cfg.MaxInFlight, s.cfg.QueueDepth, s.cfg.QueueWait)
 	}
+	s.flight = flight.NewRecorder(flight.Options{
+		RingSize:      s.cfg.FlightRing,
+		TopK:          s.cfg.FlightTopK,
+		SlowThreshold: s.cfg.SlowQuery,
+		SlowLog:       s.cfg.SlowQueryLog,
+		Logger:        s.cfg.Logger,
+	})
+	s.tenants = flight.NewTenants(s.cfg.MaxTenants)
+	if s.cfg.OTLPSpans != nil {
+		s.otlp = flight.NewOTLPWriter(s.cfg.OTLPSpans, "unchained-serve")
+	}
 	for _, name := range unchained.SemanticsNames() {
 		s.semCounts[name] = &atomic.Uint64{}
 	}
@@ -184,6 +220,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/flight", s.handleFlightRecent)
+	s.mux.HandleFunc("/debug/flight/slowest", s.handleFlightSlowest)
 	return s
 }
 
@@ -205,21 +243,55 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP implements http.Handler: counts, stamps a request ID,
-// times the request into the latency histogram, and logs one
-// structured record when a logger is configured.
+// reqInfo is the per-request identity, established once in ServeHTTP
+// and threaded to handlers through the request context: the W3C trace
+// id (which doubles as the request id everywhere — X-Request-Id, slog,
+// flight records, error envelopes), the daemon's own span id, the
+// inbound parent span id when the client sent a traceparent, and the
+// arrival time.
+type reqInfo struct {
+	ID           string
+	SpanID       string
+	ParentSpanID string
+	Start        time.Time
+}
+
+// reqInfoKey is the context key for reqInfo.
+type reqInfoKey struct{}
+
+// requestInfo returns the request's identity, minting a fresh one for
+// requests that did not pass through ServeHTTP (direct handler calls
+// in tests, the ops-listener metrics handler).
+func requestInfo(r *http.Request) *reqInfo {
+	if ri, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri
+	}
+	return &reqInfo{ID: flight.NewTraceID(), SpanID: flight.NewSpanID(), Start: time.Now()}
+}
+
+// ServeHTTP implements http.Handler: counts, establishes the request
+// identity (adopting an inbound W3C traceparent or minting a fresh
+// trace id), times the request into the latency histogram, and logs
+// one structured record when a logger is configured.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	rid := fmt.Sprintf("req-%06x", s.reqSeq.Add(1))
-	w.Header().Set("X-Request-Id", rid)
+	ri := &reqInfo{SpanID: flight.NewSpanID(), Start: time.Now()}
+	if tid, parent, ok := flight.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ri.ID, ri.ParentSpanID = tid, parent
+	} else {
+		ri.ID = flight.NewTraceID()
+	}
+	w.Header().Set("X-Request-Id", ri.ID)
+	w.Header().Set("Traceparent", flight.FormatTraceparent(ri.ID, ri.SpanID))
+	r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	begin := time.Now()
 	s.mux.ServeHTTP(sw, r)
-	dur := time.Since(begin)
+	dur := time.Since(ri.Start)
 	s.reqLat.observe(dur)
 	if s.log != nil {
 		s.log.Info("request",
-			"id", rid,
+			"trace_id", ri.ID,
+			"span_id", ri.SpanID,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
@@ -450,30 +522,53 @@ func (s *Server) parallelFor(env Envelope) (unchained.Parallel, *ErrorInfo) {
 
 // admit runs the request through the admission gate, keyed by the
 // parse-cache digest of its program (the tenant). It reports whether
-// the request may proceed; on false it has already written the 429 or
-// 503 envelope (with a Retry-After hint) into resp via setErr.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, tenant string, writeResp func(status int, info *ErrorInfo)) bool {
-	err := s.gate.acquire(r.Context(), tenant)
+// the request may proceed (plus the time spent queued, for the flight
+// record); on false it has already written the 429 or 503 envelope
+// (with a Retry-After hint) via writeResp, filed a flight record for
+// the rejection, and charged the tenant's shed counter.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, ri *reqInfo, tenant, endpoint string, writeResp func(status int, info *ErrorInfo)) (time.Duration, bool) {
+	wait, err := s.gate.acquire(r.Context(), tenant)
 	if err == nil {
-		return true
+		return wait, true
 	}
+	var code string
+	var status int
 	switch {
 	case errors.Is(err, errShed):
 		w.Header().Set("Retry-After", "1")
-		info := errInfo(CodeOverloaded, "admission queue full; retry later")
-		info.Details = map[string]any{"retry_after_s": 1}
-		writeResp(http.StatusTooManyRequests, info)
+		info := s.tagError(ri, errInfo(CodeOverloaded, "admission queue full; retry later"))
+		info.Details["retry_after_s"] = 1
+		code, status = CodeOverloaded, http.StatusTooManyRequests
+		writeResp(status, info)
 	case errors.Is(err, errQueueWait):
 		w.Header().Set("Retry-After", "1")
-		info := errInfo(CodeQueueTimeout, "queued past the admission wait budget; retry later")
-		info.Details = map[string]any{"retry_after_s": 1}
-		writeResp(http.StatusServiceUnavailable, info)
+		info := s.tagError(ri, errInfo(CodeQueueTimeout, "queued past the admission wait budget; retry later"))
+		info.Details["retry_after_s"] = 1
+		code, status = CodeQueueTimeout, http.StatusServiceUnavailable
+		writeResp(status, info)
 	default:
 		// Client went away while queued.
 		s.cancels.Add(1)
-		writeResp(http.StatusRequestTimeout, errInfo(CodeCanceled, err.Error()))
+		code, status = CodeCanceled, http.StatusRequestTimeout
+		writeResp(status, s.tagError(ri, errInfo(CodeCanceled, err.Error())))
 	}
-	return false
+	if code == CodeCanceled {
+		// A client that gave up queued was not shed by the daemon.
+		s.tenants.Observe(tenant, 0, 0)
+	} else {
+		s.tenants.ObserveShed(tenant)
+	}
+	rec := &flight.Record{
+		ID: ri.ID, SpanID: ri.SpanID, ParentSpanID: ri.ParentSpanID,
+		Tenant: tenant, Endpoint: endpoint,
+		StartUnixNS: ri.Start.UnixNano(),
+		Outcome:     code, Status: status, Error: err.Error(),
+		QueueNS: wait.Nanoseconds(),
+		WallNS:  time.Since(ri.Start).Nanoseconds(),
+	}
+	s.flight.Observe(rec)
+	s.otlp.Export(rec, nil)
+	return wait, false
 }
 
 // countSemantics attributes one evaluation attempt to its semantics
@@ -485,14 +580,15 @@ func (s *Server) countSemantics(name string) {
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	ri := requestInfo(r)
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, EvalResponse{Error: errInfo(CodeBadRequest, "POST required")})
+		writeJSON(w, http.StatusMethodNotAllowed, EvalResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, "POST required"))})
 		return
 	}
 	var req EvalRequest
 	if err := decode(r, &req); err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: errInfo(CodeBadRequest, err.Error())})
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, err.Error()))})
 		return
 	}
 	semName := req.Semantics
@@ -505,25 +601,26 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		info := errInfo(CodeUnknownSem,
 			fmt.Sprintf("unknown semantics %q (one of %v)", semName, unchained.SemanticsNames()))
 		info.Details = map[string]any{"semantics": unchained.SemanticsNames()}
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: info})
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: s.tagError(ri, info)})
 		return
 	}
 	par, info := s.parallelFor(req.Envelope)
 	if info != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: info})
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: s.tagError(ri, info)})
 		return
 	}
 
 	entry, err := s.cache.get(req.Program)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: errInfo(CodeParse, err.Error())})
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: s.tagError(ri, errInfo(CodeParse, err.Error()))})
 		return
 	}
-	if !s.admit(w, r, entry.key, func(status int, info *ErrorInfo) {
+	queueWait, ok := s.admit(w, r, ri, entry.key, "/v1/eval", func(status int, info *ErrorInfo) {
 		writeJSON(w, status, EvalResponse{Error: info})
-	}) {
+	})
+	if !ok {
 		return
 	}
 	defer s.gate.release()
@@ -534,21 +631,19 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	in, err := sess.Facts(req.Facts)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: errInfo(CodeParse, err.Error())})
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: s.tagError(ri, errInfo(CodeParse, err.Error()))})
 		return
 	}
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
-	opts := []unchained.Opt{
+	fcap, capOpts := s.newCapture(ri, entry.key, "/v1/eval", sem.String(), par, queueWait)
+	opts := append(capOpts,
 		unchained.WithMaxStages(req.MaxStages),
 		unchained.WithParallel(par),
 		unchained.WithPlanCache(entry.plans),
-	}
-	if req.Stats {
-		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
-	}
+	)
 	var rec *unchained.TraceRecorder
 	if req.Trace {
 		rec = unchained.NewTraceRecorder(0)
@@ -559,14 +654,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	evalBegin := time.Now()
 	res, err := sess.EvalContext(ctx, entry.prog, in, sem, opts...)
-	s.evalLat.observe(time.Since(evalBegin))
+	evalDur := time.Since(evalBegin)
+	s.evalLat.observe(evalDur)
 	s.inFlight.Add(-1)
 
 	resp := EvalResponse{Semantics: sem.String()}
 	if res != nil {
 		resp.Stages = res.Stages
-		// Gate on the request flag: tracing attaches an auto-created
-		// collector, so res.Stats can be non-nil without "stats".
+		// Gate on the request flag: the flight recorder attaches a
+		// collector to every request, so res.Stats is populated even
+		// when the client did not ask for "stats".
 		if req.Stats {
 			resp.Stats = res.Stats
 		}
@@ -577,6 +674,10 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		resp.Trace = rec.Events()
 		resp.TraceDropped = rec.Dropped()
 	}
+	var sum *unchained.StatsSummary
+	if res != nil {
+		sum = res.Stats
+	}
 	if err != nil {
 		code, status := classify(err)
 		switch code {
@@ -587,42 +688,46 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		default:
 			s.evalErrs.Add(1)
 		}
-		resp.Error = errInfo(code, err.Error())
+		s.finish(fcap, sum, evalDur, outcomeFor(code), status, err.Error())
+		resp.Error = s.tagError(ri, errInfo(code, err.Error()))
 		writeJSON(w, status, resp)
 		return
 	}
 	s.evalsOK.Add(1)
+	s.finish(fcap, sum, evalDur, "ok", http.StatusOK, "")
 	resp.OK = true
 	resp.Output = sess.Format(res.Out)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ri := requestInfo(r)
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, QueryResponse{Error: errInfo(CodeBadRequest, "POST required")})
+		writeJSON(w, http.StatusMethodNotAllowed, QueryResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, "POST required"))})
 		return
 	}
 	var req QueryRequest
 	if err := decode(r, &req); err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errInfo(CodeBadRequest, err.Error())})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, err.Error()))})
 		return
 	}
 	par, info := s.parallelFor(req.Envelope)
 	if info != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: info})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: s.tagError(ri, info)})
 		return
 	}
 	entry, err := s.cache.get(req.Program)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errInfo(CodeParse, err.Error())})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: s.tagError(ri, errInfo(CodeParse, err.Error()))})
 		return
 	}
-	if !s.admit(w, r, entry.key, func(status int, info *ErrorInfo) {
+	queueWait, ok := s.admit(w, r, ri, entry.key, "/v1/query", func(status int, info *ErrorInfo) {
 		writeJSON(w, status, QueryResponse{Error: info})
-	}) {
+	})
+	if !ok {
 		return
 	}
 	defer s.gate.release()
@@ -630,35 +735,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	in, err := sess.Facts(req.Facts)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errInfo(CodeParse, err.Error())})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: s.tagError(ri, errInfo(CodeParse, err.Error()))})
 		return
 	}
 	goal, err := sess.ParseAtom(req.Query)
 	if err != nil {
 		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: errInfo(CodeParse, err.Error())})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: s.tagError(ri, errInfo(CodeParse, err.Error()))})
 		return
 	}
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	opts := []unchained.Opt{
+	fcap, capOpts := s.newCapture(ri, entry.key, "/v1/query", "query", par, queueWait)
+	opts := append(capOpts,
 		unchained.WithParallel(par),
 		unchained.WithPlanCache(entry.plans),
-	}
-	if req.Stats {
-		opts = append(opts, unchained.WithStats(unchained.NewStatsCollector()))
-	}
+	)
 
 	s.countSemantics("query")
 	s.inFlight.Add(1)
 	evalBegin := time.Now()
 	rel, summary, err := sess.QueryContext(ctx, entry.prog, goal, in, opts...)
-	s.evalLat.observe(time.Since(evalBegin))
+	evalDur := time.Since(evalBegin)
+	s.evalLat.observe(evalDur)
 	s.inFlight.Add(-1)
 	s.countCow(summary)
 
-	resp := QueryResponse{Stats: summary}
+	resp := QueryResponse{}
+	// Gate on the request flag: the flight recorder attaches a
+	// collector to every request, so the summary is populated even
+	// when the client did not ask for "stats".
+	if req.Stats {
+		resp.Stats = summary
+	}
 	if err != nil {
 		code, status := classify(err)
 		switch code {
@@ -669,11 +779,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		default:
 			s.evalErrs.Add(1)
 		}
-		resp.Error = errInfo(code, err.Error())
+		s.finish(fcap, summary, evalDur, outcomeFor(code), status, err.Error())
+		resp.Error = s.tagError(ri, errInfo(code, err.Error()))
 		writeJSON(w, status, resp)
 		return
 	}
 	s.evalsOK.Add(1)
+	s.finish(fcap, summary, evalDur, "ok", http.StatusOK, "")
 	resp.OK = true
 	for _, t := range rel.SortedTuples(sess.U) {
 		resp.Tuples = append(resp.Tuples, goal.Pred+t.String(sess.U))
@@ -749,6 +861,18 @@ type Limits struct {
 	CacheSize        int   `json:"cache_size"`
 }
 
+// FlightLimits is the /v1/status view of the flight recorder: its
+// memory bounds, the slow-query threshold, the tenant-cardinality
+// bound, and the monotonic record counters.
+type FlightLimits struct {
+	RingSize    int    `json:"ring_size"`
+	TopK        int    `json:"top_k"`
+	SlowQueryMS int64  `json:"slow_query_ms"`
+	MaxTenants  int    `json:"max_tenants"`
+	Records     uint64 `json:"records"`
+	SlowQueries uint64 `json:"slow_queries"`
+}
+
 // StatusResponse is the body of GET /v1/status: build identity, the
 // supported semantics, and the effective limits. Unlike /statsz it
 // carries configuration, not counters — poll /statsz or /metrics for
@@ -761,6 +885,12 @@ type StatusResponse struct {
 	Semantics []string `json:"semantics"`
 	Endpoints []string `json:"endpoints"`
 	Limits    Limits   `json:"limits"`
+	// Flight describes the flight recorder (bounds + record counts);
+	// browse records at /debug/flight and /debug/flight/slowest.
+	Flight FlightLimits `json:"flight"`
+	// Tenants is the per-tenant resource table, busiest first, bounded
+	// at Flight.MaxTenants named buckets plus "other".
+	Tenants []flight.TenantStats `json:"tenants,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -772,13 +902,24 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	ringSize, topK, slowThresh := s.flight.Bounds()
+	total, slowTotal := s.flight.Totals()
 	writeJSON(w, http.StatusOK, StatusResponse{
 		Service:   "unchained-serve",
 		GoVersion: runtime.Version(),
 		Revision:  rev,
 		UptimeMS:  time.Since(s.start).Milliseconds(),
 		Semantics: unchained.SemanticsNames(),
-		Endpoints: []string{"/v1/eval", "/v1/query", "/v1/analyze", "/v1/status", "/healthz", "/statsz", "/metrics"},
+		Endpoints: []string{"/v1/eval", "/v1/query", "/v1/analyze", "/v1/status", "/healthz", "/statsz", "/metrics", "/debug/flight", "/debug/flight/slowest"},
+		Flight: FlightLimits{
+			RingSize:    ringSize,
+			TopK:        topK,
+			SlowQueryMS: slowThresh.Milliseconds(),
+			MaxTenants:  s.tenants.Bound(),
+			Records:     total,
+			SlowQueries: slowTotal,
+		},
+		Tenants: s.tenants.Snapshot(),
 		Limits: Limits{
 			MaxWorkers:       s.cfg.MaxWorkers,
 			DefaultWorkers:   s.cfg.DefaultWorkers,
@@ -856,6 +997,11 @@ type Statsz struct {
 	PlanCacheHits    uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses  uint64 `json:"plan_cache_misses"`
 	PlanCacheSize    int    `json:"plan_cache_size"`
+	// Flight-recorder traffic: records filed (one per evaluation or
+	// admission rejection) and records at/over the slow-query
+	// threshold.
+	FlightRecords uint64 `json:"flight_records"`
+	SlowQueries   uint64 `json:"slow_queries"`
 }
 
 // snapshot reads every service counter once; both /statsz and
@@ -872,6 +1018,7 @@ func (s *Server) snapshot() Statsz {
 		waitDrop = s.gate.waitDrop.Load()
 		depth = s.gate.depth()
 	}
+	flightTotal, slowTotal := s.flight.Totals()
 	return Statsz{
 		UptimeMS:         time.Since(s.start).Milliseconds(),
 		Requests:         s.requests.Load(),
@@ -904,6 +1051,8 @@ func (s *Server) snapshot() Statsz {
 		PlanCacheHits:    planHits,
 		PlanCacheMisses:  planMisses,
 		PlanCacheSize:    planSize,
+		FlightRecords:    flightTotal,
+		SlowQueries:      slowTotal,
 	}
 }
 

@@ -23,6 +23,8 @@ package stats
 
 import (
 	"encoding/json"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +74,22 @@ type StageStats struct {
 	WallNS int64 `json:"wall_ns"`
 }
 
+// ShardStats is one shard worker's totals across all shard-parallel
+// delta rounds of a run: how many rounds the shard participated in,
+// its cumulative wall time inside round enumeration, and the facts it
+// emitted toward the merge barrier. Comparing WallNS across shards is
+// the skew diagnostic for parallel runs that fail to speed up.
+type ShardStats struct {
+	// Shard is the 0-based shard index.
+	Shard int `json:"shard"`
+	// Rounds counts sharded delta rounds this shard worked.
+	Rounds uint64 `json:"rounds"`
+	// WallNS is the shard's cumulative enumeration wall time.
+	WallNS int64 `json:"wall_ns"`
+	// Facts counts facts the shard emitted (pre-dedup).
+	Facts uint64 `json:"facts"`
+}
+
 // Summary is the immutable outcome of a collection run, attached to
 // engine results and rendered as JSON by the --stats CLI flag.
 type Summary struct {
@@ -119,6 +137,9 @@ type Summary struct {
 	CowPromotions     uint64 `json:"cow_promotions,omitempty"`
 	CowTuplesCopied   uint64 `json:"cow_tuples_copied,omitempty"`
 	CowIndexesCarried uint64 `json:"cow_indexes_carried,omitempty"`
+	// PerShard is the per-shard-worker breakdown of the shard-parallel
+	// rounds, sorted by shard index. Empty for serial evaluation.
+	PerShard []ShardStats `json:"per_shard,omitempty"`
 	// PerStage is the stage breakdown, capped at maxStageEntries.
 	PerStage []StageStats `json:"per_stage,omitempty"`
 	// StagesTruncated reports that PerStage hit the cap and later
@@ -165,6 +186,12 @@ type Collector struct {
 	scans       atomic.Uint64
 	shardRounds atomic.Uint64
 	shardFacts  atomic.Uint64
+
+	// shardWork accumulates per-shard-worker totals. Unlike the atomic
+	// counters above it is mutex-guarded: shard workers report once per
+	// round (not per firing), so contention is negligible.
+	shardMu   sync.Mutex
+	shardWork map[int]*ShardStats
 
 	start      time.Time
 	stageStart time.Time
@@ -298,6 +325,9 @@ func (c *Collector) Reset(engine string, ruleNames []string) {
 	c.scans.Store(0)
 	c.shardRounds.Store(0)
 	c.shardFacts.Store(0)
+	c.shardMu.Lock()
+	c.shardWork = nil
+	c.shardMu.Unlock()
 	c.stages = nil
 	c.stageCount = 0
 	c.truncated = false
@@ -494,6 +524,27 @@ func (c *Collector) Fired(rule, derived, rederived int) {
 	}
 }
 
+// FiredBatch records firings rule firings at once (derived/rederived
+// are the batch totals). Hot loops that fire many times per rule —
+// the shard workers, the stage-parallel workers — accumulate locally
+// and flush through here so the shared counters see one contended
+// atomic add per batch instead of three per firing. Safe for
+// concurrent use.
+func (c *Collector) FiredBatch(rule int, firings, derived, rederived uint64) {
+	if c == nil || (firings == 0 && derived == 0 && rederived == 0) {
+		return
+	}
+	c.firings.Add(firings)
+	c.derived.Add(derived)
+	c.rederived.Add(rederived)
+	if rule >= 0 && rule < len(c.rules) {
+		rc := &c.rules[rule]
+		rc.firings.Add(firings)
+		rc.derived.Add(derived)
+		rc.rederived.Add(rederived)
+	}
+}
+
 // Retracted records n facts removed from the instance. Called from
 // the engine's goroutine only (no engine retracts concurrently), so
 // it may emit a trace point.
@@ -541,6 +592,30 @@ func (c *Collector) ShardRound(merged int) {
 	c.shardFacts.Add(uint64(merged))
 }
 
+// ShardWork attributes one shard worker's round to its shard: the
+// worker's enumeration wall time and the facts it emitted toward the
+// merge barrier (pre-dedup). Safe for concurrent use — each worker
+// calls it once per round just before exiting, so the mutex is far
+// off the per-firing hot path.
+func (c *Collector) ShardWork(shard int, wallNS int64, facts uint64) {
+	if c == nil {
+		return
+	}
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	if c.shardWork == nil {
+		c.shardWork = make(map[int]*ShardStats)
+	}
+	st := c.shardWork[shard]
+	if st == nil {
+		st = &ShardStats{Shard: shard}
+		c.shardWork[shard] = st
+	}
+	st.Rounds++
+	st.WallNS += wallNS
+	st.Facts += facts
+}
+
 // Probe records one relation match: a full scan when scan is true, a
 // hash-index probe otherwise. Called from the evaluator's hot match
 // loop; a nil receiver costs one branch.
@@ -552,6 +627,23 @@ func (c *Collector) Probe(scan bool) {
 		c.scans.Add(1)
 	} else {
 		c.probes.Add(1)
+	}
+}
+
+// ProbeBatch records probes index probes and scans full scans at
+// once. Enumerate accumulates per-call and flushes through here, so
+// the shared counters cost one atomic add per rule enumeration
+// instead of one per relation match (which contends badly across
+// shard workers). Safe for concurrent use.
+func (c *Collector) ProbeBatch(probes, scans uint64) {
+	if c == nil {
+		return
+	}
+	if probes != 0 {
+		c.probes.Add(probes)
+	}
+	if scans != 0 {
+		c.scans.Add(scans)
 	}
 }
 
@@ -585,6 +677,12 @@ func (c *Collector) Summary() *Summary {
 		PerStage:         append([]StageStats(nil), c.stages...),
 		StagesTruncated:  c.truncated,
 	}
+	c.shardMu.Lock()
+	for _, st := range c.shardWork {
+		s.PerShard = append(s.PerShard, *st)
+	}
+	c.shardMu.Unlock()
+	sort.Slice(s.PerShard, func(i, j int) bool { return s.PerShard[i].Shard < s.PerShard[j].Shard })
 	cw := c.cow.Load()
 	s.CowSnapshots = cw.Snapshots
 	s.CowPromotions = cw.Promotions
