@@ -13,11 +13,20 @@
 //	                [-slow-query-ms 1000] [-slow-query-log slow.jsonl]
 //	                [-otlp-file spans.jsonl]
 //	                [-flight-ring 256] [-flight-topk 32] [-max-tenants 32]
+//	                [-data-dir /var/lib/unchained] [-sub-buffer 64] [-max-dbs 64]
 //
 // -max-inflight bounds concurrently evaluating requests; excess
 // requests queue (fairly across programs, -queue-depth total, each
 // waiting at most -queue-wait) and are shed with 429/503 +
 // Retry-After beyond that (see docs/PARALLEL.md).
+//
+// POST /v1/facts applies fact batches to named databases and POST
+// /v1/subscribe streams incrementally maintained standing-query
+// deltas over them (see docs/STORE.md and docs/API.md). With
+// -data-dir each database is a write-ahead-logged store under
+// <data-dir>/<name> that survives restarts; without it databases are
+// in-memory. -sub-buffer bounds how far one subscriber may fall
+// behind before being cut off; -max-dbs bounds open databases.
 //
 // The flight recorder is always on: every request leaves a bounded
 // structured profile, browsable at GET /debug/flight and
@@ -44,6 +53,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -90,6 +100,9 @@ func run(args []string, w, ew io.Writer) int {
 	flightRing := fs.Int("flight-ring", 0, "flight-recorder recent-records ring size (0 = default 256)")
 	flightTopK := fs.Int("flight-topk", 0, "flight-recorder slowest-records heap size (0 = default 32)")
 	maxTenants := fs.Int("max-tenants", 0, "distinct program digests tracked in per-tenant metrics before folding into \"other\" (0 = default 32)")
+	dataDir := fs.String("data-dir", "", "directory for durable named databases (empty = in-memory)")
+	subBuffer := fs.Int("sub-buffer", 0, "committed batches one subscription may buffer before being cut off (0 = default 64)")
+	maxDBs := fs.Int("max-dbs", 0, "maximum open named databases (0 = default 64)")
 	selftest := fs.Bool("selftest", false, "boot on a loopback port, run a smoke sequence, exit")
 	metricsLint := fs.Bool("metrics-lint", false, "boot on a loopback port, lint the /metrics exposition, exit")
 	if err := fs.Parse(args); err != nil {
@@ -122,6 +135,9 @@ func run(args []string, w, ew io.Writer) int {
 		FlightRing:     *flightRing,
 		FlightTopK:     *flightTopK,
 		MaxTenants:     *maxTenants,
+		DataDir:        *dataDir,
+		SubBuffer:      *subBuffer,
+		MaxDBs:         *maxDBs,
 	}
 	if *slowQueryLog != "" {
 		f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -446,6 +462,82 @@ func runSelftest(cfg serve.Config, w io.Writer) error {
 		return fmt.Errorf("flight records carry no stage breakdown: %s", body)
 	}
 	fmt.Fprintf(w, "selftest: flight recorder ok (%d records)\n", flightPage.Total)
+
+	// 8. Standing queries end to end: seed a named database, subscribe
+	// to transitive closure over it, then assert a new edge and observe
+	// the incremental delta arrive on the stream.
+	status, body, err = postJSON("/v1/facts", serve.FactsRequest{DB: "selftest", Assert: "G(a,b)."})
+	if err != nil {
+		return fmt.Errorf("facts: %w", err)
+	}
+	var fr serve.FactsResponse
+	if uerr := json.Unmarshal(body, &fr); uerr != nil {
+		return fmt.Errorf("facts: %w (body %s)", uerr, body)
+	}
+	if status != http.StatusOK || !fr.OK || fr.Seq != 1 || fr.Asserted != 1 {
+		return fmt.Errorf("facts: status %d body %s", status, body)
+	}
+	fmt.Fprintf(w, "selftest: facts ok (seq=%d)\n", fr.Seq)
+
+	subBody, err := json.Marshal(serve.SubscribeRequest{
+		DB:      "selftest",
+		Program: "T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).",
+	})
+	if err != nil {
+		return err
+	}
+	resp, err = http.Post(base+"/v1/subscribe", "application/json", bytes.NewReader(subBody))
+	if err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "text/event-stream" {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("subscribe: status %d body %s", resp.StatusCode, body)
+	}
+	events := make(chan string, 8)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var ev string
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "event: ") {
+				ev = strings.TrimPrefix(line, "event: ")
+			} else if strings.HasPrefix(line, "data: ") {
+				events <- ev + " " + strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+	waitEvent := func(stage, want string) (string, error) {
+		select {
+		case got, ok := <-events:
+			if !ok || !strings.HasPrefix(got, want+" ") {
+				return "", fmt.Errorf("%s: got %q, want %q event", stage, got, want)
+			}
+			return got, nil
+		case <-time.After(10 * time.Second):
+			return "", fmt.Errorf("%s: no %q event within 10s", stage, want)
+		}
+	}
+	snap, err := waitEvent("subscribe", "snapshot")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(snap, "T(a,b)") {
+		return fmt.Errorf("subscribe snapshot missing seed view: %s", snap)
+	}
+	if _, _, err := postJSON("/v1/facts", serve.FactsRequest{DB: "selftest", Assert: "G(b,c)."}); err != nil {
+		return fmt.Errorf("facts during subscribe: %w", err)
+	}
+	delta, err := waitEvent("delta", "delta")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(delta, "T(a,c)") || !strings.Contains(delta, "T(b,c)") {
+		return fmt.Errorf("subscribe delta missing derived facts: %s", delta)
+	}
+	fmt.Fprintf(w, "selftest: subscribe ok (snapshot + incremental delta)\n")
 	return nil
 }
 
@@ -486,6 +578,19 @@ func runMetricsLint(cfg serve.Config, w io.Writer) error {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
+
+	// Store and subscription traffic, so the unchained_store_* and
+	// unchained_subscription_* families carry non-zero samples too.
+	fb, err := json.Marshal(serve.FactsRequest{DB: "lint", Assert: "G(a,b)."})
+	if err != nil {
+		return err
+	}
+	fresp, err := http.Post(base+"/v1/facts", "application/json", bytes.NewReader(fb))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, fresp.Body)
+	fresp.Body.Close()
 
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {

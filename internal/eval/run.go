@@ -386,6 +386,30 @@ func WarmIndexes(rules []*Rule, ctx *Ctx) {
 	}
 }
 
+// GroundBodyAtom materializes the body literal with index litIndex (an
+// atom, positive or negative) under binding b. ok is false for
+// non-atom literals (equalities, ∀) and out-of-range indexes. The
+// incremental maintainer uses it to attribute a changed rule firing to
+// its first changed body position.
+func (r *Rule) GroundBodyAtom(b Binding, litIndex int) (Fact, bool) {
+	if litIndex < 0 || litIndex >= len(r.Src.Body) {
+		return Fact{}, false
+	}
+	l := r.Src.Body[litIndex]
+	if l.Kind != ast.LitAtom {
+		return Fact{}, false
+	}
+	t := make(tuple.Tuple, len(l.Atom.Args))
+	for i, a := range l.Atom.Args {
+		if a.IsVar() {
+			t[i] = b[r.varIDs[a.Var]]
+		} else {
+			t[i] = a.Const
+		}
+	}
+	return Fact{Neg: l.Neg, Pred: l.Atom.Pred, Tuple: t}, true
+}
+
 // BodySupports materializes the positive body atoms of the rule under
 // binding b — the facts a firing "used", as recorded by provenance
 // tracking. The returned facts are positive and in body order.

@@ -326,6 +326,15 @@ func TestMetricsNameInventory(t *testing.T) {
 		"unchained_cow_tuples_copied_total":        "counter",
 		"unchained_flight_records_total":           "counter",
 		"unchained_flight_slow_queries_total":      "counter",
+		"unchained_store_batches_total":            "counter",
+		"unchained_store_facts_asserted_total":     "counter",
+		"unchained_store_facts_retracted_total":    "counter",
+		"unchained_store_wal_truncations_total":    "counter",
+		"unchained_store_wal_compactions_total":    "counter",
+		"unchained_subscriptions_started_total":    "counter",
+		"unchained_subscription_deltas_total":      "counter",
+		"unchained_subscription_facts_total":       "counter",
+		"unchained_subscription_overflows_total":   "counter",
 		"unchained_evals_by_semantics_total":       "counter",
 		"unchained_tenant_requests_total":          "counter",
 		"unchained_tenant_eval_ns_total":           "counter",
@@ -335,6 +344,10 @@ func TestMetricsNameInventory(t *testing.T) {
 		"unchained_admission_queue_depth":          "gauge",
 		"unchained_parse_cache_size":               "gauge",
 		"unchained_plan_cache_size":                "gauge",
+		"unchained_store_dbs":                      "gauge",
+		"unchained_store_wal_records":              "gauge",
+		"unchained_store_wal_bytes":                "gauge",
+		"unchained_subscriptions_active":           "gauge",
 		"unchained_request_duration_seconds":       "histogram",
 		"unchained_eval_duration_seconds":          "histogram",
 		"unchained_admission_queue_wait_seconds":   "histogram",

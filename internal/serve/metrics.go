@@ -99,11 +99,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(w, "unchained_cow_tuples_copied_total", "Tuples physically copied by copy-on-write promotions.", z.CowTuplesCopied)
 	writeCounter(w, "unchained_flight_records_total", "Flight records filed (one per evaluation or admission rejection).", z.FlightRecords)
 	writeCounter(w, "unchained_flight_slow_queries_total", "Flight records at or over the slow-query threshold.", z.SlowQueries)
+	writeCounter(w, "unchained_store_batches_total", "Committed /v1/facts batches across named databases.", z.StoreBatches)
+	writeCounter(w, "unchained_store_facts_asserted_total", "Facts asserted with net effect across named databases.", z.StoreAsserted)
+	writeCounter(w, "unchained_store_facts_retracted_total", "Facts retracted with net effect across named databases.", z.StoreRetracted)
+	writeCounter(w, "unchained_store_wal_truncations_total", "Torn WAL tails truncated during recovery across open databases.", z.WALTruncations)
+	writeCounter(w, "unchained_store_wal_compactions_total", "WAL snapshot compactions across open databases.", z.WALCompactions)
+	writeCounter(w, "unchained_subscriptions_started_total", "Standing-query subscriptions accepted on /v1/subscribe.", z.SubsStarted)
+	writeCounter(w, "unchained_subscription_deltas_total", "Delta events streamed to subscribers.", z.SubsDeltas)
+	writeCounter(w, "unchained_subscription_facts_total", "Facts streamed in subscription delta events (added plus removed).", z.SubsFacts)
+	writeCounter(w, "unchained_subscription_overflows_total", "Subscriptions dropped for falling behind the delta buffer.", z.SubsOverflows)
 
 	writeGauge(w, "unchained_in_flight", "Evaluations currently running.", z.InFlight)
 	writeGauge(w, "unchained_admission_queue_depth", "Requests currently waiting in the admission queue.", int64(z.QueueDepth))
 	writeGauge(w, "unchained_parse_cache_size", "Programs currently cached.", int64(z.CacheSize))
 	writeGauge(w, "unchained_plan_cache_size", "Join plans resident across cached programs.", int64(z.PlanCacheSize))
+	writeGauge(w, "unchained_store_dbs", "Named databases currently open.", int64(z.StoreDBs))
+	writeGauge(w, "unchained_store_wal_records", "Live WAL records since the last snapshot across open databases.", int64(z.WALRecords))
+	writeGauge(w, "unchained_store_wal_bytes", "Live WAL log bytes across open databases.", z.WALBytes)
+	writeGauge(w, "unchained_subscriptions_active", "Subscriptions currently streaming.", z.SubsActive)
 
 	fmt.Fprintf(w, "# HELP unchained_evals_by_semantics_total Evaluation attempts by semantics (\"query\" = magic-sets).\n")
 	fmt.Fprintf(w, "# TYPE unchained_evals_by_semantics_total counter\n")

@@ -22,11 +22,13 @@
 // once the queue is full or the wait budget is spent.
 //
 // Endpoints: POST /v1/eval, POST /v1/query (magic-sets), POST
-// /v1/analyze (the static program analyzer), GET /v1/status
-// (build identity + effective limits), GET /healthz, GET /statsz,
-// GET /metrics. Every POST endpoint shares the Envelope request
-// fields and the ErrorInfo error envelope (stable "code" values);
-// see docs/API.md.
+// /v1/analyze (the static program analyzer), POST /v1/facts (batches
+// against durable named databases) and POST /v1/subscribe (standing
+// queries streaming incrementally maintained deltas — see
+// store_api.go and docs/STORE.md), GET /v1/status (build identity +
+// effective limits), GET /healthz, GET /statsz, GET /metrics. Every
+// POST endpoint shares the ErrorInfo error envelope (stable "code"
+// values); see docs/API.md.
 package serve
 
 import (
@@ -96,6 +98,19 @@ type Config struct {
 	// MaxTenants distinct program digests get their own label, the
 	// rest share the "other" bucket (default flight.DefaultMaxTenants).
 	MaxTenants int
+
+	// DataDir, when set, makes the named databases behind /v1/facts and
+	// /v1/subscribe durable: each database is a write-ahead-logged
+	// store under <DataDir>/<name> that survives daemon restarts. Empty
+	// keeps databases in memory.
+	DataDir string
+	// SubBuffer bounds how many committed batches one subscription may
+	// buffer while its client drains (default 64). A subscriber that
+	// falls further behind is terminated with "subscription_overflow"
+	// rather than ever blocking the commit path.
+	SubBuffer int
+	// MaxDBs bounds the number of open named databases (default 64).
+	MaxDBs int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +144,12 @@ func (c Config) withDefaults() Config {
 	if c.QueueWait <= 0 {
 		c.QueueWait = time.Second
 	}
+	if c.SubBuffer <= 0 {
+		c.SubBuffer = 64
+	}
+	if c.MaxDBs <= 0 {
+		c.MaxDBs = 64
+	}
 	return c
 }
 
@@ -143,6 +164,10 @@ type Server struct {
 	// with per-tenant (program-digest) fair queuing. nil-safe; disabled
 	// when cfg.MaxInFlight is negative.
 	gate *gate
+	// dbs is the named-database registry behind /v1/facts and
+	// /v1/subscribe: in-memory stores, or WAL-backed ones under
+	// cfg.DataDir (see store_api.go).
+	dbs *dbRegistry
 
 	// Monotonic service counters, reported by /statsz and /metrics.
 	requests       atomic.Uint64
@@ -167,6 +192,17 @@ type Server struct {
 	cowSnapshots  atomic.Uint64
 	cowPromotions atomic.Uint64
 	cowTuples     atomic.Uint64
+	// Store and subscription traffic (see store_api.go). Batches and
+	// fact counts reflect net effect as reported by the store; active
+	// subscriptions is a level, the rest are monotonic.
+	storeBatches   atomic.Uint64
+	storeAsserted  atomic.Uint64
+	storeRetracted atomic.Uint64
+	subsStarted    atomic.Uint64
+	subsDeltas     atomic.Uint64
+	subsFacts      atomic.Uint64
+	subsOverflows  atomic.Uint64
+	subsActive     atomic.Int64
 
 	// Observability surface: request/eval latency histograms,
 	// per-semantics eval counters (map built once in New, so lock-free
@@ -198,6 +234,7 @@ func New(cfg Config) *Server {
 	if s.cfg.MaxInFlight > 0 {
 		s.gate = newGate(s.cfg.MaxInFlight, s.cfg.QueueDepth, s.cfg.QueueWait)
 	}
+	s.dbs = newDBRegistry(s.cfg.DataDir, s.cfg.MaxDBs)
 	s.flight = flight.NewRecorder(flight.Options{
 		RingSize:      s.cfg.FlightRing,
 		TopK:          s.cfg.FlightTopK,
@@ -216,6 +253,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/eval", s.handleEval)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/facts", s.handleFacts)
+	s.mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
@@ -241,6 +280,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so event streaming
+// (/v1/subscribe) works through the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // reqInfo is the per-request identity, established once in ServeHTTP
@@ -307,13 +354,15 @@ const (
 	CodeBadRequest     = "bad_request" // malformed body or method
 	CodeParse          = "parse_error" // program/facts/query did not parse
 	CodeUnknownSem     = "unknown_semantics"
-	CodeInvalidOptions = "invalid_options" // negative workers/shards etc.
-	CodeEval           = "eval_error"      // evaluation failed
-	CodeDeadline       = "deadline"        // timeout_ms or server deadline hit
-	CodeCanceled       = "canceled"        // client went away
-	CodeOverloaded     = "overloaded"      // admission queue full (429)
-	CodeQueueTimeout   = "queue_timeout"   // queued past the wait budget (503)
-	CodeAnalyze        = "analyze_error"   // program is inadmissible
+	CodeInvalidOptions = "invalid_options"       // negative workers/shards etc.
+	CodeEval           = "eval_error"            // evaluation failed
+	CodeDeadline       = "deadline"              // timeout_ms or server deadline hit
+	CodeCanceled       = "canceled"              // client went away
+	CodeOverloaded     = "overloaded"            // admission queue full (429)
+	CodeQueueTimeout   = "queue_timeout"         // queued past the wait budget (503)
+	CodeAnalyze        = "analyze_error"         // program is inadmissible
+	CodeStore          = "store_error"           // durable store open/apply failed
+	CodeSubOverflow    = "subscription_overflow" // subscriber fell too far behind
 )
 
 // kindFor maps a stable code to the legacy "kind" value, kept so
@@ -330,7 +379,9 @@ func kindFor(code string) string {
 		return "canceled"
 	case CodeAnalyze:
 		return "analyze"
-	case CodeOverloaded, CodeQueueTimeout:
+	case CodeStore:
+		return "eval"
+	case CodeOverloaded, CodeQueueTimeout, CodeSubOverflow:
 		return "overloaded"
 	default:
 		return "bad_request"
@@ -910,7 +961,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Revision:  rev,
 		UptimeMS:  time.Since(s.start).Milliseconds(),
 		Semantics: unchained.SemanticsNames(),
-		Endpoints: []string{"/v1/eval", "/v1/query", "/v1/analyze", "/v1/status", "/healthz", "/statsz", "/metrics", "/debug/flight", "/debug/flight/slowest"},
+		Endpoints: []string{"/v1/eval", "/v1/query", "/v1/analyze", "/v1/facts", "/v1/subscribe", "/v1/status", "/healthz", "/statsz", "/metrics", "/debug/flight", "/debug/flight/slowest"},
 		Flight: FlightLimits{
 			RingSize:    ringSize,
 			TopK:        topK,
@@ -1002,6 +1053,26 @@ type Statsz struct {
 	// threshold.
 	FlightRecords uint64 `json:"flight_records"`
 	SlowQueries   uint64 `json:"slow_queries"`
+	// Named-database traffic (/v1/facts): committed batches and the net
+	// facts they asserted/retracted, plus point-in-time store state
+	// (open databases, live WAL records/bytes since the last snapshot)
+	// and cumulative WAL maintenance counters.
+	StoreBatches   uint64 `json:"store_batches"`
+	StoreAsserted  uint64 `json:"store_facts_asserted"`
+	StoreRetracted uint64 `json:"store_facts_retracted"`
+	StoreDBs       int    `json:"store_dbs"`
+	WALRecords     uint64 `json:"store_wal_records"`
+	WALBytes       int64  `json:"store_wal_bytes"`
+	WALTruncations uint64 `json:"store_wal_truncations"`
+	WALCompactions uint64 `json:"store_wal_compactions"`
+	// Subscription traffic (/v1/subscribe): streams started, currently
+	// active, delta events and facts streamed, and subscribers dropped
+	// for falling behind.
+	SubsStarted   uint64 `json:"subscriptions_started"`
+	SubsActive    int64  `json:"subscriptions_active"`
+	SubsDeltas    uint64 `json:"subscription_deltas"`
+	SubsFacts     uint64 `json:"subscription_facts"`
+	SubsOverflows uint64 `json:"subscription_overflows"`
 }
 
 // snapshot reads every service counter once; both /statsz and
@@ -1019,6 +1090,7 @@ func (s *Server) snapshot() Statsz {
 		depth = s.gate.depth()
 	}
 	flightTotal, slowTotal := s.flight.Totals()
+	st := s.dbs.totals()
 	return Statsz{
 		UptimeMS:         time.Since(s.start).Milliseconds(),
 		Requests:         s.requests.Load(),
@@ -1053,6 +1125,19 @@ func (s *Server) snapshot() Statsz {
 		PlanCacheSize:    planSize,
 		FlightRecords:    flightTotal,
 		SlowQueries:      slowTotal,
+		StoreBatches:     s.storeBatches.Load(),
+		StoreAsserted:    s.storeAsserted.Load(),
+		StoreRetracted:   s.storeRetracted.Load(),
+		StoreDBs:         st.DBs,
+		WALRecords:       st.WALRecords,
+		WALBytes:         st.WALBytes,
+		WALTruncations:   st.WALTruncations,
+		WALCompactions:   st.WALCompactions,
+		SubsStarted:      s.subsStarted.Load(),
+		SubsActive:       s.subsActive.Load(),
+		SubsDeltas:       s.subsDeltas.Load(),
+		SubsFacts:        s.subsFacts.Load(),
+		SubsOverflows:    s.subsOverflows.Load(),
 	}
 }
 

@@ -1,0 +1,483 @@
+// Durable named databases and standing-query subscriptions: the
+// service boundary over internal/store (pluggable durable EDBs) and
+// internal/incr (maintained views).
+//
+// POST /v1/facts applies one batch of asserts/retracts to a named
+// database; with Config.DataDir set each database is a write-ahead-
+// logged store under <DataDir>/<name> that survives daemon restarts.
+// POST /v1/subscribe evaluates a program against the database once
+// and then streams the net delta of every committed batch as
+// Server-Sent Events, maintained incrementally (support counting +
+// DRed) rather than recomputed.
+//
+// Concurrency: a store's value universe is shared by every
+// subscription on that database, and interning is not concurrent-safe,
+// so each database handle carries one mutex serializing all
+// universe-touching work — parsing (interning), batch application, and
+// per-subscription view maintenance/formatting. Store watchers only do
+// a non-blocking channel send, so commits never block on slow
+// subscribers; a subscriber that falls more than Config.SubBuffer
+// batches behind is terminated with code "subscription_overflow".
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"unchained"
+	"unchained/internal/incr"
+	"unchained/internal/store"
+)
+
+// dbName constrains database names to path-safe identifiers: they
+// become directory names under DataDir.
+var dbName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// dbHandle is one open database: the store plus the mutex serializing
+// every operation that touches its universe.
+type dbHandle struct {
+	name string
+	mu   sync.Mutex
+	st   store.Store
+	// sess is the parsing/formatting facade over the store's universe;
+	// use only under mu.
+	sess *unchained.Session
+}
+
+// dbRegistry lazily opens named databases: in-memory stores without a
+// data directory, WAL stores under <dir>/<name> with one. Handles stay
+// open for the daemon's lifetime (closeAll at shutdown), so the
+// aggregate WAL counters reported by /metrics stay monotonic.
+type dbRegistry struct {
+	dir string
+	max int
+	mu  sync.Mutex
+	m   map[string]*dbHandle
+}
+
+func newDBRegistry(dir string, max int) *dbRegistry {
+	return &dbRegistry{dir: dir, max: max, m: map[string]*dbHandle{}}
+}
+
+func (r *dbRegistry) get(name string) (*dbHandle, *ErrorInfo) {
+	if !dbName.MatchString(name) {
+		return nil, errInfo(CodeBadRequest, fmt.Sprintf("invalid db name %q (want %s)", name, dbName))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.m[name]; ok {
+		return h, nil
+	}
+	if len(r.m) >= r.max {
+		return nil, errInfo(CodeStore, fmt.Sprintf("too many open databases (max %d)", r.max))
+	}
+	var st store.Store
+	var err error
+	if r.dir == "" {
+		st = store.NewMem()
+	} else {
+		st, err = store.Open(filepath.Join(r.dir, name), store.Options{})
+	}
+	if err != nil {
+		return nil, errInfo(CodeStore, err.Error())
+	}
+	h := &dbHandle{name: name, st: st, sess: &unchained.Session{U: st.Universe()}}
+	r.m[name] = h
+	return h, nil
+}
+
+// storeTotals aggregates the point-in-time store statistics across
+// open databases for /statsz and /metrics.
+type storeTotals struct {
+	DBs            int
+	WALRecords     uint64
+	WALBytes       int64
+	WALTruncations uint64
+	WALCompactions uint64
+}
+
+func (r *dbRegistry) totals() storeTotals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := storeTotals{DBs: len(r.m)}
+	for _, h := range r.m {
+		w, ok := h.st.(*store.WAL)
+		if !ok {
+			continue
+		}
+		zs := w.Stats()
+		t.WALRecords += uint64(zs.Records)
+		t.WALBytes += zs.LogBytes
+		t.WALTruncations += uint64(zs.Truncations)
+		t.WALCompactions += uint64(zs.Compactions)
+	}
+	return t
+}
+
+func (r *dbRegistry) closeAll() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, h := range r.m {
+		h.mu.Lock()
+		if err := h.st.Close(); err != nil && first == nil {
+			first = err
+		}
+		h.mu.Unlock()
+	}
+	r.m = map[string]*dbHandle{}
+	return first
+}
+
+// Close releases the server's durable resources (open database
+// stores). Active subscriptions observe the closed store and end.
+func (s *Server) Close() error { return s.dbs.closeAll() }
+
+// FactsRequest is the body of POST /v1/facts: one batch of ground
+// facts to assert and retract against a named database. Asserts apply
+// before retracts; a fact both asserted and retracted ends up absent.
+type FactsRequest struct {
+	// DB names the database ([A-Za-z0-9][A-Za-z0-9_.-]{0,63}); it is
+	// created on first use.
+	DB string `json:"db"`
+	// Assert and Retract are ground facts in the usual syntax
+	// ("G(a,b). G(b,c)."). Either may be empty.
+	Assert  string `json:"assert,omitempty"`
+	Retract string `json:"retract,omitempty"`
+}
+
+// FactsResponse is the body of POST /v1/facts responses.
+type FactsResponse struct {
+	OK bool   `json:"ok"`
+	DB string `json:"db,omitempty"`
+	// Seq is the database's sequence number after the batch; batches
+	// with no net effect leave it (and the durable log) untouched.
+	Seq uint64 `json:"seq"`
+	// Asserted and Retracted count the facts that took net effect.
+	Asserted  int        `json:"asserted"`
+	Retracted int        `json:"retracted"`
+	Error     *ErrorInfo `json:"error,omitempty"`
+}
+
+// instanceFacts flattens a parsed fact instance into store facts.
+func instanceFacts(u *unchained.Universe, in *unchained.Instance) []store.Fact {
+	var out []store.Fact
+	for _, name := range in.Names() {
+		for _, t := range in.Relation(name).SortedTuples(u) {
+			out = append(out, store.Fact{Pred: name, Tuple: t})
+		}
+	}
+	return out
+}
+
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	ri := requestInfo(r)
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, FactsResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, "POST required"))})
+		return
+	}
+	var req FactsRequest
+	if err := decode(r, &req); err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, FactsResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, err.Error()))})
+		return
+	}
+	h, info := s.dbs.get(req.DB)
+	if info != nil {
+		s.badReqs.Add(1)
+		status := http.StatusBadRequest
+		if info.Code == CodeStore {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, FactsResponse{Error: s.tagError(ri, info)})
+		return
+	}
+	tenant := "db:" + req.DB
+	queueWait, ok := s.admit(w, r, ri, tenant, "/v1/facts", func(status int, info *ErrorInfo) {
+		writeJSON(w, status, FactsResponse{Error: info})
+	})
+	if !ok {
+		return
+	}
+	defer s.gate.release()
+	fcap, _ := s.newCapture(ri, tenant, "/v1/facts", "store", unchained.Parallel{}, queueWait)
+	begin := time.Now()
+
+	h.mu.Lock()
+	var batch store.Batch
+	parse := func(src string) ([]store.Fact, error) {
+		if src == "" {
+			return nil, nil
+		}
+		in, err := h.sess.Facts(src)
+		if err != nil {
+			return nil, err
+		}
+		return instanceFacts(h.sess.U, in), nil
+	}
+	var err error
+	if batch.Assert, err = parse(req.Assert); err == nil {
+		batch.Retract, err = parse(req.Retract)
+	}
+	if err != nil {
+		h.mu.Unlock()
+		s.badReqs.Add(1)
+		s.finish(fcap, nil, time.Since(begin), CodeParse, http.StatusBadRequest, err.Error())
+		writeJSON(w, http.StatusBadRequest, FactsResponse{Error: s.tagError(ri, errInfo(CodeParse, err.Error()))})
+		return
+	}
+	ap, err := h.st.Apply(batch)
+	seq := h.st.Seq()
+	h.mu.Unlock()
+	if err != nil {
+		s.finish(fcap, nil, time.Since(begin), CodeStore, http.StatusUnprocessableEntity, err.Error())
+		writeJSON(w, http.StatusUnprocessableEntity, FactsResponse{DB: req.DB, Error: s.tagError(ri, errInfo(CodeStore, err.Error()))})
+		return
+	}
+	s.storeBatches.Add(1)
+	s.storeAsserted.Add(uint64(len(ap.Asserted)))
+	s.storeRetracted.Add(uint64(len(ap.Retracted)))
+	s.finish(fcap, nil, time.Since(begin), "ok", http.StatusOK, "")
+	writeJSON(w, http.StatusOK, FactsResponse{
+		OK: true, DB: req.DB, Seq: seq,
+		Asserted: len(ap.Asserted), Retracted: len(ap.Retracted),
+	})
+}
+
+// SubscribeRequest is the body of POST /v1/subscribe: a standing
+// query over a named database.
+type SubscribeRequest struct {
+	// DB names the database (created on first use).
+	DB string `json:"db"`
+	// Program is the standing query (positive Datalog or stratified
+	// Datalog¬). Empty subscribes to the raw EDB.
+	Program string `json:"program,omitempty"`
+	// Predicates optionally restricts the streamed facts to these
+	// predicates; empty streams everything (EDB and derived).
+	Predicates []string `json:"predicates,omitempty"`
+	// TimeoutMS optionally bounds the subscription's lifetime; 0 means
+	// until the client disconnects (the server default timeout does NOT
+	// apply — subscriptions are long-lived by design).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SubscribeEvent is the data payload of the SSE events on
+// /v1/subscribe: "snapshot" carries Facts (the full view at Seq),
+// "delta" carries Added/Removed (the net view change of one committed
+// batch), "error" carries the usual error envelope instead.
+type SubscribeEvent struct {
+	Seq     uint64   `json:"seq"`
+	Facts   []string `json:"facts,omitempty"`
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// sseWrite emits one Server-Sent Event and flushes it to the client.
+func sseWrite(w http.ResponseWriter, f http.Flusher, event string, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+		return err
+	}
+	f.Flush()
+	return nil
+}
+
+// factStrings renders an instance's facts (optionally filtered to a
+// predicate set) in the canonical sorted form.
+func factStrings(u *unchained.Universe, in *unchained.Instance, filter map[string]bool) []string {
+	out := []string{}
+	for _, name := range in.Names() {
+		if filter != nil && !filter[name] {
+			continue
+		}
+		for _, t := range in.Relation(name).SortedTuples(u) {
+			out = append(out, name+t.String(u))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// incrFacts converts store facts to view-maintenance facts.
+func incrFacts(fs []store.Fact) []incr.Fact {
+	out := make([]incr.Fact, len(fs))
+	for i, f := range fs {
+		out[i] = incr.Fact{Pred: f.Pred, Tuple: f.Tuple}
+	}
+	return out
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	ri := requestInfo(r)
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, EvalResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, "POST required"))})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, EvalResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, "streaming unsupported by connection"))})
+		return
+	}
+	var req SubscribeRequest
+	if err := decode(r, &req); err != nil {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: s.tagError(ri, errInfo(CodeBadRequest, err.Error()))})
+		return
+	}
+	h, info := s.dbs.get(req.DB)
+	if info != nil {
+		s.badReqs.Add(1)
+		status := http.StatusBadRequest
+		if info.Code == CodeStore {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, EvalResponse{Error: s.tagError(ri, info)})
+		return
+	}
+
+	// The subscription holds its admission slot for its whole lifetime:
+	// standing queries do evaluation work on every committed batch, so
+	// they count against MaxInFlight like any evaluation. Disconnecting
+	// releases the slot.
+	tenant := sourceKey(req.Program)
+	queueWait, ok := s.admit(w, r, ri, tenant, "/v1/subscribe", func(status int, info *ErrorInfo) {
+		writeJSON(w, status, EvalResponse{Error: info})
+	})
+	if !ok {
+		return
+	}
+	defer s.gate.release()
+
+	// Lifetime: until disconnect, bounded by timeout_ms when given.
+	// The server's default evaluation timeout deliberately does not
+	// apply.
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		d := time.Duration(req.TimeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			s.timeoutClamped.Add(1)
+			d = s.cfg.MaxTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	var filter map[string]bool
+	if len(req.Predicates) > 0 {
+		filter = map[string]bool{}
+		for _, p := range req.Predicates {
+			filter[p] = true
+		}
+	}
+
+	fcap, _ := s.newCapture(ri, tenant, "/v1/subscribe", "subscribe", unchained.Parallel{}, queueWait)
+	begin := time.Now()
+
+	// Materialize the view and register the watcher under the handle
+	// mutex: applies are serialized by the same mutex, so no batch can
+	// commit between the snapshot and the watch registration — the
+	// stream is gapless from Seq onward.
+	h.mu.Lock()
+	prog, err := h.sess.Parse(req.Program)
+	if err != nil {
+		h.mu.Unlock()
+		s.badReqs.Add(1)
+		s.finish(fcap, nil, time.Since(begin), CodeParse, http.StatusBadRequest, err.Error())
+		writeJSON(w, http.StatusBadRequest, EvalResponse{Error: s.tagError(ri, errInfo(CodeParse, err.Error()))})
+		return
+	}
+	view, err := h.sess.MaterializeContext(ctx, prog, h.st.Snapshot())
+	if err != nil {
+		h.mu.Unlock()
+		s.evalErrs.Add(1)
+		s.finish(fcap, nil, time.Since(begin), CodeEval, http.StatusUnprocessableEntity, err.Error())
+		writeJSON(w, http.StatusUnprocessableEntity, EvalResponse{Error: s.tagError(ri, errInfo(CodeEval, err.Error()))})
+		return
+	}
+	snapshot := SubscribeEvent{Seq: h.st.Seq(), Facts: factStrings(h.sess.U, view.Instance(), filter)}
+	updates := make(chan store.Applied, s.cfg.SubBuffer)
+	overflow := make(chan struct{})
+	var overflowOnce sync.Once
+	cancelWatch := h.st.Watch(func(ap store.Applied) {
+		select {
+		case updates <- ap:
+		default:
+			// Commit path must never block on a slow subscriber: drop
+			// the stream, not the writer.
+			overflowOnce.Do(func() { close(overflow) })
+		}
+	})
+	h.mu.Unlock()
+	defer cancelWatch()
+
+	s.subsStarted.Add(1)
+	s.subsActive.Add(1)
+	defer s.subsActive.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if err := sseWrite(w, flusher, "snapshot", snapshot); err != nil {
+		s.finish(fcap, nil, time.Since(begin), CodeCanceled, http.StatusOK, err.Error())
+		return
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			outcome := CodeCanceled
+			if ctx.Err() == context.DeadlineExceeded {
+				outcome = CodeDeadline
+				_ = sseWrite(w, flusher, "error", s.tagError(ri, errInfo(CodeDeadline, "subscription timeout reached")))
+			}
+			s.finish(fcap, nil, time.Since(begin), outcome, http.StatusOK, ctx.Err().Error())
+			return
+		case <-overflow:
+			s.subsOverflows.Add(1)
+			_ = sseWrite(w, flusher, "error", s.tagError(ri, errInfo(CodeSubOverflow,
+				fmt.Sprintf("subscriber fell more than %d batches behind; resubscribe for a fresh snapshot", s.cfg.SubBuffer))))
+			s.finish(fcap, nil, time.Since(begin), CodeSubOverflow, http.StatusOK, "subscriber overflow")
+			return
+		case ap := <-updates:
+			h.mu.Lock()
+			delta, err := view.Apply(incrFacts(ap.Asserted), incrFacts(ap.Retracted))
+			var ev SubscribeEvent
+			if err == nil {
+				ev = SubscribeEvent{
+					Seq:     ap.Seq,
+					Added:   factStrings(h.sess.U, delta.Added, filter),
+					Removed: factStrings(h.sess.U, delta.Removed, filter),
+				}
+			}
+			h.mu.Unlock()
+			if err != nil {
+				code, status := classify(err)
+				s.evalErrs.Add(1)
+				_ = sseWrite(w, flusher, "error", s.tagError(ri, errInfo(code, err.Error())))
+				s.finish(fcap, nil, time.Since(begin), code, status, err.Error())
+				return
+			}
+			if len(ev.Added) == 0 && len(ev.Removed) == 0 {
+				// Net-invisible under the predicate filter; stay quiet.
+				continue
+			}
+			if err := sseWrite(w, flusher, "delta", ev); err != nil {
+				s.finish(fcap, nil, time.Since(begin), CodeCanceled, http.StatusOK, err.Error())
+				return
+			}
+			s.subsDeltas.Add(1)
+			s.subsFacts.Add(uint64(len(ev.Added) + len(ev.Removed)))
+		}
+	}
+}

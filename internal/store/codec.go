@@ -1,0 +1,215 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"unchained/internal/tuple"
+	"unchained/internal/value"
+)
+
+// jsonUnmarshalStrict decodes exactly one JSON value with no unknown
+// fields and no trailing data; recovery treats any slack as
+// corruption rather than guessing.
+func jsonUnmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("store: trailing data after record")
+	}
+	return nil
+}
+
+// The WAL serializes constants as tagged strings so records are
+// self-describing and survive re-interning into a fresh Universe on
+// recovery: "s<name>" for symbols (any text), "i<decimal>" for
+// integers. Invented values are rejected at Apply time and never
+// reach the log.
+
+func encodeValue(u *value.Universe, v value.Value) (string, error) {
+	switch u.Kind(v) {
+	case value.KindSym:
+		return "s" + u.Name(v), nil
+	case value.KindInt:
+		n, _ := u.IntVal(v)
+		return "i" + strconv.FormatInt(n, 10), nil
+	default:
+		return "", fmt.Errorf("store: value %d is not serializable", v)
+	}
+}
+
+func decodeValue(u *value.Universe, s string) (value.Value, error) {
+	if len(s) < 1 {
+		return value.None, fmt.Errorf("store: empty value encoding")
+	}
+	switch s[0] {
+	case 's':
+		return u.Sym(s[1:]), nil
+	case 'i':
+		n, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			return value.None, fmt.Errorf("store: bad integer encoding %q", s)
+		}
+		return u.Int(n), nil
+	default:
+		return value.None, fmt.Errorf("store: bad value tag %q", s[0])
+	}
+}
+
+// walFact is one fact on the wire: predicate plus encoded arguments.
+type walFact struct {
+	Pred string   `json:"p"`
+	Args []string `json:"a"`
+}
+
+// walRecord is one committed batch: the sequence number it produced
+// and the net asserted/retracted facts.
+type walRecord struct {
+	Seq     uint64    `json:"seq"`
+	Assert  []walFact `json:"assert,omitempty"`
+	Retract []walFact `json:"retract,omitempty"`
+}
+
+// walSnapshot is a compacted full-state image: every relation with
+// its arity and encoded tuples, plus the sequence number the image
+// reflects.
+type walSnapshot struct {
+	Seq  uint64   `json:"seq"`
+	Rels []walRel `json:"rels"`
+}
+
+type walRel struct {
+	Pred   string     `json:"p"`
+	Arity  int        `json:"arity"`
+	Tuples [][]string `json:"tuples"`
+}
+
+func encodeFacts(u *value.Universe, facts []Fact) ([]walFact, error) {
+	out := make([]walFact, 0, len(facts))
+	for _, f := range facts {
+		wf := walFact{Pred: f.Pred, Args: make([]string, len(f.Tuple))}
+		for i, v := range f.Tuple {
+			s, err := encodeValue(u, v)
+			if err != nil {
+				return nil, err
+			}
+			wf.Args[i] = s
+		}
+		out = append(out, wf)
+	}
+	return out, nil
+}
+
+func decodeFact(u *value.Universe, wf walFact) (Fact, error) {
+	if wf.Pred == "" {
+		return Fact{}, fmt.Errorf("store: record fact with empty predicate")
+	}
+	t := make(tuple.Tuple, len(wf.Args))
+	for i, s := range wf.Args {
+		v, err := decodeValue(u, s)
+		if err != nil {
+			return Fact{}, err
+		}
+		t[i] = v
+	}
+	return Fact{Pred: wf.Pred, Tuple: t}, nil
+}
+
+func encodeRecord(u *value.Universe, ap Applied) ([]byte, error) {
+	rec := walRecord{Seq: ap.Seq}
+	var err error
+	if rec.Assert, err = encodeFacts(u, ap.Asserted); err != nil {
+		return nil, err
+	}
+	if rec.Retract, err = encodeFacts(u, ap.Retracted); err != nil {
+		return nil, err
+	}
+	return json.Marshal(rec)
+}
+
+// applyRecord re-interns and replays one record into the instance,
+// checking arity consistency defensively (a mismatch means a corrupt
+// or foreign log and must not panic the process).
+func applyRecord(u *value.Universe, inst *tuple.Instance, rec walRecord) error {
+	apply := func(wfs []walFact, insert bool) error {
+		for _, wf := range wfs {
+			f, err := decodeFact(u, wf)
+			if err != nil {
+				return err
+			}
+			if r := inst.Relation(f.Pred); r != nil && r.Arity() != len(f.Tuple) {
+				return fmt.Errorf("store: %s arity %d conflicts with logged %d", f.Pred, r.Arity(), len(f.Tuple))
+			}
+			if insert {
+				inst.Insert(f.Pred, f.Tuple)
+			} else {
+				inst.Delete(f.Pred, f.Tuple)
+			}
+		}
+		return nil
+	}
+	if err := apply(rec.Assert, true); err != nil {
+		return err
+	}
+	return apply(rec.Retract, false)
+}
+
+func encodeSnapshot(u *value.Universe, inst *tuple.Instance, seq uint64) ([]byte, error) {
+	snap := walSnapshot{Seq: seq, Rels: []walRel{}}
+	for _, name := range inst.Names() {
+		rel := inst.Relation(name)
+		wr := walRel{Pred: name, Arity: rel.Arity(), Tuples: [][]string{}}
+		for _, t := range rel.SortedTuples(u) {
+			enc := make([]string, len(t))
+			for i, v := range t {
+				s, err := encodeValue(u, v)
+				if err != nil {
+					return nil, err
+				}
+				enc[i] = s
+			}
+			wr.Tuples = append(wr.Tuples, enc)
+		}
+		snap.Rels = append(snap.Rels, wr)
+	}
+	sort.Slice(snap.Rels, func(i, j int) bool { return snap.Rels[i].Pred < snap.Rels[j].Pred })
+	return json.Marshal(snap)
+}
+
+func decodeSnapshot(u *value.Universe, data []byte) (*tuple.Instance, uint64, error) {
+	var snap walSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, 0, fmt.Errorf("store: corrupt snapshot: %w", err)
+	}
+	inst := tuple.NewInstance()
+	for _, wr := range snap.Rels {
+		if wr.Pred == "" || wr.Arity < 0 || wr.Arity > 32 {
+			return nil, 0, fmt.Errorf("store: corrupt snapshot relation %q", wr.Pred)
+		}
+		if inst.Relation(wr.Pred) != nil {
+			return nil, 0, fmt.Errorf("store: duplicate snapshot relation %q", wr.Pred)
+		}
+		rel := inst.Ensure(wr.Pred, wr.Arity)
+		for _, enc := range wr.Tuples {
+			if len(enc) != wr.Arity {
+				return nil, 0, fmt.Errorf("store: snapshot tuple arity mismatch in %q", wr.Pred)
+			}
+			t := make(tuple.Tuple, len(enc))
+			for i, s := range enc {
+				v, err := decodeValue(u, s)
+				if err != nil {
+					return nil, 0, err
+				}
+				t[i] = v
+			}
+			rel.Insert(t)
+		}
+	}
+	return inst, snap.Seq, nil
+}

@@ -1,0 +1,357 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// WAL file layout inside the store directory:
+//
+//	wal.log        append-only log of committed batches
+//	snapshot.json  latest compacted full-state image (atomic rename)
+//
+// Each log record is framed as
+//
+//	[4 bytes little-endian payload length][4 bytes CRC32-IEEE of payload][payload]
+//
+// with a JSON walRecord payload. Recovery loads the snapshot (if
+// any), then replays records in order; the first frame that is short,
+// fails its CRC, fails to decode, or breaks the sequence ends the
+// committed prefix — the tail beyond it is truncated, not fatal.
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.json"
+	frameHeader  = 8
+	// maxRecordBytes bounds a single record so a corrupt length field
+	// cannot drive a huge allocation during recovery.
+	maxRecordBytes = 1 << 28
+)
+
+// ErrInjected is the failure produced by the Options.FailAfterBytes
+// fault injector (crash-recovery tests).
+var ErrInjected = errors.New("store: injected write failure")
+
+// ErrPoisoned is returned by Apply after a log write has failed: the
+// in-memory state may be ahead of the durable log, so the store
+// refuses further writes. Reads stay available; reopen to recover the
+// committed prefix.
+var ErrPoisoned = errors.New("store: write-ahead log failed; store is read-only")
+
+// Options configures a WAL store.
+type Options struct {
+	// CompactEvery compacts the log into a snapshot after this many
+	// records have accumulated since the last snapshot. 0 means the
+	// default (4096); negative disables automatic compaction.
+	CompactEvery int
+	// NoSync skips the per-batch fsync (tests and bulk loads only;
+	// crash durability is lost).
+	NoSync bool
+	// FailAfterBytes, when positive, makes log writes fail after that
+	// many more bytes have been written — possibly mid-record,
+	// producing a genuinely torn frame. Crash-recovery tests use it to
+	// place kill points at arbitrary byte offsets.
+	FailAfterBytes int64
+}
+
+const defaultCompactEvery = 4096
+
+// WAL is the durable Store: a Mem-shaped in-memory state whose every
+// effective batch is framed, CRC-summed, appended to wal.log, and
+// fsynced before the batch is acknowledged or observers notified.
+type WAL struct {
+	core
+	dir    string
+	f      *os.File
+	budget int64 // remaining injected-fault budget; <0 = unlimited
+	opts   Options
+	failed bool
+
+	records     int // records in the live log since the last snapshot
+	logBytes    int64
+	truncations int
+	compactions int
+	snapSeq     uint64
+}
+
+// WALStats is a point-in-time summary of the log, exported to the
+// daemon's metrics.
+type WALStats struct {
+	Seq         uint64
+	SnapshotSeq uint64
+	Records     int   // records in the live log (since last compaction)
+	LogBytes    int64 // current size of wal.log
+	Truncations int   // torn tails truncated during recovery
+	Compactions int   // snapshots written (including recovery-time ones)
+}
+
+// Open opens (creating if needed) a WAL store in dir and recovers its
+// state: latest snapshot plus the committed log prefix. A torn or
+// corrupt log tail is truncated; a corrupt snapshot is an error.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = defaultCompactEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &WAL{core: newCore(), dir: dir, opts: opts, budget: -1}
+	if opts.FailAfterBytes > 0 {
+		w.budget = opts.FailAfterBytes
+	}
+
+	if data, err := os.ReadFile(filepath.Join(dir, snapshotFile)); err == nil {
+		inst, seq, derr := decodeSnapshot(w.u, data)
+		if derr != nil {
+			return nil, derr
+		}
+		w.inst, w.seq, w.snapSeq = inst, seq, seq
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	if err := w.replay(); err != nil {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w.f = f
+	return w, nil
+}
+
+// replay scans wal.log, applies the committed prefix, and truncates
+// anything beyond it.
+func (w *WAL) replay() error {
+	path := filepath.Join(w.dir, walFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	off := 0
+	valid := 0 // end of the last fully valid record
+	for {
+		if len(data)-off < frameHeader {
+			break // torn header (or clean EOF when off == len)
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > maxRecordBytes || len(data)-off-frameHeader < int(length) {
+			break // torn or corrupt payload
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		rec, ok := decodeWalRecord(payload)
+		if !ok {
+			break
+		}
+		if rec.Seq > w.snapSeq { // pre-snapshot remnants replay as no-ops
+			if rec.Seq != w.seq+1 {
+				break // sequence gap: the prefix ends here
+			}
+			if applyRecord(w.u, w.inst, rec) != nil {
+				break
+			}
+			w.seq = rec.Seq
+		}
+		off += frameHeader + int(length)
+		valid = off
+		w.records++
+	}
+	w.logBytes = int64(valid)
+	if valid < len(data) {
+		w.truncations++
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// decodeWalRecord unmarshals a payload, reporting ok=false on any
+// malformed input (recovery treats it as the end of the prefix).
+func decodeWalRecord(payload []byte) (walRecord, bool) {
+	var rec walRecord
+	if err := jsonUnmarshalStrict(payload, &rec); err != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// Apply commits the batch: net effect is computed in memory, framed,
+// appended, fsynced, and only then acknowledged and fanned out to
+// watchers. A batch with no net effect writes nothing.
+func (w *WAL) Apply(b Batch) (Applied, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return Applied{}, ErrClosed
+	}
+	if w.failed {
+		return Applied{}, ErrPoisoned
+	}
+	if err := w.validate(b); err != nil {
+		return Applied{}, err
+	}
+	ap := w.applyNet(b)
+	if ap.Empty() {
+		return ap, nil
+	}
+	payload, err := encodeRecord(w.u, ap)
+	if err != nil {
+		// Unreachable after validate; fail closed if it ever happens.
+		w.failed = true
+		return Applied{}, err
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	n, werr := w.write(frame)
+	w.logBytes += int64(n)
+	if werr != nil {
+		w.failed = true
+		return Applied{}, werr
+	}
+	if !w.opts.NoSync {
+		if serr := w.f.Sync(); serr != nil {
+			w.failed = true
+			return Applied{}, fmt.Errorf("store: %w", serr)
+		}
+	}
+	w.records++
+	w.notify(ap)
+	if w.opts.CompactEvery > 0 && w.records >= w.opts.CompactEvery {
+		// Best-effort: a failed compaction poisons writes but the
+		// acknowledged batch above is already durable.
+		if cerr := w.compactLocked(); cerr != nil {
+			w.failed = true
+		}
+	}
+	return ap, nil
+}
+
+// write appends to the log through the injected-fault budget: once
+// the budget is exhausted the write stops mid-buffer, leaving a
+// genuinely torn frame on disk.
+func (w *WAL) write(p []byte) (int, error) {
+	if w.budget < 0 {
+		return w.f.Write(p)
+	}
+	if int64(len(p)) <= w.budget {
+		w.budget -= int64(len(p))
+		return w.f.Write(p)
+	}
+	n := int(w.budget)
+	w.budget = 0
+	if n > 0 {
+		if m, err := w.f.Write(p[:n]); err != nil {
+			return m, err
+		}
+		// Make the torn prefix visible to the post-kill reopen even
+		// when the test harness SIGKILLs before any natural flush.
+		w.f.Sync()
+	}
+	return n, ErrInjected
+}
+
+// Compact writes the current state as a snapshot and truncates the
+// log. Crash-safe: the snapshot lands via rename, and records older
+// than the snapshot replay as no-ops if the truncate never happens.
+func (w *WAL) Compact() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.failed {
+		return ErrPoisoned
+	}
+	return w.compactLocked()
+}
+
+func (w *WAL) compactLocked() error {
+	data, err := encodeSnapshot(w.u, w.inst, w.seq)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(w.dir, snapshotFile+".tmp")
+	final := filepath.Join(w.dir, snapshotFile)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(w.dir)
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w.snapSeq = w.seq
+	w.records = 0
+	w.logBytes = 0
+	w.compactions++
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so renames inside it are
+// durable on filesystems that need it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Stats returns a snapshot of the log counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{
+		Seq:         w.seq,
+		SnapshotSeq: w.snapSeq,
+		Records:     w.records,
+		LogBytes:    w.logBytes,
+		Truncations: w.truncations,
+		Compactions: w.compactions,
+	}
+}
+
+// Close fsyncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.f == nil {
+		return nil
+	}
+	if !w.failed && !w.opts.NoSync {
+		w.f.Sync()
+	}
+	return w.f.Close()
+}

@@ -543,17 +543,23 @@ func (s *Session) EvalProvenance(p *Program, in *Instance) (*Instance, *core.Pro
 	return s.EvalProvenanceContext(context.Background(), p, in)
 }
 
-// MaterializeContext evaluates a positive Datalog program and returns
-// an incrementally maintainable view whose maintenance operations
-// inherit the context bound.
+// MaterializeContext evaluates a program (positive Datalog or
+// stratified Datalog¬) and returns an incrementally maintained view:
+// exact support counting on non-recursive layers, delete–rederive
+// (DRed) on recursive ones, with stratified negation supported across
+// both. View.Apply takes one assert/retract batch and returns the
+// exact net delta of the whole view. Maintenance operations inherit
+// the context bound. Programs whose negation ranges over the active
+// domain rather than a relation are rejected — they cannot be
+// maintained differentially (see docs/STORE.md).
 func (s *Session) MaterializeContext(ctx context.Context, p *Program, in *Instance, opts ...Opt) (*incr.View, error) {
 	cfg := buildConfig(ctx, opts)
 	return incr.Materialize(p, in, s.U, &cfg.opt)
 }
 
-// Materialize evaluates a positive Datalog program and returns an
-// incrementally maintainable view (semi-naive insertion deltas,
-// delete–rederive for deletions).
+// Materialize evaluates a program and returns an incrementally
+// maintained view (support counting + DRed under stratified
+// negation).
 //
 // Deprecated: use MaterializeContext.
 func (s *Session) Materialize(p *Program, in *Instance) (*incr.View, error) {
