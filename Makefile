@@ -49,12 +49,12 @@ bench:
 
 # Regenerate the machine-readable experiment report (quick sizes).
 bench-json:
-	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR8.json
+	$(GO) run ./cmd/unchained-bench -quick -json BENCH_PR10.json
 
 # Compare a fresh quick run against the checked-in report; exits
 # non-zero when an experiment or benchmark slowed down by >25%.
 bench-baseline:
-	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR8.json -tolerance 0.25
+	$(GO) run ./cmd/unchained-bench -quick -baseline BENCH_PR10.json -tolerance 0.25
 
 # Run each native fuzz target briefly ("go test -fuzz" accepts one
 # target per invocation). Override FUZZTIME for longer local hunts.
@@ -64,6 +64,7 @@ fuzz-smoke:
 	$(GO) test ./internal/while -run='^$$' -fuzz='^FuzzWhileParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/analyze -run='^$$' -fuzz='^FuzzAnalyze$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME)
+	$(GO) test . -run='^$$' -fuzz='^FuzzOptimize$$' -fuzztime=$(FUZZTIME)
 
 # Durability soak under the race detector: replay the write-ahead log
 # through every injected kill point (≥50, including mid-record torn

@@ -7,7 +7,6 @@ import (
 
 	"unchained/internal/analyze"
 	"unchained/internal/ast"
-	"unchained/internal/engine"
 )
 
 // Re-exported analysis types.
@@ -64,9 +63,10 @@ func (s *Session) Analyze(p *Program, opts ...Opt) *AnalysisReport {
 }
 
 // evalAuto implements SemanticsAuto: analyze, then dispatch to the
-// recommended engine through the semantics table.
-func (s *Session) evalAuto(p *Program, in *Instance, opt *engine.Options) (*EvalResult, error) {
-	rep := analyze.Analyze(p, &analyze.Options{Tracer: opt.Tracer})
+// recommended engine through the semantics table (optimizing for the
+// resolved semantics, so the pass gating sees the real target).
+func (s *Session) evalAuto(p *Program, in *Instance, cfg *evalConfig) (*EvalResult, error) {
+	rep := analyze.Analyze(p, &analyze.Options{Tracer: cfg.opt.Tracer})
 	if err := rep.Diags.Err(); err != nil {
 		return nil, fmt.Errorf("unchained: auto semantics: %w", err)
 	}
@@ -75,7 +75,7 @@ func (s *Session) evalAuto(p *Program, in *Instance, opt *engine.Options) (*Eval
 	}
 	for _, e := range semanticsTable {
 		if e.name == rep.Semantics {
-			return e.eval(s, p, in, opt)
+			return e.eval(s, s.optimizeEval(p, in, e.sem, cfg), in, &cfg.opt)
 		}
 	}
 	return nil, fmt.Errorf("unchained: auto semantics: no engine named %q", rep.Semantics)

@@ -9,6 +9,7 @@
 //	datalog -program orient.dl -facts g.facts -semantics effects
 //	datalog -program tc.dl -lint
 //	datalog -program tc.dl -lint -json
+//	datalog -program tc.dl -facts graph.facts -O2 -explain
 //
 // Semantics: datalog (minimal model), stratified, wellfounded,
 // inflationary, noninflationary, invent, ndatalog (one sampled
@@ -21,6 +22,15 @@
 // inference, recommended semantics, stratifiability, and positioned
 // diagnostics (see docs/ANALYSIS.md for the code table); -json emits
 // the full report for machine consumers. Error diagnostics exit 1.
+//
+// -O1/-O2 run the analysis-driven rewrite pipeline of internal/opt
+// before evaluation (dead-rule elimination, inlining, constant
+// propagation, subsumption, adornment; see docs/OPTIMIZER.md). The
+// rewritten program is provably equivalent for the chosen semantics;
+// when a rewrite depends on an intensional relation having no input
+// facts and the facts file violates that, the CLI falls back to the
+// unoptimized program. With -explain each applied rewrite is narrated
+// before the stage-by-stage story.
 //
 // Programs use the syntax of internal/parser: variables upper-case,
 // constants lower-case/quoted/integers, '!' or 'not' for negation
@@ -75,6 +85,7 @@ func exitCode(err error) int {
 // run evaluates per the flags, writing results to w and the -stats
 // JSON summary to ew (stderr in production, captured in tests).
 func run(args []string, w, ew io.Writer) (err error) {
+	args = normalizeOptArgs(args)
 	fs := flag.NewFlagSet("datalog", flag.ContinueOnError)
 	programPath := fs.String("program", "", "program file ('-' for stdin)")
 	factsPath := fs.String("facts", "", "ground facts file (optional)")
@@ -97,11 +108,15 @@ func run(args []string, w, ew io.Writer) (err error) {
 	literalOrder := fs.Bool("literal-order", false, "disable the cardinality planner: join rule bodies in textual literal order")
 	jsonOut := fs.Bool("json", false, "with -lint: emit the full analysis report as JSON")
 	profileOn := fs.Bool("profile", false, "print a one-shot flight-record JSON profile to stderr after evaluation (same schema as the daemon's slow-query log)")
+	optLevel := fs.Int("O", 0, "optimization level 0-2 (-O1/-O2 shorthand accepted): rewrite the program before evaluation; see docs/OPTIMIZER.md")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *programPath == "" {
 		return fmt.Errorf("missing -program")
+	}
+	if *optLevel < 0 || *optLevel > 2 {
+		return fmt.Errorf("-O: level must be 0, 1, or 2")
 	}
 
 	ctx := context.Background()
@@ -150,6 +165,10 @@ func run(args []string, w, ew io.Writer) (err error) {
 			}
 		}()
 	}
+	// Under -explain the applied -O rewrites are narrated to the real
+	// writer (captured before the recorder swap below) ahead of the
+	// stage-by-stage story.
+	var optExplainW io.Writer
 	if *explainOn {
 		rec := trace.NewRecorder(0)
 		tracer = trace.Multi(tracer, rec)
@@ -157,6 +176,7 @@ func run(args []string, w, ew io.Writer) (err error) {
 		// after the run (even a failed one: non-termination and
 		// timeouts are exactly the runs worth explaining).
 		narrW := w
+		optExplainW = narrW
 		w = io.Discard
 		defer func() {
 			if rec.Dropped() > 0 {
@@ -248,14 +268,25 @@ func run(args []string, w, ew io.Writer) (err error) {
 	}
 
 	if *query != "" {
-		return goalQuery(ctx, s, prog, in, *query, col, tracer, *literalOrder, emitStats, w)
+		return goalQuery(ctx, s, prog, in, *query, *optLevel, col, tracer, *literalOrder, optExplainW, emitStats, w)
 	}
 	var answerPreds []string
 	if *answer != "" {
 		answerPreds = strings.Split(*answer, ",")
 	}
+	// -O rewrites the program up front on the deterministic paths; the
+	// nondeterministic family (ndatalog*, effects) and the provenance
+	// (-why) and 3-valued (-three) renderings evaluate the program as
+	// written. The answer is still rendered against the original
+	// program so its IDB list decides which relations print.
+	ansProg := prog
+	if *optLevel > 0 && *why == "" && !*three {
+		if sem, ok := unchained.SemanticsByName[*semantics]; ok {
+			prog = optimizeCLI(s, prog, in, sem, *optLevel, answerPreds, optExplainW)
+		}
+	}
 	printAnswer := func(out *tuple.Instance) {
-		ans := core.Answer(prog, out, answerPreds...)
+		ans := core.Answer(ansProg, out, answerPreds...)
 		fmt.Fprint(w, s.Format(ans))
 	}
 	opt := &core.Options{Ctx: ctx, Workers: *workers, Shards: *shards, Stats: col, Tracer: tracer, LiteralOrder: *literalOrder}
@@ -415,7 +446,7 @@ func run(args []string, w, ew io.Writer) (err error) {
 }
 
 // goalQuery answers a single query atom via the magic-sets rewriting.
-func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, col *stats.Collector, tracer trace.Tracer, literalOrder bool, emitStats func(*stats.Summary), w io.Writer) error {
+func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Program, in *tuple.Instance, querySrc string, optLevel int, col *stats.Collector, tracer trace.Tracer, literalOrder bool, optExplainW io.Writer, emitStats func(*stats.Summary), w io.Writer) error {
 	// Parse "T(a,Y)" by reusing the rule parser on a synthetic rule.
 	r, err := parser.ParseRule(querySrc+" :- .", s.U)
 	if err != nil {
@@ -425,6 +456,11 @@ func goalQuery(ctx context.Context, s *unchained.Session, prog *unchained.Progra
 		return fmt.Errorf("-query expects a single positive atom")
 	}
 	q := r.Head[0].Atom
+	if optLevel > 0 {
+		// The query predicate is the only observed output, so it
+		// anchors reachability-based dead-rule elimination.
+		prog = optimizeCLI(s, prog, in, unchained.MinimalModel, optLevel, []string{q.Pred}, optExplainW)
+	}
 	ans, sum, err := magic.AnswerStats(prog, q, in, s.U, &declarative.Options{Ctx: ctx, Stats: col, Tracer: tracer, LiteralOrder: literalOrder})
 	emitStats(sum)
 	if err != nil {
@@ -497,6 +533,49 @@ func runWhile(ctx context.Context, s *unchained.Session, src, factsPath string, 
 	fmt.Fprintf(w, "%% %s program: %d loop iterations\n", kind, res.Iters)
 	fmt.Fprint(w, s.Format(res.Out))
 	return nil
+}
+
+// normalizeOptArgs rewrites the conventional -O0/-O1/-O2 spellings to
+// the -O=N form the flag package parses.
+func normalizeOptArgs(args []string) []string {
+	out := make([]string, len(args))
+	for i, a := range args {
+		switch a {
+		case "-O0", "--O0":
+			a = "-O=0"
+		case "-O1", "--O1":
+			a = "-O=1"
+		case "-O2", "--O2":
+			a = "-O=2"
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// optimizeCLI runs the -O pipeline for the resolved semantics and
+// returns the rewritten program, or the original when nothing changed
+// or when the instance violates an emptiness assumption the optimizer
+// recorded. Under -explain (explainW non-nil) every applied rewrite —
+// or the reason for falling back — is narrated.
+func optimizeCLI(s *unchained.Session, prog *unchained.Program, in *tuple.Instance, sem unchained.Semantics, level int, roots []string, explainW io.Writer) *unchained.Program {
+	res := s.OptimizeFor(prog, sem, &unchained.OptOptions{Level: unchained.OptLevel(level), Roots: roots})
+	if res == nil || !res.Changed {
+		return prog
+	}
+	if !unchained.OptAssumptionsHold(res, in) {
+		if explainW != nil {
+			fmt.Fprintf(explainW, "%% -O%d disabled: input facts present on assumed-empty relation(s) %s\n",
+				level, strings.Join(res.RequiresEmptyInput, ", "))
+		}
+		return prog
+	}
+	if explainW != nil {
+		for _, rw := range res.Rewrites {
+			fmt.Fprintf(explainW, "%% -O%d [%s] %s: %s\n", level, rw.Pass, rw.Pos, rw.Note)
+		}
+	}
+	return res.Program
 }
 
 func readFile(path string) (string, error) {

@@ -4,7 +4,7 @@
 // This experiment prices that always-on capture on the two
 // regression-gated workloads — the P9 join-heavy planner shape and
 // the P10 sharded transitive closure — by evaluating each bare and
-// with the capture attached. The committed BENCH_PR8.json carries the
+// with the capture attached. The committed BENCH_PR10.json carries the
 // measured ratios; the in-code bar is deliberately loose (CI boxes
 // are noisy) while the acceptance target for the recorder design is
 // low single-digit percent.
@@ -122,7 +122,7 @@ func expP11(quick bool) error {
 			(float64(rec)/float64(bare)-1)*100)
 
 		// Record both sides for the bench-regression gate; the ratio of
-		// the two ns_per_op entries in BENCH_PR8.json is the committed
+		// the two ns_per_op entries in BENCH_PR10.json is the committed
 		// overhead measurement. The in-code bar reads this ratio too —
 		// testing.Benchmark amortizes over many iterations, so it is
 		// far less exposed to a noisy-neighbor CPU spike than the

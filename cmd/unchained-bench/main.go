@@ -58,6 +58,7 @@ var experiments = []experiment{
 	{"P9", "Ablation: cardinality planner vs literal-order joins", expP9},
 	{"P10", "Sharded semi-naive evaluation vs serial (large-EDB TC)", expP10},
 	{"P11", "Flight-recorder capture overhead (stats collector + plan sink)", expP11},
+	{"P12", "Ablation: static optimizer (-O2 inline+dead-elim) vs unoptimized", expP12},
 	{"A1", "Sections 6–7: active-database rule cascades", expA1},
 }
 

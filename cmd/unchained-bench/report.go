@@ -59,7 +59,7 @@ type loadgenReport struct {
 }
 
 // benchReport is the top-level -json document ("make bench-json"
-// checks one in as BENCH_PR8.json, which CI replays as a baseline).
+// checks one in as BENCH_PR10.json, which CI replays as a baseline).
 type benchReport struct {
 	Quick       bool              `json:"quick"`
 	Experiments []expReport       `json:"experiments"`

@@ -7,8 +7,10 @@
 // then one invocation per package unit with a JSON .cfg file — so it
 // needs nothing outside the standard library. It runs the analyzers
 // of internal/lint: stageloop (every engine stage loop must poll
-// engine.Options.Interrupted) and tuplemut (no writes through shared
-// tuple payloads outside internal/tuple).
+// engine.Options.Interrupted), tuplemut (no writes through shared
+// tuple payloads outside internal/tuple), and astmut (no in-place
+// writes through shared AST rule/literal slices outside internal/ast
+// — rewrite passes must copy-on-write).
 //
 // Diagnostics print as "file:line:col: analyzer: message" on stderr
 // and the tool exits 2, which go vet reports as a failure.
@@ -217,6 +219,7 @@ func checkUnit(cfgPath string, allPackages bool) ([]string, error) {
 	}{
 		{"stageloop", lint.Stageloop},
 		{"tuplemut", lint.TupleMut},
+		{"astmut", lint.ASTMut},
 	} {
 		for _, d := range a.run(pass) {
 			all = append(all, finding{fset.Position(d.Pos), a.name, d.Message})

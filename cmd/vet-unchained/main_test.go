@@ -52,7 +52,7 @@ func TestVetToolFailsOnFixture(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet passed on the broken fixture:\n%s", out)
 	}
-	for _, want := range []string{"Interrupted", "shared tuple payload", "drain loop", "fixture.go"} {
+	for _, want := range []string{"Interrupted", "shared tuple payload", "shared AST slice", "drain loop", "fixture.go"} {
 		if !bytes.Contains(out, []byte(want)) {
 			t.Errorf("vet output missing %q:\n%s", want, out)
 		}

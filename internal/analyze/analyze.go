@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"unchained/internal/ast"
+	optpass "unchained/internal/opt"
 	"unchained/internal/stratify"
 	"unchained/internal/trace"
 )
@@ -154,6 +155,10 @@ func Analyze(p *ast.Program, opt *Options) *Report {
 	r.Diags = append(r.Diags, unusedDiags(p, sh)...)
 	r.Diags = append(r.Diags, underivableDiags(p, sh)...)
 	pass("depgraph", t0)
+
+	t0 = time.Now()
+	r.Diags = append(r.Diags, optpass.Opportunities(p)...)
+	pass("opportunities", t0)
 
 	t0 = time.Now()
 	r.Diags = append(r.Diags, terminationDiags(p, sh)...)

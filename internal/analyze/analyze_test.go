@@ -274,7 +274,7 @@ func TestAnalyzeTraceSpans(t *testing.T) {
 	if begin != 1 || end != 1 {
 		t.Fatalf("unbalanced analyze span: %d begin, %d end", begin, end)
 	}
-	want := []string{"validate", "dialect", "depgraph", "termination"}
+	want := []string{"validate", "dialect", "depgraph", "opportunities", "termination"}
 	if len(names) != len(want) {
 		t.Fatalf("pass spans %v, want %v", names, want)
 	}

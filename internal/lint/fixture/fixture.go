@@ -1,12 +1,15 @@
 //go:build lintfixture
 
-// Package fixture deliberately violates both custom analyzers; the
+// Package fixture deliberately violates every custom analyzer; the
 // integration test runs `go vet -vettool -tags lintfixture
 // -stageloop.all` over it and expects failure. The build tag keeps it
 // out of ordinary builds, tests, and the real vet run.
 package fixture
 
-import "unchained/internal/tuple"
+import (
+	"unchained/internal/ast"
+	"unchained/internal/tuple"
+)
 
 type col struct{}
 
@@ -25,6 +28,13 @@ func badStageLoop(c col) {
 // badTupleWrite mutates a shared tuple payload in place.
 func badTupleWrite(t tuple.Tuple) {
 	t[0] = 0
+}
+
+// badASTMutate rewrites a rule of a shared program in place: cached
+// programs serve every concurrent request, so passes must build fresh
+// rule slices instead (copy-on-write).
+func badASTMutate(p *ast.Program, r ast.Rule) {
+	p.Rules[0] = r
 }
 
 type cursor struct{}

@@ -13,6 +13,14 @@
 //     (t[i] = v) outside internal/tuple mutates every holder of the
 //     payload. Only freshly-allocated tuples (make/append/composite
 //     literal in the same function) may be written in place.
+//   - astmut: ast.Program values are shared — the daemon's parse cache
+//     serves one program to every concurrent request, and the
+//     optimizer hands rewritten programs back while callers may retain
+//     the original — so writing through a slice of AST nodes
+//     (p.Rules[i] = r, body[j] = lit) outside internal/ast mutates
+//     every holder. Rewrite passes must build fresh slices
+//     (copy-on-write), so only writes into freshly-allocated slices
+//     are allowed.
 //
 // The analyzers are dependency-free (go/ast + go/types only) so the
 // vet tool builds without golang.org/x/tools.
@@ -241,11 +249,11 @@ func isTupleType(t types.Type) bool {
 		strings.HasSuffix(obj.Pkg().Path(), "internal/tuple")
 }
 
-// freshTupleVars collects the objects of identifiers bound, anywhere
-// in the function, to a freshly-allocated tuple: make(...), append
-// (which reallocates or extends a local), or a composite literal.
-// Writes through those are private by construction.
-func freshTupleVars(info *types.Info, fn ast.Node) map[types.Object]bool {
+// freshVars collects the objects of identifiers bound, anywhere in
+// the function, to a fresh allocation of a type matching want:
+// make(...), append (which reallocates or extends a local), or a
+// composite literal. Writes through those are private by construction.
+func freshVars(info *types.Info, fn ast.Node, want func(types.Type) bool) map[types.Object]bool {
 	fresh := map[types.Object]bool{}
 	record := func(lhs ast.Expr, rhs ast.Expr) {
 		id, ok := lhs.(*ast.Ident)
@@ -256,7 +264,7 @@ func freshTupleVars(info *types.Info, fn ast.Node) map[types.Object]bool {
 		if obj == nil {
 			obj = info.Uses[id]
 		}
-		if obj == nil || !isTupleType(obj.Type()) {
+		if obj == nil || !want(obj.Type()) {
 			return
 		}
 		switch r := rhs.(type) {
@@ -295,10 +303,19 @@ func TupleMut(p *Pass) []Diag {
 	if p.Info == nil || strings.HasSuffix(p.path(), "internal/tuple") {
 		return nil
 	}
+	return flagIndexWrites(p, isTupleType,
+		"write through shared tuple payload %s: tuples alias across copy-on-write snapshots; build a fresh tuple instead (see internal/tuple)")
+}
+
+// flagIndexWrites is the engine behind TupleMut and ASTMut: it flags
+// index-assignments (x[i] = v, x[i]++) through values whose type
+// matches want, exempting identifiers bound to a fresh allocation in
+// the same function.
+func flagIndexWrites(p *Pass, want func(types.Type) bool, format string) []Diag {
 	var diags []Diag
 	flag := func(idx *ast.IndexExpr, fresh map[types.Object]bool) {
 		tv, ok := p.Info.Types[idx.X]
-		if !ok || !isTupleType(tv.Type) {
+		if !ok || !want(tv.Type) {
 			return
 		}
 		if id, ok := idx.X.(*ast.Ident); ok {
@@ -311,9 +328,8 @@ func TupleMut(p *Pass) []Diag {
 			}
 		}
 		diags = append(diags, Diag{
-			Pos: idx.Pos(),
-			Message: fmt.Sprintf("write through shared tuple payload %s: tuples alias across copy-on-write snapshots; build a fresh tuple instead (see internal/tuple)",
-				types.ExprString(idx)),
+			Pos:     idx.Pos(),
+			Message: fmt.Sprintf(format, types.ExprString(idx)),
 		})
 	}
 	for _, f := range p.Files {
@@ -322,7 +338,7 @@ func TupleMut(p *Pass) []Diag {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			fresh := freshTupleVars(p.Info, fn)
+			fresh := freshVars(p.Info, fn, want)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				switch st := n.(type) {
 				case *ast.AssignStmt:
@@ -341,4 +357,48 @@ func TupleMut(p *Pass) []Diag {
 		}
 	}
 	return diags
+}
+
+// astNodeNames are the internal/ast building blocks whose slices
+// alias across every holder of a program.
+var astNodeNames = map[string]bool{
+	"Program": true,
+	"Rule":    true,
+	"Literal": true,
+	"Atom":    true,
+	"Term":    true,
+}
+
+// isASTSlice reports whether t is (an alias of) a slice whose element
+// type is one of internal/ast's node types.
+func isASTSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(sl.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return astNodeNames[obj.Name()] && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/ast")
+}
+
+// ASTMut flags index-assignments through slices of internal/ast node
+// types ([]ast.Rule, []ast.Literal, []ast.Term, ...) outside
+// internal/ast itself, unless the slice is a local identifier bound
+// to a fresh allocation in the same function. Shared ast.Program
+// values reach every concurrent request of the daemon's parse cache
+// and remain live in callers across optimizer rewrites, so passes
+// must copy-on-write.
+func ASTMut(p *Pass) []Diag {
+	if p.Info == nil || strings.HasSuffix(p.path(), "internal/ast") {
+		return nil
+	}
+	return flagIndexWrites(p, isASTSlice,
+		"in-place write to shared AST slice %s: programs are shared across cached sessions and optimizer rewrites; build a fresh slice instead (copy-on-write, see internal/opt)")
 }

@@ -122,6 +122,63 @@ func (t Tuple) set(i, v int) { t[i] = v }
 	}
 }
 
+const astDep = `package ast
+type Term struct{ Var string; Const uint32 }
+type Atom struct{ Pred string; Args []Term }
+type Literal struct{ Atom Atom }
+type Rule struct{ Head, Body []Literal }
+type Program struct{ Rules []Rule }
+`
+
+func TestASTMutFlagsSharedWrites(t *testing.T) {
+	p := typecheck(t, "x/internal/opt", `package opt
+import "x/internal/ast"
+
+func badProgram(p *ast.Program, r ast.Rule) { p.Rules[0] = r }
+
+func badBody(r ast.Rule, l ast.Literal) { r.Body[1] = l }
+
+func badArgs(a ast.Atom, t ast.Term) { a.Args[0] = t }
+
+func okFresh(r ast.Rule, l ast.Literal) []ast.Literal {
+	body := make([]ast.Literal, len(r.Body))
+	body[0] = l
+	return body
+}
+
+func okAppend(rs []ast.Rule, r ast.Rule) []ast.Rule {
+	out := append([]ast.Rule(nil), rs...)
+	out[0] = r
+	return out
+}
+
+func okRead(p *ast.Program) ast.Rule { return p.Rules[0] }
+
+func okOtherSlice(s []string) { s[0] = "x" }
+`, map[string]string{"x/internal/ast": astDep})
+	ds := ASTMut(p)
+	if len(ds) != 3 {
+		t.Fatalf("got %d diags, want 3: %v", len(ds), messages(ds))
+	}
+	for _, d := range ds {
+		if !strings.Contains(d.Message, "shared AST slice") {
+			t.Errorf("message: %q", d.Message)
+		}
+		if pos := p.Fset.Position(d.Pos); !pos.IsValid() {
+			t.Errorf("invalid position for %q", d.Message)
+		}
+	}
+}
+
+func TestASTMutSkipsASTPackageItself(t *testing.T) {
+	p := typecheck(t, "x/y/internal/ast", astDep+`
+func (p *Program) set(i int, r Rule) { p.Rules[i] = r }
+`, nil)
+	if ds := ASTMut(p); len(ds) != 0 {
+		t.Fatalf("flagged internal/ast itself: %v", messages(ds))
+	}
+}
+
 // parseOnly builds a syntax-only Pass (what stageloop needs).
 func parseOnly(t *testing.T, path, src string) *Pass {
 	t.Helper()

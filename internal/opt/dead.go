@@ -1,0 +1,168 @@
+// Dead-rule elimination: three independent justifications for
+// removing a rule, from strongest to most conditional.
+//
+//   - unsat: the body contains a ground-false literal, so no stage of
+//     any engine can satisfy it. Ground equalities are two-valued
+//     even under the well-founded semantics, so removal is exact
+//     there too.
+//   - underivable: a positive body atom reads a predicate that has
+//     deriving rules but whose rules can transitively never fire from
+//     the extensional seeds. Sound only if the underivable predicates
+//     carry no input facts — this repository allows facts on IDB
+//     predicates — so every removal registers that assumption for the
+//     caller to check against the actual instance.
+//   - unreachable: the rule's head cannot reach any declared output
+//     root in the dependency graph. Derivations of reachable
+//     predicates never read unreachable ones (edges point from head
+//     to body), so the observed fragment is computed stage-exactly;
+//     the caller promised to read only the roots.
+package opt
+
+import (
+	"unchained/internal/ast"
+	"unchained/internal/value"
+)
+
+// deadUnsat removes rules whose body contains a ground-false literal
+// (left behind as a witness by constprop, or written by the user).
+func deadUnsat(p *ast.Program, u *value.Universe, res *Result) (*ast.Program, bool) {
+	var out []ast.Rule
+	changed := false
+	for ri, r := range p.Rules {
+		if lit, ok := groundFalseLiteral(r); ok {
+			changed = true
+			res.RulesRemoved++
+			res.note("dead", CodeDeadRule, r.SrcPos,
+				"rule for %s removed: body literal %s can never hold", headPred(r), lit.String(u))
+			continue
+		}
+		out = append(out, p.Rules[ri])
+	}
+	if !changed {
+		return p, false
+	}
+	return &ast.Program{Rules: out}, true
+}
+
+// deadUnderivable removes rules with a positive body atom on an
+// underivable predicate. Derivability is the analyzer's fixpoint:
+// extensional predicates (no positive head occurrence) seed the set —
+// they may always receive input facts — and an intensional predicate
+// is derivable once some rule for it has every positive body atom
+// derivable. Negations, equalities, and ∀-literals are conservatively
+// treated as satisfiable.
+//
+// Removals assume the underivable predicates carry no input facts;
+// the assumption set is recorded for the caller's instance check.
+func deadUnderivable(p *ast.Program, res *Result, assumed map[string]bool) (*ast.Program, bool) {
+	posHead := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			if h.Kind == ast.LitAtom && !h.Neg {
+				posHead[h.Atom.Pred] = true
+			}
+		}
+	}
+
+	derivable := map[string]bool{}
+	// Seed: every predicate that is not positively derived may carry
+	// input facts.
+	for _, r := range p.Rules {
+		for _, q := range bodyAtomPreds(r.Body) {
+			if !posHead[q] {
+				derivable[q] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			ok := true
+			for _, l := range r.Body {
+				if l.Kind == ast.LitAtom && !l.Neg && !derivable[l.Atom.Pred] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, h := range r.Head {
+				if h.Kind == ast.LitAtom && !h.Neg && !derivable[h.Atom.Pred] {
+					derivable[h.Atom.Pred] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	underivable := map[string]bool{}
+	for q := range posHead {
+		if !derivable[q] {
+			underivable[q] = true
+		}
+	}
+	if len(underivable) == 0 {
+		return p, false
+	}
+
+	var out []ast.Rule
+	removed := false
+	for ri, r := range p.Rules {
+		dead := ""
+		for _, l := range r.Body {
+			if l.Kind == ast.LitAtom && !l.Neg && underivable[l.Atom.Pred] {
+				dead = l.Atom.Pred
+				break
+			}
+		}
+		if dead == "" {
+			out = append(out, p.Rules[ri])
+			continue
+		}
+		removed = true
+		res.RulesRemoved++
+		res.note("dead", CodeDeadRule, r.SrcPos,
+			"rule for %s removed: body reads underivable predicate %s (assuming it has no input facts)",
+			headPred(r), dead)
+	}
+	if !removed {
+		return p, false
+	}
+	// The justification is transitive across the whole underivable
+	// set, so the assumption covers all of it.
+	for q := range underivable {
+		assumed[q] = true
+	}
+	return &ast.Program{Rules: out}, true
+}
+
+// deadUnreachable removes rules none of whose head predicates can
+// reach a root. Rules with ⊥ heads are kept (and keep their body
+// predicates reachable): inconsistency is a global observation.
+func deadUnreachable(p *ast.Program, roots []string, res *Result) (*ast.Program, bool) {
+	reach := reachableFrom(p, roots)
+	var out []ast.Rule
+	changed := false
+	for ri, r := range p.Rules {
+		keep := false
+		for _, h := range r.Head {
+			if h.Kind != ast.LitAtom || reach[h.Atom.Pred] {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			out = append(out, p.Rules[ri])
+			continue
+		}
+		changed = true
+		res.RulesRemoved++
+		res.note("dead", CodeDeadRule, r.SrcPos,
+			"rule for %s removed: unreachable from output root(s)", headPred(r))
+	}
+	if !changed {
+		return p, false
+	}
+	return &ast.Program{Rules: out}, true
+}

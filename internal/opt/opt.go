@@ -1,0 +1,426 @@
+// Package opt implements the static program optimizer: a multi-pass,
+// analysis-driven source-to-source rewrite pipeline over ast.Program.
+// It is the static front half of ROADMAP item 2 (partial evaluation
+// and rule compilation): where internal/analyze only *reports* facts
+// about a program, opt *acts* on them, rewriting rules before any
+// engine runs so that every engine benefits at once.
+//
+// The passes, in pipeline order (see docs/OPTIMIZER.md for the full
+// catalog with preservation proofs):
+//
+//   - constprop: constant propagation and eq folding inside each rule
+//     body — equality literals binding a variable to a constant (or to
+//     another variable) are substituted through the rule, ground
+//     equalities are folded to true/false, duplicate body literals are
+//     dropped. Stage-exact for every engine.
+//   - dead: rule elimination — rules whose body contains a ground
+//     false literal (unsat), rules reading predicates that are
+//     underivable and assumed to carry no input facts, and rules
+//     unreachable from the declared output roots. Stage-exact on the
+//     fragment the caller observes.
+//   - subsume: θ-subsumption-based duplicate/redundant-rule removal —
+//     a rule whose head matches and whose body maps into another
+//     rule's body under a substitution makes that other rule
+//     redundant at every stage.
+//   - inline: non-recursive, single-rule, negation-free predicates
+//     are expanded into their (positive) callers. This changes the
+//     *stage* at which facts appear, so it is only legal for
+//     semantics whose result is stage-timing independent and only
+//     when no stage bound is in force; callers gate it with
+//     Options.NoInline.
+//   - adorn: binding-pattern (adornment) analysis from the output
+//     roots, plus a sideways-information-passing body reorder that
+//     moves bound literals first. Join order is semantically free in
+//     this repository (the planner oracle pins that), so this is a
+//     pure plan hint.
+//
+// Every rewrite is recorded as a Rewrite (for -explain narration) and
+// as a positioned, analyze-style diagnostic with a stable O-code.
+//
+// # Assumptions and fallback
+//
+// This repository allows input facts on IDB predicates. Two rewrites
+// are only sound when specific predicates carry no input facts:
+// underivable-rule elimination (an "underivable" predicate with input
+// facts is very much derivable) and inlining (the inlined body only
+// accounts for the defining rule, not for input facts). Rather than
+// forbid these rewrites, Optimize records the predicates whose
+// emptiness it assumed in Result.RequiresEmptyInput; callers must
+// check the actual input instance against that list and fall back to
+// the unoptimized program if any listed predicate has facts.
+// Optimize itself never sees the instance — it is memoized per
+// program (the daemon caches one Result per sha256 program entry).
+//
+// Rewrite passes never mutate the input program: rules and literal
+// slices are copied on write (the astmut vet analyzer enforces this
+// mechanically for every package).
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"unchained/internal/ast"
+	"unchained/internal/stratify"
+	"unchained/internal/value"
+)
+
+// Level selects how aggressive the pipeline is.
+type Level int
+
+// The optimization levels, mirroring the CLI's -O flag.
+const (
+	// O0 disables the optimizer entirely.
+	O0 Level = 0
+	// O1 runs the always-safe rewrites: constant propagation and
+	// folding, unsatisfiable- and underivable-rule elimination, and
+	// subsumption.
+	O1 Level = 1
+	// O2 adds inlining (where timing-safe), reachability-based dead
+	// rule elimination against the output roots, and adornment
+	// analysis with the SIPS body reorder.
+	O2 Level = 2
+)
+
+func (l Level) String() string { return fmt.Sprintf("O%d", int(l)) }
+
+// Diagnostic codes emitted by the passes. They extend the analyzer's
+// code space (E/W/I) with an O-prefixed family so machine consumers
+// can tell rewrites from observations.
+const (
+	CodeDeadRule    = "O001" // rule removed (unsat, underivable input, or unreachable)
+	CodeInlined     = "O002" // predicate inlined into a call site
+	CodeConstProp   = "O003" // constants propagated / literals folded in a rule
+	CodeSubsumed    = "O004" // rule subsumed by another rule
+	CodeAdorned     = "O005" // body reordered by adornment (SIPS) analysis
+	CodeDomainGuard = "O006" // rewrites discarded: active-domain-sensitive program
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Level selects the pass set; O0 returns the program unchanged.
+	Level Level
+
+	// Roots are the output predicates the caller will read (query
+	// predicate, -answer list). When non-empty, rules that cannot
+	// reach any root are eliminated at O2; the caller thereby
+	// promises not to observe any other predicate.
+	Roots []string
+
+	// NoInline disables the inlining pass. Callers must set it for
+	// stage-timing-sensitive semantics (inflationary, noninflationary,
+	// invent) and whenever a MaxStages bound is in force: inlining
+	// makes facts appear at earlier stages.
+	NoInline bool
+
+	// NoAssume disables every rewrite that assumes some predicate
+	// carries no input facts (underivable elimination, inlining).
+	// Incremental maintenance sets it: future deltas may insert facts
+	// on any predicate, so the assumption is uncheckable up front.
+	NoAssume bool
+
+	// NoReorder disables the adornment body reorder (the analysis
+	// itself still runs). Set when the caller pinned an explicit
+	// literal order.
+	NoReorder bool
+
+	// MaxPasses bounds the rewrite fixpoint iterations (default 4).
+	MaxPasses int
+}
+
+// Rewrite records one applied transformation, in application order,
+// for -explain narration.
+type Rewrite struct {
+	Pass string  `json:"pass"`
+	Pos  ast.Pos `json:"pos"`
+	Note string  `json:"note"`
+}
+
+// Adornment is one derived binding pattern: Pattern has one 'b'
+// (bound) or 'f' (free) per argument position of Pred.
+type Adornment struct {
+	Pred    string `json:"pred"`
+	Pattern string `json:"pattern"`
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Program is the optimized program; it aliases the input program
+	// when nothing changed.
+	Program *ast.Program
+	// Changed reports whether any rewrite fired.
+	Changed bool
+	// Passes counts pipeline iterations executed.
+	Passes int
+	// Rewrites lists every applied rewrite in order.
+	Rewrites []Rewrite
+	// RulesRemoved counts rules eliminated by dead/subsume passes.
+	RulesRemoved int
+	// RequiresEmptyInput lists predicates (sorted) that the rewrites
+	// assumed carry no input facts. Callers must verify the actual
+	// instance and fall back to the original program on violation.
+	RequiresEmptyInput []string
+	// Adornments are the binding patterns derived from the roots
+	// (O2), sorted by predicate then pattern — plan metadata for the
+	// sideways-information-passing hints.
+	Adornments []Adornment
+	// Diags carries one positioned info diagnostic per rewrite.
+	Diags ast.Diagnostics
+}
+
+// note records a rewrite and its twin diagnostic.
+func (res *Result) note(pass, code string, pos ast.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	res.Rewrites = append(res.Rewrites, Rewrite{Pass: pass, Pos: pos, Note: msg})
+	res.Diags = append(res.Diags, ast.Diagnostic{
+		Pos: pos, Severity: ast.SevInfo, Code: code, Message: msg,
+	})
+}
+
+// Optimize runs the rewrite pipeline on p and returns the result. The
+// input program is never mutated; u is used only to render constants
+// in notes and diagnostics. A nil o means O2 with defaults.
+func Optimize(p *ast.Program, u *value.Universe, o *Options) *Result {
+	if o == nil {
+		o = &Options{Level: O2}
+	}
+	res := &Result{Program: p}
+	if p == nil || len(p.Rules) == 0 || o.Level <= O0 {
+		return res
+	}
+	maxPasses := o.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 4
+	}
+	origIDB := p.IDB()
+	assumed := map[string]bool{} // preds assumed to have no input facts
+
+	cur := p
+	for i := 0; i < maxPasses; i++ {
+		res.Passes++
+		changed := false
+		var ch bool
+
+		cur, ch = constprop(cur, u, res)
+		changed = changed || ch
+
+		cur, ch = deadUnsat(cur, u, res)
+		changed = changed || ch
+
+		if !o.NoAssume {
+			cur, ch = deadUnderivable(cur, res, assumed)
+			changed = changed || ch
+		}
+
+		cur, ch = subsume(cur, u, res)
+		changed = changed || ch
+
+		if o.Level >= O2 {
+			if !o.NoInline && !o.NoAssume {
+				cur, ch = inline(cur, u, res, assumed)
+				changed = changed || ch
+			}
+			if len(o.Roots) > 0 {
+				cur, ch = deadUnreachable(cur, o.Roots, res)
+				changed = changed || ch
+			}
+		}
+
+		if !changed {
+			break
+		}
+		res.Changed = true
+	}
+
+	// A removed rule takes its constants with it, shrinking the
+	// active domain adom(P, K). For programs that valuate some
+	// variable by enumerating that domain (unsafe negation, unbound
+	// equality or head variables, ∀-literals), the constant set is
+	// semantically observable, so any rewrite sequence that changed it
+	// is discarded wholesale: the original program is returned with a
+	// single diagnostic recording why.
+	if res.Changed && !sameConstSet(p, cur) && domainSensitive(p) {
+		cur = p
+		res.Changed = false
+		res.Rewrites = nil
+		res.RulesRemoved = 0
+		res.Diags = ast.Diagnostics{{
+			Severity: ast.SevInfo, Code: CodeDomainGuard,
+			Message: "optimization suppressed: the program enumerates the active domain (unsafe negation or ∀), and the rewrites would change its constant set",
+		}}
+		for q := range assumed {
+			delete(assumed, q)
+		}
+	}
+
+	if o.Level >= O2 {
+		var ch bool
+		cur, ch = adorn(cur, o, res)
+		res.Changed = res.Changed || ch
+	}
+
+	// Removing a predicate's last deriving rule takes it out of the
+	// IDB, which changes which relations the default answer
+	// restriction prints — unless the caller pinned explicit roots,
+	// in which case unreachable predicates are unobservable by
+	// contract. Guard the difference with an emptiness assumption.
+	if res.Changed {
+		finalIDB := map[string]bool{}
+		for _, q := range cur.IDB() {
+			finalIDB[q] = true
+		}
+		var reach map[string]bool
+		if len(o.Roots) > 0 {
+			reach = reachableFrom(p, o.Roots)
+		}
+		for _, q := range origIDB {
+			if finalIDB[q] {
+				continue
+			}
+			if reach != nil && !reach[q] {
+				continue // unobservable: caller reads only the roots
+			}
+			assumed[q] = true
+		}
+	}
+
+	res.Program = cur
+	res.RequiresEmptyInput = sortedPreds(assumed)
+	res.Diags.Sort()
+	return res
+}
+
+// reachableFrom computes the predicates reachable from roots in p's
+// dependency graph (head depends on body, either polarity). A rule
+// with a ⊥ head constrains global consistency, so its body
+// predicates are always reachable.
+func reachableFrom(p *ast.Program, roots []string) map[string]bool {
+	g := stratify.BuildGraph(p)
+	out := map[string][]string{}
+	for _, e := range g.Edges {
+		out[e.From] = append(out[e.From], e.To)
+	}
+	reach := map[string]bool{}
+	var queue []string
+	push := func(q string) {
+		if !reach[q] {
+			reach[q] = true
+			queue = append(queue, q)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			if h.Kind == ast.LitBottom {
+				for _, b := range bodyAtomPreds(r.Body) {
+					push(b)
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, next := range out[q] {
+			push(next)
+		}
+	}
+	return reach
+}
+
+// bodyAtomPreds returns the predicates of every atom literal in body,
+// including atoms nested under ∀.
+func bodyAtomPreds(body []ast.Literal) []string {
+	var preds []string
+	var walk func(l ast.Literal)
+	walk = func(l ast.Literal) {
+		switch l.Kind {
+		case ast.LitAtom:
+			preds = append(preds, l.Atom.Pred)
+		case ast.LitForall:
+			for _, b := range l.ForallBody {
+				walk(b)
+			}
+		}
+	}
+	for _, l := range body {
+		walk(l)
+	}
+	return preds
+}
+
+func sortedPreds(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Opportunities reports optimizer opportunities as analyzer-style
+// info diagnostics without rewriting anything. It backs the analyzer
+// codes I005 (inlinable predicate) and I006 (dead rule: the
+// assumption-free cases, unsatisfiable body and subsumption; the
+// analyzer's W003 already covers underivable predicates). It needs no
+// universe: messages name predicates and positions only.
+func Opportunities(p *ast.Program) ast.Diagnostics {
+	var diags ast.Diagnostics
+	if p == nil || len(p.Rules) == 0 {
+		return diags
+	}
+
+	for _, c := range inlineCandidates(p) {
+		if c.callSites == 0 {
+			continue
+		}
+		diags = append(diags, ast.Diagnostic{
+			Pos:      c.rule.SrcPos,
+			Severity: ast.SevInfo,
+			Code:     "I005",
+			Message: fmt.Sprintf("predicate %s is inlinable: single non-recursive negation-free rule with %d call site(s)",
+				c.pred, c.callSites),
+		})
+	}
+
+	for ri, r := range p.Rules {
+		if _, ok := groundFalseLiteral(r); ok {
+			diags = append(diags, ast.Diagnostic{
+				Pos:      r.SrcPos,
+				Severity: ast.SevInfo,
+				Code:     "I006",
+				Message:  fmt.Sprintf("rule for %s is dead: its body contains a ground-false equality", headPred(r)),
+			})
+			continue
+		}
+		if rj, ok := subsumedBy(p, ri); ok {
+			d := ast.Diagnostic{
+				Pos:      r.SrcPos,
+				Severity: ast.SevInfo,
+				Code:     "I006",
+				Message:  fmt.Sprintf("rule is dead: subsumed by the rule for %s at %s", headPred(p.Rules[rj]), p.Rules[rj].SrcPos),
+			}
+			if p.Rules[rj].SrcPos.IsValid() {
+				d.Related = []ast.Related{{Pos: p.Rules[rj].SrcPos, Message: "subsuming rule"}}
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	diags.Sort()
+	return diags
+}
+
+func headPred(r ast.Rule) string {
+	for _, h := range r.Head {
+		if h.Kind == ast.LitAtom {
+			return h.Atom.Pred
+		}
+	}
+	return "?"
+}

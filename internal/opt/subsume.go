@@ -1,0 +1,204 @@
+// θ-subsumption-based redundant-rule elimination. Rule r1 subsumes
+// rule r2 when a substitution θ over r1's variables maps r1's head
+// onto r2's head and every body literal of θ(r1) onto some body
+// literal of r2 (same polarity; equalities in either orientation).
+// Then any valuation satisfying r2's body at some stage satisfies
+// θ∘(r1's body) at the same stage — the matched literals are
+// literally among r2's — and derives the identical ground head fact,
+// so r2 contributes nothing at any stage of any engine. Under the
+// well-founded semantics the same containment argument runs per truth
+// value (true and not-false), so removal is exact there too.
+//
+// Guards: single positive atom heads on both sides, bodies of atoms
+// and equalities only, no head-only variables (a Datalog¬new rule
+// invents distinct fresh values per rule, so even an exact duplicate
+// is not redundant), and a body-size cap — the check is NP-complete
+// in general, and rules past the cap are left alone.
+package opt
+
+import (
+	"unchained/internal/ast"
+	"unchained/internal/value"
+)
+
+// subsumeMaxBody bounds the backtracking matcher.
+const subsumeMaxBody = 12
+
+// subsume removes every rule subsumed by an earlier-surviving rule.
+// When two rules subsume each other (variants), the one appearing
+// first in the program wins.
+func subsume(p *ast.Program, u *value.Universe, res *Result) (*ast.Program, bool) {
+	type entry struct {
+		idx  int
+		pred string
+		ok   bool
+	}
+	entries := make([]entry, len(p.Rules))
+	byPred := map[string][]int{}
+	for i, r := range p.Rules {
+		e := entry{idx: i}
+		if subsumable(r) {
+			e.ok = true
+			e.pred = r.Head[0].Atom.Pred
+			byPred[e.pred] = append(byPred[e.pred], i)
+		}
+		entries[i] = e
+	}
+
+	dropped := map[int]int{} // removed rule index -> subsuming rule index
+	for _, idxs := range byPred {
+		for a := 0; a < len(idxs); a++ {
+			i := idxs[a]
+			if _, gone := dropped[i]; gone {
+				continue
+			}
+			for b := a + 1; b < len(idxs); b++ {
+				j := idxs[b]
+				if _, gone := dropped[j]; gone {
+					continue
+				}
+				if subsumes(p.Rules[i], p.Rules[j]) {
+					dropped[j] = i
+				} else if subsumes(p.Rules[j], p.Rules[i]) {
+					dropped[i] = j
+					break
+				}
+			}
+		}
+	}
+	if len(dropped) == 0 {
+		return p, false
+	}
+
+	var out []ast.Rule
+	for i := range p.Rules {
+		if by, gone := dropped[i]; gone {
+			res.RulesRemoved++
+			r := p.Rules[i]
+			res.note("subsume", CodeSubsumed, r.SrcPos,
+				"rule for %s removed: subsumed by the rule at %s", headPred(r), p.Rules[by].SrcPos)
+			continue
+		}
+		out = append(out, p.Rules[i])
+	}
+	return &ast.Program{Rules: out}, true
+}
+
+// subsumedBy reports whether p.Rules[ri] is subsumed by some other
+// rule of p (used by Opportunities; first subsumer wins).
+func subsumedBy(p *ast.Program, ri int) (int, bool) {
+	r := p.Rules[ri]
+	if !subsumable(r) {
+		return 0, false
+	}
+	for j, other := range p.Rules {
+		if j == ri || !subsumable(other) || other.Head[0].Atom.Pred != r.Head[0].Atom.Pred {
+			continue
+		}
+		if subsumes(other, r) && !(j > ri && subsumes(r, other)) {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// subsumable restricts the pass to plain deterministic-shaped rules.
+func subsumable(r ast.Rule) bool {
+	if len(r.Head) != 1 || r.Head[0].Kind != ast.LitAtom || r.Head[0].Neg {
+		return false
+	}
+	if len(r.Body) > subsumeMaxBody {
+		return false
+	}
+	for _, l := range r.Body {
+		if l.Kind != ast.LitAtom && l.Kind != ast.LitEq {
+			return false
+		}
+	}
+	return len(r.HeadOnlyVars()) == 0
+}
+
+// subsumes reports whether r1 subsumes r2 (both already subsumable).
+// θ maps r1's variables to r2's terms; r2 is treated as frozen — its
+// variables only match themselves.
+func subsumes(r1, r2 ast.Rule) bool {
+	theta := map[string]ast.Term{}
+	if !matchAtom(r1.Head[0].Atom, r2.Head[0].Atom, theta) {
+		return false
+	}
+	return matchBody(r1.Body, 0, r2.Body, theta)
+}
+
+func matchBody(body1 []ast.Literal, at int, body2 []ast.Literal, theta map[string]ast.Term) bool {
+	if at == len(body1) {
+		return true
+	}
+	l1 := body1[at]
+	for _, l2 := range body2 {
+		if l1.Kind != l2.Kind || l1.Neg != l2.Neg {
+			continue
+		}
+		trail := snapshot(theta)
+		if matchLiteral(l1, l2, theta) && matchBody(body1, at+1, body2, theta) {
+			return true
+		}
+		restore(theta, trail)
+	}
+	return false
+}
+
+func matchLiteral(l1, l2 ast.Literal, theta map[string]ast.Term) bool {
+	switch l1.Kind {
+	case ast.LitAtom:
+		return matchAtom(l1.Atom, l2.Atom, theta)
+	case ast.LitEq:
+		trail := snapshot(theta)
+		if matchTerm(l1.Left, l2.Left, theta) && matchTerm(l1.Right, l2.Right, theta) {
+			return true
+		}
+		restore(theta, trail)
+		return matchTerm(l1.Left, l2.Right, theta) && matchTerm(l1.Right, l2.Left, theta)
+	}
+	return false
+}
+
+func matchAtom(a1, a2 ast.Atom, theta map[string]ast.Term) bool {
+	if a1.Pred != a2.Pred || len(a1.Args) != len(a2.Args) {
+		return false
+	}
+	for i := range a1.Args {
+		if !matchTerm(a1.Args[i], a2.Args[i], theta) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchTerm directionally matches a term of r1 against a frozen term
+// of r2, extending θ.
+func matchTerm(t1, t2 ast.Term, theta map[string]ast.Term) bool {
+	if !t1.IsVar() {
+		return !t2.IsVar() && t1.Const == t2.Const
+	}
+	if bound, ok := theta[t1.Var]; ok {
+		return sameTerm(bound, t2)
+	}
+	theta[t1.Var] = t2
+	return true
+}
+
+func snapshot(theta map[string]ast.Term) map[string]bool {
+	keys := make(map[string]bool, len(theta))
+	for k := range theta {
+		keys[k] = true
+	}
+	return keys
+}
+
+func restore(theta map[string]ast.Term, keys map[string]bool) {
+	for k := range theta {
+		if !keys[k] {
+			delete(theta, k)
+		}
+	}
+}

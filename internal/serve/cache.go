@@ -29,6 +29,57 @@ type cacheEntry struct {
 
 	repOnce sync.Once
 	rep     *unchained.AnalysisReport
+
+	// Optimized variants of the program, computed once on first demand
+	// and shared by every subsequent request at the same level (the
+	// optimizer is deterministic, so the variant is as immutable as the
+	// parse). Three variants cover the request space: O1 (no inlining
+	// by construction), O2, and O2 without inlining for requests whose
+	// semantics or stage bound is timing-sensitive.
+	optO1     optVariant
+	optO2     optVariant
+	optO2Caut optVariant
+}
+
+// optVariant memoizes one optimization of a cache entry's program.
+// res stays nil when the pipeline left the program unchanged.
+type optVariant struct {
+	once sync.Once
+	res  *unchained.OptimizeResult
+}
+
+// optimized returns the memoized rewrite of the entry's program at
+// the given level, or nil when the optimizer has nothing to offer.
+// onCompute fires exactly once per variant, when it is first computed
+// (for the server's rewrite counters). Callers must still verify the
+// result's emptiness assumptions against the request's facts via
+// unchained.OptAssumptionsHold before substituting the program.
+func (e *cacheEntry) optimized(level int, noInline bool, onCompute func(*unchained.OptimizeResult)) *unchained.OptimizeResult {
+	var v *optVariant
+	switch {
+	case level <= 0 || level > 2:
+		return nil
+	case level == 1:
+		v = &e.optO1
+	case noInline:
+		v = &e.optO2Caut
+	default:
+		v = &e.optO2
+	}
+	v.once.Do(func() {
+		// Stratified is timing-safe, so OptimizeFor applies exactly the
+		// passes the options request; the noInline flag carries the
+		// per-request timing sensitivity instead.
+		res := e.base.OptimizeFor(e.prog, unchained.Stratified,
+			&unchained.OptOptions{Level: unchained.OptLevel(level), NoInline: noInline})
+		if res != nil && res.Changed {
+			v.res = res
+			if onCompute != nil {
+				onCompute(res)
+			}
+		}
+	})
+	return v.res
 }
 
 // report lazily runs the static analyzer over the entry's program.

@@ -307,6 +307,9 @@ func TestMetricsNameInventory(t *testing.T) {
 		"unchained_stages_run_total":               "counter",
 		"unchained_analyze_total":                  "counter",
 		"unchained_analyze_errors_total":           "counter",
+		"unchained_opt_passes_total":               "counter",
+		"unchained_opt_rewrites_total":             "counter",
+		"unchained_opt_rules_removed_total":        "counter",
 		"unchained_parse_cache_hits_total":         "counter",
 		"unchained_parse_cache_misses_total":       "counter",
 		"unchained_parse_cache_evictions_total":    "counter",

@@ -80,6 +80,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(w, "unchained_stages_run_total", "Evaluation stages executed across all requests.", z.StagesRun)
 	writeCounter(w, "unchained_analyze_total", "Static-analysis requests served (cached reports included).", z.Analyzes)
 	writeCounter(w, "unchained_analyze_errors_total", "Analyzed programs carrying error-severity diagnostics.", z.AnalyzeErrors)
+	writeCounter(w, "unchained_opt_passes_total", "Optimizer passes run while computing memoized program variants.", z.OptPasses)
+	writeCounter(w, "unchained_opt_rewrites_total", "Optimizer rewrites applied while computing memoized program variants.", z.OptRewrites)
+	writeCounter(w, "unchained_opt_rules_removed_total", "Rules removed by the optimizer while computing memoized program variants.", z.OptRulesRemoved)
 	writeCounter(w, "unchained_parse_cache_hits_total", "Parse cache hits.", z.CacheHits)
 	writeCounter(w, "unchained_parse_cache_misses_total", "Parse cache misses.", z.CacheMisses)
 	writeCounter(w, "unchained_parse_cache_evictions_total", "Parse cache LRU evictions.", z.CacheEvictions)

@@ -183,6 +183,12 @@ type Server struct {
 	shardsClamped  atomic.Uint64
 	analyzes       atomic.Uint64
 	analyzeErrs    atomic.Uint64
+	// Static-optimizer traffic: counted once per memoized variant
+	// computation (not per request served from the memo), so the totals
+	// measure rewrite work done, mirroring the cache-miss counters.
+	optPasses       atomic.Uint64
+	optRewrites     atomic.Uint64
+	optRulesRemoved atomic.Uint64
 	// Shard-parallel evaluation traffic, summed from per-request stats
 	// summaries like the COW counters below.
 	shardRounds atomic.Uint64
@@ -431,6 +437,14 @@ type Envelope struct {
 	Shards int `json:"shards,omitempty"`
 	// Stats requests the evaluation statistics summary.
 	Stats bool `json:"stats,omitempty"`
+	// Optimize selects the static-rewrite level (0-2, the CLI's -O; see
+	// docs/OPTIMIZER.md). The rewritten program is memoized on the
+	// program's parse-cache entry, so repeated requests pay nothing.
+	// When a rewrite assumed an intensional relation carries no input
+	// facts and the request's facts violate that, the daemon falls back
+	// to the program as written. Out of range is rejected with code
+	// "invalid_options".
+	Optimize int `json:"optimize,omitempty"`
 }
 
 // EvalRequest is the body of POST /v1/eval.
@@ -552,6 +566,12 @@ func (s *Server) parallelFor(env Envelope) (unchained.Parallel, *ErrorInfo) {
 		info.Details = map[string]any{"workers": env.Workers, "shards": env.Shards}
 		return unchained.Parallel{}, info
 	}
+	if env.Optimize < 0 || env.Optimize > 2 {
+		info := errInfo(CodeInvalidOptions,
+			fmt.Sprintf("optimize (%d) must be between 0 and 2", env.Optimize))
+		info.Details = map[string]any{"optimize": env.Optimize}
+		return unchained.Parallel{}, info
+	}
 	w := env.Workers
 	if w == 0 {
 		w = s.cfg.DefaultWorkers
@@ -620,6 +640,15 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, ri *reqInfo, tena
 	s.flight.Observe(rec)
 	s.otlp.Export(rec, nil)
 	return wait, false
+}
+
+// countOpt folds one freshly computed optimization variant into the
+// service totals (passed to cacheEntry.optimized as its onCompute
+// hook, so memo hits cost nothing).
+func (s *Server) countOpt(res *unchained.OptimizeResult) {
+	s.optPasses.Add(uint64(res.Passes))
+	s.optRewrites.Add(uint64(len(res.Rewrites)))
+	s.optRulesRemoved.Add(uint64(res.RulesRemoved))
 }
 
 // countSemantics attributes one evaluation attempt to its semantics
@@ -701,10 +730,26 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, unchained.WithTracer(rec))
 	}
 
+	// req.Optimize substitutes the memoized rewrite of the cached
+	// program when its emptiness assumptions hold against this
+	// request's facts. "auto" resolves its semantics inside
+	// EvalContext, so it optimizes through the facade option instead.
+	prog := entry.prog
+	if req.Optimize > 0 {
+		if sem == unchained.SemanticsAuto {
+			opts = append(opts, unchained.WithOptimize(unchained.OptLevel(req.Optimize)))
+		} else {
+			noInline := req.MaxStages > 0 || !unchained.OptInlineSafe(sem)
+			if ores := entry.optimized(req.Optimize, noInline, s.countOpt); ores != nil && unchained.OptAssumptionsHold(ores, in) {
+				prog = ores.Program
+			}
+		}
+	}
+
 	s.countSemantics(sem.String())
 	s.inFlight.Add(1)
 	evalBegin := time.Now()
-	res, err := sess.EvalContext(ctx, entry.prog, in, sem, opts...)
+	res, err := sess.EvalContext(ctx, prog, in, sem, opts...)
 	evalDur := time.Since(evalBegin)
 	s.evalLat.observe(evalDur)
 	s.inFlight.Add(-1)
@@ -804,10 +849,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		unchained.WithPlanCache(entry.plans),
 	)
 
+	// Magic-sets queries run over minimal-model semantics (timing-safe,
+	// no stage bound), so the full memoized variant applies.
+	prog := entry.prog
+	if req.Optimize > 0 {
+		if ores := entry.optimized(req.Optimize, false, s.countOpt); ores != nil && unchained.OptAssumptionsHold(ores, in) {
+			prog = ores.Program
+		}
+	}
+
 	s.countSemantics("query")
 	s.inFlight.Add(1)
 	evalBegin := time.Now()
-	rel, summary, err := sess.QueryContext(ctx, entry.prog, goal, in, opts...)
+	rel, summary, err := sess.QueryContext(ctx, prog, goal, in, opts...)
 	evalDur := time.Since(evalBegin)
 	s.evalLat.observe(evalDur)
 	s.inFlight.Add(-1)
@@ -1017,6 +1071,11 @@ type Statsz struct {
 	StagesRun     uint64 `json:"stages_run"`
 	Analyzes      uint64 `json:"analyzes"`
 	AnalyzeErrors uint64 `json:"analyze_errors"`
+	// Static-optimizer traffic: passes run, rewrites applied, and rules
+	// removed across memoized variant computations (see docs/OPTIMIZER.md).
+	OptPasses       uint64 `json:"opt_passes"`
+	OptRewrites     uint64 `json:"opt_rewrites"`
+	OptRulesRemoved uint64 `json:"opt_rules_removed"`
 	// WorkersClamped and TimeoutsClamped predate /v1/status; the
 	// ceilings they count against now live there under "limits".
 	//
@@ -1103,6 +1162,9 @@ func (s *Server) snapshot() Statsz {
 		StagesRun:        s.stagesRun.Load(),
 		Analyzes:         s.analyzes.Load(),
 		AnalyzeErrors:    s.analyzeErrs.Load(),
+		OptPasses:        s.optPasses.Load(),
+		OptRewrites:      s.optRewrites.Load(),
+		OptRulesRemoved:  s.optRulesRemoved.Load(),
 		WorkersClamped:   s.workersClamped.Load(),
 		TimeoutsClamped:  s.timeoutClamped.Load(),
 		ShardsClamped:    s.shardsClamped.Load(),

@@ -224,6 +224,85 @@ func TestParseCache(t *testing.T) {
 	}
 }
 
+// TestEvalOptimize checks the daemon-side optimizer: an optimize:2
+// request returns byte-identical output to optimize:0, the rewrite
+// counters move exactly once per memoized variant, and input facts on
+// an assumed-empty relation fall back to the program as written.
+func TestEvalOptimize(t *testing.T) {
+	ts := newTestServer(t)
+	// mid is inlinable; dead reads an underivable predicate.
+	prog := tcProgram + `
+		Mid(X) :- T(X,X).
+		Dead(X) :- Ghost(X).
+		Ghost(X) :- Ghost(X).
+	`
+	facts := `G(a,b). G(b,a).`
+	eval := func(level int, facts string) EvalResponse {
+		t.Helper()
+		resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{
+			Envelope:  Envelope{Program: prog, Facts: facts, Optimize: level},
+			Semantics: "stratified",
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var out EvalResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	plain := eval(0, facts)
+	optimized := eval(2, facts)
+	if plain.Output != optimized.Output {
+		t.Fatalf("optimize must not change output:\n-O0: %q\n-O2: %q", plain.Output, optimized.Output)
+	}
+	// A second optimized request must reuse the memoized variant.
+	eval(2, facts)
+	var st Statsz
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.OptPasses == 0 || st.OptRewrites == 0 || st.OptRulesRemoved == 0 {
+		t.Fatalf("optimizer counters did not move: %+v", st)
+	}
+	firstRemoved := st.OptRulesRemoved
+
+	// Facts on the assumed-empty Ghost relation force the fallback —
+	// and the fallback's output must still match the unoptimized run.
+	violating := facts + ` Ghost(q).`
+	if got, want := eval(2, violating).Output, eval(0, violating).Output; got != want {
+		t.Fatalf("fallback output differs:\n-O2: %q\n-O0: %q", got, want)
+	}
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.OptRulesRemoved != firstRemoved {
+		t.Fatalf("memoized variant recomputed: %d -> %d", firstRemoved, st.OptRulesRemoved)
+	}
+}
+
+func TestOptimizeRejectsBadLevel(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram, Optimize: 3}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), CodeInvalidOptions) {
+		t.Fatalf("want %s: %s", CodeInvalidOptions, body)
+	}
+}
+
 func TestBadSemantics(t *testing.T) {
 	ts := newTestServer(t)
 	resp, body := post(t, ts.URL+"/v1/eval", EvalRequest{Envelope: Envelope{Program: tcProgram}, Semantics: "no-such-semantics"})

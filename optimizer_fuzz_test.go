@@ -1,0 +1,117 @@
+package unchained_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"unchained"
+)
+
+// FuzzOptimize is the differential fuzz target for the static
+// optimizer: for any parseable program, Optimize must not panic, must
+// not mutate the input program, and evaluating the -O2 rewrite under
+// a timing-safe engine must produce the same facts as the original —
+// over a small synthetic instance covering the program's EDB schema.
+// Programs the baseline engine rejects are skipped (optimization may
+// widen the accepted dialect; see docs/OPTIMIZER.md).
+func FuzzOptimize(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("programs", "*.dl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+	f.Add("P(X) :- E(X), X = a.\nDead(X) :- Never(X).\nQ(X) :- P(X).")
+	f.Add("T(X,Y) :- G(X,Y).\nT(X,Y) :- G(X,Z), T(Z,Y).")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		s := unchained.NewSession()
+		p, err := s.Parse(src)
+		if err != nil {
+			return
+		}
+		// Bound the work: fuzzed programs with many rules, wide
+		// schemas, or long bodies make evaluation, not optimization,
+		// the cost center (a single wide join cannot be interrupted
+		// mid-stage, so the context deadline alone is not enough).
+		schema, err := p.Schema()
+		if err != nil || len(p.Rules) > 32 || len(schema) > 16 || len(p.Constants()) > 8 {
+			return
+		}
+		for _, r := range p.Rules {
+			if len(r.Body) > 5 {
+				return
+			}
+		}
+		for _, k := range schema {
+			if k > 6 {
+				return
+			}
+		}
+		before := p.String(s.U)
+
+		// A tiny instance over the EDB schema so rewrites resting on
+		// emptiness assumptions get exercised against real fallbacks.
+		var facts strings.Builder
+		for _, pred := range p.EDB() {
+			k := schema[pred]
+			if k == 0 || k > 4 {
+				continue
+			}
+			for _, c := range []string{"a", "b"} {
+				args := make([]string, k)
+				for i := range args {
+					args[i] = c
+				}
+				fmt.Fprintf(&facts, "%s(%s).\n", pred, strings.Join(args, ","))
+			}
+		}
+		in, err := s.Facts(facts.String())
+		if err != nil {
+			t.Fatalf("generated facts failed to parse: %v\n%s", err, facts.String())
+		}
+
+		res := s.OptimizeFor(p, unchained.Stratified, &unchained.OptOptions{Level: unchained.Opt2})
+		if res == nil {
+			t.Fatal("OptimizeFor returned nil result")
+		}
+		if after := p.String(s.U); after != before {
+			t.Fatalf("Optimize mutated the input program:\n--- before ---\n%s\n--- after ---\n%s", before, after)
+		}
+
+		eval := func(prog *unchained.Program, budget time.Duration) (string, bool) {
+			ctx, cancel := context.WithTimeout(context.Background(), budget)
+			defer cancel()
+			r, err := s.EvalContext(ctx, prog, in, unchained.Stratified, unchained.WithMaxStages(64))
+			if err != nil {
+				return "error: " + err.Error(), true
+			}
+			return s.Format(r.Out), false
+		}
+		// A tight baseline budget skips expensive inputs quickly; the
+		// optimized run then gets a far larger one, so a deadline there
+		// means a real pathological slowdown, not fuzz jitter.
+		base, failed := eval(p, 500*time.Millisecond)
+		if failed {
+			return
+		}
+		optimized := p
+		if res.Changed && unchained.OptAssumptionsHold(res, in) {
+			optimized = res.Program
+		}
+		if got, _ := eval(optimized, 10*time.Second); got != base {
+			t.Fatalf("optimized output diverges from baseline:\nprogram:\n%s\nfacts:\n%s\n--- -O2 ---\n%s\n--- -O0 ---\n%s",
+				src, facts.String(), got, base)
+		}
+	})
+}

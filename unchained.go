@@ -273,10 +273,13 @@ func SemanticsNames() []string {
 }
 
 // evalConfig is the target functional options apply to: the unified
-// engine options plus facade-level knobs (the nondet seed).
+// engine options plus facade-level knobs (the nondet seed and the
+// optimizer level/roots).
 type evalConfig struct {
-	opt  engine.Options
-	seed int64
+	opt      engine.Options
+	seed     int64
+	optimize OptLevel
+	optRoots []string
 }
 
 // Opt is a functional evaluation option for the Context methods.
@@ -430,11 +433,11 @@ func (s *Session) Sym(name string) Value { return s.U.Sym(name) }
 func (s *Session) EvalContext(ctx context.Context, p *Program, in *Instance, sem Semantics, opts ...Opt) (*EvalResult, error) {
 	cfg := buildConfig(ctx, opts)
 	if sem == SemanticsAuto {
-		return s.evalAuto(p, in, &cfg.opt)
+		return s.evalAuto(p, in, cfg)
 	}
 	for _, e := range semanticsTable {
 		if e.sem == sem {
-			return e.eval(s, p, in, &cfg.opt)
+			return e.eval(s, s.optimizeEval(p, in, sem, cfg), in, &cfg.opt)
 		}
 	}
 	return nil, fmt.Errorf("unchained: unknown semantics %v", sem)
@@ -554,6 +557,17 @@ func (s *Session) EvalProvenance(p *Program, in *Instance) (*Instance, *core.Pro
 // maintained differentially (see docs/STORE.md).
 func (s *Session) MaterializeContext(ctx context.Context, p *Program, in *Instance, opts ...Opt) (*incr.View, error) {
 	cfg := buildConfig(ctx, opts)
+	// A maintained view can receive future deltas on any predicate,
+	// so rewrites resting on no-input-facts assumptions (underivable
+	// elimination, inlining) are uncheckable here: NoAssume restricts
+	// the pipeline to instance-independent rewrites, which transfer
+	// through the maintained == from-scratch invariant.
+	if cfg.optimize > OptNone {
+		res := s.OptimizeFor(p, Stratified, &OptOptions{Level: cfg.optimize, NoAssume: true})
+		if res.Changed {
+			p = res.Program
+		}
+	}
 	return incr.Materialize(p, in, s.U, &cfg.opt)
 }
 
@@ -573,6 +587,12 @@ func (s *Session) Materialize(p *Program, in *Instance) (*incr.View, error) {
 // the partial progress).
 func (s *Session) QueryContext(ctx context.Context, p *Program, query Atom, in *Instance, opts ...Opt) (*tuple.Relation, *StatsSummary, error) {
 	cfg := buildConfig(ctx, opts)
+	// The caller observes only the query predicate, so it is the
+	// reachability root for the optimizer.
+	if cfg.optimize > OptNone {
+		cfg.optRoots = append(append([]string(nil), cfg.optRoots...), query.Pred)
+		p = s.optimizeEval(p, in, MinimalModel, cfg)
+	}
 	return magic.AnswerStats(p, query, in, s.U, &cfg.opt)
 }
 
